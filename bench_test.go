@@ -1,0 +1,199 @@
+package fpgadbg_test
+
+// Top-level benchmarks: one per table and figure of the paper's evaluation
+// section, plus micro-benchmarks of the substrate and ablation benches for
+// the design choices called out in DESIGN.md. Each macro benchmark prints
+// its reproduced rows once (the same output cmd/benchrepro gives).
+//
+// Run everything:
+//
+//	go test -bench=. -benchmem
+//
+// The macro benches default to a reduced benchmark set so the whole suite
+// finishes in minutes; set -benchfull to run all nine designs exactly as
+// EXPERIMENTS.md records them.
+
+import (
+	"flag"
+	"fmt"
+	"sync"
+	"testing"
+
+	"fpgadbg/internal/bench"
+	"fpgadbg/internal/core"
+	"fpgadbg/internal/debug"
+	"fpgadbg/internal/experiments"
+	"fpgadbg/internal/faults"
+	"fpgadbg/internal/synth"
+)
+
+var benchFull = flag.Bool("benchfull", false, "run macro benchmarks on all nine designs")
+
+// cfg picks the benchmark scope.
+func cfg() experiments.Config {
+	c := experiments.Config{PlaceEffort: 0.4, Seed: 1}
+	if !*benchFull {
+		c.Designs = []string{"9sym", "c499", "c880", "s9234"}
+	}
+	return c
+}
+
+var printOnce sync.Map
+
+func printFirst(b *testing.B, key, out string) {
+	b.Helper()
+	if _, loaded := printOnce.LoadOrStore(key, true); !loaded {
+		fmt.Println(out)
+	}
+}
+
+// BenchmarkTable1 regenerates Table 1: tiled layout statistics (CLB
+// counts, area overhead, timing overhead vs an untiled layout).
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table1(cfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		printFirst(b, "table1", experiments.FormatTable1(rows))
+	}
+}
+
+// BenchmarkFigure3 regenerates Figure 3: % of tiles affected as the
+// introduced test logic grows from 1 to 100 CLBs.
+func BenchmarkFigure3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		series, err := experiments.Figure3(cfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		printFirst(b, "fig3", experiments.FormatSeries(
+			"Figure 3. Number of Tiles Affected by Logic Introduction (% affected)", "#CLBs", series))
+	}
+}
+
+// BenchmarkFigure4 regenerates Figure 4: the maximum per-point test-logic
+// size for 1..100 spread test points.
+func BenchmarkFigure4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		series, err := experiments.Figure4(cfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		printFirst(b, "fig4", experiments.FormatSeries(
+			"Figure 4. Maximum Test Logic Size (CLBs per point)", "#points", series))
+	}
+}
+
+// BenchmarkFigure5 regenerates Figure 5: place-and-route speedup of
+// tile-local updates over full re-place-and-route for tile sizes of 2.5,
+// 5, 15 and 25% of the device.
+func BenchmarkFigure5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Figure5(cfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		printFirst(b, "fig5", experiments.FormatFigure5(rows))
+	}
+}
+
+// Benchmark_AblationOverhead sweeps the resource-slack knob (10/20/30%),
+// the §3.2 tradeoff.
+func Benchmark_AblationOverhead(b *testing.B) {
+	c := cfg()
+	c.Designs = []string{"c499", "s9234"}
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.OverheadSweep(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printFirst(b, "abl-overhead", experiments.FormatOverheadSweep(rows))
+	}
+}
+
+// Benchmark_AblationClusteredPoints runs Figure 4's clustered-distribution
+// variant (end of §6.1).
+func Benchmark_AblationClusteredPoints(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		series, err := experiments.Figure4Clustered(cfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		printFirst(b, "abl-clustered", experiments.FormatSeries(
+			"Ablation: Figure 4, clustered test points", "#points", series))
+	}
+}
+
+// Benchmark_AblationBoundaries compares uniform tile boundaries against
+// the min-crossing sweep ("inter-tile interconnect is minimized").
+func Benchmark_AblationBoundaries(b *testing.B) {
+	c := cfg()
+	c.Designs = []string{"9sym", "c880"}
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.BoundaryAblation(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printFirst(b, "abl-bounds", experiments.FormatBoundaryAblation(rows))
+	}
+}
+
+// BenchmarkDebugLoop measures a complete detect→localize→correct campaign
+// on c880 with an injected design error — the end-to-end cost the paper
+// optimizes.
+func BenchmarkDebugLoop(b *testing.B) {
+	info, err := bench.ByName("c880")
+	if err != nil {
+		b.Fatal(err)
+	}
+	golden, err := synth.TechMap(info.Build())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		impl := golden.Clone()
+		if _, err := faults.InjectRandom(impl, 1); err != nil {
+			b.Fatal(err)
+		}
+		lay, err := core.BuildMapped(impl, core.Spec{Seed: 1, PlaceEffort: 0.3, TileFrac: 0.1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sess, err := debug.NewSession(golden, lay, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sess.RunLoop(3, 8, 4, 3, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBuildDES measures the initial tiled place-and-route of the
+// largest benchmark.
+func BenchmarkBuildDES(b *testing.B) {
+	nl := bench.DES()
+	mapped, err := synth.TechMap(nl)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.BuildMapped(mapped.Clone(), core.Spec{Seed: 1, PlaceEffort: 0.3, TileFrac: 0.1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTechMapMIPS measures the front end on the biggest netlist.
+func BenchmarkTechMapMIPS(b *testing.B) {
+	nl := bench.MIPS()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := synth.TechMap(nl); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,101 @@
+// Command benchrepro regenerates every table and figure of the paper's
+// evaluation section and prints them as text tables, paper values
+// alongside measured ones.
+//
+// Usage:
+//
+//	benchrepro -all
+//	benchrepro -table1 -fig5 -designs "s9234,MIPS R2000,DES" -effort 1.0
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"fpgadbg/internal/experiments"
+)
+
+func main() {
+	var (
+		table1    = flag.Bool("table1", false, "reproduce Table 1 (tiled layout statistics)")
+		fig3      = flag.Bool("fig3", false, "reproduce Figure 3 (tiles affected by logic introduction)")
+		fig4      = flag.Bool("fig4", false, "reproduce Figure 4 (maximum test logic size)")
+		fig5      = flag.Bool("fig5", false, "reproduce Figure 5 (place-and-route speedup)")
+		ablations = flag.Bool("ablations", false, "run the ablation studies")
+		all       = flag.Bool("all", false, "run everything")
+		effort    = flag.Float64("effort", 0.5, "placement effort (1.0 = full anneal)")
+		seed      = flag.Int64("seed", 1, "random seed")
+		designs   = flag.String("designs", "", "comma-separated design filter (default: all nine)")
+	)
+	flag.Parse()
+	if *all {
+		*table1, *fig3, *fig4, *fig5, *ablations = true, true, true, true, true
+	}
+	if !*table1 && !*fig3 && !*fig4 && !*fig5 && !*ablations {
+		flag.Usage()
+		os.Exit(2)
+	}
+	cfg := experiments.Config{PlaceEffort: *effort, Seed: *seed}
+	if *designs != "" {
+		for _, d := range strings.Split(*designs, ",") {
+			cfg.Designs = append(cfg.Designs, strings.TrimSpace(d))
+		}
+	}
+	die := func(err error) {
+		fmt.Fprintln(os.Stderr, "benchrepro:", err)
+		os.Exit(1)
+	}
+	if *table1 {
+		rows, err := experiments.Table1(cfg)
+		if err != nil {
+			die(err)
+		}
+		fmt.Println(experiments.FormatTable1(rows))
+	}
+	if *fig3 {
+		series, err := experiments.Figure3(cfg)
+		if err != nil {
+			die(err)
+		}
+		fmt.Println(experiments.FormatSeries(
+			"Figure 3. Number of Tiles Affected by Logic Introduction (% affected tiles)",
+			"#CLBs", series))
+	}
+	if *fig4 {
+		series, err := experiments.Figure4(cfg)
+		if err != nil {
+			die(err)
+		}
+		fmt.Println(experiments.FormatSeries(
+			"Figure 4. Maximum Test Logic Size (CLBs per test point)",
+			"#points", series))
+	}
+	if *fig5 {
+		rows, err := experiments.Figure5(cfg)
+		if err != nil {
+			die(err)
+		}
+		fmt.Println(experiments.FormatFigure5(rows))
+	}
+	if *ablations {
+		sweep, err := experiments.OverheadSweep(cfg)
+		if err != nil {
+			die(err)
+		}
+		fmt.Println(experiments.FormatOverheadSweep(sweep))
+		clustered, err := experiments.Figure4Clustered(cfg)
+		if err != nil {
+			die(err)
+		}
+		fmt.Println(experiments.FormatSeries(
+			"Ablation: Figure 4 with clustered test points (all in one tile)",
+			"#points", clustered))
+		bounds, err := experiments.BoundaryAblation(cfg)
+		if err != nil {
+			die(err)
+		}
+		fmt.Println(experiments.FormatBoundaryAblation(bounds))
+	}
+}

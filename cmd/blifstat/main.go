@@ -1,0 +1,67 @@
+// Command blifstat runs an external BLIF netlist through the front end —
+// parse, technology-map to 4-LUTs, pack into CLBs — and reports the
+// statistics Table 1 is built from. Users with the original MCNC
+// distribution files can feed them straight in; the generated stand-ins
+// can be exported with -emit for comparison.
+//
+// Usage:
+//
+//	blifstat design.blif
+//	blifstat -emit 9sym > 9sym.blif     # export a generated benchmark
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fpgadbg/internal/bench"
+	"fpgadbg/internal/blif"
+	"fpgadbg/internal/pack"
+	"fpgadbg/internal/synth"
+)
+
+func main() {
+	emit := flag.String("emit", "", "write the named generated benchmark as BLIF to stdout and exit")
+	flag.Parse()
+	die := func(err error) {
+		fmt.Fprintln(os.Stderr, "blifstat:", err)
+		os.Exit(1)
+	}
+	if *emit != "" {
+		info, err := bench.ByName(*emit)
+		if err != nil {
+			die(err)
+		}
+		if err := blif.Write(os.Stdout, info.Build()); err != nil {
+			die(err)
+		}
+		return
+	}
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		die(err)
+	}
+	defer f.Close()
+	nl, err := blif.Parse(f)
+	if err != nil {
+		die(err)
+	}
+	fmt.Printf("parsed:  %s: %v\n", nl.Name, nl.Stats())
+	mapped, err := synth.TechMap(nl)
+	if err != nil {
+		die(err)
+	}
+	fmt.Printf("mapped:  %v\n", mapped.Stats())
+	p, err := pack.Pack(mapped)
+	if err != nil {
+		die(err)
+	}
+	st := p.Stats()
+	fmt.Printf("packed:  %d CLBs (LUT fill %.0f%%, %d/%d FFs beside their driver)\n",
+		st.CLBs, st.AvgLUTFill*100, st.FFWithDriver, st.FFs)
+}

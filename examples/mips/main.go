@@ -1,0 +1,84 @@
+// MIPS test-point study: tile the MIPS R2000 stand-in core and explore
+// the paper's Figures 3 and 4 on it interactively — how many tiles does
+// introducing N CLBs of test logic touch, and how much logic can each of
+// k test points take without recruiting neighbor tiles?
+//
+//	go run ./examples/mips
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"fpgadbg/internal/bench"
+	"fpgadbg/internal/core"
+	"fpgadbg/internal/eco"
+	"fpgadbg/internal/netlist"
+)
+
+func main() {
+	info, err := bench.ByName("MIPS R2000")
+	if err != nil {
+		log.Fatal(err)
+	}
+	nl := info.Build()
+	fmt.Printf("MIPS core: %v\n", nl.Stats())
+
+	// The hierarchy tree recovered from cell names is the paper's §5.1
+	// back-annotation structure.
+	tree := eco.BuildTree(nl)
+	fmt.Println("design hierarchy (top two levels):")
+	for _, m := range tree.Modules() {
+		depth := 0
+		for _, ch := range m {
+			if ch == '/' {
+				depth++
+			}
+		}
+		if depth <= 1 {
+			cells, _ := tree.CellsUnder(m)
+			fmt.Printf("  %-16s %5d cells\n", m, len(cells))
+		}
+	}
+
+	lay, err := core.Build(nl, core.Spec{Overhead: 0.2, TileFrac: 0.1, Seed: 1, PlaceEffort: 0.35})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ntiled: %v, %d tiles, %d CLBs\n", lay.Dev, len(lay.Tiles), lay.NumCLBs())
+
+	fmt.Println("\nFigure-3 view — tiles affected by introducing N CLBs of test logic:")
+	seed := 0
+	for _, n := range []int{1, 10, 25, 50, 100} {
+		tiles, err := lay.AffectedTiles(seed, n)
+		if err != nil {
+			fmt.Printf("  %3d CLBs: exceeds total slack (all tiles affected)\n", n)
+			continue
+		}
+		fmt.Printf("  %3d CLBs: %2d of %d tiles (%.0f%%)\n",
+			n, len(tiles), len(lay.Tiles), 100*float64(len(tiles))/float64(len(lay.Tiles)))
+	}
+
+	fmt.Println("\nFigure-4 view — max test logic per point for k spread points:")
+	for _, k := range []int{1, 4, 10, 25, 50, 100} {
+		fmt.Printf("  %3d points: up to %2d CLBs each (clustered: %d)\n",
+			k, lay.MaxTestLogic(k), lay.MaxTestLogicClustered(k))
+	}
+
+	// Where would a change to the ALU land physically? Mapped cells carry
+	// the module path in their names (back annotation through mapping), so
+	// tracing "mips/alu" to tiles is a name scan plus the placement.
+	fmt.Println("\nwhere would a change to the ALU land?")
+	tiles := map[int]int{}
+	for ci := range lay.NL.Cells {
+		c := &lay.NL.Cells[ci]
+		if c.Dead || !strings.Contains(c.Name, "mips/alu") {
+			continue
+		}
+		if clb, ok := lay.Packed.CellCLB[netlist.CellID(ci)]; ok {
+			tiles[lay.TileOf(lay.CLBLoc[clb])]++
+		}
+	}
+	fmt.Printf("  ALU logic spreads over %d tiles (tile -> #cells): %v\n", len(tiles), tiles)
+}

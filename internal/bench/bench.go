@@ -1,0 +1,66 @@
+// Package bench generates the paper's nine benchmark designs. The MCNC /
+// ISCAS distribution files are not available offline, so each design is
+// rebuilt as a deterministic generator of the same function class and
+// approximate size (see DESIGN.md §3 for the substitution argument):
+//
+//	9sym    – the exact MCNC function: 9-input symmetric, true for 3..6 ones
+//	c499    – single-error-correcting Hamming decoder (XOR network), 41 in / 32 out
+//	c880    – 8-bit ALU with flags
+//	styr    – Moore FSM, 30 states / 9 in / 10 out (MCNC parameters)
+//	sand    – Moore FSM, 32 states / 11 in / 9 out
+//	planet1 – Moore FSM, 48 states / 7 in / 19 out
+//	s9234   – synthetic sequential datapath (pipelines + LFSR control)
+//	mips    – MIPS-subset register-file datapath (BYU core stand-in)
+//	des     – key-specific DES round logic, unrolled (Leonard/Mangione-Smith stand-in)
+//
+// Every generator is deterministic; sizes are tuned so the packed CLB
+// counts land near Table 1's (measured values are recorded in
+// EXPERIMENTS.md).
+package bench
+
+import (
+	"fmt"
+	"sort"
+
+	"fpgadbg/internal/netlist"
+)
+
+// Info describes one benchmark design.
+type Info struct {
+	Name string
+	// PaperCLBs is the CLB count Table 1 reports.
+	PaperCLBs int
+	// Sequential reports whether the design holds state.
+	Sequential bool
+	Build      func() *netlist.Netlist
+}
+
+// Catalog lists the paper's designs in Table 1 order.
+func Catalog() []Info {
+	return []Info{
+		{Name: "9sym", PaperCLBs: 56, Sequential: false, Build: NineSym},
+		{Name: "styr", PaperCLBs: 98, Sequential: true, Build: Styr},
+		{Name: "sand", PaperCLBs: 100, Sequential: true, Build: Sand},
+		{Name: "c499", PaperCLBs: 115, Sequential: false, Build: C499},
+		{Name: "planet1", PaperCLBs: 115, Sequential: true, Build: Planet1},
+		{Name: "c880", PaperCLBs: 135, Sequential: false, Build: C880},
+		{Name: "s9234", PaperCLBs: 235, Sequential: true, Build: S9234},
+		{Name: "MIPS R2000", PaperCLBs: 900, Sequential: true, Build: MIPS},
+		{Name: "DES", PaperCLBs: 1050, Sequential: false, Build: DES},
+	}
+}
+
+// ByName returns a design generator by (case-sensitive) name.
+func ByName(name string) (Info, error) {
+	for _, d := range Catalog() {
+		if d.Name == name {
+			return d, nil
+		}
+	}
+	var names []string
+	for _, d := range Catalog() {
+		names = append(names, d.Name)
+	}
+	sort.Strings(names)
+	return Info{}, fmt.Errorf("bench: unknown design %q (have %v)", name, names)
+}

@@ -1,0 +1,110 @@
+package bench
+
+import (
+	"fmt"
+
+	"fpgadbg/internal/logic"
+	"fpgadbg/internal/netlist"
+)
+
+// NineSym builds the MCNC benchmark 9sym exactly: a single output that is
+// true when between 3 and 6 of the 9 inputs are true.
+func NineSym() *netlist.Netlist {
+	b := newBld("9sym")
+	in := b.piBus("x", 9)
+	f := logic.Symmetric(9, func(k int) bool { return k >= 3 && k <= 6 })
+	out := b.lut("9sym/f", f, in...)
+	b.po(out)
+	return b.done()
+}
+
+// C499 stands in for ISCAS-85 c499 (a 41-input/32-output single-error
+// correcting circuit): a Hamming-style SEC decoder. Syndrome bit j is the
+// parity of received check bit j and the data bits whose (1-based)
+// position has bit j set; data bit i is corrected when the syndrome
+// equals i+1.
+func C499() *netlist.Netlist {
+	b := newBld("c499")
+	const dataW = 32
+	const checkW = 8
+	data := b.piBus("d", dataW)
+	check := b.piBus("c", checkW)
+	enable := b.pi("en")
+
+	syndrome := make(bus, checkW)
+	for j := 0; j < checkW; j++ {
+		taps := []netlist.NetID{check[j]}
+		for i := 0; i < dataW; i++ {
+			if (uint(i+1)>>uint(j))&1 == 1 {
+				taps = append(taps, data[i])
+			}
+		}
+		syndrome[j] = b.xorTree(fmt.Sprintf("c499/syn%d", j), taps)
+	}
+	for i := 0; i < dataW; i++ {
+		hit := b.eqConst(fmt.Sprintf("c499/dec%d", i), syndrome, uint64(i+1))
+		gated := b.and2(fmt.Sprintf("c499/gate%d", i), hit, enable)
+		out := b.xor2(fmt.Sprintf("c499/fix%d", i), data[i], gated)
+		b.po(out)
+	}
+	return b.done()
+}
+
+// C880 stands in for ISCAS-85 c880 (an 8-bit ALU): add, subtract,
+// bitwise logic, shift and compare over two 8-bit operands, with carry,
+// zero, negative and parity flags.
+func C880() *netlist.Netlist {
+	b := newBld("c880")
+	const w = 8
+	a := b.piBus("a", w)
+	bb := b.piBus("b", w)
+	cin := b.pi("cin")
+	op := b.piBus("op", 3)
+
+	// Operand B inverted for subtraction.
+	bInv := make(bus, w)
+	for i := range bb {
+		bInv[i] = b.not(fmt.Sprintf("c880/binv%d", i), bb[i])
+	}
+	sum, cout := b.adder("c880/add", a, bb, cin)
+	one := b.constNet("c880/one", true)
+	diff, bout := b.adder("c880/sub", a, bInv, one)
+
+	andB := make(bus, w)
+	orB := make(bus, w)
+	xorB := make(bus, w)
+	norB := make(bus, w)
+	shl := make(bus, w)
+	for i := 0; i < w; i++ {
+		andB[i] = b.and2(fmt.Sprintf("c880/and%d", i), a[i], bb[i])
+		orB[i] = b.or2(fmt.Sprintf("c880/or%d", i), a[i], bb[i])
+		xorB[i] = b.xor2(fmt.Sprintf("c880/xor%d", i), a[i], bb[i])
+		norB[i] = b.lut(fmt.Sprintf("c880/nor%d", i), logic.NorN(2), a[i], bb[i])
+		if i == 0 {
+			shl[i] = b.and2(fmt.Sprintf("c880/shl%d", i), cin, one)
+		} else {
+			shl[i] = a[i-1]
+		}
+	}
+	// Pass-through of A completes the 8 op codes.
+	results := []bus{sum, diff, andB, orB, xorB, norB, shl, a}
+	res := b.muxN("c880/res", op, results)
+	b.poBus(res)
+
+	// Flags.
+	carry := b.mux("c880/carry", op[0], cout, bout)
+	b.po(carry)
+	nres := make([]netlist.NetID, w)
+	for i := range res {
+		nres[i] = res[i]
+	}
+	zero := b.lut("c880/zero", logic.NorN(4),
+		b.orTree("c880/z0", nres[0:2]), b.orTree("c880/z1", nres[2:4]),
+		b.orTree("c880/z2", nres[4:6]), b.orTree("c880/z3", nres[6:8]))
+	b.po(zero)
+	neg := b.lut("c880/neg", logic.BufN(), res[w-1]) // negative flag
+	b.po(neg)
+	parity := b.xorTree("c880/par", nres)
+	b.po(parity)
+	return b.done()
+}

@@ -1,0 +1,116 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fpgadbg/internal/logic"
+	"fpgadbg/internal/netlist"
+)
+
+// DES stands in for the key-specific DES design of Leonard and
+// Mangione-Smith [8]: a Feistel network with DES's exact structure —
+// 32-bit halves, a 32→48 expansion, per-round key mixing (folded to
+// constants/inverters because the key is specialized, exactly as in the
+// partially evaluated original), eight 6-in/4-out S-boxes per round and a
+// 32-bit P permutation — unrolled for several rounds.
+//
+// The real S-box tables are distribution data we do not carry; the
+// generator fabricates deterministic tables with DES's structural
+// property (each of the four rows of every box is a permutation of
+// 0..15), which preserves the logic size and depth the experiments
+// measure. See DESIGN.md §3.
+func DES() *netlist.Netlist {
+	const rounds = 6
+	r := rand.New(rand.NewSource(0xde5))
+	b := newBld("des")
+
+	left := b.piBus("l", 32)
+	right := b.piBus("r", 32)
+
+	expansion := desExpansion()
+	pperm := desPPermutation(r)
+	for round := 0; round < rounds; round++ {
+		name := fmt.Sprintf("des/r%d", round)
+		// Key-specific folding: the 48-bit round key is a constant, so
+		// key mixing is a fixed inversion pattern on the expanded half.
+		roundKey := r.Uint64() & (1<<48 - 1)
+
+		// Expand right 32→48 and apply key (inverters where key bit = 1).
+		expanded := make(bus, 48)
+		for i := 0; i < 48; i++ {
+			src := right[expansion[i]]
+			if roundKey&(1<<uint(i)) != 0 {
+				expanded[i] = b.not(fmt.Sprintf("%s/k%d", name, i), src)
+			} else {
+				expanded[i] = src
+			}
+		}
+
+		// Eight S-boxes: 6 in, 4 out each.
+		var sout bus
+		for box := 0; box < 8; box++ {
+			in6 := expanded[box*6 : box*6+6]
+			tables := desSBox(r)
+			for o := 0; o < 4; o++ {
+				f := sboxCover(tables, o)
+				sout = append(sout, b.lut(fmt.Sprintf("%s/s%d_%d", name, box, o), f, in6...))
+			}
+		}
+
+		// P permutation then XOR with left.
+		newRight := make(bus, 32)
+		for i := 0; i < 32; i++ {
+			newRight[i] = b.xor2(fmt.Sprintf("%s/x%d", name, i), left[i], sout[pperm[i]])
+		}
+		left, right = right, newRight
+	}
+	b.poBus(left)
+	b.poBus(right)
+	return b.done()
+}
+
+// desExpansion returns DES's E table shape: 48 selections from 32 bits
+// where edge bits repeat (each 4-bit block borrows its neighbors' edge
+// bits).
+func desExpansion() []int {
+	e := make([]int, 48)
+	for block := 0; block < 8; block++ {
+		base := block * 4
+		e[block*6+0] = (base + 31) % 32
+		for j := 0; j < 4; j++ {
+			e[block*6+1+j] = base + j
+		}
+		e[block*6+5] = (base + 4) % 32
+	}
+	return e
+}
+
+// desPPermutation returns a deterministic 32-element permutation.
+func desPPermutation(r *rand.Rand) []int {
+	return r.Perm(32)
+}
+
+// desSBox fabricates one S-box: 4 rows (selected by bits 0 and 5), each a
+// permutation of 0..15 (DES's defining structural property).
+func desSBox(r *rand.Rand) [4][16]uint8 {
+	var t [4][16]uint8
+	for row := 0; row < 4; row++ {
+		perm := r.Perm(16)
+		for col, v := range perm {
+			t[row][col] = uint8(v)
+		}
+	}
+	return t
+}
+
+// sboxCover converts output bit o of an S-box table into a 6-variable
+// cover. DES convention: row = bits {0,5}, column = bits {1..4}.
+func sboxCover(t [4][16]uint8, o int) logic.Cover {
+	tt := logic.TTFromFunc(6, func(m uint64) bool {
+		row := int(m&1) | int((m>>5)&1)<<1
+		col := int((m >> 1) & 0xf)
+		return (t[row][col]>>uint(o))&1 == 1
+	})
+	return tt.ToCover()
+}

@@ -1,0 +1,122 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fpgadbg/internal/logic"
+	"fpgadbg/internal/netlist"
+)
+
+// fsmSpec parameterizes the Moore-machine generator used for the MCNC FSM
+// benchmarks. The transition structure is pseudo-random but deterministic
+// per seed; state/input/output counts match the original benchmark's
+// interface so the mapped sizes land in the right class.
+type fsmSpec struct {
+	name      string
+	states    int
+	inputs    int
+	outputs   int
+	branchFan int // distinct input-condition branches per state
+	seed      int64
+}
+
+// Styr matches the MCNC styr interface: 30 states, 9 inputs, 10 outputs.
+func Styr() *netlist.Netlist {
+	return buildFSM(fsmSpec{name: "styr", states: 30, inputs: 9, outputs: 10, branchFan: 2, seed: 0x5717})
+}
+
+// Sand matches the MCNC sand interface: 32 states, 11 inputs, 9 outputs.
+func Sand() *netlist.Netlist {
+	return buildFSM(fsmSpec{name: "sand", states: 32, inputs: 11, outputs: 9, branchFan: 2, seed: 0x5a17d})
+}
+
+// Planet1 matches the MCNC planet1 interface: 48 states, 7 inputs, 19
+// outputs.
+func Planet1() *netlist.Netlist {
+	return buildFSM(fsmSpec{name: "planet1", states: 48, inputs: 7, outputs: 19, branchFan: 1, seed: 0x91a7e7})
+}
+
+func buildFSM(spec fsmSpec) *netlist.Netlist {
+	r := rand.New(rand.NewSource(spec.seed))
+	b := newBld(spec.name)
+	in := b.piBus("in", spec.inputs)
+
+	sbits := 1
+	for 1<<sbits < spec.states {
+		sbits++
+	}
+	// State register with explicit feedback nets.
+	state := make(bus, sbits)
+	for i := range state {
+		state[i] = b.fresh(fmt.Sprintf("%s/st%d", spec.name, i))
+	}
+
+	// One-hot current-state decoders.
+	stEq := make([]netlist.NetID, spec.states)
+	for s := 0; s < spec.states; s++ {
+		stEq[s] = b.eqConst(fmt.Sprintf("%s/is%d", spec.name, s), state, uint64(s))
+	}
+
+	// Transition terms: each state has branchFan guarded branches plus a
+	// default; guards test 2-3 random input bits.
+	type term struct {
+		active netlist.NetID
+		next   int
+	}
+	var terms []term
+	for s := 0; s < spec.states; s++ {
+		var guards []netlist.NetID
+		for br := 0; br < spec.branchFan; br++ {
+			nCond := 2 + r.Intn(2)
+			var cov logic.Cube
+			perm := r.Perm(spec.inputs)
+			for _, v := range perm[:nCond] {
+				cov = cov.WithLit(v, r.Intn(2) == 1)
+			}
+			guard := b.lut(fmt.Sprintf("%s/g%d_%d", spec.name, s, br),
+				logic.FromCubes(spec.inputs, cov), in...)
+			act := b.and2(fmt.Sprintf("%s/t%d_%d", spec.name, s, br), stEq[s], guard)
+			terms = append(terms, term{active: act, next: r.Intn(spec.states)})
+			guards = append(guards, guard)
+		}
+		// Default branch: no guard taken.
+		anyGuard := b.orTree(fmt.Sprintf("%s/any%d", spec.name, s), guards)
+		noGuard := b.not(fmt.Sprintf("%s/none%d", spec.name, s), anyGuard)
+		act := b.and2(fmt.Sprintf("%s/tdef%d", spec.name, s), stEq[s], noGuard)
+		terms = append(terms, term{active: act, next: (s + 1) % spec.states})
+	}
+
+	// Next-state bits: OR of the active terms whose target has the bit.
+	for bit := 0; bit < sbits; bit++ {
+		var ors []netlist.NetID
+		for _, t := range terms {
+			if (t.next>>bit)&1 == 1 {
+				ors = append(ors, t.active)
+			}
+		}
+		var d netlist.NetID
+		if len(ors) == 0 {
+			d = b.constNet(fmt.Sprintf("%s/ns%d_zero", spec.name, bit), false)
+		} else {
+			d = b.orTree(fmt.Sprintf("%s/ns%d", spec.name, bit), ors)
+		}
+		b.nl.MustAddDFF(fmt.Sprintf("%s/ff%d", spec.name, bit), d, state[bit], 0)
+	}
+
+	// Moore outputs: OR over the states asserting each output.
+	for o := 0; o < spec.outputs; o++ {
+		var ors []netlist.NetID
+		for s := 0; s < spec.states; s++ {
+			if r.Intn(4) == 0 {
+				ors = append(ors, stEq[s])
+			}
+		}
+		if len(ors) == 0 {
+			ors = append(ors, stEq[o%spec.states])
+		}
+		out := b.orTree(fmt.Sprintf("%s/out%d", spec.name, o), ors)
+		b.po(out)
+	}
+	return b.done()
+}

@@ -1,0 +1,145 @@
+package bench
+
+import (
+	"fmt"
+
+	"fpgadbg/internal/logic"
+	"fpgadbg/internal/netlist"
+)
+
+// MIPS stands in for the BYU MIPS R2000 FPGA core: a register-file
+// datapath executing a MIPS-flavoured subset — register file with two read
+// ports and one write port, ALU (add/sub/and/or/xor/slt), immediate path
+// with sign extension, program counter with increment/branch, and
+// instruction decode. The instruction arrives as a primary input bus (the
+// stand-in for instruction memory, which the original core also kept off
+// chip).
+//
+// Parameters are tuned so the packed size approaches Table 1's 900 CLBs.
+func MIPS() *netlist.Netlist {
+	const (
+		width = 16 // datapath width
+		nreg  = 20 // architectural registers
+		rbits = 5
+	)
+	b := newBld("mips")
+	instr := b.piBus("instr", 16)
+	run := b.pi("run")
+
+	// Instruction fields.
+	op := bus{instr[0], instr[1], instr[2]}    // 3-bit opcode
+	rs := bus(instr[3 : 3+rbits])              // source 1
+	rt := bus(instr[3+rbits : 3+2*rbits])      // source 2
+	rd := bus{instr[13], instr[14], instr[15], // dest (5 bits, reuse)
+		instr[3], instr[4]}
+	imm := bus(instr[8:16]) // 8-bit immediate
+
+	// Register file: nreg × width flip-flops with feedback nets.
+	regs := make([]bus, nreg)
+	for rI := 0; rI < nreg; rI++ {
+		regs[rI] = make(bus, width)
+		for i := 0; i < width; i++ {
+			regs[rI][i] = b.fresh(fmt.Sprintf("mips/rf/r%d_%d", rI, i))
+		}
+	}
+
+	// Read ports.
+	srcA := b.muxN("mips/rf/rdA", rs, regs)
+	srcB := b.muxN("mips/rf/rdB", rt, regs)
+
+	// Sign-extended immediate.
+	ext := make(bus, width)
+	for i := 0; i < width; i++ {
+		if i < len(imm) {
+			ext[i] = imm[i]
+		} else {
+			ext[i] = imm[len(imm)-1]
+		}
+	}
+	useImm := b.eqConst("mips/dec/useimm", op, 5) // opcode 5 = immediate op
+	opB := b.muxBus("mips/alu/bsel", useImm, srcB, ext)
+
+	// ALU.
+	alu := buildALU(b, "mips/alu", srcA, opB, op)
+
+	// PC: increment or branch to srcA when opcode 6 and equal.
+	pc := make(bus, width)
+	for i := range pc {
+		pc[i] = b.fresh(fmt.Sprintf("mips/pc/q%d", i))
+	}
+	oneBus := make(bus, width)
+	zero := b.constNet("mips/pc/zero", false)
+	one := b.constNet("mips/pc/one", true)
+	for i := range oneBus {
+		if i == 0 {
+			oneBus[i] = one
+		} else {
+			oneBus[i] = zero
+		}
+	}
+	pcInc, _ := b.adder("mips/pc/inc", pc, oneBus, zero)
+	var eqBits []netlist.NetID
+	for i := 0; i < width; i++ {
+		eqBits = append(eqBits, b.lut(fmt.Sprintf("mips/br/eq%d", i), logic.XnorN(2), srcA[i], srcB[i]))
+	}
+	beq := b.andTree("mips/br/taken", eqBits)
+	isBranch := b.eqConst("mips/dec/branch", op, 6)
+	takeBranch := b.and2("mips/br/do", isBranch, beq)
+	pcNext := b.muxBus("mips/pc/next", takeBranch, pcInc, srcB)
+	pcGated := b.muxBus("mips/pc/gate", run, pc, pcNext)
+	for i := range pc {
+		b.nl.MustAddDFF(fmt.Sprintf("mips/pc/ff%d", i), pcGated[i], pc[i], 0)
+	}
+
+	// Write-back: decoded destination register, gated by run and
+	// non-branch opcodes; register 0 is hardwired zero (never written).
+	wdec := b.decode("mips/rf/wdec", rd, nreg)
+	notBranch := b.not("mips/dec/nb", isBranch)
+	wen := b.and2("mips/rf/wen", run, notBranch)
+	for rI := 1; rI < nreg; rI++ {
+		en := b.and2(fmt.Sprintf("mips/rf/en%d", rI), wen, wdec[rI])
+		for i := 0; i < width; i++ {
+			d := b.mux(fmt.Sprintf("mips/rf/wb%d_%d", rI, i), en, regs[rI][i], alu[i])
+			b.nl.MustAddDFF(fmt.Sprintf("mips/rf/ff%d_%d", rI, i), d, regs[rI][i], 0)
+		}
+	}
+	// Register 0 stays zero.
+	for i := 0; i < width; i++ {
+		b.nl.MustAddDFF(fmt.Sprintf("mips/rf/ff0_%d", i), zero, regs[0][i], 0)
+	}
+
+	b.poBus(alu)
+	b.poBus(pc)
+	b.po(takeBranch)
+	return b.done()
+}
+
+// buildALU returns op-selected arithmetic over two buses:
+// 0 add, 1 sub, 2 and, 3 or, 4 xor, 5 add (immediate form), 6 slt, 7 pass A.
+func buildALU(b *bld, name string, x, y, op bus) bus {
+	w := len(x)
+	zero := b.constNet(name+"/zero", false)
+	one := b.constNet(name+"/one", true)
+	yInv := make(bus, w)
+	for i := range y {
+		yInv[i] = b.not(fmt.Sprintf("%s/yinv%d", name, i), y[i])
+	}
+	sum, _ := b.adder(name+"/add", x, y, zero)
+	diff, bout := b.adder(name+"/sub", x, yInv, one)
+	andB := make(bus, w)
+	orB := make(bus, w)
+	xorB := make(bus, w)
+	for i := 0; i < w; i++ {
+		andB[i] = b.and2(fmt.Sprintf("%s/and%d", name, i), x[i], y[i])
+		orB[i] = b.or2(fmt.Sprintf("%s/or%d", name, i), x[i], y[i])
+		xorB[i] = b.xor2(fmt.Sprintf("%s/xor%d", name, i), x[i], y[i])
+	}
+	slt := make(bus, w)
+	sltBit := b.not(name+"/slt", bout) // borrow => x < y (unsigned)
+	slt[0] = sltBit
+	for i := 1; i < w; i++ {
+		slt[i] = zero
+	}
+	results := []bus{sum, diff, andB, orB, xorB, sum, slt, x}
+	return b.muxN(name+"/res", op, results)
+}

@@ -1,0 +1,83 @@
+package bench
+
+import (
+	"fmt"
+
+	"fpgadbg/internal/logic"
+	"fpgadbg/internal/netlist"
+)
+
+// S9234 stands in for ISCAS-89 s9234, a mid-size sequential circuit. The
+// generator builds a register-rich datapath of the same class: several
+// pipelined lanes (XOR mix, ripple add, register) cross-coupled through a
+// rotating feedback network, sequenced by an LFSR-derived control word and
+// observed through comparators.
+func S9234() *netlist.Netlist {
+	const (
+		lanes = 6
+		width = 20
+	)
+	b := newBld("s9234")
+	din := b.piBus("din", width)
+	mode := b.piBus("mode", 2)
+
+	// Control LFSR: width-bit, taps at fixed positions.
+	ctrl := make(bus, width)
+	for i := range ctrl {
+		ctrl[i] = b.fresh(fmt.Sprintf("s9234/ctl%d", i))
+	}
+	fb := b.xorTree("s9234/ctlfb", []netlist.NetID{ctrl[width-1], ctrl[width-3], ctrl[width-4], ctrl[0]})
+	for i := 0; i < width; i++ {
+		var d netlist.NetID
+		if i == 0 {
+			d = b.xor2("s9234/ctl_in", fb, din[0])
+		} else {
+			d = ctrl[i-1]
+		}
+		init := uint8(0)
+		if i%3 == 0 {
+			init = 1 // non-zero start so the control stream runs
+		}
+		b.nl.MustAddDFF(fmt.Sprintf("s9234/ctlff%d", i), d, ctrl[i], init)
+	}
+
+	// Lanes.
+	prev := din
+	var laneOuts []bus
+	for ln := 0; ln < lanes; ln++ {
+		name := fmt.Sprintf("s9234/lane%d", ln)
+		// Stage 1: XOR mix with rotated control.
+		mixed := make(bus, width)
+		for i := 0; i < width; i++ {
+			mixed[i] = b.lut(fmt.Sprintf("%s/mix%d", name, i), logic.XorN(3),
+				prev[i], ctrl[(i+ln+1)%width], prev[(i+5)%width])
+		}
+		// Stage 2: add rotated previous lane.
+		addend := make(bus, width)
+		for i := 0; i < width; i++ {
+			addend[i] = prev[(i+ln*3+1)%width]
+		}
+		sum, cout := b.adder(name+"/add", mixed, addend, ctrl[ln%width])
+		// Stage 3: mode-selected result, registered.
+		sel := b.muxBus(name+"/sel", mode[ln%2], sum, mixed)
+		q := b.reg(name+"/reg", sel, netlist.NilNet)
+		_ = cout
+		laneOuts = append(laneOuts, q)
+		prev = q
+	}
+
+	// Comparators raise flags when lanes collide, plus parity observers.
+	for ln := 0; ln+1 < lanes; ln++ {
+		var eqs []netlist.NetID
+		for i := 0; i < width; i++ {
+			eqs = append(eqs, b.lut(fmt.Sprintf("s9234/cmp%d_%d", ln, i), logic.XnorN(2),
+				laneOuts[ln][i], laneOuts[ln+1][i]))
+		}
+		b.po(b.andTree(fmt.Sprintf("s9234/eq%d", ln), eqs))
+	}
+	for ln := 0; ln < lanes; ln++ {
+		b.po(b.xorTree(fmt.Sprintf("s9234/par%d", ln), laneOuts[ln]))
+	}
+	b.poBus(laneOuts[lanes-1])
+	return b.done()
+}

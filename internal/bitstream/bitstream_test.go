@@ -1,0 +1,129 @@
+package bitstream
+
+import (
+	"math/rand"
+	"testing"
+
+	"fpgadbg/internal/core"
+	"fpgadbg/internal/logic"
+	"fpgadbg/internal/netlist"
+)
+
+func layout(t testing.TB, seed int64) *core.Layout {
+	t.Helper()
+	r := rand.New(rand.NewSource(4321))
+	nl := netlist.New("bs")
+	var nets []netlist.NetID
+	for i := 0; i < 8; i++ {
+		nets = append(nets, nl.AddPI(""))
+	}
+	for i := 0; i < 250; i++ {
+		k := 2 + r.Intn(3)
+		fanin := make([]netlist.NetID, k)
+		for j := range fanin {
+			fanin[j] = nets[r.Intn(len(nets))]
+		}
+		out := nl.AddNet("")
+		if r.Intn(8) == 0 {
+			nl.MustAddDFF("", fanin[0], out, uint8(r.Intn(2)))
+		} else {
+			cov := logic.Cover{N: k}
+			for c := 0; c < 1+r.Intn(2); c++ {
+				var cu logic.Cube
+				for v := 0; v < k; v++ {
+					if r.Intn(2) == 0 {
+						cu = cu.WithLit(v, r.Intn(2) == 1)
+					}
+				}
+				cov.Cubes = append(cov.Cubes, cu)
+			}
+			nl.MustAddLUT("", cov, fanin, out)
+		}
+		nets = append(nets, out)
+	}
+	for i := 0; i < 5; i++ {
+		nl.MarkPO(nets[len(nets)-1-i*2])
+	}
+	l, err := core.Build(nl, core.Spec{Seed: seed, PlaceEffort: 0.25, TileFrac: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestFullImageDeterministic(t *testing.T) {
+	l := layout(t, 1)
+	a, err := Full(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Full(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b) || a.Digest() != b.Digest() {
+		t.Fatal("same layout gave different images")
+	}
+	if a.Size() == 0 || len(a.Frames) != len(l.Tiles)+1 {
+		t.Fatalf("image shape wrong: %d frames, %d bytes", len(a.Frames), a.Size())
+	}
+}
+
+func TestPartialReconfiguration(t *testing.T) {
+	l := layout(t, 2)
+	before, err := Full(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A modify-only debugging change (LUT function fix) stays within its
+	// affected tiles plus crossings, so stitching only those frames onto
+	// the old image must reproduce the new full image.
+	var target netlist.CellID = netlist.NilCell
+	for ci := range l.NL.Cells {
+		c := &l.NL.Cells[ci]
+		if !c.Dead && c.Kind == netlist.KindLUT && len(c.Fanin) == 2 {
+			target = netlist.CellID(ci)
+			break
+		}
+	}
+	if target == netlist.NilCell {
+		t.Skip("no 2-input LUT")
+	}
+	l.NL.Cells[target].Func = logic.XnorN(2)
+	rep, err := l.ApplyDelta(core.Delta{Modified: []netlist.CellID{target}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := Full(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Equal(before) {
+		t.Fatal("change did not alter the bitstream")
+	}
+	partial, err := Partial(l, rep.AffectedTiles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stitched := Stitch(before, partial)
+	if !stitched.Equal(after) {
+		// Identify which frame diverged for the failure message.
+		for k := range after.Frames {
+			if string(after.Frames[k]) != string(stitched.Frames[k]) {
+				t.Fatalf("stitched partial misses changes in frame %d (affected=%v)", k, rep.AffectedTiles)
+			}
+		}
+		t.Fatal("stitched image differs in frame set")
+	}
+	// The partial image is a fraction of the full one.
+	if partial.Size() >= before.Size() {
+		t.Fatalf("partial (%d B) not smaller than full (%d B)", partial.Size(), before.Size())
+	}
+}
+
+func TestPartialRejectsBadTile(t *testing.T) {
+	l := layout(t, 3)
+	if _, err := Partial(l, []int{999}); err == nil {
+		t.Fatal("bad tile accepted")
+	}
+}

@@ -1,0 +1,183 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"fpgadbg/internal/device"
+	"fpgadbg/internal/netlist"
+	"fpgadbg/internal/place"
+	"fpgadbg/internal/route"
+)
+
+// FullRePlaceRoute measures the cost of re-placing-and-routing the entire
+// design from scratch — the functional-block-granularity baseline
+// (Quick_ECO stops tracing at the netlist level, so with each benchmark
+// being one functional block it must reprocess the whole design). The
+// layout itself is left untouched; only effort is reported.
+func (l *Layout) FullRePlaceRoute(seed int64) (Effort, error) {
+	start := time.Now()
+	var eff Effort
+	// Scratch copy of placement state.
+	scratch := &Layout{
+		Spec: l.Spec, Dev: l.Dev, NL: l.NL, Packed: l.Packed, Grid: l.Grid,
+		CLBLoc: append([]device.XY(nil), l.CLBLoc...),
+		PadLoc: make(map[netlist.NetID]device.XY, len(l.PadLoc)),
+		Routes: make(map[netlist.NetID]*route.Net),
+	}
+	for k, v := range l.PadLoc {
+		scratch.PadLoc[k] = v
+	}
+	e, err := scratch.placeAll(seed)
+	if err != nil {
+		return eff, fmt.Errorf("core: full re-place: %w", err)
+	}
+	eff.Add(e)
+	e, err = scratch.routeAllNets()
+	if err != nil {
+		return eff, fmt.Errorf("core: full re-route: %w", err)
+	}
+	eff.Add(e)
+	eff.Wall = time.Since(start)
+	return eff, nil
+}
+
+// IncrementalChange models a conventional incremental place-and-route tool
+// applied to the same change: there are no locked interfaces, so the tool
+// re-places every cell within an expanded window around the change (it
+// must make room, and placements ripple) and fully re-routes every net
+// touching a moved cell. The window is the affected-tile region inflated
+// by the given growth factor in each dimension (incremental tools
+// "re-place-and-route a much larger portion of the design", §5.2).
+func (l *Layout) IncrementalChange(affected []int, growth float64) (Effort, error) {
+	start := time.Now()
+	var eff Effort
+	if growth < 1 {
+		growth = 1
+	}
+	// Inflate the affected region's bounding box.
+	if len(affected) == 0 {
+		return eff, fmt.Errorf("core: no affected tiles")
+	}
+	bb := l.Tiles[affected[0]].Rect
+	for _, t := range affected[1:] {
+		bb = bb.Union(l.Tiles[t].Rect)
+	}
+	wGrow := int(float64(bb.X1-bb.X0+1) * (growth - 1) / 2)
+	hGrow := int(float64(bb.Y1-bb.Y0+1) * (growth - 1) / 2)
+	window := device.Rect{
+		X0: maxInt(1, bb.X0-wGrow), Y0: maxInt(1, bb.Y0-hGrow),
+		X1: minInt(l.Dev.W, bb.X1+wGrow), Y1: minInt(l.Dev.H, bb.Y1+hGrow),
+	}
+	region := device.RectSet{window}
+
+	// Scratch state.
+	scratch := &Layout{
+		Spec: l.Spec, Dev: l.Dev, NL: l.NL, Packed: l.Packed, Grid: l.Grid,
+		CLBLoc: append([]device.XY(nil), l.CLBLoc...),
+		PadLoc: l.PadLoc,
+		Routes: make(map[netlist.NetID]*route.Net, len(l.Routes)),
+	}
+	for k, v := range l.Routes {
+		scratch.Routes[k] = v
+	}
+	movable := make(map[int]bool)
+	for i := range l.Packed.CLBs {
+		if !l.Packed.Empty(i) && region.Contains(l.CLBLoc[i]) {
+			movable[i] = true
+		}
+	}
+	prob, clbOfBlock, padOfBlock := scratch.buildPlaceProblem(movable, region)
+	// Incremental tools keep the old placement as the starting point.
+	for bi := range prob.Blocks {
+		if !prob.Blocks[bi].Fixed {
+			prob.Blocks[bi].Loc = l.CLBLoc[clbOfBlock[bi]]
+			prob.Blocks[bi].HasLoc = true
+		}
+	}
+	res, err := place.Anneal(prob, place.Options{Seed: l.Spec.Seed + 7, Effort: l.Spec.PlaceEffort, WarmStart: true})
+	if err != nil {
+		return eff, fmt.Errorf("core: incremental place: %w", err)
+	}
+	scratch.adoptPlacement(res, clbOfBlock, padOfBlock)
+	eff.PlaceMoves += res.Moves
+	eff.CellsPlaced += len(movable)
+
+	// Full re-route of every net touching the window (no locked
+	// interfaces: the whole net is ripped).
+	reff, _, err := scratch.rerouteWindow(region)
+	if err != nil {
+		return eff, fmt.Errorf("core: incremental route: %w", err)
+	}
+	eff.Add(reff)
+	eff.Wall = time.Since(start)
+	return eff, nil
+}
+
+// rerouteWindow rips and fully re-routes every net with a pin or an edge
+// inside the window — the incremental-tool model (no interface locking).
+func (l *Layout) rerouteWindow(region device.RectSet) (Effort, int, error) {
+	var eff Effort
+	fixedUse := make([]int16, l.Grid.NumEdges())
+	var work []*route.Net
+	for ni := range l.NL.Nets {
+		if l.NL.Nets[ni].Dead {
+			continue
+		}
+		net := netlist.NetID(ni)
+		pins := l.netPins(net)
+		if len(pins) < 2 {
+			continue
+		}
+		touches := false
+		for _, p := range pins {
+			if region.Contains(p) {
+				touches = true
+				break
+			}
+		}
+		old := l.Routes[net]
+		if old != nil && !touches {
+			for _, e := range old.Route {
+				a, b := l.Grid.EdgeEnds(e)
+				if region.Contains(a) || region.Contains(b) {
+					touches = true
+					break
+				}
+			}
+		}
+		if !touches {
+			if old != nil {
+				for _, e := range old.Route {
+					fixedUse[e]++
+				}
+			}
+			continue
+		}
+		work = append(work, &route.Net{ID: ni, Pins: pins})
+	}
+	res, err := route.RouteAll(l.Grid, work, route.Options{FixedUse: fixedUse})
+	if err != nil {
+		return eff, 0, err
+	}
+	eff.RouteExpansions = res.Expansions
+	eff.NetsRouted = len(work)
+	for _, rn := range work {
+		l.Routes[netlist.NetID(rn.ID)] = rn
+	}
+	return eff, len(work), nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,396 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"fpgadbg/internal/device"
+	"fpgadbg/internal/netlist"
+	"fpgadbg/internal/place"
+	"fpgadbg/internal/route"
+)
+
+// Delta describes a debugging change already applied to the layout's
+// logical netlist: inserted test logic, a corrected cone, or both. Added
+// cells must exist (live) in l.NL but not yet be packed; Removed cells
+// must already be tombstoned in l.NL but still packed; Modified cells had
+// their function or fanin rewired in place.
+type Delta struct {
+	Added    []netlist.CellID
+	Modified []netlist.CellID
+	Removed  []netlist.CellID
+}
+
+// ChangeReport describes what a delta touched and what it cost.
+type ChangeReport struct {
+	AffectedTiles []int
+	NewCLBs       []int
+	Effort        Effort
+	// ReroutedNets counts nets whose wiring changed.
+	ReroutedNets int
+}
+
+// ApplyDelta implements the paper's per-iteration physical update
+// (pseudo-code steps 17–20): identify and clear the affected tiles,
+// re-place their logic together with the newly introduced cells, and
+// re-route locally against locked tile interfaces. Cells, wiring and pads
+// outside the affected tiles are never disturbed.
+func (l *Layout) ApplyDelta(d Delta) (*ChangeReport, error) {
+	start := time.Now()
+	rep := &ChangeReport{}
+
+	// 1. Seed tiles: where modified and removed logic currently sits.
+	seedSet := make(map[int]bool)
+	for _, id := range d.Modified {
+		clb, ok := l.Packed.CellCLB[id]
+		if !ok {
+			return nil, fmt.Errorf("core: modified cell %q is not packed", l.NL.CellName(id))
+		}
+		seedSet[l.TileOf(l.CLBLoc[clb])] = true
+	}
+	for _, id := range d.Removed {
+		clb, ok := l.Packed.CellCLB[id]
+		if !ok {
+			return nil, fmt.Errorf("core: removed cell %q is not packed", l.NL.CellName(id))
+		}
+		seedSet[l.TileOf(l.CLBLoc[clb])] = true
+	}
+
+	// 2. Unpack removed cells (their sites become slack).
+	for _, id := range d.Removed {
+		if err := l.Packed.Unassign(id); err != nil {
+			return nil, err
+		}
+	}
+
+	// 3. Pack added cells into fresh CLBs.
+	newCLBs, err := l.Packed.PackInto(d.Added)
+	if err != nil {
+		return nil, err
+	}
+	rep.NewCLBs = newCLBs
+	for len(l.CLBLoc) < len(l.Packed.CLBs) {
+		l.CLBLoc = append(l.CLBLoc, device.XY{})
+	}
+	if err := l.placeNewPads(); err != nil {
+		return nil, err
+	}
+	if len(seedSet) == 0 {
+		// Pure insertion: seed at the tile with the most slack.
+		free := l.TileFree()
+		best, bestFree := 0, -1
+		for t, f := range free {
+			if f > bestFree {
+				best, bestFree = t, f
+			}
+		}
+		seedSet[best] = true
+	}
+
+	// 4. Expand over neighbors until the affected tiles can hold the new
+	// logic (Figure 3's recruitment rule, multi-seeded).
+	affected, err := l.expandAffected(seedSet, len(newCLBs))
+	if err != nil {
+		return nil, err
+	}
+
+	// 5-7. Clear, re-place and re-route the affected tiles. If the region
+	// turns out too congested to route, recruit one more ring of neighbor
+	// tiles and retry — the paper's fallback when a tile "cannot support
+	// the introduction of a large amount of logic".
+	for attempt := 0; ; attempt++ {
+		region := l.RegionOf(affected)
+		movable := make(map[int]bool)
+		for i := range l.Packed.CLBs {
+			if l.Packed.Empty(i) {
+				continue
+			}
+			if region.Contains(l.CLBLoc[i]) {
+				movable[i] = true
+			}
+		}
+		for _, clb := range newCLBs {
+			movable[clb] = true
+		}
+
+		prob, clbOfBlock, padOfBlock := l.buildPlaceProblem(movable, region)
+		res, err := place.Anneal(prob, place.Options{Seed: l.Spec.Seed + 1, Effort: l.Spec.PlaceEffort})
+		if err != nil {
+			return nil, fmt.Errorf("core: tile re-place: %w", err)
+		}
+		l.adoptPlacement(res, clbOfBlock, padOfBlock)
+		rep.Effort.PlaceMoves += res.Moves
+		rep.Effort.CellsPlaced += len(movable)
+
+		routeEff, rerouted, err := l.rerouteRegion(region)
+		rep.Effort.Add(routeEff)
+		if err != nil {
+			grown := l.growAffected(affected)
+			if attempt < 3 && len(grown) > len(affected) {
+				affected = grown
+				continue
+			}
+			return nil, err
+		}
+		rep.AffectedTiles = affected
+		rep.ReroutedNets = rerouted
+		break
+	}
+	rep.Effort.Wall = time.Since(start)
+	return rep, nil
+}
+
+// placeNewPads assigns free IOB sites to PI/PO nets that gained pad status
+// after the initial build (e.g. a newly exported observation flag). Each
+// pad takes the free ring site nearest to the net's existing pins.
+func (l *Layout) placeNewPads() error {
+	used := make(map[device.XY]int, len(l.PadLoc))
+	for _, p := range l.PadLoc {
+		used[p]++
+	}
+	assign := func(net netlist.NetID) error {
+		if _, ok := l.PadLoc[net]; ok {
+			return nil
+		}
+		pins := l.netPins(net)
+		best := device.XY{X: -1}
+		bestDist := 1 << 30
+		for _, s := range l.Dev.IOBSites() {
+			if used[s] >= device.IOBsPerSite {
+				continue
+			}
+			d := 0
+			for _, p := range pins {
+				d += device.ManhattanDist(s, p)
+			}
+			if d < bestDist {
+				best, bestDist = s, d
+			}
+		}
+		if best.X < 0 {
+			return fmt.Errorf("core: no free IOB site for new pad %q", l.NL.NetName(net))
+		}
+		used[best]++
+		l.PadLoc[net] = best
+		return nil
+	}
+	for _, pi := range l.NL.PIs {
+		if err := assign(pi); err != nil {
+			return err
+		}
+	}
+	for _, po := range l.NL.POs {
+		if err := assign(po); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// growAffected adds every neighbor of the current affected set.
+func (l *Layout) growAffected(affected []int) []int {
+	inSet := make(map[int]bool, len(affected))
+	for _, t := range affected {
+		inSet[t] = true
+	}
+	out := append([]int(nil), affected...)
+	for _, t := range affected {
+		for _, nb := range l.Neighbors(t) {
+			if !inSet[nb] {
+				inSet[nb] = true
+				out = append(out, nb)
+			}
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+func containsTile(tiles []int, t int) bool {
+	for _, x := range tiles {
+		if x == t {
+			return true
+		}
+	}
+	return false
+}
+
+// expandAffected is AffectedTiles generalized to multiple seeds.
+func (l *Layout) expandAffected(seeds map[int]bool, needCLBs int) ([]int, error) {
+	free := l.TileFree()
+	var queue []int
+	inSet := make(map[int]bool)
+	for t := range seeds {
+		inSet[t] = true
+	}
+	for t := range inSet {
+		queue = append(queue, t)
+	}
+	sort.Ints(queue)
+	capacity := 0
+	for _, t := range queue {
+		capacity += free[t]
+	}
+	for i := 0; capacity < needCLBs; i++ {
+		if i >= len(queue) {
+			return nil, fmt.Errorf("core: cannot absorb %d new CLBs: only %d free sites reachable", needCLBs, capacity)
+		}
+		for _, nb := range l.Neighbors(queue[i]) {
+			if inSet[nb] {
+				continue
+			}
+			inSet[nb] = true
+			queue = append(queue, nb)
+			capacity += free[nb]
+			if capacity >= needCLBs {
+				break
+			}
+		}
+	}
+	sort.Ints(queue)
+	return queue, nil
+}
+
+// rerouteRegion re-routes all wiring that touches the cleared region:
+// nets fully inside are re-routed within it; nets crossing the boundary
+// keep their outside wiring and locked crossing points (the tile
+// interfaces) and only their inside portions are rebuilt; brand-new nets
+// that must reach outside the region are routed over whatever spare
+// channel capacity exists, without disturbing any locked wiring.
+func (l *Layout) rerouteRegion(region device.RectSet) (Effort, int, error) {
+	nl := l.NL
+	var eff Effort
+
+	type stitched struct {
+		net     netlist.NetID
+		outside []route.EdgeID
+		inner   *route.Net
+	}
+	var innerNets []*route.Net  // nets to route within the region
+	var stitchedNets []stitched // region portion of crossing nets
+	var globalNets []*route.Net // new/expanded nets needing fresh crossings
+
+	// Classify every live net.
+	fixedUse := make([]int16, l.Grid.NumEdges())
+	chargeEdges := func(edges []route.EdgeID) {
+		for _, e := range edges {
+			fixedUse[e]++
+		}
+	}
+	for ni := range nl.Nets {
+		if nl.Nets[ni].Dead {
+			continue
+		}
+		net := netlist.NetID(ni)
+		pins := l.netPins(net)
+		if len(pins) < 2 {
+			delete(l.Routes, net)
+			continue
+		}
+		inCnt := 0
+		for _, p := range pins {
+			if region.Contains(p) {
+				inCnt++
+			}
+		}
+		old := l.Routes[net]
+		touches := inCnt > 0
+		if old != nil && !touches {
+			for _, e := range old.Route {
+				a, b := l.Grid.EdgeEnds(e)
+				if region.Contains(a) || region.Contains(b) {
+					touches = true
+					break
+				}
+			}
+		}
+		if !touches {
+			if old == nil {
+				// Untouched net that was never routed (should not happen
+				// after Build) — route it globally.
+				rn := &route.Net{ID: ni, Pins: pins}
+				globalNets = append(globalNets, rn)
+				continue
+			}
+			chargeEdges(old.Route)
+			continue
+		}
+		switch {
+		case inCnt == len(pins):
+			// Fully inside: rebuild from scratch within the region.
+			innerNets = append(innerNets, &route.Net{ID: ni, Pins: pins})
+		case old == nil:
+			// New net spanning the boundary: no locked interface exists
+			// yet; route globally over spare capacity.
+			rn := &route.Net{ID: ni, Pins: pins}
+			globalNets = append(globalNets, rn)
+		default:
+			_, outside, crossings := route.SplitRoute(l.Grid, old.Route, region)
+			insidePins := make([]device.XY, 0, inCnt)
+			for _, p := range pins {
+				if region.Contains(p) {
+					insidePins = append(insidePins, p)
+				}
+			}
+			if len(crossings) == 0 {
+				// The outside tree never reached the region: treat as a
+				// global extension from the existing tree.
+				rn := &route.Net{ID: ni, Pins: pins}
+				globalNets = append(globalNets, rn)
+				continue
+			}
+			chargeEdges(outside)
+			// The inner portion must connect the locked crossing points
+			// with the (re-placed) inside pins.
+			innerPins := append(append([]device.XY(nil), crossings...), insidePins...)
+			st := stitched{net: net, outside: outside,
+				inner: &route.Net{ID: ni, Pins: innerPins}}
+			stitchedNets = append(stitchedNets, st)
+		}
+	}
+
+	// Route the region-confined work first (inner + stitched inner
+	// portions negotiate congestion together).
+	regionWork := make([]*route.Net, 0, len(innerNets)+len(stitchedNets))
+	regionWork = append(regionWork, innerNets...)
+	for _, st := range stitchedNets {
+		regionWork = append(regionWork, st.inner)
+	}
+	allowed := func(p device.XY) bool { return region.Contains(p) }
+	res, err := route.RouteAll(l.Grid, regionWork, route.Options{Allowed: allowed, FixedUse: fixedUse})
+	if err != nil {
+		return eff, 0, fmt.Errorf("core: region re-route: %w", err)
+	}
+	eff.RouteExpansions += res.Expansions
+	for _, rn := range regionWork {
+		chargeEdges(rn.Route)
+	}
+
+	// Then global nets over remaining spare capacity anywhere.
+	if len(globalNets) > 0 {
+		gres, err := route.RouteAll(l.Grid, globalNets, route.Options{FixedUse: fixedUse})
+		if err != nil {
+			return eff, 0, fmt.Errorf("core: global net route: %w", err)
+		}
+		eff.RouteExpansions += gres.Expansions
+	}
+
+	// Commit results.
+	rerouted := 0
+	for _, rn := range innerNets {
+		l.Routes[netlist.NetID(rn.ID)] = rn
+		rerouted++
+	}
+	for _, st := range stitchedNets {
+		full := append(append([]route.EdgeID(nil), st.outside...), st.inner.Route...)
+		l.Routes[st.net] = &route.Net{ID: st.inner.ID, Pins: l.netPins(st.net), Route: full}
+		rerouted++
+	}
+	for _, rn := range globalNets {
+		l.Routes[netlist.NetID(rn.ID)] = rn
+		rerouted++
+	}
+	eff.NetsRouted = rerouted
+	return eff, rerouted, nil
+}

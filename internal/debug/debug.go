@@ -1,0 +1,478 @@
+// Package debug drives the paper's four-step emulation debugging loop on
+// top of the tiling engine: test-pattern generation, error detection,
+// error localization, and error correction (pseudo-code steps 9–22).
+//
+// A Session holds a golden (known-good) mapped netlist and a tiled layout
+// of the implementation under test. Detection emulates both on common
+// stimulus and compares outputs. Localization physically inserts
+// observation logic (MISRs) round by round — each insertion flowing
+// through the tiling engine and paying only tile-local re-place-and-route
+// — and narrows the suspect cone by comparing observed streams.
+// Correction repairs the differing cells from the golden model as a
+// tile-local engineering change and re-verifies.
+package debug
+
+import (
+	"fmt"
+	"sort"
+
+	"fpgadbg/internal/core"
+	"fpgadbg/internal/eco"
+	"fpgadbg/internal/instr"
+	"fpgadbg/internal/netlist"
+	"fpgadbg/internal/sim"
+	"fpgadbg/internal/testgen"
+)
+
+// Session is one debugging campaign.
+type Session struct {
+	Golden *netlist.Netlist
+	Layout *core.Layout
+	Seed   int64
+
+	// TileEffort accumulates all tile-local CAD work spent by this
+	// session (observation inserts + corrections).
+	TileEffort core.Effort
+	// Probes counts physically inserted observation stages.
+	Probes int
+
+	misrSeq int
+}
+
+// NewSession pairs a golden netlist with an implementation layout. The
+// implementation must have been derived from the golden netlist (same
+// cell and net names), which is exactly the emulation scenario: the
+// design under test is the mapped design plus injected/introduced errors.
+func NewSession(golden *netlist.Netlist, layout *core.Layout, seed int64) (*Session, error) {
+	if golden == nil || layout == nil {
+		return nil, fmt.Errorf("debug: nil golden or layout")
+	}
+	return &Session{Golden: golden, Layout: layout, Seed: seed}, nil
+}
+
+// Detection is the outcome of one detect step.
+type Detection struct {
+	Failed         bool
+	FailingOutputs []string
+	// Stimulus is the clocked input sequence that exposed the failure
+	// (64 parallel patterns per entry), replayed during localization.
+	Stimulus []map[string]uint64
+}
+
+// Detect runs words blocks of random stimulus for cycles clock cycles
+// each and compares the golden outputs against the emulated
+// implementation. Implementation-only inputs (inserted control points)
+// are held at zero; implementation-only outputs are ignored.
+func (s *Session) Detect(words, cycles int) (*Detection, error) {
+	if cycles < 1 {
+		cycles = 1
+	}
+	goldenPIs := s.Golden.SortedPINames()
+	stim := testgen.Random(goldenPIs, words, s.Seed)
+	var seq []map[string]uint64
+	for _, block := range stim {
+		for c := 0; c < cycles; c++ {
+			seq = append(seq, block)
+		}
+	}
+	det := &Detection{Stimulus: seq}
+	mismatch, err := s.compare(seq, nil)
+	if err != nil {
+		return nil, err
+	}
+	det.Failed = len(mismatch) > 0
+	det.FailingOutputs = mismatch
+	return det, nil
+}
+
+// compare replays a stimulus sequence on golden and implementation,
+// returning the golden POs whose streams differ. When probe is non-nil it
+// additionally receives, per cycle, both machines so callers can sample
+// internal nets.
+func (s *Session) compare(seq []map[string]uint64, probe func(cycle int, golden, impl *sim.Machine) error) ([]string, error) {
+	mg, err := sim.Compile(s.Golden)
+	if err != nil {
+		return nil, fmt.Errorf("debug: golden: %w", err)
+	}
+	mi, err := sim.Compile(s.Layout.NL)
+	if err != nil {
+		return nil, fmt.Errorf("debug: impl: %w", err)
+	}
+	// Implementation-only PIs (control points) are forced to zero.
+	implOnly := make(map[string]uint64)
+	goldenPI := make(map[string]bool)
+	for _, n := range s.Golden.SortedPINames() {
+		goldenPI[n] = true
+	}
+	for _, n := range s.Layout.NL.SortedPINames() {
+		if !goldenPI[n] {
+			implOnly[n] = 0
+		}
+	}
+	bad := make(map[string]bool)
+	for cyc, in := range seq {
+		og, err := mg.Step(in)
+		if err != nil {
+			return nil, err
+		}
+		full := make(map[string]uint64, len(in)+len(implOnly))
+		for k, v := range in {
+			full[k] = v
+		}
+		for k, v := range implOnly {
+			full[k] = v
+		}
+		oi, err := mi.Step(full)
+		if err != nil {
+			return nil, err
+		}
+		for _, name := range s.Golden.SortedPONames() {
+			if og[name] != oi[name] {
+				bad[name] = true
+			}
+		}
+		if probe != nil {
+			if err := probe(cyc, mg, mi); err != nil {
+				return nil, err
+			}
+		}
+	}
+	out := make([]string, 0, len(bad))
+	for name := range bad {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Diagnosis is the outcome of localization.
+type Diagnosis struct {
+	// Suspects are implementation cells that may host the error, sound
+	// with respect to the single-error model (the true site is always
+	// included).
+	Suspects []string
+	// Tiles lists the physical tiles holding the suspects.
+	Tiles []int
+	// Rounds is the number of observation-insertion iterations performed.
+	Rounds int
+	// Probes counts the observation stages inserted during this
+	// diagnosis.
+	Probes int
+	// Effort is the tile-local CAD effort spent inserting them.
+	Effort core.Effort
+}
+
+// Localize narrows the failure of det to a set of suspect cells by
+// iteratively inserting observation logic (each insertion is a real
+// tile-local physical change) and comparing observed streams against the
+// golden model. maxRounds bounds the insertions; probesPerRound nets are
+// observed each round.
+func (s *Session) Localize(det *Detection, maxRounds, probesPerRound int) (*Diagnosis, error) {
+	if !det.Failed {
+		return nil, fmt.Errorf("debug: nothing to localize: detection passed")
+	}
+	if probesPerRound < 1 {
+		probesPerRound = 4
+	}
+	nl := s.Layout.NL
+	// Initial suspect cone: everything feeding the failing outputs
+	// (through registers), restricted to cells the golden design also has
+	// — inserted test logic can't be the design error.
+	var roots []netlist.NetID
+	for _, name := range det.FailingOutputs {
+		if id, ok := nl.NetByName(name); ok {
+			roots = append(roots, id)
+		}
+	}
+	cone := nl.TransitiveFanin(roots, true)
+	suspects := make(map[string]bool)
+	for id := range cone {
+		name := nl.CellName(id)
+		if _, inGolden := s.Golden.CellByName(name); inGolden {
+			suspects[name] = true
+		}
+	}
+	diag := &Diagnosis{}
+	probed := make(map[string]bool)
+	for round := 0; round < maxRounds && len(suspects) > 1; round++ {
+		targets := s.pickProbes(suspects, probed, probesPerRound)
+		if len(targets) == 0 {
+			break
+		}
+		diag.Rounds++
+		// Physically insert the MISR; the layout pays tile-local re-P&R.
+		s.misrSeq++
+		misr, err := instr.InsertMISR(nl, fmt.Sprintf("misr%d", s.misrSeq), targets)
+		if err != nil {
+			return nil, err
+		}
+		rep, err := s.Layout.ApplyDelta(core.Delta{Added: misr.Cells})
+		if err != nil {
+			return nil, err
+		}
+		diag.Effort.Add(rep.Effort)
+		s.TileEffort.Add(rep.Effort)
+		diag.Probes += len(targets)
+		s.Probes += len(targets)
+
+		// Replay the failing stimulus; compare each observed stream.
+		mismatched, err := s.compareStreams(det.Stimulus, targets)
+		if err != nil {
+			return nil, err
+		}
+		for _, net := range targets {
+			probed[nl.NetName(net)] = true
+		}
+		// Single-error reasoning: the error site lies in the fan-in cone
+		// of every mismatched observation. Intersect.
+		for _, net := range mismatched {
+			sub := nl.TransitiveFanin([]netlist.NetID{net}, true)
+			keep := make(map[string]bool, len(sub))
+			for id := range sub {
+				name := nl.CellName(id)
+				if suspects[name] {
+					keep[name] = true
+				}
+			}
+			if len(keep) > 0 {
+				suspects = keep
+			}
+		}
+	}
+	for name := range suspects {
+		diag.Suspects = append(diag.Suspects, name)
+	}
+	sort.Strings(diag.Suspects)
+	tiles := make(map[int]bool)
+	for _, name := range diag.Suspects {
+		if id, ok := nl.CellByName(name); ok {
+			if clb, ok := s.Layout.Packed.CellCLB[id]; ok {
+				tiles[s.Layout.TileOf(s.Layout.CLBLoc[clb])] = true
+			}
+		}
+	}
+	for t := range tiles {
+		diag.Tiles = append(diag.Tiles, t)
+	}
+	sort.Ints(diag.Tiles)
+	return diag, nil
+}
+
+// pickProbes chooses observation targets whose suspect-restricted fan-in
+// cones best bisect the suspect set.
+func (s *Session) pickProbes(suspects map[string]bool, probed map[string]bool, k int) []netlist.NetID {
+	nl := s.Layout.NL
+	type cand struct {
+		net   netlist.NetID
+		score int // |cone∩suspects| distance from |suspects|/2
+	}
+	half := len(suspects) / 2
+	var cands []cand
+	for name := range suspects {
+		id, ok := nl.CellByName(name)
+		if !ok {
+			continue
+		}
+		out := nl.Cells[id].Out
+		if probed[nl.NetName(out)] {
+			continue
+		}
+		sub := nl.TransitiveFanin([]netlist.NetID{out}, true)
+		n := 0
+		for cid := range sub {
+			if suspects[nl.CellName(cid)] {
+				n++
+			}
+		}
+		n++ // the driver itself is in its own observation cone
+		d := n - half
+		if d < 0 {
+			d = -d
+		}
+		cands = append(cands, cand{net: out, score: d})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].score != cands[j].score {
+			return cands[i].score < cands[j].score
+		}
+		return cands[i].net < cands[j].net
+	})
+	var out []netlist.NetID
+	for _, c := range cands {
+		out = append(out, c.net)
+		if len(out) >= k {
+			break
+		}
+	}
+	return out
+}
+
+// compareStreams replays stimulus and returns the target nets whose value
+// streams differ between golden and implementation. Golden nets are
+// matched by name.
+func (s *Session) compareStreams(seq []map[string]uint64, targets []netlist.NetID) ([]netlist.NetID, error) {
+	nl := s.Layout.NL
+	names := make([]string, len(targets))
+	for i, net := range targets {
+		names[i] = nl.NetName(net)
+	}
+	differ := make([]bool, len(targets))
+	_, err := s.compare(seq, func(cyc int, golden, impl *sim.Machine) error {
+		for i, name := range names {
+			gv, gerr := golden.Net(name)
+			iv, ierr := impl.Net(name)
+			if gerr != nil || ierr != nil {
+				continue // net exists only in one design; skip
+			}
+			if gv != iv {
+				differ[i] = true
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []netlist.NetID
+	for i, d := range differ {
+		if d {
+			out = append(out, targets[i])
+		}
+	}
+	return out, nil
+}
+
+// Correction is the outcome of one correct step.
+type Correction struct {
+	// Fixed lists the repaired cell names.
+	Fixed []string
+	// Report is the tile-local physical update.
+	Report *core.ChangeReport
+	// Verified is true when detection passes after the repair.
+	Verified bool
+}
+
+// Correct repairs the implementation from the golden model: every suspect
+// cell that differs from its golden counterpart (function or wiring) is
+// restored, the delta goes through tile-local re-place-and-route, and
+// detection re-runs to verify. If no suspect differs, the full diff is
+// consulted (the paper's designer would consult the HDL; our golden model
+// plays that role).
+func (s *Session) Correct(diag *Diagnosis, det *Detection) (*Correction, error) {
+	nl := s.Layout.NL
+	changes := eco.Diff(s.Golden, nl)
+	differing := make(map[string]string) // name -> kind
+	for _, ch := range changes.Cells {
+		if ch.Kind == "function" || ch.Kind == "wiring" {
+			differing[ch.Name] = ch.Kind
+		}
+	}
+	var toFix []string
+	for _, name := range diag.Suspects {
+		if _, ok := differing[name]; ok {
+			toFix = append(toFix, name)
+		}
+	}
+	if len(toFix) == 0 {
+		// Diagnosis narrowed to cells that match the golden model —
+		// repair everything that differs instead.
+		for name := range differing {
+			toFix = append(toFix, name)
+		}
+		sort.Strings(toFix)
+	}
+	if len(toFix) == 0 {
+		return nil, fmt.Errorf("debug: nothing differs from the golden model")
+	}
+	var modified []netlist.CellID
+	for _, name := range toFix {
+		iid, ok := nl.CellByName(name)
+		if !ok {
+			return nil, fmt.Errorf("debug: suspect %q vanished", name)
+		}
+		gid, ok := s.Golden.CellByName(name)
+		if !ok {
+			return nil, fmt.Errorf("debug: %q missing from golden", name)
+		}
+		gc := &s.Golden.Cells[gid]
+		ic := &nl.Cells[iid]
+		ic.Func = gc.Func.Clone()
+		ic.Init = gc.Init
+		for pin := range gc.Fanin {
+			wantName := s.Golden.NetName(gc.Fanin[pin])
+			want, ok := nl.NetByName(wantName)
+			if !ok {
+				return nil, fmt.Errorf("debug: net %q missing from implementation", wantName)
+			}
+			if ic.Fanin[pin] != want {
+				if err := nl.SetFanin(iid, pin, want); err != nil {
+					return nil, err
+				}
+			}
+		}
+		modified = append(modified, iid)
+	}
+	rep, err := s.Layout.ApplyDelta(core.Delta{Modified: modified})
+	if err != nil {
+		return nil, err
+	}
+	s.TileEffort.Add(rep.Effort)
+	cor := &Correction{Fixed: toFix, Report: rep}
+	redet, err := s.Detect(len(det.Stimulus), 1)
+	if err != nil {
+		return nil, err
+	}
+	cor.Verified = !redet.Failed
+	return cor, nil
+}
+
+// LoopReport summarizes a full debugging campaign.
+type LoopReport struct {
+	Iterations  int
+	Corrections []*Correction
+	Diagnoses   []*Diagnosis
+	// TileEffort is the total tile-local CAD work; FullEffort is what one
+	// full re-place-and-route would have cost (the non-tiled comparison
+	// point for every iteration).
+	TileEffort core.Effort
+	FullEffort core.Effort
+	Clean      bool
+}
+
+// RunLoop executes detect→localize→correct until the design is clean or
+// maxIters is exhausted — the paper's while-loop (steps 9–22).
+func (s *Session) RunLoop(maxIters, words, cycles, maxRounds, probesPerRound int) (*LoopReport, error) {
+	rep := &LoopReport{}
+	for iter := 0; iter < maxIters; iter++ {
+		det, err := s.Detect(words, cycles)
+		if err != nil {
+			return nil, err
+		}
+		if !det.Failed {
+			rep.Clean = true
+			break
+		}
+		rep.Iterations++
+		diag, err := s.Localize(det, maxRounds, probesPerRound)
+		if err != nil {
+			return nil, err
+		}
+		rep.Diagnoses = append(rep.Diagnoses, diag)
+		cor, err := s.Correct(diag, det)
+		if err != nil {
+			return nil, err
+		}
+		rep.Corrections = append(rep.Corrections, cor)
+		if cor.Verified {
+			rep.Clean = true
+			break
+		}
+	}
+	rep.TileEffort = s.TileEffort
+	full, err := s.Layout.FullRePlaceRoute(s.Seed + 1000)
+	if err != nil {
+		return nil, err
+	}
+	rep.FullEffort = full
+	return rep, nil
+}

@@ -1,0 +1,228 @@
+// Package eco implements engineering-change support: comparing two
+// netlists cell-by-cell (the source of Correct's repair set) and the
+// back-annotation hierarchy tree of Section 5.1, which traces a change
+// made at any level of the design hierarchy down to leaf cells — and,
+// through the layout, to affected tiles.
+package eco
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"fpgadbg/internal/netlist"
+)
+
+// CellChange describes one differing cell between two netlists.
+type CellChange struct {
+	Name string
+	// Kind is "added" (only in the new netlist), "removed" (only in the
+	// old), "function" (same fanin, different logic), or "wiring"
+	// (different fanin nets).
+	Kind string
+}
+
+// Changes is a netlist-level diff.
+type Changes struct {
+	Cells []CellChange
+}
+
+// Names returns the changed cell names.
+func (c Changes) Names() []string {
+	out := make([]string, len(c.Cells))
+	for i, ch := range c.Cells {
+		out[i] = ch.Name
+	}
+	return out
+}
+
+// Diff compares netlists by cell name. Cells are considered equal when
+// their kind, fanin net names (in order) and logic function agree.
+// Functions wider than the truth-table limit fall back to syntactic cover
+// comparison.
+func Diff(old, new_ *netlist.Netlist) Changes {
+	var out Changes
+	oldCells := liveCellNames(old)
+	newCells := liveCellNames(new_)
+	for name, oid := range oldCells {
+		nid, ok := newCells[name]
+		if !ok {
+			out.Cells = append(out.Cells, CellChange{Name: name, Kind: "removed"})
+			continue
+		}
+		oc, nc := &old.Cells[oid], &new_.Cells[nid]
+		if oc.Kind != nc.Kind || len(oc.Fanin) != len(nc.Fanin) {
+			out.Cells = append(out.Cells, CellChange{Name: name, Kind: "wiring"})
+			continue
+		}
+		wiring := false
+		for i := range oc.Fanin {
+			if old.NetName(oc.Fanin[i]) != new_.NetName(nc.Fanin[i]) {
+				wiring = true
+				break
+			}
+		}
+		if wiring {
+			out.Cells = append(out.Cells, CellChange{Name: name, Kind: "wiring"})
+			continue
+		}
+		if oc.Kind == netlist.KindLUT && !sameFunc(oc, nc) {
+			out.Cells = append(out.Cells, CellChange{Name: name, Kind: "function"})
+		}
+		if oc.Kind == netlist.KindDFF && oc.Init != nc.Init {
+			out.Cells = append(out.Cells, CellChange{Name: name, Kind: "function"})
+		}
+	}
+	for name := range newCells {
+		if _, ok := oldCells[name]; !ok {
+			out.Cells = append(out.Cells, CellChange{Name: name, Kind: "added"})
+		}
+	}
+	sort.Slice(out.Cells, func(i, j int) bool { return out.Cells[i].Name < out.Cells[j].Name })
+	return out
+}
+
+func liveCellNames(nl *netlist.Netlist) map[string]netlist.CellID {
+	m := make(map[string]netlist.CellID)
+	for ci := range nl.Cells {
+		if !nl.Cells[ci].Dead {
+			m[nl.Cells[ci].Name] = netlist.CellID(ci)
+		}
+	}
+	return m
+}
+
+func sameFunc(a, b *netlist.Cell) bool {
+	if eq, err := a.Func.Equal(b.Func); err == nil {
+		return eq
+	}
+	// Too wide for truth tables: canonical syntactic comparison.
+	ca, cb := a.Func.Canon(), b.Func.Canon()
+	if len(ca.Cubes) != len(cb.Cubes) {
+		return false
+	}
+	for i := range ca.Cubes {
+		if ca.Cubes[i] != cb.Cubes[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Node is one level of the back-annotation hierarchy.
+type Node struct {
+	Path     string
+	Children map[string]*Node
+	// Cells lists the leaf cells directly under this node.
+	Cells []netlist.CellID
+}
+
+// Tree is the design hierarchy recovered from hierarchical cell names
+// ("mips/alu/add7" → mips → alu). Generators emit such names; flat names
+// land under the root.
+type Tree struct {
+	Root *Node
+	nl   *netlist.Netlist
+}
+
+// BuildTree indexes a netlist's hierarchy.
+func BuildTree(nl *netlist.Netlist) *Tree {
+	t := &Tree{Root: &Node{Path: "", Children: map[string]*Node{}}, nl: nl}
+	for ci := range nl.Cells {
+		c := &nl.Cells[ci]
+		if c.Dead {
+			continue
+		}
+		parts := strings.Split(c.Name, "/")
+		cur := t.Root
+		for _, p := range parts[:len(parts)-1] {
+			next, ok := cur.Children[p]
+			if !ok {
+				path := p
+				if cur.Path != "" {
+					path = cur.Path + "/" + p
+				}
+				next = &Node{Path: path, Children: map[string]*Node{}}
+				cur.Children[p] = next
+			}
+			cur = next
+		}
+		cur.Cells = append(cur.Cells, netlist.CellID(ci))
+	}
+	return t
+}
+
+// ModuleOf returns the hierarchy path of a cell ("" for flat names).
+func (t *Tree) ModuleOf(name string) string {
+	if i := strings.LastIndex(name, "/"); i >= 0 {
+		return name[:i]
+	}
+	return ""
+}
+
+// CellsUnder returns every cell at or below the given module path — the
+// sub-tree walk used to trace a high-level change down to leaves.
+func (t *Tree) CellsUnder(path string) ([]netlist.CellID, error) {
+	node := t.Root
+	if path != "" {
+		for _, p := range strings.Split(path, "/") {
+			next, ok := node.Children[p]
+			if !ok {
+				return nil, fmt.Errorf("eco: no module %q", path)
+			}
+			node = next
+		}
+	}
+	var out []netlist.CellID
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		out = append(out, n.Cells...)
+		keys := make([]string, 0, len(n.Children))
+		for k := range n.Children {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			walk(n.Children[k])
+		}
+	}
+	walk(node)
+	return out, nil
+}
+
+// Modules returns all module paths in deterministic order.
+func (t *Tree) Modules() []string {
+	var out []string
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if n.Path != "" {
+			out = append(out, n.Path)
+		}
+		keys := make([]string, 0, len(n.Children))
+		for k := range n.Children {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			walk(n.Children[k])
+		}
+	}
+	walk(t.Root)
+	return out
+}
+
+// TraceToModules maps changed cell names to the set of modules they touch
+// — the paper's "trace the debugging changes through the sub-trees of all
+// the altered nodes".
+func (t *Tree) TraceToModules(changed []string) []string {
+	set := make(map[string]bool)
+	for _, name := range changed {
+		set[t.ModuleOf(name)] = true
+	}
+	out := make([]string, 0, len(set))
+	for m := range set {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}

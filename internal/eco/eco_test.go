@@ -1,0 +1,128 @@
+package eco
+
+import (
+	"testing"
+
+	"fpgadbg/internal/logic"
+	"fpgadbg/internal/netlist"
+)
+
+func hierDesign(t testing.TB) *netlist.Netlist {
+	t.Helper()
+	nl := netlist.New("h")
+	a := nl.AddPI("a")
+	b := nl.AddPI("b")
+	x := nl.AddNet("x")
+	y := nl.AddNet("y")
+	z := nl.AddNet("z")
+	nl.MustAddLUT("top/alu/and0", logic.AndN(2), []netlist.NetID{a, b}, x)
+	nl.MustAddLUT("top/alu/or0", logic.OrN(2), []netlist.NetID{a, b}, y)
+	nl.MustAddLUT("top/ctl/x0", logic.XorN(2), []netlist.NetID{x, y}, z)
+	nl.MarkPO(z)
+	return nl
+}
+
+func TestDiffIdentical(t *testing.T) {
+	a := hierDesign(t)
+	b := a.Clone()
+	ch := Diff(a, b)
+	if len(ch.Cells) != 0 {
+		t.Fatalf("identical netlists differ: %v", ch.Cells)
+	}
+}
+
+func TestDiffFunctionChange(t *testing.T) {
+	a := hierDesign(t)
+	b := a.Clone()
+	id, _ := b.CellByName("top/alu/and0")
+	b.Cells[id].Func = logic.NandN(2)
+	ch := Diff(a, b)
+	if len(ch.Cells) != 1 || ch.Cells[0].Name != "top/alu/and0" || ch.Cells[0].Kind != "function" {
+		t.Fatalf("diff = %v", ch.Cells)
+	}
+}
+
+func TestDiffSemanticNotSyntactic(t *testing.T) {
+	a := hierDesign(t)
+	b := a.Clone()
+	id, _ := b.CellByName("top/alu/and0")
+	// Same function, different cover shape: x·y written redundantly.
+	b.Cells[id].Func = logic.FromCubes(2,
+		logic.Cube{Mask: 3, Val: 3}, logic.Cube{Mask: 3, Val: 3})
+	if ch := Diff(a, b); len(ch.Cells) != 0 {
+		t.Fatalf("semantically equal covers reported: %v", ch.Cells)
+	}
+}
+
+func TestDiffWiringAndAddRemove(t *testing.T) {
+	a := hierDesign(t)
+	b := a.Clone()
+	id, _ := b.CellByName("top/ctl/x0")
+	aNet, _ := b.NetByName("a")
+	if err := b.SetFanin(id, 0, aNet); err != nil {
+		t.Fatal(err)
+	}
+	extra := b.AddNet("extra")
+	bNet, _ := b.NetByName("b")
+	b.MustAddLUT("top/new/buf", logic.BufN(), []netlist.NetID{bNet}, extra)
+	rm, _ := b.CellByName("top/alu/or0")
+	_ = b.RemoveCell(rm)
+	ch := Diff(a, b)
+	kinds := map[string]string{}
+	for _, c := range ch.Cells {
+		kinds[c.Name] = c.Kind
+	}
+	if kinds["top/ctl/x0"] != "wiring" {
+		t.Fatalf("wiring change missed: %v", kinds)
+	}
+	if kinds["top/new/buf"] != "added" {
+		t.Fatalf("added cell missed: %v", kinds)
+	}
+	if kinds["top/alu/or0"] != "removed" {
+		t.Fatalf("removed cell missed: %v", kinds)
+	}
+}
+
+func TestTreeStructure(t *testing.T) {
+	nl := hierDesign(t)
+	tr := BuildTree(nl)
+	mods := tr.Modules()
+	want := []string{"top", "top/alu", "top/ctl"}
+	if len(mods) != len(want) {
+		t.Fatalf("modules = %v", mods)
+	}
+	for i := range want {
+		if mods[i] != want[i] {
+			t.Fatalf("modules = %v, want %v", mods, want)
+		}
+	}
+	cells, err := tr.CellsUnder("top/alu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 2 {
+		t.Fatalf("top/alu has %d cells", len(cells))
+	}
+	all, err := tr.CellsUnder("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 3 {
+		t.Fatalf("root walk found %d cells", len(all))
+	}
+	if _, err := tr.CellsUnder("top/nope"); err == nil {
+		t.Fatal("missing module accepted")
+	}
+}
+
+func TestTraceToModules(t *testing.T) {
+	nl := hierDesign(t)
+	tr := BuildTree(nl)
+	mods := tr.TraceToModules([]string{"top/alu/and0", "top/ctl/x0"})
+	if len(mods) != 2 || mods[0] != "top/alu" || mods[1] != "top/ctl" {
+		t.Fatalf("trace = %v", mods)
+	}
+	if got := tr.ModuleOf("flatcell"); got != "" {
+		t.Fatalf("flat module = %q", got)
+	}
+}

@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"fpgadbg/internal/core"
+)
+
+// OverheadSweepRow measures how the resource-slack knob changes Figure 3
+// behaviour: more slack means fewer tiles recruited for the same insertion
+// (the paper's §3.2 tradeoff: "area overhead can be as little as 10%...").
+type OverheadSweepRow struct {
+	Design   string
+	Overhead float64
+	// Affected50 is the % of tiles affected by a 50-CLB insertion.
+	Affected50 float64
+	// MaxLogic1 is the Figure-4 y-intercept (one test point, clustered
+	// variant: the roomiest tile's slack).
+	MaxLogic1 int
+	// TotalSlack is the design's total free CLB sites.
+	TotalSlack int
+}
+
+// OverheadSweep runs the 10/20/30% slack ablation.
+func OverheadSweep(cfg Config) ([]OverheadSweepRow, error) {
+	cfg = cfg.withDefaults()
+	var rows []OverheadSweepRow
+	for _, d := range cfg.catalog() {
+		for _, ov := range []float64{0.10, 0.20, 0.30} {
+			c := cfg
+			c.Overhead = ov
+			l, err := tiledLayout(d, c)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %s @%.0f%%: %w", d.Name, ov*100, err)
+			}
+			total := 0
+			for _, f := range l.TileFree() {
+				total += f
+			}
+			row := OverheadSweepRow{Design: d.Name, Overhead: ov,
+				MaxLogic1: l.MaxTestLogicClustered(1), TotalSlack: total}
+			tiles, err := l.AffectedTiles(centralTile(l), 50)
+			if err != nil {
+				row.Affected50 = 100
+			} else {
+				row.Affected50 = 100 * float64(len(tiles)) / float64(len(l.Tiles))
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// FormatOverheadSweep renders the slack ablation.
+func FormatOverheadSweep(rows []OverheadSweepRow) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Ablation: resource slack vs tile recruitment")
+	fmt.Fprintf(&b, "%-11s %9s %14s %12s %11s\n", "design", "slack", "%tiles@50CLB", "max@1point", "total free")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-11s %8.0f%% %13.1f%% %12d %11d\n", r.Design, r.Overhead*100, r.Affected50, r.MaxLogic1, r.TotalSlack)
+	}
+	return b.String()
+}
+
+// BoundaryRow compares uniform tile boundaries against the min-crossing
+// sweep (the paper's "inter-tile interconnect is minimized").
+type BoundaryRow struct {
+	Design             string
+	UniformCrossings   int
+	OptimizedCrossings int
+}
+
+// BoundaryAblation measures inter-tile route crossings for both boundary
+// modes.
+func BoundaryAblation(cfg Config) ([]BoundaryRow, error) {
+	cfg = cfg.withDefaults()
+	var rows []BoundaryRow
+	for _, d := range cfg.catalog() {
+		mapped, err := Mapped(d)
+		if err != nil {
+			return nil, err
+		}
+		uni, err := core.BuildMapped(mapped.Clone(), core.Spec{
+			Overhead: cfg.Overhead, TileFrac: 0.10, Seed: cfg.Seed,
+			PlaceEffort: cfg.PlaceEffort, UniformBoundaries: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		opt, err := core.BuildMapped(mapped, core.Spec{
+			Overhead: cfg.Overhead, TileFrac: 0.10, Seed: cfg.Seed,
+			PlaceEffort: cfg.PlaceEffort,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, BoundaryRow{
+			Design:             d.Name,
+			UniformCrossings:   interTileCrossings(uni),
+			OptimizedCrossings: interTileCrossings(opt),
+		})
+	}
+	return rows, nil
+}
+
+// interTileCrossings counts routed edges linking different tiles.
+func interTileCrossings(l *core.Layout) int {
+	total := 0
+	for _, rn := range l.Routes {
+		for _, e := range rn.Route {
+			a, b := l.Grid.EdgeEnds(e)
+			if !l.Dev.IsCLB(a) || !l.Dev.IsCLB(b) {
+				continue
+			}
+			if l.TileOf(a) != l.TileOf(b) {
+				total++
+			}
+		}
+	}
+	return total
+}
+
+// FormatBoundaryAblation renders the boundary-drawing ablation.
+func FormatBoundaryAblation(rows []BoundaryRow) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Ablation: tile boundary drawing (inter-tile route crossings)")
+	fmt.Fprintf(&b, "%-11s %10s %10s\n", "design", "uniform", "min-cut")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-11s %10d %10d\n", r.Design, r.UniformCrossings, r.OptimizedCrossings)
+	}
+	return b.String()
+}

@@ -1,0 +1,200 @@
+// Package faults injects design errors — the bugs the debugging loop must
+// detect, localize and correct. The error model follows the functional
+// design-error literature rather than manufacturing faults: wrong LUT
+// functions (a mis-specified gate), swapped input connections, inverted
+// polarity, and mis-wired fanins. All injections are deterministic under a
+// seed and return a record naming the mutated cell, which the test suite
+// uses to verify that localization finds the right site.
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fpgadbg/internal/logic"
+	"fpgadbg/internal/netlist"
+)
+
+// Kind enumerates the design-error models.
+type Kind int
+
+const (
+	// LUTBitFlip flips one truth-table entry of a LUT (a wrong minterm).
+	LUTBitFlip Kind = iota
+	// InputSwap exchanges two fanin connections of one LUT.
+	InputSwap
+	// Polarity replaces a LUT's function with its complement.
+	Polarity
+	// WrongNet rewires one LUT fanin to a different (topologically safe)
+	// net.
+	WrongNet
+	numKinds
+)
+
+func (k Kind) String() string {
+	switch k {
+	case LUTBitFlip:
+		return "lut-bit-flip"
+	case InputSwap:
+		return "input-swap"
+	case Polarity:
+		return "polarity"
+	case WrongNet:
+		return "wrong-net"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Injection records one injected design error.
+type Injection struct {
+	Kind Kind
+	// Cell is the mutated cell.
+	Cell netlist.CellID
+	// CellName survives netlist compaction.
+	CellName string
+	Detail   string
+}
+
+func (in Injection) String() string {
+	return fmt.Sprintf("%s at %s (%s)", in.Kind, in.CellName, in.Detail)
+}
+
+// Inject applies one error of the given kind to a random eligible cell.
+// The netlist is mutated in place; inject into a Clone to keep a golden
+// copy.
+func Inject(nl *netlist.Netlist, kind Kind, seed int64) (*Injection, error) {
+	r := rand.New(rand.NewSource(seed))
+	var luts []netlist.CellID
+	for ci := range nl.Cells {
+		c := &nl.Cells[ci]
+		if !c.Dead && c.Kind == netlist.KindLUT && len(c.Fanin) >= 1 {
+			luts = append(luts, netlist.CellID(ci))
+		}
+	}
+	if len(luts) == 0 {
+		return nil, fmt.Errorf("faults: no LUTs to mutate")
+	}
+	// Try several candidates: some mutations are inapplicable (e.g. a
+	// 1-input LUT cannot swap inputs) or would be no-ops.
+	for attempt := 0; attempt < 64; attempt++ {
+		id := luts[r.Intn(len(luts))]
+		c := &nl.Cells[id]
+		switch kind {
+		case LUTBitFlip:
+			if c.Func.N > logic.TTMaxVars {
+				continue
+			}
+			tt, err := c.Func.TT()
+			if err != nil {
+				continue
+			}
+			bit := uint64(r.Intn(1 << c.Func.N))
+			tt.SetBit(bit, !tt.Bit(bit))
+			c.Func = tt.ToCover()
+			return &Injection{Kind: kind, Cell: id, CellName: c.Name,
+				Detail: fmt.Sprintf("minterm %d flipped", bit)}, nil
+		case InputSwap:
+			if len(c.Fanin) < 2 {
+				continue
+			}
+			i := r.Intn(len(c.Fanin))
+			j := r.Intn(len(c.Fanin))
+			if i == j || c.Fanin[i] == c.Fanin[j] {
+				continue
+			}
+			// A symmetric function is unaffected by a swap; require the
+			// function to distinguish the two positions.
+			if c.Func.N <= logic.TTMaxVars {
+				tt, err := c.Func.TT()
+				if err == nil && swapInvariant(tt, i, j) {
+					continue
+				}
+			}
+			c.Fanin[i], c.Fanin[j] = c.Fanin[j], c.Fanin[i]
+			return &Injection{Kind: kind, Cell: id, CellName: c.Name,
+				Detail: fmt.Sprintf("pins %d and %d swapped", i, j)}, nil
+		case Polarity:
+			nc, err := c.Func.Not()
+			if err != nil {
+				continue
+			}
+			c.Func = nc
+			return &Injection{Kind: kind, Cell: id, CellName: c.Name, Detail: "output inverted"}, nil
+		case WrongNet:
+			pin := r.Intn(len(c.Fanin))
+			alt := safeAlternative(nl, id, c.Fanin[pin], r)
+			if alt == netlist.NilNet {
+				continue
+			}
+			old := c.Fanin[pin]
+			c.Fanin[pin] = alt
+			return &Injection{Kind: kind, Cell: id, CellName: c.Name,
+				Detail: fmt.Sprintf("pin %d rewired %s->%s", pin, nl.NetName(old), nl.NetName(alt))}, nil
+		default:
+			return nil, fmt.Errorf("faults: unknown kind %d", kind)
+		}
+	}
+	return nil, fmt.Errorf("faults: no applicable site for %s after 64 attempts", kind)
+}
+
+// InjectRandom picks a random error kind and site.
+func InjectRandom(nl *netlist.Netlist, seed int64) (*Injection, error) {
+	r := rand.New(rand.NewSource(seed))
+	order := r.Perm(int(numKinds))
+	for _, k := range order {
+		if inj, err := Inject(nl, Kind(k), seed+int64(k)+1); err == nil {
+			return inj, nil
+		}
+	}
+	return nil, fmt.Errorf("faults: no injectable error found")
+}
+
+// swapInvariant reports whether the function is symmetric in variables i
+// and j.
+func swapInvariant(tt logic.TT, i, j int) bool {
+	for m := uint64(0); m < uint64(1)<<tt.N; m++ {
+		bi := m & (1 << i)
+		bj := m & (1 << j)
+		swapped := m
+		if (bi != 0) != (bj != 0) {
+			swapped = m ^ (1 << i) ^ (1 << j)
+		}
+		if tt.Bit(m) != tt.Bit(swapped) {
+			return false
+		}
+	}
+	return true
+}
+
+// safeAlternative returns a net that can replace the given fanin without
+// creating a combinational cycle: the drivers' levels must stay below the
+// mutated cell's level.
+func safeAlternative(nl *netlist.Netlist, cell netlist.CellID, current netlist.NetID, r *rand.Rand) netlist.NetID {
+	levels, _, err := nl.Levels()
+	if err != nil {
+		return netlist.NilNet
+	}
+	myLevel := levels[cell]
+	var cands []netlist.NetID
+	for ni := range nl.Nets {
+		net := netlist.NetID(ni)
+		if nl.Nets[ni].Dead || net == current {
+			continue
+		}
+		d := nl.Nets[ni].Driver
+		if d == netlist.NilCell {
+			if nl.IsPI(net) {
+				cands = append(cands, net)
+			}
+			continue
+		}
+		if nl.Cells[d].Kind == netlist.KindDFF || levels[d] < myLevel {
+			cands = append(cands, net)
+		}
+	}
+	if len(cands) == 0 {
+		return netlist.NilNet
+	}
+	return cands[r.Intn(len(cands))]
+}

@@ -1,0 +1,119 @@
+package faults
+
+import (
+	"testing"
+
+	"fpgadbg/internal/logic"
+	"fpgadbg/internal/netlist"
+	"fpgadbg/internal/sim"
+)
+
+func target(t testing.TB) *netlist.Netlist {
+	t.Helper()
+	nl := netlist.New("tgt")
+	a := nl.AddPI("a")
+	b := nl.AddPI("b")
+	c := nl.AddPI("c")
+	x := nl.AddNet("x")
+	y := nl.AddNet("y")
+	z := nl.AddNet("z")
+	nl.MustAddLUT("g1", logic.MustFromStrings("10-", "-11"), []netlist.NetID{a, b, c}, x)
+	nl.MustAddLUT("g2", logic.AndN(2), []netlist.NetID{x, c}, y)
+	nl.MustAddLUT("g3", logic.OrN(2), []netlist.NetID{y, a}, z)
+	nl.MarkPO(z)
+	nl.MarkPO(y)
+	return nl
+}
+
+func TestEachKindChangesBehaviour(t *testing.T) {
+	for kind := Kind(0); kind < numKinds; kind++ {
+		golden := target(t)
+		mutant := golden.Clone()
+		inj, err := Inject(mutant, kind, 7)
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		if err := mutant.CheckDriven(); err != nil {
+			t.Fatalf("%v left invalid netlist: %v", kind, err)
+		}
+		if inj.CellName == "" {
+			t.Fatalf("%v: empty cell name", kind)
+		}
+		mm, err := sim.ExhaustiveEquivalent(golden, mutant)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mm == nil {
+			t.Fatalf("%v (%v) did not change behaviour", kind, inj)
+		}
+	}
+}
+
+func TestInjectDeterministic(t *testing.T) {
+	a := target(t)
+	b := target(t)
+	ia, err := Inject(a, LUTBitFlip, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ib, err := Inject(b, LUTBitFlip, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ia.CellName != ib.CellName || ia.Detail != ib.Detail {
+		t.Fatalf("same seed differs: %v vs %v", ia, ib)
+	}
+}
+
+func TestInjectRandom(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		golden := target(t)
+		mutant := golden.Clone()
+		inj, err := InjectRandom(mutant, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := mutant.CheckDriven(); err != nil {
+			t.Fatalf("seed %d (%v): %v", seed, inj, err)
+		}
+		if _, ok := mutant.CellByName(inj.CellName); !ok {
+			t.Fatalf("injection names unknown cell %q", inj.CellName)
+		}
+	}
+}
+
+func TestWrongNetNeverCreatesCycle(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		mutant := target(t)
+		if _, err := Inject(mutant, WrongNet, seed); err != nil {
+			continue // no applicable site for this seed is fine
+		}
+		if _, err := mutant.TopoOrder(); err != nil {
+			t.Fatalf("seed %d: cycle created: %v", seed, err)
+		}
+	}
+}
+
+func TestInputSwapSkipsSymmetricFunctions(t *testing.T) {
+	// A netlist with only symmetric gates cannot take an input swap.
+	nl := netlist.New("sym")
+	a := nl.AddPI("a")
+	b := nl.AddPI("b")
+	o := nl.AddNet("o")
+	nl.MustAddLUT("and", logic.AndN(2), []netlist.NetID{a, b}, o)
+	nl.MarkPO(o)
+	if _, err := Inject(nl, InputSwap, 1); err == nil {
+		t.Fatal("swap on symmetric-only netlist should fail")
+	}
+}
+
+func TestNoLUTs(t *testing.T) {
+	nl := netlist.New("empty")
+	d := nl.AddPI("d")
+	q := nl.AddNet("q")
+	nl.MustAddDFF("ff", d, q, 0)
+	nl.MarkPO(q)
+	if _, err := Inject(nl, Polarity, 1); err == nil {
+		t.Fatal("injection into LUT-less netlist should fail")
+	}
+}

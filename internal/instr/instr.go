@@ -1,0 +1,146 @@
+// Package instr builds the control and observation logic of the paper's
+// Section 4 as ordinary netlist cells, so that inserting a test point has
+// a real area cost (CLBs) and a real physical footprint (the tiles it
+// lands in):
+//
+//   - Observation: a MISR (multiple-input signature register) — one
+//     XOR/DFF stage per observed net plus a polynomial feedback tap. The
+//     signature is compared off-chip against the golden model's signature,
+//     raising the paper's "flag" when an erroneous state was captured.
+//   - Control: a force multiplexer per controlled net — a test-mode
+//     select and a forced value (new primary inputs driven by the test
+//     harness) that override the net's normal driver, letting the debugger
+//     steer the circuit into suspect states.
+package instr
+
+import (
+	"fmt"
+
+	"fpgadbg/internal/logic"
+	"fpgadbg/internal/netlist"
+	"fpgadbg/internal/pack"
+)
+
+// MISR describes one inserted observation register.
+type MISR struct {
+	Name string
+	// Observed lists the nets captured by each stage.
+	Observed []netlist.NetID
+	// State lists the DFF output nets (the signature, LSB first).
+	State []netlist.NetID
+	// Cells lists every inserted cell (for core.Delta.Added).
+	Cells []netlist.CellID
+}
+
+// CLBCost returns the block cost of observing w nets: one XOR LUT and one
+// DFF per stage, packed two per CLB.
+func CLBCost(w int) int {
+	if w <= 0 {
+		return 0
+	}
+	return (w + pack.LUTsPerCLB - 1) / pack.LUTsPerCLB
+}
+
+// InsertMISR adds a w-stage MISR observing the given nets. Stage i
+// computes s[i]' = obs[i] XOR s[i-1] (XOR s[w-1] on the feedback taps),
+// the standard external-feedback signature register. The signature state
+// nets are returned so the debugger can probe them; they are not exported
+// as primary outputs (emulators read signatures back through configuration
+// readback).
+func InsertMISR(nl *netlist.Netlist, name string, observed []netlist.NetID) (*MISR, error) {
+	if len(observed) == 0 {
+		return nil, fmt.Errorf("instr: MISR needs at least one observed net")
+	}
+	for _, net := range observed {
+		if int(net) < 0 || int(net) >= len(nl.Nets) || nl.Nets[net].Dead {
+			return nil, fmt.Errorf("instr: cannot observe invalid net %d", net)
+		}
+	}
+	m := &MISR{Name: name}
+	w := len(observed)
+	// Create state nets first so stages can reference them.
+	state := make([]netlist.NetID, w)
+	for i := range state {
+		state[i] = nl.AddNet(fmt.Sprintf("%s_s%d", name, i))
+	}
+	feedbackTap := func(i int) bool {
+		// Sparse taps (primitive-polynomial-like): stages 0 and w/2.
+		return i == 0 || (w > 2 && i == w/2)
+	}
+	for i := 0; i < w; i++ {
+		var fanin []netlist.NetID
+		fanin = append(fanin, observed[i])
+		if i > 0 {
+			fanin = append(fanin, state[i-1])
+		}
+		if feedbackTap(i) && w > 1 {
+			fanin = append(fanin, state[w-1])
+		}
+		d := nl.AddNet(fmt.Sprintf("%s_d%d", name, i))
+		lut, err := nl.AddLUT(fmt.Sprintf("%s_x%d", name, i), logic.XorN(len(fanin)), fanin, d)
+		if err != nil {
+			return nil, fmt.Errorf("instr: %w", err)
+		}
+		ff, err := nl.AddDFF(fmt.Sprintf("%s_ff%d", name, i), d, state[i], 0)
+		if err != nil {
+			return nil, fmt.Errorf("instr: %w", err)
+		}
+		m.Cells = append(m.Cells, lut, ff)
+	}
+	m.Observed = append(m.Observed, observed...)
+	m.State = state
+	return m, nil
+}
+
+// ControlPoint describes one inserted force multiplexer.
+type ControlPoint struct {
+	Name string
+	// Target is the controlled net (the original signal).
+	Target netlist.NetID
+	// Forced is the new net seen by the target's former sinks.
+	Forced netlist.NetID
+	// Select and Value are the new primary inputs steering the mux.
+	Select, Value netlist.NetID
+	Cells         []netlist.CellID
+}
+
+// InsertControlPoint splits a net: all existing sinks of target are
+// rewired to a new mux output computing (select ? value : target). Select
+// and value become primary inputs for the test harness to drive. Sinks
+// belonging to cells listed in exclude (e.g. observation logic) keep the
+// original net.
+func InsertControlPoint(nl *netlist.Netlist, name string, target netlist.NetID, exclude map[netlist.CellID]bool) (*ControlPoint, error) {
+	if int(target) < 0 || int(target) >= len(nl.Nets) || nl.Nets[target].Dead {
+		return nil, fmt.Errorf("instr: cannot control invalid net %d", target)
+	}
+	fan := nl.Fanouts()
+	sinks := fan[target]
+	if len(sinks) == 0 {
+		return nil, fmt.Errorf("instr: net %q has no sinks to control", nl.NetName(target))
+	}
+	cp := &ControlPoint{Name: name, Target: target}
+	cp.Select = nl.AddPI(name + "_sel")
+	cp.Value = nl.AddPI(name + "_val")
+	cp.Forced = nl.AddNet(name + "_out")
+	mux, err := nl.AddLUT(name+"_mux", logic.Mux2(), []netlist.NetID{cp.Select, target, cp.Value}, cp.Forced)
+	if err != nil {
+		return nil, fmt.Errorf("instr: %w", err)
+	}
+	cp.Cells = append(cp.Cells, mux)
+	for _, s := range sinks {
+		if exclude[s.Cell] {
+			continue
+		}
+		if err := nl.SetFanin(s.Cell, s.Pin, cp.Forced); err != nil {
+			return nil, fmt.Errorf("instr: %w", err)
+		}
+	}
+	return cp, nil
+}
+
+// Signature computes the MISR's final signature from probed state words
+// (one uint64 of parallel patterns per stage); used by the debug engine to
+// compare golden and implementation signatures.
+func (m *MISR) Signature(stateWords []uint64) []uint64 {
+	return append([]uint64(nil), stateWords...)
+}

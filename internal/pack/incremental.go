@@ -1,0 +1,136 @@
+package pack
+
+import (
+	"fmt"
+
+	"fpgadbg/internal/netlist"
+)
+
+// AddCLB appends an empty block and returns its index. Used when debugging
+// changes introduce new logic after the initial packing.
+func (p *Packed) AddCLB() int {
+	p.CLBs = append(p.CLBs, CLB{})
+	return len(p.CLBs) - 1
+}
+
+// Assign places a cell into an existing CLB, respecting slot limits.
+func (p *Packed) Assign(cell netlist.CellID, clb int) error {
+	if clb < 0 || clb >= len(p.CLBs) {
+		return fmt.Errorf("pack: no CLB %d", clb)
+	}
+	if _, already := p.CellCLB[cell]; already {
+		return fmt.Errorf("pack: cell %q already packed", p.NL.CellName(cell))
+	}
+	c := &p.NL.Cells[cell]
+	b := &p.CLBs[clb]
+	switch c.Kind {
+	case netlist.KindLUT:
+		if len(c.Fanin) > 4 {
+			return fmt.Errorf("pack: LUT %q too wide", c.Name)
+		}
+		if len(b.LUTs) >= LUTsPerCLB {
+			return fmt.Errorf("pack: CLB %d LUT slots full", clb)
+		}
+		b.LUTs = append(b.LUTs, cell)
+	case netlist.KindDFF:
+		if len(b.FFs) >= FFsPerCLB {
+			return fmt.Errorf("pack: CLB %d FF slots full", clb)
+		}
+		b.FFs = append(b.FFs, cell)
+	}
+	p.CellCLB[cell] = clb
+	return nil
+}
+
+// Unassign removes a cell from its CLB (when the cell is deleted by an
+// engineering change).
+func (p *Packed) Unassign(cell netlist.CellID) error {
+	clb, ok := p.CellCLB[cell]
+	if !ok {
+		return fmt.Errorf("pack: cell %q not packed", p.NL.CellName(cell))
+	}
+	b := &p.CLBs[clb]
+	remove := func(s []netlist.CellID) []netlist.CellID {
+		for i, id := range s {
+			if id == cell {
+				return append(s[:i], s[i+1:]...)
+			}
+		}
+		return s
+	}
+	b.LUTs = remove(b.LUTs)
+	b.FFs = remove(b.FFs)
+	delete(p.CellCLB, cell)
+	return nil
+}
+
+// Empty reports whether a CLB holds no cells (its site is free capacity).
+func (p *Packed) Empty(clb int) bool {
+	b := &p.CLBs[clb]
+	return len(b.LUTs) == 0 && len(b.FFs) == 0
+}
+
+// PackInto packs a list of new cells into fresh CLBs using the same greedy
+// rules as Pack, returning the new CLB indices.
+func (p *Packed) PackInto(cells []netlist.CellID) ([]int, error) {
+	var newCLBs []int
+	cur := -1
+	for _, id := range cells {
+		c := &p.NL.Cells[id]
+		if c.Kind != netlist.KindLUT {
+			continue
+		}
+		if cur == -1 || len(p.CLBs[cur].LUTs) >= LUTsPerCLB {
+			cur = p.AddCLB()
+			newCLBs = append(newCLBs, cur)
+		}
+		if err := p.Assign(id, cur); err != nil {
+			return nil, err
+		}
+	}
+	for _, id := range cells {
+		c := &p.NL.Cells[id]
+		if c.Kind != netlist.KindDFF {
+			continue
+		}
+		placed := false
+		// Prefer the CLB of the driving LUT among the new blocks.
+		drv := p.NL.Nets[c.Fanin[0]].Driver
+		if drv != netlist.NilCell {
+			if clb, ok := p.CellCLB[drv]; ok && containsInt(newCLBs, clb) && len(p.CLBs[clb].FFs) < FFsPerCLB {
+				if err := p.Assign(id, clb); err != nil {
+					return nil, err
+				}
+				placed = true
+			}
+		}
+		if !placed {
+			for _, clb := range newCLBs {
+				if len(p.CLBs[clb].FFs) < FFsPerCLB {
+					if err := p.Assign(id, clb); err != nil {
+						return nil, err
+					}
+					placed = true
+					break
+				}
+			}
+		}
+		if !placed {
+			clb := p.AddCLB()
+			newCLBs = append(newCLBs, clb)
+			if err := p.Assign(id, clb); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return newCLBs, nil
+}
+
+func containsInt(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,246 @@
+// Package partition implements Fiduccia–Mattheyses min-cut bipartitioning.
+// The main flow draws tile boundaries after placement (the paper's order);
+// this partitioner supports the alternative "partition-then-place" tiling
+// mode used as an ablation, and is the classic substrate for minimizing
+// inter-tile interconnect.
+package partition
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Problem is a hypergraph bipartitioning instance: cells connected by
+// nets, to be split into two sides with bounded imbalance and minimal cut.
+type Problem struct {
+	NumCells int
+	// Nets lists, per net, the cells it connects.
+	Nets [][]int
+	// Balance is the maximum fraction by which a side may exceed half
+	// (default 0.1).
+	Balance float64
+	Seed    int64
+	// MaxPasses bounds FM passes (default 8).
+	MaxPasses int
+}
+
+// Result is a bipartition.
+type Result struct {
+	// Side[i] is 0 or 1 for each cell.
+	Side []int
+	// Cut is the number of nets spanning both sides.
+	Cut int
+	// Passes is the number of FM passes performed.
+	Passes int
+}
+
+// Bipartition runs FM with random initial assignment and single-cell
+// moves with gain buckets.
+func Bipartition(p Problem) (*Result, error) {
+	if p.NumCells < 2 {
+		return nil, fmt.Errorf("partition: need at least 2 cells")
+	}
+	if p.Balance <= 0 {
+		p.Balance = 0.1
+	}
+	if p.MaxPasses <= 0 {
+		p.MaxPasses = 8
+	}
+	for ni, net := range p.Nets {
+		for _, c := range net {
+			if c < 0 || c >= p.NumCells {
+				return nil, fmt.Errorf("partition: net %d references cell %d", ni, c)
+			}
+		}
+	}
+	r := rand.New(rand.NewSource(p.Seed))
+	side := make([]int, p.NumCells)
+	for i := range side {
+		side[i] = i % 2
+	}
+	r.Shuffle(p.NumCells, func(i, j int) { side[i], side[j] = side[j], side[i] })
+
+	cellNets := make([][]int, p.NumCells)
+	for ni, net := range p.Nets {
+		for _, c := range net {
+			cellNets[c] = append(cellNets[c], ni)
+		}
+	}
+	maxSide := int(float64(p.NumCells) * (0.5 + p.Balance))
+	if maxSide >= p.NumCells {
+		maxSide = p.NumCells - 1
+	}
+
+	res := &Result{Side: side}
+	for pass := 0; pass < p.MaxPasses; pass++ {
+		res.Passes = pass + 1
+		improved := fmPass(p, side, cellNets, maxSide)
+		if !improved {
+			break
+		}
+	}
+	res.Cut = CutSize(p.Nets, side)
+	return res, nil
+}
+
+// fmPass performs one FM pass: move every cell at most once, greedy by
+// gain, then roll back to the best prefix. Returns whether the cut
+// improved.
+func fmPass(p Problem, side []int, cellNets [][]int, maxSide int) bool {
+	locked := make([]bool, p.NumCells)
+	startCut := CutSize(p.Nets, side)
+	type mv struct{ cell int }
+	var moves []mv
+	cuts := []int{startCut}
+
+	count := func(s int) int {
+		n := 0
+		for _, v := range side {
+			if v == s {
+				n++
+			}
+		}
+		return n
+	}
+	sideCount := [2]int{count(0), count(1)}
+
+	gain := func(c int) int {
+		g := 0
+		for _, ni := range cellNets[c] {
+			same, other := 0, 0
+			for _, cc := range p.Nets[ni] {
+				if cc == c {
+					continue
+				}
+				if side[cc] == side[c] {
+					same++
+				} else {
+					other++
+				}
+			}
+			if same == 0 && other > 0 {
+				g++ // moving c uncuts this net
+			}
+			if other == 0 && same > 0 {
+				g-- // moving c cuts this net
+			}
+		}
+		return g
+	}
+
+	for step := 0; step < p.NumCells; step++ {
+		best, bestGain := -1, -1<<30
+		for c := 0; c < p.NumCells; c++ {
+			if locked[c] {
+				continue
+			}
+			// Balance: the destination side must stay within bounds.
+			dst := 1 - side[c]
+			if sideCount[dst]+1 > maxSide {
+				continue
+			}
+			if g := gain(c); g > bestGain {
+				best, bestGain = c, g
+			}
+		}
+		if best == -1 {
+			break
+		}
+		sideCount[side[best]]--
+		side[best] = 1 - side[best]
+		sideCount[side[best]]++
+		locked[best] = true
+		moves = append(moves, mv{cell: best})
+		cuts = append(cuts, CutSize(p.Nets, side))
+	}
+	// Find the best prefix.
+	bestIdx, bestCut := 0, cuts[0]
+	for i, c := range cuts {
+		if c < bestCut {
+			bestIdx, bestCut = i, c
+		}
+	}
+	// Roll back moves after the best prefix.
+	for i := len(moves) - 1; i >= bestIdx; i-- {
+		c := moves[i].cell
+		side[c] = 1 - side[c]
+	}
+	return bestCut < startCut
+}
+
+// CutSize counts nets spanning both sides.
+func CutSize(nets [][]int, side []int) int {
+	cut := 0
+	for _, net := range nets {
+		has := [2]bool{}
+		for _, c := range net {
+			has[side[c]] = true
+		}
+		if has[0] && has[1] {
+			cut++
+		}
+	}
+	return cut
+}
+
+// KWay recursively bisects into k near-equal parts (k rounded up to a
+// power of two and truncated); part IDs are 0..k-1.
+func KWay(p Problem, k int) ([]int, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("partition: k=%d", k)
+	}
+	parts := make([]int, p.NumCells)
+	if k == 1 {
+		return parts, nil
+	}
+	var split func(cells []int, base, kk int, seed int64) error
+	split = func(cells []int, base, kk int, seed int64) error {
+		if kk <= 1 || len(cells) < 2 {
+			return nil
+		}
+		index := make(map[int]int, len(cells))
+		for i, c := range cells {
+			index[c] = i
+		}
+		var nets [][]int
+		for _, net := range p.Nets {
+			var local []int
+			for _, c := range net {
+				if i, ok := index[c]; ok {
+					local = append(local, i)
+				}
+			}
+			if len(local) >= 2 {
+				nets = append(nets, local)
+			}
+		}
+		res, err := Bipartition(Problem{NumCells: len(cells), Nets: nets, Balance: p.Balance, Seed: seed, MaxPasses: p.MaxPasses})
+		if err != nil {
+			return err
+		}
+		var left, right []int
+		for i, c := range cells {
+			if res.Side[i] == 0 {
+				left = append(left, c)
+			} else {
+				right = append(right, c)
+				parts[c] = base + kk/2
+			}
+		}
+		for _, c := range left {
+			parts[c] = base
+		}
+		if err := split(left, base, kk/2, seed+1); err != nil {
+			return err
+		}
+		return split(right, base+kk/2, kk-kk/2, seed+2)
+	}
+	all := make([]int, p.NumCells)
+	for i := range all {
+		all[i] = i
+	}
+	if err := split(all, 0, k, p.Seed); err != nil {
+		return nil, err
+	}
+	return parts, nil
+}

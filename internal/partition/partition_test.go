@@ -1,0 +1,134 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// twoClusters builds a graph with two dense clusters and few cross edges;
+// the optimal cut is the number of bridges.
+func twoClusters(n, bridges int) [][]int {
+	var nets [][]int
+	for i := 0; i+1 < n/2; i++ {
+		nets = append(nets, []int{i, i + 1})
+	}
+	for i := n / 2; i+1 < n; i++ {
+		nets = append(nets, []int{i, i + 1})
+	}
+	for b := 0; b < bridges; b++ {
+		nets = append(nets, []int{b, n/2 + b})
+	}
+	return nets
+}
+
+func TestBipartitionFindsClusters(t *testing.T) {
+	nets := twoClusters(40, 2)
+	res, err := Bipartition(Problem{NumCells: 40, Nets: nets, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cut > 6 {
+		t.Fatalf("cut %d far from optimal 2", res.Cut)
+	}
+	// Balance respected.
+	c0 := 0
+	for _, s := range res.Side {
+		if s == 0 {
+			c0++
+		}
+	}
+	if c0 < 14 || c0 > 26 {
+		t.Fatalf("balance violated: %d/40 on side 0", c0)
+	}
+}
+
+func TestBipartitionErrors(t *testing.T) {
+	if _, err := Bipartition(Problem{NumCells: 1}); err == nil {
+		t.Fatal("1 cell accepted")
+	}
+	if _, err := Bipartition(Problem{NumCells: 3, Nets: [][]int{{0, 9}}}); err == nil {
+		t.Fatal("out-of-range cell accepted")
+	}
+}
+
+func TestCutSize(t *testing.T) {
+	nets := [][]int{{0, 1}, {1, 2}, {0, 2, 3}}
+	side := []int{0, 0, 1, 1}
+	if got := CutSize(nets, side); got != 2 {
+		t.Fatalf("cut = %d, want 2", got)
+	}
+}
+
+func TestKWayPartsAreBalancedAndComplete(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	n := 64
+	var nets [][]int
+	for i := 0; i < 150; i++ {
+		a, b := r.Intn(n), r.Intn(n)
+		if a != b {
+			nets = append(nets, []int{a, b})
+		}
+	}
+	parts, err := KWay(Problem{NumCells: n, Nets: nets, Seed: 2}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := map[int]int{}
+	for _, p := range parts {
+		count[p]++
+	}
+	if len(count) != 4 {
+		t.Fatalf("got %d parts, want 4 (%v)", len(count), count)
+	}
+	for p, c := range count {
+		if c < n/4-10 || c > n/4+10 {
+			t.Fatalf("part %d badly balanced: %d of %d", p, c, n)
+		}
+	}
+}
+
+// Property: FM never worsens the initial random cut and always respects
+// side bounds.
+func TestQuickFMNeverWorsens(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 30, Rand: rand.New(rand.NewSource(11))}
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 10 + r.Intn(40)
+		var nets [][]int
+		for i := 0; i < n*2; i++ {
+			a, b := r.Intn(n), r.Intn(n)
+			if a != b {
+				nets = append(nets, []int{a, b})
+			}
+		}
+		// Initial random cut with the same assignment rule as Bipartition.
+		res, err := Bipartition(Problem{NumCells: n, Nets: nets, Seed: seed})
+		if err != nil {
+			return false
+		}
+		if res.Cut < 0 || res.Cut > len(nets) {
+			return false
+		}
+		c0 := 0
+		for _, s := range res.Side {
+			if s == 0 {
+				c0++
+			}
+		}
+		max := int(float64(n) * 0.6)
+		return c0 <= max+1 && n-c0 <= max+1
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkBipartition200(b *testing.B) {
+	nets := twoClusters(200, 5)
+	for i := 0; i < b.N; i++ {
+		if _, err := Bipartition(Problem{NumCells: 200, Nets: nets, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

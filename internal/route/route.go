@@ -1,0 +1,369 @@
+// Package route is the back-end router: a PathFinder-style
+// negotiated-congestion maze router over the device grid. Nets are routed
+// as Steiner trees by repeated multi-source Dijkstra expansion; congestion
+// is resolved by iterative rip-up-and-reroute with growing present-sharing
+// penalties and accumulated history costs.
+//
+// Tiling hooks:
+//   - Options.Allowed restricts the search to the affected tiles, so a
+//     tile-local re-route can never disturb wiring elsewhere.
+//   - Options.FixedUse charges the capacity consumed by locked routes
+//     (the tile interfaces and all wiring outside the affected tiles).
+//   - Result.Expansions counts heap pops, the router's deterministic
+//     effort metric used by Figure 5.
+package route
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"fpgadbg/internal/device"
+)
+
+// EdgeID identifies one channel segment of the routing grid.
+type EdgeID int32
+
+// Grid is the routing resource graph: one node per grid coordinate
+// (including the IOB ring), orthogonal edges with uniform capacity.
+type Grid struct {
+	W, H int // CLB array size; grid coordinates span (0..W+1, 0..H+1)
+	Cap  int // tracks per channel segment
+
+	wExt, hExt int
+	numH       int // horizontal edge count
+}
+
+// NewGrid builds the routing graph for a device.
+func NewGrid(dev device.Device) *Grid {
+	g := &Grid{
+		W: dev.W, H: dev.H, Cap: dev.ChannelWidth,
+		wExt: dev.W + 2, hExt: dev.H + 2,
+	}
+	g.numH = (g.wExt - 1) * g.hExt
+	return g
+}
+
+// NumNodes returns the node count.
+func (g *Grid) NumNodes() int { return g.wExt * g.hExt }
+
+// NumEdges returns the edge count.
+func (g *Grid) NumEdges() int { return g.numH + g.wExt*(g.hExt-1) }
+
+// NodeIdx maps a coordinate to its node index.
+func (g *Grid) NodeIdx(p device.XY) int32 { return int32(p.Y*g.wExt + p.X) }
+
+// NodeXY maps a node index back to its coordinate.
+func (g *Grid) NodeXY(n int32) device.XY {
+	return device.XY{X: int(n) % g.wExt, Y: int(n) / g.wExt}
+}
+
+// hEdge returns the edge between (x,y) and (x+1,y).
+func (g *Grid) hEdge(x, y int) EdgeID { return EdgeID(y*(g.wExt-1) + x) }
+
+// vEdge returns the edge between (x,y) and (x,y+1).
+func (g *Grid) vEdge(x, y int) EdgeID { return EdgeID(g.numH + x*(g.hExt-1) + y) }
+
+// EdgeEnds returns an edge's two endpoint coordinates.
+func (g *Grid) EdgeEnds(e EdgeID) (device.XY, device.XY) {
+	if int(e) < g.numH {
+		x := int(e) % (g.wExt - 1)
+		y := int(e) / (g.wExt - 1)
+		return device.XY{X: x, Y: y}, device.XY{X: x + 1, Y: y}
+	}
+	r := int(e) - g.numH
+	x := r / (g.hExt - 1)
+	y := r % (g.hExt - 1)
+	return device.XY{X: x, Y: y}, device.XY{X: x, Y: y + 1}
+}
+
+// neighbors visits the up-to-four adjacent nodes of n with the connecting
+// edge.
+func (g *Grid) neighbors(n int32, visit func(edge EdgeID, to int32)) {
+	x := int(n) % g.wExt
+	y := int(n) / g.wExt
+	if x > 0 {
+		visit(g.hEdge(x-1, y), n-1)
+	}
+	if x < g.wExt-1 {
+		visit(g.hEdge(x, y), n+1)
+	}
+	if y > 0 {
+		visit(g.vEdge(x, y-1), n-int32(g.wExt))
+	}
+	if y < g.hExt-1 {
+		visit(g.vEdge(x, y), n+int32(g.wExt))
+	}
+}
+
+// Net is one signal to route. Pins[0] is the source; Route is the solver
+// output (a set of edges forming a tree over the pins).
+type Net struct {
+	ID     int
+	Pins   []device.XY
+	Weight float64
+	Route  []EdgeID
+	// Locked routes are never ripped up; their usage must be passed in
+	// Options.FixedUse by the caller.
+	Locked bool
+}
+
+// RouteLen returns the wirelength of the net's current route.
+func (n *Net) RouteLen() int { return len(n.Route) }
+
+// Options tune the router.
+type Options struct {
+	// MaxIters bounds the negotiation iterations (default 40).
+	MaxIters int
+	// Allowed, when non-nil, restricts expansion to permitted coordinates;
+	// all pins of routed nets must be permitted.
+	Allowed func(device.XY) bool
+	// FixedUse charges pre-existing usage per edge (locked nets, tile
+	// interfaces). Indexed by EdgeID; may be nil.
+	FixedUse []int16
+}
+
+// Result reports routing work and convergence.
+type Result struct {
+	// Expansions counts Dijkstra heap pops — the deterministic effort
+	// counter.
+	Expansions int64
+	Iters      int
+	// Overused is the number of edges still over capacity at exit (0 on
+	// success).
+	Overused int
+	// Wirelength is the total edge count over all routed nets.
+	Wirelength int
+}
+
+// RouteAll routes every non-locked net. It returns an error when pins fall
+// outside the allowed region or the graph, or when congestion cannot be
+// resolved within MaxIters.
+func RouteAll(g *Grid, nets []*Net, opt Options) (*Result, error) {
+	if opt.MaxIters <= 0 {
+		opt.MaxIters = 40
+	}
+	use := make([]int16, g.NumEdges())
+	if opt.FixedUse != nil {
+		if len(opt.FixedUse) != g.NumEdges() {
+			return nil, fmt.Errorf("route: FixedUse length %d != %d edges", len(opt.FixedUse), g.NumEdges())
+		}
+		copy(use, opt.FixedUse)
+	}
+	hist := make([]float64, g.NumEdges())
+
+	// Validate and normalize pins.
+	work := make([]*Net, 0, len(nets))
+	for _, n := range nets {
+		if n.Locked {
+			continue
+		}
+		for _, p := range n.Pins {
+			if p.X < 0 || p.X >= g.wExt || p.Y < 0 || p.Y >= g.hExt {
+				return nil, fmt.Errorf("route: net %d pin %v off grid", n.ID, p)
+			}
+			if opt.Allowed != nil && !opt.Allowed(p) {
+				return nil, fmt.Errorf("route: net %d pin %v outside allowed region", n.ID, p)
+			}
+		}
+		if len(dedupePins(g, n.Pins)) >= 2 {
+			work = append(work, n)
+		} else {
+			n.Route = nil
+		}
+	}
+	sort.Slice(work, func(i, j int) bool { return work[i].ID < work[j].ID })
+
+	r := &router{
+		g: g, use: use, hist: hist, allowed: opt.Allowed,
+		dist: make([]float64, g.NumNodes()),
+		prev: make([]EdgeID, g.NumNodes()),
+		from: make([]int32, g.NumNodes()),
+		mark: make([]int32, g.NumNodes()),
+	}
+	res := &Result{}
+	presFac := 1.0
+	for iter := 1; iter <= opt.MaxIters; iter++ {
+		res.Iters = iter
+		for _, n := range work {
+			// Rip up.
+			for _, e := range n.Route {
+				use[e]--
+			}
+			route, err := r.routeNet(n, presFac)
+			if err != nil {
+				return nil, err
+			}
+			n.Route = route
+			for _, e := range n.Route {
+				use[e]++
+			}
+		}
+		// Converged?
+		over := 0
+		for e := range use {
+			if int(use[e]) > g.Cap {
+				over++
+				hist[e] += float64(int(use[e]) - g.Cap)
+			}
+		}
+		res.Expansions = r.expansions
+		res.Overused = over
+		if over == 0 {
+			break
+		}
+		presFac *= 1.8
+	}
+	if res.Overused > 0 {
+		return res, fmt.Errorf("route: %d edges still overused after %d iterations", res.Overused, res.Iters)
+	}
+	for _, n := range nets {
+		res.Wirelength += len(n.Route)
+	}
+	return res, nil
+}
+
+func dedupePins(g *Grid, pins []device.XY) []int32 {
+	seen := make(map[int32]bool, len(pins))
+	out := make([]int32, 0, len(pins))
+	for _, p := range pins {
+		n := g.NodeIdx(p)
+		if !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+type router struct {
+	g       *Grid
+	use     []int16
+	hist    []float64
+	allowed func(device.XY) bool
+
+	dist       []float64
+	prev       []EdgeID
+	from       []int32
+	mark       []int32 // search epoch per node
+	epoch      int32
+	expansions int64
+}
+
+type pqItem struct {
+	node int32
+	cost float64
+}
+
+type pq []pqItem
+
+func (q pq) Len() int      { return len(q) }
+func (q pq) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q pq) Less(i, j int) bool {
+	if q[i].cost != q[j].cost {
+		return q[i].cost < q[j].cost
+	}
+	return q[i].node < q[j].node
+}
+func (q *pq) Push(x any) { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() any {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// edgeCost is the negotiated-congestion cost of adding one more use of e.
+func (r *router) edgeCost(e EdgeID, presFac float64) float64 {
+	c := 1.0 + r.hist[e]
+	over := int(r.use[e]) + 1 - r.g.Cap
+	if over > 0 {
+		c += presFac * float64(over)
+	}
+	return c
+}
+
+// routeNet grows a Steiner tree over the net's pins with repeated
+// multi-source shortest-path searches.
+func (r *router) routeNet(n *Net, presFac float64) ([]EdgeID, error) {
+	pins := dedupePins(r.g, n.Pins)
+	inTree := make(map[int32]bool, len(pins)*2)
+	remaining := make(map[int32]bool, len(pins))
+	inTree[pins[0]] = true
+	for _, p := range pins[1:] {
+		if p != pins[0] {
+			remaining[p] = true
+		}
+	}
+	var route []EdgeID
+	treeNodes := []int32{pins[0]}
+	for len(remaining) > 0 {
+		target, path, err := r.search(treeNodes, remaining, presFac)
+		if err != nil {
+			return nil, fmt.Errorf("route: net %d: %w", n.ID, err)
+		}
+		delete(remaining, target)
+		for _, e := range path {
+			route = append(route, e)
+			a, b := r.g.EdgeEnds(e)
+			for _, p := range []device.XY{a, b} {
+				idx := r.g.NodeIdx(p)
+				if !inTree[idx] {
+					inTree[idx] = true
+					treeNodes = append(treeNodes, idx)
+				}
+			}
+		}
+	}
+	return route, nil
+}
+
+// search runs a multi-source Dijkstra from the tree nodes to the nearest
+// target, returning the target and the path's edges.
+func (r *router) search(sources []int32, targets map[int32]bool, presFac float64) (int32, []EdgeID, error) {
+	r.epoch++
+	ep := r.epoch
+	q := make(pq, 0, len(sources))
+	for _, s := range sources {
+		r.mark[s] = ep
+		r.dist[s] = 0
+		r.prev[s] = -1
+		r.from[s] = -1
+		q = append(q, pqItem{node: s, cost: 0})
+	}
+	heap.Init(&q)
+	settled := make(map[int32]bool)
+	for q.Len() > 0 {
+		it := heap.Pop(&q).(pqItem)
+		if settled[it.node] {
+			continue
+		}
+		settled[it.node] = true
+		r.expansions++
+		if targets[it.node] {
+			// Trace back to a source.
+			var path []EdgeID
+			cur := it.node
+			for r.prev[cur] != -1 {
+				path = append(path, r.prev[cur])
+				cur = r.from[cur]
+			}
+			return it.node, path, nil
+		}
+		r.g.neighbors(it.node, func(e EdgeID, to int32) {
+			if r.allowed != nil && !r.allowed(r.g.NodeXY(to)) {
+				return
+			}
+			nd := it.cost + r.edgeCost(e, presFac)
+			if r.mark[to] != ep || nd < r.dist[to] {
+				r.mark[to] = ep
+				r.dist[to] = nd
+				r.prev[to] = e
+				r.from[to] = it.node
+				heap.Push(&q, pqItem{node: to, cost: nd})
+			}
+		})
+	}
+	return 0, nil, fmt.Errorf("no path to any remaining sink (region too tight?)")
+}

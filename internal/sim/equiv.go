@@ -1,0 +1,177 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fpgadbg/internal/netlist"
+)
+
+// Mismatch describes the first detected difference between two designs.
+type Mismatch struct {
+	Cycle   int
+	Output  string
+	Pattern int // which of the 64 parallel patterns diverged
+	WantBit bool
+	GotBit  bool
+	Inputs  map[string]uint64 // the input words applied that cycle
+}
+
+func (m *Mismatch) String() string {
+	return fmt.Sprintf("cycle %d output %q pattern %d: want %v got %v",
+		m.Cycle, m.Output, m.Pattern, m.WantBit, m.GotBit)
+}
+
+// Equivalent runs both designs on the same random stimulus and compares
+// primary outputs. Designs are matched by PI/PO names, which must be
+// identical sets. words blocks of 64 random patterns are applied; for
+// sequential designs each block is held for cycles clock cycles. It returns
+// nil when no difference was observed, or a Mismatch describing the first
+// divergence.
+func Equivalent(a, b *netlist.Netlist, words, cycles int, seed int64) (*Mismatch, error) {
+	if err := sameNames(a.SortedPINames(), b.SortedPINames()); err != nil {
+		return nil, fmt.Errorf("sim: PI mismatch: %w", err)
+	}
+	if err := sameNames(a.SortedPONames(), b.SortedPONames()); err != nil {
+		return nil, fmt.Errorf("sim: PO mismatch: %w", err)
+	}
+	ma, err := Compile(a)
+	if err != nil {
+		return nil, err
+	}
+	mb, err := Compile(b)
+	if err != nil {
+		return nil, err
+	}
+	if cycles < 1 {
+		cycles = 1
+	}
+	r := rand.New(rand.NewSource(seed))
+	pis := a.SortedPINames()
+	pos := a.SortedPONames()
+	cycle := 0
+	for w := 0; w < words; w++ {
+		in := make(map[string]uint64, len(pis))
+		for _, name := range pis {
+			in[name] = r.Uint64()
+		}
+		for c := 0; c < cycles; c++ {
+			oa, err := ma.Step(in)
+			if err != nil {
+				return nil, err
+			}
+			ob, err := mb.Step(in)
+			if err != nil {
+				return nil, err
+			}
+			for _, name := range pos {
+				if oa[name] != ob[name] {
+					diff := oa[name] ^ ob[name]
+					p := firstBit(diff)
+					return &Mismatch{
+						Cycle:   cycle,
+						Output:  name,
+						Pattern: p,
+						WantBit: oa[name]&(1<<p) != 0,
+						GotBit:  ob[name]&(1<<p) != 0,
+						Inputs:  in,
+					}, nil
+				}
+			}
+			cycle++
+		}
+	}
+	return nil, nil
+}
+
+func firstBit(w uint64) int {
+	for i := 0; i < 64; i++ {
+		if w&(1<<i) != 0 {
+			return i
+		}
+	}
+	return 0
+}
+
+func sameNames(a, b []string) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("count %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return fmt.Errorf("%q vs %q", a[i], b[i])
+		}
+	}
+	return nil
+}
+
+// ExhaustiveEquivalent compares two purely combinational designs on every
+// input assignment; the common PI count must be at most 20.
+func ExhaustiveEquivalent(a, b *netlist.Netlist) (*Mismatch, error) {
+	pis := a.SortedPINames()
+	if err := sameNames(pis, b.SortedPINames()); err != nil {
+		return nil, fmt.Errorf("sim: PI mismatch: %w", err)
+	}
+	if err := sameNames(a.SortedPONames(), b.SortedPONames()); err != nil {
+		return nil, fmt.Errorf("sim: PO mismatch: %w", err)
+	}
+	if len(pis) > 20 {
+		return nil, fmt.Errorf("sim: %d PIs too many for exhaustive comparison", len(pis))
+	}
+	ma, err := Compile(a)
+	if err != nil {
+		return nil, err
+	}
+	mb, err := Compile(b)
+	if err != nil {
+		return nil, err
+	}
+	pos := a.SortedPONames()
+	total := uint64(1) << len(pis)
+	for base := uint64(0); base < total; base += 64 {
+		in := make(map[string]uint64, len(pis))
+		for i, name := range pis {
+			var w uint64
+			for p := 0; p < 64 && base+uint64(p) < total; p++ {
+				if (base+uint64(p))&(1<<i) != 0 {
+					w |= 1 << p
+				}
+			}
+			in[name] = w
+		}
+		oa, err := ma.Step(in)
+		if err != nil {
+			return nil, err
+		}
+		ob, err := mb.Step(in)
+		if err != nil {
+			return nil, err
+		}
+		valid := uint64(1)<<min64(64, total-base) - 1
+		if total-base >= 64 {
+			valid = ^uint64(0)
+		}
+		for _, name := range pos {
+			if d := (oa[name] ^ ob[name]) & valid; d != 0 {
+				p := firstBit(d)
+				return &Mismatch{
+					Output:  name,
+					Pattern: p,
+					WantBit: oa[name]&(1<<p) != 0,
+					GotBit:  ob[name]&(1<<p) != 0,
+					Inputs:  in,
+				}, nil
+			}
+		}
+		ma.Reset()
+		mb.Reset()
+	}
+	return nil, nil
+}
+
+func min64(a int, b uint64) uint64 {
+	if uint64(a) < b {
+		return uint64(a)
+	}
+	return b
+}

@@ -1,0 +1,181 @@
+// Package sim is the emulation substrate: a compiled, 64-way bit-parallel
+// functional simulator for netlist designs. Each net carries a 64-bit word
+// whose bit p is the net's value under input pattern p, so one pass over
+// the levelized network evaluates 64 test patterns.
+//
+// The paper runs designs on FPGA emulation hardware; this simulator plays
+// that role (see DESIGN.md §3). Detection compares outputs against a golden
+// model, and localization probes internal nets — both map directly onto
+// Machine.Out and Machine.Net.
+package sim
+
+import (
+	"fmt"
+
+	"fpgadbg/internal/netlist"
+)
+
+// Machine is a compiled simulator instance for one netlist. It is not safe
+// for concurrent use.
+type Machine struct {
+	nl    *netlist.Netlist
+	order []netlist.CellID // LUTs in topo order
+	dffs  []netlist.CellID
+	val   []uint64 // per net, 64 patterns wide
+	state []uint64 // per entry of dffs: current Q value
+	// scratch fanin buffer reused across evaluations
+	buf []uint64
+}
+
+// Compile levelizes the netlist and returns a ready-to-run machine in the
+// reset state. The netlist must be combinationally acyclic.
+func Compile(nl *netlist.Netlist) (*Machine, error) {
+	order, err := nl.TopoOrder()
+	if err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	m := &Machine{
+		nl:  nl,
+		val: make([]uint64, len(nl.Nets)),
+	}
+	maxFanin := 0
+	for _, id := range order {
+		c := &nl.Cells[id]
+		switch c.Kind {
+		case netlist.KindLUT:
+			m.order = append(m.order, id)
+			if len(c.Fanin) > maxFanin {
+				maxFanin = len(c.Fanin)
+			}
+		case netlist.KindDFF:
+			m.dffs = append(m.dffs, id)
+		}
+	}
+	m.state = make([]uint64, len(m.dffs))
+	m.buf = make([]uint64, maxFanin)
+	m.Reset()
+	return m, nil
+}
+
+// Netlist returns the compiled design.
+func (m *Machine) Netlist() *netlist.Netlist { return m.nl }
+
+// Reset restores every DFF to its power-on value and clears all nets.
+func (m *Machine) Reset() {
+	for i := range m.val {
+		m.val[i] = 0
+	}
+	for i, id := range m.dffs {
+		if m.nl.Cells[id].Init == 1 {
+			m.state[i] = ^uint64(0)
+		} else {
+			m.state[i] = 0
+		}
+	}
+}
+
+// SetPI drives a primary input net with a 64-pattern word.
+func (m *Machine) SetPI(name string, w uint64) error {
+	id, ok := m.nl.NetByName(name)
+	if !ok {
+		return fmt.Errorf("sim: no net %q", name)
+	}
+	if !m.nl.IsPI(id) {
+		return fmt.Errorf("sim: net %q is not a primary input", name)
+	}
+	m.val[id] = w
+	return nil
+}
+
+// SetPIs drives several primary inputs at once.
+func (m *Machine) SetPIs(in map[string]uint64) error {
+	for name, w := range in {
+		if err := m.SetPI(name, w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Eval propagates the current primary inputs and flip-flop state through
+// the combinational logic. It does not advance the clock.
+func (m *Machine) Eval() {
+	for i, id := range m.dffs {
+		m.val[m.nl.Cells[id].Out] = m.state[i]
+	}
+	for _, id := range m.order {
+		c := &m.nl.Cells[id]
+		buf := m.buf[:len(c.Fanin)]
+		for j, f := range c.Fanin {
+			buf[j] = m.val[f]
+		}
+		m.val[c.Out] = c.Func.EvalWords(buf)
+	}
+}
+
+// Clock latches every DFF's D input into its state. Callers should have
+// called Eval first; the usual cycle is SetPIs → Eval → read outputs →
+// Clock.
+func (m *Machine) Clock() {
+	for i, id := range m.dffs {
+		m.state[i] = m.val[m.nl.Cells[id].Fanin[0]]
+	}
+}
+
+// Step is the common SetPIs → Eval → Clock cycle, returning the primary
+// output words observed before the clock edge.
+func (m *Machine) Step(in map[string]uint64) (map[string]uint64, error) {
+	if err := m.SetPIs(in); err != nil {
+		return nil, err
+	}
+	m.Eval()
+	out := m.Outputs()
+	m.Clock()
+	return out, nil
+}
+
+// Net probes any net by name — the software analogue of attaching
+// observation logic.
+func (m *Machine) Net(name string) (uint64, error) {
+	id, ok := m.nl.NetByName(name)
+	if !ok {
+		return 0, fmt.Errorf("sim: no net %q", name)
+	}
+	return m.val[id], nil
+}
+
+// NetByID probes a net by ID.
+func (m *Machine) NetByID(id netlist.NetID) uint64 { return m.val[id] }
+
+// ForceNet overrides a net's current value (the software analogue of
+// control logic); the override lasts until the next Eval recomputes it, so
+// it is useful for combinational what-if probing only on undriven nets or
+// between Eval and Clock.
+func (m *Machine) ForceNet(id netlist.NetID, w uint64) { m.val[id] = w }
+
+// Out returns a primary output word by name.
+func (m *Machine) Out(name string) (uint64, error) {
+	id, ok := m.nl.NetByName(name)
+	if !ok {
+		return 0, fmt.Errorf("sim: no net %q", name)
+	}
+	if !m.nl.IsPO(id) {
+		return 0, fmt.Errorf("sim: net %q is not a primary output", name)
+	}
+	return m.val[id], nil
+}
+
+// Outputs returns all primary output words keyed by name.
+func (m *Machine) Outputs() map[string]uint64 {
+	out := make(map[string]uint64, len(m.nl.POs))
+	for _, po := range m.nl.POs {
+		out[m.nl.Nets[po].Name] = m.val[po]
+	}
+	return out
+}
+
+// StateWords exposes the current flip-flop state (one word per DFF in
+// compile order); used by tests and by checkpointing.
+func (m *Machine) StateWords() []uint64 {
+	return append([]uint64(nil), m.state...)
+}

@@ -1,0 +1,225 @@
+// Package synth is the front-end of the flow: it turns netlists with
+// arbitrary-width LUT nodes (as produced by the benchmark generators or the
+// BLIF reader) into XC4000-style 4-input LUT networks. The pipeline is the
+// classic two-step one: Decompose rewrites every node into a tree of
+// at-most-2-input gates, and MapLUT4 covers that network with K-input LUTs
+// using priority-cut enumeration (depth-oriented with area tie-breaking).
+// TechMap composes both and sweeps dead logic.
+package synth
+
+import (
+	"fmt"
+
+	"fpgadbg/internal/logic"
+	"fpgadbg/internal/netlist"
+)
+
+// Decompose returns a functionally equivalent netlist in which every LUT
+// has at most two inputs. Wide nodes are rewritten as AND trees per cube
+// and an OR tree across cubes, with literal polarities folded into the leaf
+// gates. DFFs and primary I/O are preserved by name.
+func Decompose(nl *netlist.Netlist) (*netlist.Netlist, error) {
+	out := netlist.New(nl.Name)
+	netMap := make([]netlist.NetID, len(nl.Nets))
+	for i := range netMap {
+		netMap[i] = netlist.NilNet
+	}
+	getNet := func(old netlist.NetID) netlist.NetID {
+		if netMap[old] == netlist.NilNet {
+			netMap[old] = out.AddNet(nl.Nets[old].Name)
+		}
+		return netMap[old]
+	}
+	for _, pi := range nl.PIs {
+		id := getNet(pi)
+		out.PIs = append(out.PIs, id)
+	}
+	d := &decomposer{out: out}
+	for ci := range nl.Cells {
+		c := &nl.Cells[ci]
+		if c.Dead {
+			continue
+		}
+		switch c.Kind {
+		case netlist.KindDFF:
+			if _, err := out.AddDFF(c.Name, getNet(c.Fanin[0]), getNet(c.Out), c.Init); err != nil {
+				return nil, fmt.Errorf("synth: %w", err)
+			}
+		case netlist.KindLUT:
+			fanin := make([]netlist.NetID, len(c.Fanin))
+			for i, f := range c.Fanin {
+				fanin[i] = getNet(f)
+			}
+			if err := d.emit(c.Name, c.Func, fanin, getNet(c.Out)); err != nil {
+				return nil, fmt.Errorf("synth: node %q: %w", c.Name, err)
+			}
+		}
+	}
+	for _, po := range nl.POs {
+		out.MarkPO(getNet(po))
+	}
+	if err := out.CheckDriven(); err != nil {
+		return nil, fmt.Errorf("synth: decomposition produced invalid netlist: %w", err)
+	}
+	return out, nil
+}
+
+type decomposer struct {
+	out *netlist.Netlist
+	seq int
+}
+
+func (d *decomposer) fresh(base string) netlist.NetID {
+	d.seq++
+	return d.out.AddNet(fmt.Sprintf("%s~%d", base, d.seq))
+}
+
+// emit synthesizes cover f over fanin nets into the output netlist, driving
+// root.
+func (d *decomposer) emit(name string, f logic.Cover, fanin []netlist.NetID, root netlist.NetID) error {
+	cf, vars := f.Compact()
+	support := make([]netlist.NetID, len(vars))
+	for j, v := range vars {
+		support[j] = fanin[v]
+	}
+	switch {
+	case cf.IsConstFalse():
+		_, err := d.out.AddConst(name, false, root)
+		return err
+	case cf.HasTautologyCube():
+		_, err := d.out.AddConst(name, true, root)
+		return err
+	case cf.N <= 2:
+		_, err := d.out.AddLUT(name, cf, support, root)
+		return err
+	case cf.N > 4 && len(cf.Cubes) > shannonCubeThreshold:
+		// Wide, cube-rich covers (symmetric functions, dense FSM logic)
+		// explode as AND-OR trees; Shannon-decompose on the most-tested
+		// variable instead: f = x·f_x + x'·f_x' as a mux of two smaller
+		// nodes.
+		v := cf.MostTestedVar()
+		if v >= 0 {
+			f1 := cf.Cofactor(v, true).Simplify()
+			f0 := cf.Cofactor(v, false).Simplify()
+			n0 := d.fresh(name + "_c0")
+			n1 := d.fresh(name + "_c1")
+			if err := d.emit(name+"_c0", f0, support, n0); err != nil {
+				return err
+			}
+			if err := d.emit(name+"_c1", f1, support, n1); err != nil {
+				return err
+			}
+			_, err := d.out.AddLUT(name+"_mux", logic.Mux2(),
+				[]netlist.NetID{support[v], n0, n1}, root)
+			return err
+		}
+	}
+	// General case: one AND tree per cube, one OR tree across cubes.
+	cubeNets := make([]netlist.NetID, 0, len(cf.Cubes))
+	for _, cu := range cf.Cubes {
+		cn, err := d.emitCube(name, cu, support, netlist.NilNet)
+		if err != nil {
+			return err
+		}
+		cubeNets = append(cubeNets, cn)
+	}
+	return d.emitTree(name, cubeNets, nil, logic.OrN(2).Cubes, root)
+}
+
+// shannonCubeThreshold is the cube count above which wide nodes are
+// Shannon-decomposed rather than expanded into AND-OR trees.
+const shannonCubeThreshold = 6
+
+// lit is a net with a polarity, the working unit of tree construction.
+type lit struct {
+	net netlist.NetID
+	pos bool
+}
+
+// emitCube builds the AND of the cube's literals; if into is NilNet a fresh
+// net is allocated. Returns the driven net.
+func (d *decomposer) emitCube(name string, cu logic.Cube, support []netlist.NetID, into netlist.NetID) (netlist.NetID, error) {
+	var lits []lit
+	for v := 0; v < len(support); v++ {
+		if cu.TestsVar(v) {
+			lits = append(lits, lit{net: support[v], pos: cu.LitVal(v)})
+		}
+	}
+	if len(lits) == 0 {
+		if into == netlist.NilNet {
+			into = d.fresh(name)
+		}
+		_, err := d.out.AddConst(name, true, into)
+		return into, err
+	}
+	return d.emitLitTree(name, lits, into)
+}
+
+// emitLitTree reduces literals pairwise with 2-input AND gates whose covers
+// absorb the polarities.
+func (d *decomposer) emitLitTree(name string, lits []lit, into netlist.NetID) (netlist.NetID, error) {
+	for len(lits) > 1 {
+		var next []lit
+		for i := 0; i+1 < len(lits); i += 2 {
+			a, b := lits[i], lits[i+1]
+			cov := logic.FromCubes(2, logic.Cube{}.WithLit(0, a.pos).WithLit(1, b.pos))
+			dst := into
+			if len(lits) > 2 || into == netlist.NilNet {
+				dst = d.fresh(name)
+			}
+			if _, err := d.out.AddLUT(name+"_and", cov, []netlist.NetID{a.net, b.net}, dst); err != nil {
+				return netlist.NilNet, err
+			}
+			next = append(next, lit{net: dst, pos: true})
+		}
+		if len(lits)%2 == 1 {
+			next = append(next, lits[len(lits)-1])
+		}
+		lits = next
+	}
+	l := lits[0]
+	if into == netlist.NilNet && l.pos {
+		return l.net, nil
+	}
+	if into == netlist.NilNet {
+		into = d.fresh(name)
+	}
+	if l.net == into {
+		return into, nil
+	}
+	var err error
+	if l.pos {
+		_, err = d.out.AddBuf(name+"_buf", l.net, into)
+	} else {
+		_, err = d.out.AddInv(name+"_inv", l.net, into)
+	}
+	return into, err
+}
+
+// emitTree reduces nets pairwise with the given 2-input gate cover, driving
+// root at the top.
+func (d *decomposer) emitTree(name string, nets []netlist.NetID, _ []lit, gate []logic.Cube, root netlist.NetID) error {
+	cov := logic.FromCubes(2, gate...)
+	for len(nets) > 1 {
+		var next []netlist.NetID
+		for i := 0; i+1 < len(nets); i += 2 {
+			dst := root
+			if len(nets) > 2 {
+				dst = d.fresh(name)
+			}
+			if _, err := d.out.AddLUT(name+"_or", cov, []netlist.NetID{nets[i], nets[i+1]}, dst); err != nil {
+				return err
+			}
+			next = append(next, dst)
+		}
+		if len(nets)%2 == 1 {
+			next = append(next, nets[len(nets)-1])
+		}
+		nets = next
+	}
+	if nets[0] != root {
+		_, err := d.out.AddBuf(name+"_buf", nets[0], root)
+		return err
+	}
+	return nil
+}

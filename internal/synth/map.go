@@ -1,0 +1,370 @@
+package synth
+
+import (
+	"fmt"
+	"sort"
+
+	"fpgadbg/internal/logic"
+	"fpgadbg/internal/netlist"
+)
+
+// MaxCutsPerNode bounds the priority-cut list kept at each node.
+const MaxCutsPerNode = 8
+
+// MapLUT4 covers a network whose LUT nodes have at most two inputs with
+// K-input LUTs (K in 2..6, 4 for the XC4000). Cut enumeration keeps
+// MaxCutsPerNode priority cuts per node ordered by mapped depth then leaf
+// count; covering proceeds backward from the primary outputs and DFF data
+// inputs, computing each chosen cone's function by exhaustive cone
+// simulation over its at-most-K leaves.
+func MapLUT4(nl *netlist.Netlist, K int) (*netlist.Netlist, error) {
+	if K < 2 || K > 6 {
+		return nil, fmt.Errorf("synth: MapLUT4 K=%d out of range 2..6", K)
+	}
+	for ci := range nl.Cells {
+		c := &nl.Cells[ci]
+		if !c.Dead && c.Kind == netlist.KindLUT && len(c.Fanin) > K {
+			return nil, fmt.Errorf("synth: MapLUT4 requires decomposed input; node %q has %d fanins (K=%d)", c.Name, len(c.Fanin), K)
+		}
+	}
+	order, err := nl.TopoOrder()
+	if err != nil {
+		return nil, fmt.Errorf("synth: %w", err)
+	}
+
+	m := &mapper{nl: nl, K: K,
+		cuts:  make([][]cut, len(nl.Nets)),
+		depth: make([]int, len(nl.Nets)),
+	}
+	// Leaves: PIs, DFF outputs, and constant-driven nets.
+	for i := range m.depth {
+		m.depth[i] = -1
+	}
+	for _, pi := range nl.PIs {
+		m.setLeaf(pi)
+	}
+	for _, id := range order {
+		c := &nl.Cells[id]
+		if c.Kind == netlist.KindDFF {
+			m.setLeaf(c.Out)
+		}
+	}
+	// Forward cut enumeration over LUT nodes.
+	for _, id := range order {
+		c := &nl.Cells[id]
+		if c.Kind != netlist.KindLUT {
+			continue
+		}
+		if len(c.Fanin) == 0 {
+			// Constants are leaves of the mapped network; they are copied
+			// verbatim during covering.
+			m.setLeaf(c.Out)
+			continue
+		}
+		m.enumerate(c)
+	}
+
+	return m.cover(order)
+}
+
+// cut is a sorted set of at most K leaf nets.
+type cut struct {
+	leaves []netlist.NetID
+	depth  int
+}
+
+type mapper struct {
+	nl    *netlist.Netlist
+	K     int
+	cuts  [][]cut
+	depth []int // best mapped depth per net; leaves are 0
+}
+
+func (m *mapper) setLeaf(id netlist.NetID) {
+	m.cuts[id] = []cut{{leaves: []netlist.NetID{id}, depth: 0}}
+	m.depth[id] = 0
+}
+
+// enumerate computes the priority cuts for a 1- or 2-input node.
+func (m *mapper) enumerate(c *netlist.Cell) {
+	out := c.Out
+	// A cut's mapped depth is one LUT level above its deepest leaf.
+	cutDepth := func(leaves []netlist.NetID) int {
+		d := 0
+		for _, l := range leaves {
+			if m.depth[l] > d {
+				d = m.depth[l]
+			}
+		}
+		return d + 1
+	}
+	// n-ary cut merging: cross-product of the fanins' cut lists, pruning
+	// merged cuts wider than K as they form.
+	partial := [][]netlist.NetID{nil}
+	for pin, f := range c.Fanin {
+		var next [][]netlist.NetID
+		for _, acc := range partial {
+			for _, cf := range m.cuts[f] {
+				var merged []netlist.NetID
+				if pin == 0 {
+					merged = cf.leaves
+				} else {
+					merged = mergeLeaves(acc, cf.leaves, m.K)
+					if merged == nil {
+						continue
+					}
+				}
+				next = append(next, merged)
+			}
+		}
+		partial = next
+		if len(partial) > 4096 {
+			partial = partial[:4096]
+		}
+	}
+	cand := make([]cut, 0, len(partial))
+	for _, leaves := range partial {
+		cand = append(cand, cut{leaves: leaves, depth: cutDepth(leaves)})
+	}
+	// Deduplicate, sort by (depth, size), truncate, and record best depth.
+	cand = dedupCuts(cand)
+	sort.Slice(cand, func(i, j int) bool {
+		if cand[i].depth != cand[j].depth {
+			return cand[i].depth < cand[j].depth
+		}
+		if len(cand[i].leaves) != len(cand[j].leaves) {
+			return len(cand[i].leaves) < len(cand[j].leaves)
+		}
+		return lessLeaves(cand[i].leaves, cand[j].leaves)
+	})
+	if len(cand) > MaxCutsPerNode {
+		cand = cand[:MaxCutsPerNode]
+	}
+	// The trivial cut allows parents to stop at this net; its depth is the
+	// node's best mapped depth.
+	best := 1
+	if len(cand) > 0 {
+		best = cand[0].depth
+	}
+	cand = append(cand, cut{leaves: []netlist.NetID{out}, depth: best})
+	m.cuts[out] = cand
+	m.depth[out] = best
+}
+
+func mergeLeaves(a, b []netlist.NetID, k int) []netlist.NetID {
+	out := make([]netlist.NetID, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) || j < len(b) {
+		switch {
+		case j >= len(b) || (i < len(a) && a[i] < b[j]):
+			out = append(out, a[i])
+			i++
+		case i >= len(a) || b[j] < a[i]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+		if len(out) > k {
+			return nil
+		}
+	}
+	return out
+}
+
+func lessLeaves(a, b []netlist.NetID) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+func dedupCuts(cs []cut) []cut {
+	seen := make(map[string]bool, len(cs))
+	out := cs[:0]
+	for _, c := range cs {
+		key := fmt.Sprint(c.leaves)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, c)
+	}
+	return out
+}
+
+// cover walks backward from required nets, materializing one mapped LUT
+// per chosen cut.
+func (m *mapper) cover(order []netlist.CellID) (*netlist.Netlist, error) {
+	nl := m.nl
+	out := netlist.New(nl.Name)
+	netMap := make([]netlist.NetID, len(nl.Nets))
+	for i := range netMap {
+		netMap[i] = netlist.NilNet
+	}
+	getNet := func(old netlist.NetID) netlist.NetID {
+		if netMap[old] == netlist.NilNet {
+			netMap[old] = out.AddNet(nl.Nets[old].Name)
+		}
+		return netMap[old]
+	}
+	for _, pi := range nl.PIs {
+		out.PIs = append(out.PIs, getNet(pi))
+	}
+
+	// Required nets: POs plus DFF D inputs. Constants and DFFs are copied
+	// directly.
+	required := make([]netlist.NetID, 0, len(nl.POs))
+	inQueue := make(map[netlist.NetID]bool)
+	push := func(id netlist.NetID) {
+		if !inQueue[id] {
+			inQueue[id] = true
+			required = append(required, id)
+		}
+	}
+	for _, po := range nl.POs {
+		push(po)
+	}
+	for _, id := range order {
+		c := &nl.Cells[id]
+		if c.Kind != netlist.KindDFF {
+			continue
+		}
+		push(c.Fanin[0])
+		if _, err := out.AddDFF(c.Name, getNet(c.Fanin[0]), getNet(c.Out), c.Init); err != nil {
+			return nil, fmt.Errorf("synth: %w", err)
+		}
+	}
+
+	emitted := make(map[netlist.NetID]bool)
+	for qi := 0; qi < len(required); qi++ {
+		net := required[qi]
+		if emitted[net] {
+			continue
+		}
+		emitted[net] = true
+		drv := nl.Nets[net].Driver
+		if drv == netlist.NilCell {
+			continue // PI or floating: nothing to build
+		}
+		dc := &nl.Cells[drv]
+		if dc.Kind == netlist.KindDFF {
+			continue // Q net: DFF already copied
+		}
+		if len(dc.Fanin) == 0 {
+			if _, err := out.AddConst(dc.Name, !dc.Func.IsConstFalse(), getNet(net)); err != nil {
+				return nil, fmt.Errorf("synth: %w", err)
+			}
+			continue
+		}
+		best := m.bestNonTrivialCut(net)
+		tt, err := m.coneTT(net, best.leaves)
+		if err != nil {
+			return nil, err
+		}
+		cov := tt.ToCover()
+		fanin := make([]netlist.NetID, len(best.leaves))
+		for i, l := range best.leaves {
+			fanin[i] = getNet(l)
+			push(l)
+		}
+		name := fmt.Sprintf("m_%s", nl.Nets[net].Name)
+		if _, err := out.AddLUT(name, cov, fanin, getNet(net)); err != nil {
+			return nil, fmt.Errorf("synth: %w", err)
+		}
+	}
+	for _, po := range nl.POs {
+		out.MarkPO(getNet(po))
+	}
+	if err := out.CheckDriven(); err != nil {
+		return nil, fmt.Errorf("synth: mapping produced invalid netlist: %w", err)
+	}
+	return out, nil
+}
+
+// bestNonTrivialCut returns the first cut whose leaves are not just the net
+// itself.
+func (m *mapper) bestNonTrivialCut(net netlist.NetID) cut {
+	for _, c := range m.cuts[net] {
+		if len(c.leaves) == 1 && c.leaves[0] == net {
+			continue
+		}
+		return c
+	}
+	// A net with only its trivial cut is a leaf; callers never ask for it.
+	return m.cuts[net][0]
+}
+
+// coneTT computes the truth table of net as a function of the cut leaves by
+// exhaustive evaluation of the cone.
+func (m *mapper) coneTT(root netlist.NetID, leaves []netlist.NetID) (logic.TT, error) {
+	k := len(leaves)
+	leafPos := make(map[netlist.NetID]int, k)
+	for i, l := range leaves {
+		leafPos[l] = i
+	}
+	tt := logic.NewTT(k)
+	memo := make(map[netlist.NetID]bool)
+	var eval func(id netlist.NetID, assign uint64) (bool, error)
+	eval = func(id netlist.NetID, assign uint64) (bool, error) {
+		if p, ok := leafPos[id]; ok {
+			return assign&(1<<p) != 0, nil
+		}
+		if v, ok := memo[id]; ok {
+			return v, nil
+		}
+		drv := m.nl.Nets[id].Driver
+		if drv == netlist.NilCell {
+			return false, fmt.Errorf("synth: cone of %q reached undriven net %q", m.nl.Nets[root].Name, m.nl.Nets[id].Name)
+		}
+		c := &m.nl.Cells[drv]
+		if c.Kind != netlist.KindLUT {
+			return false, fmt.Errorf("synth: cone of %q reached sequential net %q not in leaves", m.nl.Nets[root].Name, m.nl.Nets[id].Name)
+		}
+		var sub uint64
+		for pin, f := range c.Fanin {
+			v, err := eval(f, assign)
+			if err != nil {
+				return false, err
+			}
+			if v {
+				sub |= 1 << pin
+			}
+		}
+		v := c.Func.Eval(sub)
+		memo[id] = v
+		return v, nil
+	}
+	for a := uint64(0); a < uint64(1)<<k; a++ {
+		memo = make(map[netlist.NetID]bool)
+		v, err := eval(root, a)
+		if err != nil {
+			return logic.TT{}, err
+		}
+		tt.SetBit(a, v)
+	}
+	return tt, nil
+}
+
+// TechMap is the full front end: decompose to 2-input gates, map to 4-LUTs,
+// and sweep logic that no longer feeds an output.
+func TechMap(nl *netlist.Netlist) (*netlist.Netlist, error) {
+	dec, err := Decompose(nl)
+	if err != nil {
+		return nil, err
+	}
+	mapped, err := MapLUT4(dec, 4)
+	if err != nil {
+		return nil, err
+	}
+	mapped.SweepDead()
+	compact, _, _ := mapped.Compact()
+	if err := compact.CheckDriven(); err != nil {
+		return nil, fmt.Errorf("synth: %w", err)
+	}
+	return compact, nil
+}

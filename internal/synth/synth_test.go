@@ -1,0 +1,279 @@
+package synth
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fpgadbg/internal/logic"
+	"fpgadbg/internal/netlist"
+	"fpgadbg/internal/sim"
+)
+
+// wideNode builds a single wide-LUT netlist computing cover f.
+func wideNode(t testing.TB, f logic.Cover) *netlist.Netlist {
+	t.Helper()
+	nl := netlist.New("wide")
+	fanin := make([]netlist.NetID, f.N)
+	for i := range fanin {
+		fanin[i] = nl.AddPI("")
+	}
+	out := nl.AddNet("f")
+	nl.MustAddLUT("node", f, fanin, out)
+	nl.MarkPO(out)
+	return nl
+}
+
+func maxFanin(nl *netlist.Netlist) int {
+	max := 0
+	for ci := range nl.Cells {
+		c := &nl.Cells[ci]
+		if !c.Dead && c.Kind == netlist.KindLUT && len(c.Fanin) > max {
+			max = len(c.Fanin)
+		}
+	}
+	return max
+}
+
+func TestDecomposeWideAnd(t *testing.T) {
+	nl := wideNode(t, logic.AndN(9))
+	dec, err := Decompose(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mf := maxFanin(dec); mf > 2 {
+		t.Fatalf("max fanin after decompose = %d", mf)
+	}
+	if mm, err := sim.ExhaustiveEquivalent(nl, dec); err != nil || mm != nil {
+		t.Fatalf("not equivalent: %v %v", err, mm)
+	}
+}
+
+func TestDecompose9sym(t *testing.T) {
+	f := logic.Symmetric(9, func(k int) bool { return k >= 3 && k <= 6 })
+	nl := wideNode(t, f)
+	dec, err := Decompose(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shannon decomposition emits 3-input muxes; nothing wider survives.
+	if mf := maxFanin(dec); mf > 3 {
+		t.Fatalf("max fanin = %d", mf)
+	}
+	if mm, err := sim.ExhaustiveEquivalent(nl, dec); err != nil || mm != nil {
+		t.Fatalf("not equivalent: %v %v", err, mm)
+	}
+}
+
+func TestDecomposeConstsAndNegLits(t *testing.T) {
+	cases := []logic.Cover{
+		logic.Const(3, true),
+		logic.Const(3, false),
+		logic.NorN(5),
+		logic.NandN(6),
+		logic.MustFromStrings("10-1", "0-10", "--00"),
+	}
+	for i, f := range cases {
+		nl := wideNode(t, f)
+		dec, err := Decompose(nl)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if mm, err := sim.ExhaustiveEquivalent(nl, dec); err != nil || mm != nil {
+			t.Fatalf("case %d not equivalent: %v %v", i, err, mm)
+		}
+	}
+}
+
+func TestDecomposePreservesDFFs(t *testing.T) {
+	nl := netlist.New("seq")
+	a := nl.AddPI("a")
+	q := nl.AddNet("q")
+	d := nl.AddNet("d")
+	nl.MustAddLUT("wide", logic.OrN(2), []netlist.NetID{a, q}, d)
+	nl.MustAddDFF("ff", d, q, 1)
+	nl.MarkPO(q)
+	dec, err := Decompose(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Stats().DFFs != 1 {
+		t.Fatalf("DFF lost: %v", dec.Stats())
+	}
+	if mm, err := sim.Equivalent(nl, dec, 8, 6, 3); err != nil || mm != nil {
+		t.Fatalf("not equivalent: %v %v", err, mm)
+	}
+}
+
+func TestMapRejectsWideInput(t *testing.T) {
+	nl := wideNode(t, logic.AndN(5))
+	if _, err := MapLUT4(nl, 4); err == nil {
+		t.Fatal("undecomposed input accepted")
+	}
+	if _, err := MapLUT4(nl, 1); err == nil {
+		t.Fatal("K=1 accepted")
+	}
+}
+
+func TestTechMapEquivalenceCombinational(t *testing.T) {
+	funcs := []logic.Cover{
+		logic.AndN(9),
+		logic.XorN(6),
+		logic.Symmetric(9, func(k int) bool { return k >= 3 && k <= 6 }),
+		logic.MustFromStrings("1-0-1", "01--0", "--111", "000--"),
+	}
+	for i, f := range funcs {
+		nl := wideNode(t, f)
+		mapped, err := TechMap(nl)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if mf := maxFanin(mapped); mf > 4 {
+			t.Fatalf("case %d: max fanin %d after mapping", i, mf)
+		}
+		if mm, err := sim.ExhaustiveEquivalent(nl, mapped); err != nil || mm != nil {
+			t.Fatalf("case %d not equivalent: %v %v", i, err, mm)
+		}
+	}
+}
+
+func TestTechMapReducesDepthVsDecompose(t *testing.T) {
+	nl := wideNode(t, logic.AndN(16))
+	dec, err := Decompose(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mapped, err := TechMap(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, dDec, _ := dec.Levels()
+	_, dMap, _ := mapped.Levels()
+	if dMap >= dDec {
+		t.Fatalf("mapping did not reduce depth: %d -> %d", dDec, dMap)
+	}
+	// A 16-input AND needs exactly ceil(log4(16)) = 2 LUT levels.
+	if dMap != 2 {
+		t.Fatalf("16-AND depth = %d, want 2", dMap)
+	}
+	if got := mapped.Stats().LUTs; got != 5 {
+		t.Fatalf("16-AND mapped to %d LUTs, want 5", got)
+	}
+}
+
+// randWideNetlist makes a random multi-node netlist with wide LUTs and DFFs.
+func randWideNetlist(r *rand.Rand) *netlist.Netlist {
+	nl := netlist.New("rw")
+	var nets []netlist.NetID
+	for i := 0; i < 5; i++ {
+		nets = append(nets, nl.AddPI(""))
+	}
+	for i := 0; i < 8+r.Intn(15); i++ {
+		k := 1 + r.Intn(7)
+		if k > len(nets) {
+			k = len(nets)
+		}
+		fanin := make([]netlist.NetID, k)
+		for j := range fanin {
+			fanin[j] = nets[r.Intn(len(nets))]
+		}
+		out := nl.AddNet("")
+		if r.Intn(6) == 0 {
+			nl.MustAddDFF("", fanin[0], out, uint8(r.Intn(2)))
+		} else {
+			cov := logic.Cover{N: k}
+			nc := 1 + r.Intn(4)
+			for c := 0; c < nc; c++ {
+				var cu logic.Cube
+				for v := 0; v < k; v++ {
+					switch r.Intn(3) {
+					case 0:
+						cu = cu.WithLit(v, false)
+					case 1:
+						cu = cu.WithLit(v, true)
+					}
+				}
+				cov.Cubes = append(cov.Cubes, cu)
+			}
+			nl.MustAddLUT("", cov, fanin, out)
+		}
+		nets = append(nets, out)
+	}
+	for i := 0; i < 3 && i < len(nets); i++ {
+		nl.MarkPO(nets[len(nets)-1-i])
+	}
+	return nl
+}
+
+// Property: TechMap preserves sequential behaviour and respects the fanin
+// bound.
+func TestQuickTechMapEquivalence(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(51))}
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		nl := randWideNetlist(r)
+		mapped, err := TechMap(nl)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		if maxFanin(mapped) > 4 {
+			return false
+		}
+		mm, err := sim.Equivalent(nl, mapped, 6, 5, seed)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		if mm != nil {
+			t.Logf("seed %d mismatch: %v", seed, mm)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMapXorChainArea(t *testing.T) {
+	// 8-input XOR as a chain of XOR2s should map into few LUT4s.
+	nl := netlist.New("xc")
+	acc := nl.AddPI("")
+	for i := 0; i < 7; i++ {
+		b := nl.AddPI("")
+		out := nl.AddNet("")
+		nl.MustAddLUT("", logic.XorN(2), []netlist.NetID{acc, b}, out)
+		acc = out
+	}
+	nl.MarkPO(acc)
+	mapped, err := MapLUT4(nl, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mapped.SweepDead()
+	if got := mapped.Stats().LUTs; got > 4 {
+		t.Fatalf("8-XOR mapped to %d LUTs, want <= 4", got)
+	}
+	if mm, err := sim.ExhaustiveEquivalent(nl, mapped); err != nil || mm != nil {
+		t.Fatalf("not equivalent: %v %v", err, mm)
+	}
+}
+
+func BenchmarkTechMap9sym(b *testing.B) {
+	f := logic.Symmetric(9, func(k int) bool { return k >= 3 && k <= 6 })
+	nl := netlist.New("b")
+	fanin := make([]netlist.NetID, 9)
+	for i := range fanin {
+		fanin[i] = nl.AddPI("")
+	}
+	out := nl.AddNet("f")
+	nl.MustAddLUT("node", f, fanin, out)
+	nl.MarkPO(out)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := TechMap(nl); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,128 @@
+// Package testgen generates test stimulus — step 10 of the paper's
+// debugging loop ("generate test patterns", done in software). Patterns
+// are produced as 64-wide words matching the bit-parallel simulator: one
+// map applies 64 scalar test vectors at once.
+package testgen
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Random returns nWords blocks of 64 uniformly random patterns over the
+// named inputs.
+func Random(pis []string, nWords int, seed int64) []map[string]uint64 {
+	r := rand.New(rand.NewSource(seed))
+	out := make([]map[string]uint64, nWords)
+	for w := range out {
+		m := make(map[string]uint64, len(pis))
+		for _, name := range pis {
+			m[name] = r.Uint64()
+		}
+		out[w] = m
+	}
+	return out
+}
+
+// Weighted returns random patterns with each input biased to 1 with the
+// given probability — useful for exciting control-dominated logic.
+func Weighted(pis []string, nWords int, p1 float64, seed int64) []map[string]uint64 {
+	r := rand.New(rand.NewSource(seed))
+	out := make([]map[string]uint64, nWords)
+	for w := range out {
+		m := make(map[string]uint64, len(pis))
+		for _, name := range pis {
+			var word uint64
+			for b := 0; b < 64; b++ {
+				if r.Float64() < p1 {
+					word |= 1 << b
+				}
+			}
+			m[name] = word
+		}
+		out[w] = m
+	}
+	return out
+}
+
+// Exhaustive returns every assignment over the inputs, packed 64 per
+// word. It refuses more than 20 inputs (2^20 patterns).
+func Exhaustive(pis []string) ([]map[string]uint64, error) {
+	n := len(pis)
+	if n > 20 {
+		return nil, fmt.Errorf("testgen: %d inputs is too many for exhaustive patterns", n)
+	}
+	total := uint64(1) << n
+	words := int((total + 63) / 64)
+	out := make([]map[string]uint64, words)
+	for w := 0; w < words; w++ {
+		m := make(map[string]uint64, n)
+		base := uint64(w) * 64
+		for i, name := range pis {
+			var word uint64
+			for p := uint64(0); p < 64 && base+p < total; p++ {
+				if (base+p)&(1<<i) != 0 {
+					word |= 1 << p
+				}
+			}
+			m[name] = word
+		}
+		out[w] = m
+	}
+	return out, nil
+}
+
+// LFSR produces a maximal-ish pseudo-random bit sequence from a 64-bit
+// Fibonacci LFSR; used to build long sequential stimulus cheaply and
+// reproducibly (hardware pattern generators are LFSRs too).
+type LFSR struct {
+	state uint64
+}
+
+// NewLFSR seeds the generator; a zero seed is replaced to avoid lock-up.
+func NewLFSR(seed uint64) *LFSR {
+	if seed == 0 {
+		seed = 0x1d872b41c3f0aa5
+	}
+	return &LFSR{state: seed}
+}
+
+// Next returns the next 64-bit word of the sequence.
+func (l *LFSR) Next() uint64 {
+	// Taps 64,63,61,60 (primitive over GF(2)).
+	s := l.state
+	for i := 0; i < 64; i++ {
+		bit := ((s >> 63) ^ (s >> 62) ^ (s >> 60) ^ (s >> 59)) & 1
+		s = s<<1 | bit
+	}
+	l.state = s
+	return s
+}
+
+// Sequence returns a clocked stimulus: length cycles of patterns for the
+// named inputs, from an LFSR stream.
+func Sequence(pis []string, length int, seed uint64) []map[string]uint64 {
+	l := NewLFSR(seed)
+	out := make([]map[string]uint64, length)
+	for c := range out {
+		m := make(map[string]uint64, len(pis))
+		for _, name := range pis {
+			m[name] = l.Next()
+		}
+		out[c] = m
+	}
+	return out
+}
+
+// Holding returns stimulus where selected inputs are held at fixed values
+// while the rest are random — the pattern shape used with control points
+// (hold the force inputs, randomize the functional ones).
+func Holding(pis []string, hold map[string]uint64, nWords int, seed int64) []map[string]uint64 {
+	pats := Random(pis, nWords, seed)
+	for _, m := range pats {
+		for k, v := range hold {
+			m[k] = v
+		}
+	}
+	return pats
+}

@@ -1,0 +1,171 @@
+// Package timing performs static timing analysis over a placed (and
+// optionally routed) design. The delay model is the standard simplified
+// one: a fixed delay per LUT evaluation, a clock-to-Q delay per flip-flop,
+// and wire delay proportional to routed wirelength (falling back to
+// Manhattan source–sink distance when a net has no recorded route).
+// Table 1's timing-overhead column is the ratio of tiled to untiled
+// critical path minus one.
+package timing
+
+import (
+	"fmt"
+
+	"fpgadbg/internal/device"
+	"fpgadbg/internal/netlist"
+)
+
+// Model holds the delay parameters (arbitrary time units; overhead ratios
+// are unit-free).
+type Model struct {
+	LUTDelay    float64
+	FFClkToQ    float64
+	FFSetup     float64
+	WirePerUnit float64
+	IOPadDelay  float64
+}
+
+// DefaultModel loosely follows XC4000-class datasheet magnitudes (ns).
+func DefaultModel() Model {
+	return Model{LUTDelay: 1.5, FFClkToQ: 1.0, FFSetup: 0.8, WirePerUnit: 0.4, IOPadDelay: 1.0}
+}
+
+// Input bundles a netlist with its physical annotations.
+type Input struct {
+	NL *netlist.Netlist
+	// CellPos gives the grid position of every live cell (its CLB site).
+	CellPos map[netlist.CellID]device.XY
+	// PadPos gives pad positions for PI and PO nets.
+	PadPos map[netlist.NetID]device.XY
+	// NetLen, when present for a net, is its routed wirelength in channel
+	// segments; absent nets use Manhattan estimates.
+	NetLen map[netlist.NetID]int
+}
+
+// PathNode is one step of the critical path.
+type PathNode struct {
+	Cell    string
+	Arrival float64
+}
+
+// Report is the analysis result.
+type Report struct {
+	// Critical is the worst register-to-register / input-to-output path
+	// delay; the minimum clock period for sequential designs.
+	Critical float64
+	// WorstPath lists the cells along the critical path, source first.
+	WorstPath []PathNode
+}
+
+// Analyze computes arrival times in topological order and returns the
+// critical path.
+func Analyze(in Input, m Model) (Report, error) {
+	nl := in.NL
+	order, err := nl.TopoOrder()
+	if err != nil {
+		return Report{}, fmt.Errorf("timing: %w", err)
+	}
+	// Arrival time at each net (at its driver output).
+	arr := make([]float64, len(nl.Nets))
+	pred := make([]netlist.CellID, len(nl.Nets))
+	for i := range pred {
+		pred[i] = netlist.NilCell
+	}
+	for _, pi := range nl.PIs {
+		arr[pi] = m.IOPadDelay
+	}
+	// DFF outputs launch at clk-to-Q.
+	for _, id := range order {
+		c := &nl.Cells[id]
+		if c.Kind == netlist.KindDFF {
+			arr[c.Out] = m.FFClkToQ
+			pred[c.Out] = id
+		}
+	}
+
+	wireDelay := func(net netlist.NetID, sink netlist.CellID) float64 {
+		if l, ok := in.NetLen[net]; ok {
+			return m.WirePerUnit * float64(l)
+		}
+		// Manhattan estimate between driver (or pad) and sink positions.
+		var from device.XY
+		haveFrom := false
+		if d := nl.Nets[net].Driver; d != netlist.NilCell {
+			from, haveFrom = in.CellPos[d]
+		} else if p, ok := in.PadPos[net]; ok {
+			from, haveFrom = p, true
+		}
+		to, haveTo := in.CellPos[sink]
+		if !haveFrom || !haveTo {
+			return 0
+		}
+		return m.WirePerUnit * float64(device.ManhattanDist(from, to))
+	}
+
+	for _, id := range order {
+		c := &nl.Cells[id]
+		if c.Kind != netlist.KindLUT {
+			continue
+		}
+		worst := 0.0
+		for _, f := range c.Fanin {
+			if a := arr[f] + wireDelay(f, id); a > worst {
+				worst = a
+			}
+		}
+		arr[c.Out] = worst + m.LUTDelay
+		pred[c.Out] = id
+	}
+
+	// Endpoints: PO pads and DFF D pins.
+	best := 0.0
+	var bestNet netlist.NetID = netlist.NilNet
+	consider := func(net netlist.NetID, extra float64) {
+		if a := arr[net] + extra; a > best {
+			best = a
+			bestNet = net
+		}
+	}
+	for _, po := range nl.POs {
+		consider(po, m.IOPadDelay)
+	}
+	for _, id := range order {
+		c := &nl.Cells[id]
+		if c.Kind == netlist.KindDFF {
+			consider(c.Fanin[0], wireDelay(c.Fanin[0], id)+m.FFSetup)
+		}
+	}
+
+	rep := Report{Critical: best}
+	// Trace the worst path backward through the argmax predecessors.
+	for net := bestNet; net != netlist.NilNet; {
+		id := pred[net]
+		if id == netlist.NilCell {
+			break
+		}
+		rep.WorstPath = append([]PathNode{{Cell: nl.CellName(id), Arrival: arr[net]}}, rep.WorstPath...)
+		c := &nl.Cells[id]
+		if c.Kind == netlist.KindDFF {
+			break
+		}
+		// Find the fanin with the worst arrival+wire.
+		worst, wNet := -1.0, netlist.NilNet
+		for _, f := range c.Fanin {
+			if a := arr[f] + wireDelay(f, id); a > worst {
+				worst, wNet = a, f
+			}
+		}
+		net = wNet
+		if len(rep.WorstPath) > 10000 {
+			return rep, fmt.Errorf("timing: path trace runaway")
+		}
+	}
+	return rep, nil
+}
+
+// Overhead returns tiled/untiled - 1, the paper's timing-overhead metric.
+func Overhead(untiled, tiled Report) float64 {
+	if untiled.Critical == 0 {
+		return 0
+	}
+	return tiled.Critical/untiled.Critical - 1
+}

@@ -1,0 +1,146 @@
+package timing
+
+import (
+	"math"
+	"testing"
+
+	"fpgadbg/internal/device"
+	"fpgadbg/internal/logic"
+	"fpgadbg/internal/netlist"
+)
+
+// chain builds a LUT chain of given depth with adjacent placement.
+func chain(depth int) (*netlist.Netlist, Input) {
+	nl := netlist.New("chain")
+	in := nl.AddPI("in")
+	cur := in
+	pos := make(map[netlist.CellID]device.XY)
+	for i := 0; i < depth; i++ {
+		out := nl.AddNet("")
+		id := nl.MustAddLUT("", logic.NotN(), []netlist.NetID{cur}, out)
+		pos[id] = device.XY{X: 1 + i, Y: 1}
+		cur = out
+	}
+	nl.MarkPO(cur)
+	return nl, Input{
+		NL:      nl,
+		CellPos: pos,
+		PadPos:  map[netlist.NetID]device.XY{in: {X: 0, Y: 1}},
+		NetLen:  map[netlist.NetID]int{},
+	}
+}
+
+func TestChainDelayScalesWithDepth(t *testing.T) {
+	m := DefaultModel()
+	_, in4 := chain(4)
+	_, in8 := chain(8)
+	r4, err := Analyze(in4, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r8, err := Analyze(in8, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r8.Critical <= r4.Critical {
+		t.Fatalf("deeper chain not slower: %f vs %f", r4.Critical, r8.Critical)
+	}
+	// Exact value: 2 pad delays + depth LUTs + depth unit wires.
+	want := 2*m.IOPadDelay + 4*m.LUTDelay + 4*m.WirePerUnit
+	if math.Abs(r4.Critical-want) > 1e-9 {
+		t.Fatalf("chain4 critical %f, want %f", r4.Critical, want)
+	}
+	if len(r4.WorstPath) != 4 {
+		t.Fatalf("worst path has %d nodes, want 4", len(r4.WorstPath))
+	}
+}
+
+func TestRoutedLengthOverridesManhattan(t *testing.T) {
+	nl, in := chain(2)
+	m := DefaultModel()
+	base, err := Analyze(in, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Give the internal (driven, non-PO) net a long detour.
+	mid := netlist.NilNet
+	for ni := range nl.Nets {
+		if nl.Nets[ni].Driver != netlist.NilCell && !nl.IsPO(netlist.NetID(ni)) {
+			mid = netlist.NetID(ni)
+		}
+	}
+	if mid == netlist.NilNet {
+		t.Fatal("could not find internal net")
+	}
+	in.NetLen[mid] = 20
+	slow, err := Analyze(in, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.Critical <= base.Critical {
+		t.Fatalf("routed detour did not slow path: %f vs %f", base.Critical, slow.Critical)
+	}
+}
+
+func TestSequentialPaths(t *testing.T) {
+	// PI -> LUT -> DFF -> LUT -> PO; critical is the worse of the two
+	// register-bounded segments.
+	nl := netlist.New("seq")
+	a := nl.AddPI("a")
+	x := nl.AddNet("x")
+	q := nl.AddNet("q")
+	y := nl.AddNet("y")
+	l1 := nl.MustAddLUT("l1", logic.NotN(), []netlist.NetID{a}, x)
+	ff := nl.MustAddDFF("ff", x, q, 0)
+	l2 := nl.MustAddLUT("l2", logic.NotN(), []netlist.NetID{q}, y)
+	nl.MarkPO(y)
+	in := Input{
+		NL: nl,
+		CellPos: map[netlist.CellID]device.XY{
+			l1: {X: 1, Y: 1}, ff: {X: 2, Y: 1}, l2: {X: 3, Y: 1},
+		},
+		PadPos: map[netlist.NetID]device.XY{a: {X: 0, Y: 1}},
+		NetLen: map[netlist.NetID]int{},
+	}
+	m := DefaultModel()
+	r, err := Analyze(in, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Input segment: pad + wire + LUT + wire + setup.
+	seg1 := m.IOPadDelay + m.WirePerUnit + m.LUTDelay + m.WirePerUnit + m.FFSetup
+	// Output segment: clkq + wire + LUT + wire(0: PO pad unplaced) + pad.
+	seg2 := m.FFClkToQ + m.WirePerUnit + m.LUTDelay + m.IOPadDelay
+	want := math.Max(seg1, seg2)
+	if math.Abs(r.Critical-want) > 1e-9 {
+		t.Fatalf("critical %f, want %f (seg1=%f seg2=%f)", r.Critical, want, seg1, seg2)
+	}
+}
+
+func TestOverheadMetric(t *testing.T) {
+	u := Report{Critical: 10}
+	v := Report{Critical: 12}
+	if math.Abs(Overhead(u, v)-0.2) > 1e-9 {
+		t.Fatalf("overhead = %f", Overhead(u, v))
+	}
+	w := Report{Critical: 9.5}
+	if Overhead(u, w) >= 0 {
+		t.Fatal("negative overhead (speedup) not reported")
+	}
+	if Overhead(Report{}, v) != 0 {
+		t.Fatal("zero baseline must not divide")
+	}
+}
+
+func TestCombinationalCycleRejected(t *testing.T) {
+	nl := netlist.New("cyc")
+	x := nl.AddNet("x")
+	y := nl.AddNet("y")
+	nl.MustAddLUT("g1", logic.NotN(), []netlist.NetID{y}, x)
+	nl.MustAddLUT("g2", logic.NotN(), []netlist.NetID{x}, y)
+	nl.MarkPO(y)
+	_, err := Analyze(Input{NL: nl, NetLen: map[netlist.NetID]int{}}, DefaultModel())
+	if err == nil {
+		t.Fatal("cycle accepted")
+	}
+}
