@@ -24,7 +24,9 @@ import (
 	"fpgadbg/internal/debug"
 	"fpgadbg/internal/experiments"
 	"fpgadbg/internal/faults"
+	"fpgadbg/internal/sim"
 	"fpgadbg/internal/synth"
+	"fpgadbg/internal/testgen"
 )
 
 var benchFull = flag.Bool("benchfull", false, "run macro benchmarks on all nine designs")
@@ -44,6 +46,106 @@ func printFirst(b *testing.B, key, out string) {
 	b.Helper()
 	if _, loaded := printOnce.LoadOrStore(key, true); !loaded {
 		fmt.Println(out)
+	}
+}
+
+// simTraceCycles is the stimulus depth of the simulator micro-benchmarks;
+// with 64 parallel patterns per word, one run is simTraceCycles×64
+// pattern-cycles.
+const simTraceCycles = 256
+
+// simBenchSet lists the designs the simulator micro-benches run on
+// (the reduced set, or all nine under -benchfull).
+func simBenchSet() []string {
+	if ds := cfg().Designs; len(ds) > 0 {
+		return ds
+	}
+	var names []string
+	for _, d := range bench.Catalog() {
+		names = append(names, d.Name)
+	}
+	return names
+}
+
+// simBenchMapped tech-maps a benchmark for the simulator micro-benches.
+func simBenchMapped(b *testing.B, name string) *sim.Machine {
+	b.Helper()
+	info, err := bench.ByName(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mapped, err := experiments.Mapped(info)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := sim.Compile(mapped)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+// BenchmarkSimTrace measures the compiled execution core: one op replays
+// simTraceCycles cycles of random stimulus through RunTraceInto. The
+// extra metric is ns per pattern-cycle (64 patterns per word); steady
+// state must report 0 allocs/op.
+func BenchmarkSimTrace(b *testing.B) {
+	for _, name := range simBenchSet() {
+		b.Run(name, func(b *testing.B) {
+			m := simBenchMapped(b, name)
+			pis := m.Netlist().SortedPINames()
+			if err := m.BindNames(pis); err != nil {
+				b.Fatal(err)
+			}
+			stim := testgen.RandomBlocks(len(pis), simTraceCycles, 1)
+			var tr sim.Trace
+			m.RunTraceInto(&tr, stim) // warm the buffers
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m.RunTraceInto(&tr, stim)
+			}
+			b.StopTimer()
+			perOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+			b.ReportMetric(perOp/float64(simTraceCycles*64), "ns/pattern-cycle")
+		})
+	}
+}
+
+// BenchmarkSimStep is the baseline: the same stimulus through the legacy
+// map-driven cover interpreter (per-cycle map allocation and string
+// hashing), for the trace-vs-step speedup the acceptance tracks.
+func BenchmarkSimStep(b *testing.B) {
+	for _, name := range simBenchSet() {
+		b.Run(name, func(b *testing.B) {
+			info, err := bench.ByName(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			mapped, err := experiments.Mapped(info)
+			if err != nil {
+				b.Fatal(err)
+			}
+			m, err := sim.CompileReference(mapped)
+			if err != nil {
+				b.Fatal(err)
+			}
+			pis := mapped.SortedPINames()
+			stim := testgen.Random(pis, simTraceCycles, 1)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m.Reset()
+				for _, in := range stim {
+					if _, err := m.Step(in); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.StopTimer()
+			perOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+			b.ReportMetric(perOp/float64(simTraceCycles*64), "ns/pattern-cycle")
+		})
 	}
 }
 

@@ -6,9 +6,11 @@
 //
 //	benchrepro -all
 //	benchrepro -table1 -fig5 -designs "s9234,MIPS R2000,DES" -effort 1.0
+//	benchrepro -json              # sim micro-bench → BENCH_sim.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -24,20 +26,25 @@ func main() {
 		fig4      = flag.Bool("fig4", false, "reproduce Figure 4 (maximum test logic size)")
 		fig5      = flag.Bool("fig5", false, "reproduce Figure 5 (place-and-route speedup)")
 		ablations = flag.Bool("ablations", false, "run the ablation studies")
-		all       = flag.Bool("all", false, "run everything")
+		faultsN   = flag.Int("faults", 0, "run a fault campaign with this many injections per design")
+		jsonBench = flag.Bool("json", false, "run the simulator micro-benchmark and write BENCH_sim.json")
+		jsonOut   = flag.String("json-out", "BENCH_sim.json", "output path for -json")
+		simCycles = flag.Int("sim-cycles", 256, "stimulus depth of the -json micro-benchmark")
+		all       = flag.Bool("all", false, "run every table, figure and ablation")
 		effort    = flag.Float64("effort", 0.5, "placement effort (1.0 = full anneal)")
 		seed      = flag.Int64("seed", 1, "random seed")
+		workers   = flag.Int("workers", 0, "parallel design fan-out (0 = GOMAXPROCS)")
 		designs   = flag.String("designs", "", "comma-separated design filter (default: all nine)")
 	)
 	flag.Parse()
 	if *all {
 		*table1, *fig3, *fig4, *fig5, *ablations = true, true, true, true, true
 	}
-	if !*table1 && !*fig3 && !*fig4 && !*fig5 && !*ablations {
+	if !*table1 && !*fig3 && !*fig4 && !*fig5 && !*ablations && *faultsN == 0 && !*jsonBench {
 		flag.Usage()
 		os.Exit(2)
 	}
-	cfg := experiments.Config{PlaceEffort: *effort, Seed: *seed}
+	cfg := experiments.Config{PlaceEffort: *effort, Seed: *seed, Workers: *workers}
 	if *designs != "" {
 		for _, d := range strings.Split(*designs, ",") {
 			cfg.Designs = append(cfg.Designs, strings.TrimSpace(d))
@@ -97,5 +104,34 @@ func main() {
 			die(err)
 		}
 		fmt.Println(experiments.FormatBoundaryAblation(bounds))
+	}
+	if *faultsN > 0 {
+		rows, err := experiments.FaultCampaign(cfg, *faultsN, 8, 4)
+		if err != nil {
+			die(err)
+		}
+		fmt.Println(experiments.FormatFaultCampaign(rows))
+	}
+	if *jsonBench {
+		rows, err := experiments.SimBench(cfg, *simCycles)
+		if err != nil {
+			die(err)
+		}
+		fmt.Println(experiments.FormatSimBench(rows))
+		cycles := *simCycles
+		if len(rows) > 0 {
+			cycles = rows[0].Cycles // SimBench clamps; record what actually ran
+		}
+		blob, err := json.MarshalIndent(struct {
+			Cycles int                       `json:"cycles"`
+			Rows   []experiments.SimBenchRow `json:"rows"`
+		}{cycles, rows}, "", "  ")
+		if err != nil {
+			die(err)
+		}
+		if err := os.WriteFile(*jsonOut, append(blob, '\n'), 0o644); err != nil {
+			die(err)
+		}
+		fmt.Printf("wrote %s\n", *jsonOut)
 	}
 }

@@ -77,7 +77,8 @@ func main() {
 		fmt.Println("detection: design passes — the injected error was not excited; try -fault-seed")
 		return
 	}
-	fmt.Printf("detect:   FAILED outputs %v\n", det.FailingOutputs)
+	fmt.Printf("detect:   FAILED outputs %v (replayed %d cycles × 64 patterns over %d inputs)\n",
+		det.FailingOutputs, len(det.Stimulus), len(det.PIs))
 
 	diag, err := sess.Localize(det, 4, 4)
 	if err != nil {

@@ -21,7 +21,9 @@
 // benchmark generators (internal/bench), and the evaluation harness
 // (internal/experiments).
 //
-// See README.md for a tour, DESIGN.md for the system inventory, and
-// EXPERIMENTS.md for paper-versus-measured results. The top-level
-// benchmarks in bench_test.go regenerate every table and figure.
+// See DESIGN.md for the system inventory (the compiled emulation
+// substrate is §3) and EXPERIMENTS.md for paper-versus-measured results.
+// The top-level benchmarks in bench_test.go regenerate every table and
+// figure; cmd/benchrepro -json records the simulator's performance
+// trajectory in BENCH_sim.json.
 package fpgadbg

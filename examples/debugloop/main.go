@@ -10,12 +10,15 @@ package main
 import (
 	"fmt"
 	"log"
+	"time"
 
 	"fpgadbg/internal/bench"
 	"fpgadbg/internal/core"
 	"fpgadbg/internal/debug"
 	"fpgadbg/internal/faults"
+	"fpgadbg/internal/sim"
 	"fpgadbg/internal/synth"
+	"fpgadbg/internal/testgen"
 )
 
 func main() {
@@ -30,6 +33,23 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("golden %s: %v\n", info.Name, golden.Stats())
+
+	// Every detect/localize round below replays stimulus through the
+	// compiled execution core; measure its raw throughput first.
+	mach, err := sim.Compile(golden)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pis := golden.SortedPINames()
+	if err := mach.BindNames(pis); err != nil {
+		log.Fatal(err)
+	}
+	stim := testgen.RandomBlocks(len(pis), 512, 1)
+	start := time.Now()
+	tr := mach.RunTrace(stim)
+	el := time.Since(start)
+	fmt.Printf("emulation: %d pattern-cycles in %v (%.0f Mpat-cyc/s)\n",
+		tr.Cycles*64, el.Round(time.Microsecond), float64(tr.Cycles*64)/el.Seconds()/1e6)
 
 	// Inject a design error the emulator has to find.
 	impl := golden.Clone()

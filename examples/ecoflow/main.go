@@ -79,6 +79,17 @@ func main() {
 	fmt.Printf("affected tiles: %v (of %d)\n", rep.AffectedTiles, len(lay.Tiles))
 	fmt.Printf("tile-local effort: %v\n", rep.Effort)
 
+	// ECO sign-off: the updated netlist must now behave exactly like the
+	// revised one (replayed through the compiled simulator).
+	mm, err := eco.Verify(revised, lay.NL, 8, 4, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if mm != nil {
+		log.Fatalf("applied change diverges from revision: %v", mm)
+	}
+	fmt.Println("sign-off: applied change matches the revised netlist ✓")
+
 	// Partial reconfiguration: regenerate only the affected frames.
 	partial, err := bitstream.Partial(lay, rep.AffectedTiles)
 	if err != nil {

@@ -10,11 +10,14 @@ import (
 	"fmt"
 	"log"
 	"strings"
+	"time"
 
 	"fpgadbg/internal/bench"
 	"fpgadbg/internal/core"
 	"fpgadbg/internal/eco"
 	"fpgadbg/internal/netlist"
+	"fpgadbg/internal/sim"
+	"fpgadbg/internal/testgen"
 )
 
 func main() {
@@ -24,6 +27,23 @@ func main() {
 	}
 	nl := info.Build()
 	fmt.Printf("MIPS core: %v\n", nl.Stats())
+
+	// Emulate the core through the compiled trace API — the substrate all
+	// debugging experiments below run on.
+	mach, err := sim.Compile(nl)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pis := nl.SortedPINames()
+	if err := mach.BindNames(pis); err != nil {
+		log.Fatal(err)
+	}
+	stim := testgen.RandomBlocks(len(pis), 256, 1)
+	start := time.Now()
+	tr := mach.RunTrace(stim)
+	el := time.Since(start)
+	fmt.Printf("emulation: %d cycles × 64 patterns in %v (%.0f Mpat-cyc/s)\n",
+		tr.Cycles, el.Round(time.Microsecond), float64(tr.Cycles*64)/el.Seconds()/1e6)
 
 	// The hierarchy tree recovered from cell names is the paper's §5.1
 	// back-annotation structure.

@@ -1,0 +1,3 @@
+module fpgadbg
+
+go 1.24

@@ -1,0 +1,46 @@
+package debug
+
+import "testing"
+
+// BenchmarkDetect measures the macro detection step: golden and faulty
+// implementation replayed on common random stimulus and compared, both
+// through the compiled trace API. The extra metric is ns per
+// pattern-cycle per machine (8 blocks × 4 cycles × 64 patterns × 2
+// machines per op).
+func BenchmarkDetect(b *testing.B) {
+	s, _ := session(b, 1)
+	if _, err := s.Detect(8, 4); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Detect(8, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	perOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	b.ReportMetric(perOp/float64(8*4*64*2), "ns/pattern-cycle")
+}
+
+// BenchmarkLocalize measures one full localization campaign (observation
+// insertion is physical, so each op pays tile-local re-place-and-route on
+// a fresh session).
+func BenchmarkLocalize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		s, _ := session(b, 1)
+		det, err := s.Detect(8, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !det.Failed {
+			b.Skip("injected error not excited")
+		}
+		b.StartTimer()
+		if _, err := s.Localize(det, 3, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -37,6 +37,10 @@ type Session struct {
 	Probes int
 
 	misrSeq int
+	// golden is the compiled golden machine, reused across replays (the
+	// golden netlist never mutates; the implementation does, so it is
+	// recompiled per comparison).
+	golden *sim.Machine
 }
 
 // NewSession pairs a golden netlist with an implementation layout. The
@@ -54,29 +58,26 @@ func NewSession(golden *netlist.Netlist, layout *core.Layout, seed int64) (*Sess
 type Detection struct {
 	Failed         bool
 	FailingOutputs []string
-	// Stimulus is the clocked input sequence that exposed the failure
-	// (64 parallel patterns per entry), replayed during localization.
-	Stimulus []map[string]uint64
+	// PIs is the stimulus column order: the golden design's sorted
+	// primary-input names, resolved to machine slots at replay time.
+	PIs []string
+	// Stimulus is the clocked ID-indexed input sequence that exposed the
+	// failure (Stimulus[c][j] drives PIs[j] with 64 parallel patterns),
+	// replayed during localization.
+	Stimulus [][]uint64
 }
 
 // Detect runs words blocks of random stimulus for cycles clock cycles
 // each and compares the golden outputs against the emulated
 // implementation. Implementation-only inputs (inserted control points)
-// are held at zero; implementation-only outputs are ignored.
+// are held at zero through the machine's override list;
+// implementation-only outputs are ignored.
 func (s *Session) Detect(words, cycles int) (*Detection, error) {
-	if cycles < 1 {
-		cycles = 1
-	}
 	goldenPIs := s.Golden.SortedPINames()
-	stim := testgen.Random(goldenPIs, words, s.Seed)
-	var seq []map[string]uint64
-	for _, block := range stim {
-		for c := 0; c < cycles; c++ {
-			seq = append(seq, block)
-		}
-	}
-	det := &Detection{Stimulus: seq}
-	mismatch, err := s.compare(seq, nil)
+	blocks := testgen.RandomBlocks(len(goldenPIs), words, s.Seed)
+	seq := testgen.Repeat(blocks, cycles)
+	det := &Detection{PIs: goldenPIs, Stimulus: seq}
+	mismatch, _, err := s.compare(seq, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -85,64 +86,111 @@ func (s *Session) Detect(words, cycles int) (*Detection, error) {
 	return det, nil
 }
 
-// compare replays a stimulus sequence on golden and implementation,
-// returning the golden POs whose streams differ. When probe is non-nil it
-// additionally receives, per cycle, both machines so callers can sample
-// internal nets.
-func (s *Session) compare(seq []map[string]uint64, probe func(cycle int, golden, impl *sim.Machine) error) ([]string, error) {
-	mg, err := sim.Compile(s.Golden)
+// goldenMachine compiles the golden design once per session.
+func (s *Session) goldenMachine() (*sim.Machine, error) {
+	if s.golden == nil {
+		mg, err := sim.Compile(s.Golden)
+		if err != nil {
+			return nil, fmt.Errorf("debug: golden: %w", err)
+		}
+		s.golden = mg
+	}
+	return s.golden, nil
+}
+
+// compare replays an ID-indexed stimulus sequence (columns in golden
+// sorted-PI order) on golden and implementation through the trace API,
+// returning the golden POs whose streams differ. probeNames optionally
+// lists internal nets to sample each cycle; differ[k] reports whether
+// probe k's streams diverged (probes missing from either design are
+// skipped and report false).
+func (s *Session) compare(seq [][]uint64, probeNames []string) (badPOs []string, differ []bool, err error) {
+	mg, err := s.goldenMachine()
 	if err != nil {
-		return nil, fmt.Errorf("debug: golden: %w", err)
+		return nil, nil, err
 	}
 	mi, err := sim.Compile(s.Layout.NL)
 	if err != nil {
-		return nil, fmt.Errorf("debug: impl: %w", err)
+		return nil, nil, fmt.Errorf("debug: impl: %w", err)
 	}
-	// Implementation-only PIs (control points) are forced to zero.
-	implOnly := make(map[string]uint64)
-	goldenPI := make(map[string]bool)
-	for _, n := range s.Golden.SortedPINames() {
+	piNames := s.Golden.SortedPINames()
+	if err := mg.BindNames(piNames); err != nil {
+		return nil, nil, fmt.Errorf("debug: golden: %w", err)
+	}
+	if err := mi.BindNames(piNames); err != nil {
+		return nil, nil, fmt.Errorf("debug: impl: %w", err)
+	}
+	// Implementation-only PIs (inserted control points) are pinned to zero
+	// through the execution core's explicit override list.
+	goldenPI := make(map[string]bool, len(piNames))
+	for _, n := range piNames {
 		goldenPI[n] = true
 	}
 	for _, n := range s.Layout.NL.SortedPINames() {
-		if !goldenPI[n] {
-			implOnly[n] = 0
+		if goldenPI[n] {
+			continue
+		}
+		id, ok := s.Layout.NL.NetByName(n)
+		if !ok {
+			continue
+		}
+		if err := mi.SetOverride(id, 0); err != nil {
+			return nil, nil, fmt.Errorf("debug: impl: %w", err)
 		}
 	}
+	poNames := s.Golden.SortedPONames()
+	gCols, err := mg.POCols(poNames)
+	if err != nil {
+		return nil, nil, fmt.Errorf("debug: golden: %w", err)
+	}
+	iCols, err := mi.POCols(poNames)
+	if err != nil {
+		return nil, nil, fmt.Errorf("debug: impl: %w", err)
+	}
+	// Probes present in both designs are sampled into the traces; the
+	// rest (e.g. MISR state nets that exist only in the implementation)
+	// are skipped, matching the paper's golden-vs-observed comparison.
+	differ = make([]bool, len(probeNames))
+	probeCol := make([]int, len(probeNames))
+	var gProbes, iProbes []netlist.NetID
+	for k, name := range probeNames {
+		probeCol[k] = -1
+		gid, gok := s.Golden.NetByName(name)
+		iid, iok := s.Layout.NL.NetByName(name)
+		if gok && iok {
+			probeCol[k] = len(gProbes)
+			gProbes = append(gProbes, gid)
+			iProbes = append(iProbes, iid)
+		}
+	}
+	if err := mg.Probe(gProbes...); err != nil {
+		return nil, nil, err
+	}
+	defer mg.ClearProbes()
+	if err := mi.Probe(iProbes...); err != nil {
+		return nil, nil, err
+	}
+	tg := mg.RunTrace(seq)
+	ti := mi.RunTrace(seq)
 	bad := make(map[string]bool)
-	for cyc, in := range seq {
-		og, err := mg.Step(in)
-		if err != nil {
-			return nil, err
-		}
-		full := make(map[string]uint64, len(in)+len(implOnly))
-		for k, v := range in {
-			full[k] = v
-		}
-		for k, v := range implOnly {
-			full[k] = v
-		}
-		oi, err := mi.Step(full)
-		if err != nil {
-			return nil, err
-		}
-		for _, name := range s.Golden.SortedPONames() {
-			if og[name] != oi[name] {
+	for c := 0; c < len(seq); c++ {
+		for i, name := range poNames {
+			if tg.Out(c, gCols[i]) != ti.Out(c, iCols[i]) {
 				bad[name] = true
 			}
 		}
-		if probe != nil {
-			if err := probe(cyc, mg, mi); err != nil {
-				return nil, err
+		for k, col := range probeCol {
+			if col >= 0 && tg.ProbeVal(c, col) != ti.ProbeVal(c, col) {
+				differ[k] = true
 			}
 		}
 	}
-	out := make([]string, 0, len(bad))
+	badPOs = make([]string, 0, len(bad))
 	for name := range bad {
-		out = append(out, name)
+		badPOs = append(badPOs, name)
 	}
-	sort.Strings(out)
-	return out, nil
+	sort.Strings(badPOs)
+	return badPOs, differ, nil
 }
 
 // Diagnosis is the outcome of localization.
@@ -310,26 +358,13 @@ func (s *Session) pickProbes(suspects map[string]bool, probed map[string]bool, k
 // compareStreams replays stimulus and returns the target nets whose value
 // streams differ between golden and implementation. Golden nets are
 // matched by name.
-func (s *Session) compareStreams(seq []map[string]uint64, targets []netlist.NetID) ([]netlist.NetID, error) {
+func (s *Session) compareStreams(seq [][]uint64, targets []netlist.NetID) ([]netlist.NetID, error) {
 	nl := s.Layout.NL
 	names := make([]string, len(targets))
 	for i, net := range targets {
 		names[i] = nl.NetName(net)
 	}
-	differ := make([]bool, len(targets))
-	_, err := s.compare(seq, func(cyc int, golden, impl *sim.Machine) error {
-		for i, name := range names {
-			gv, gerr := golden.Net(name)
-			iv, ierr := impl.Net(name)
-			if gerr != nil || ierr != nil {
-				continue // net exists only in one design; skip
-			}
-			if gv != iv {
-				differ[i] = true
-			}
-		}
-		return nil
-	})
+	_, differ, err := s.compare(seq, names)
 	if err != nil {
 		return nil, err
 	}

@@ -11,6 +11,7 @@ import (
 	"strings"
 
 	"fpgadbg/internal/netlist"
+	"fpgadbg/internal/sim"
 )
 
 // CellChange describes one differing cell between two netlists.
@@ -107,6 +108,16 @@ func sameFunc(a, b *netlist.Cell) bool {
 		}
 	}
 	return true
+}
+
+// Verify is the ECO sign-off check: it replays common random stimulus on
+// the pre- and post-change netlists through the compiled simulator (names
+// bound to slots once, allocation-free replay) and returns the first
+// output divergence, or nil when the change preserved behaviour. The
+// designs must agree on PI/PO name sets — exactly the situation after an
+// in-place engineering change.
+func Verify(before, after *netlist.Netlist, words, cycles int, seed int64) (*sim.Mismatch, error) {
+	return sim.Equivalent(before, after, words, cycles, seed)
 }
 
 // Node is one level of the back-annotation hierarchy.

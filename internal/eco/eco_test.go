@@ -126,3 +126,28 @@ func TestTraceToModules(t *testing.T) {
 		t.Fatalf("flat module = %q", got)
 	}
 }
+
+func TestVerifySignsOffEquivalentChange(t *testing.T) {
+	a := hierDesign(t)
+	b := a.Clone()
+	// A cover reshaped without changing the function must verify clean.
+	id, _ := b.CellByName("top/alu/and0")
+	b.Cells[id].Func = logic.FromCubes(2,
+		logic.Cube{Mask: 3, Val: 3}, logic.Cube{Mask: 3, Val: 3})
+	mm, err := Verify(a, b, 4, 1, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mm != nil {
+		t.Fatalf("behaviour-preserving change failed sign-off: %v", mm)
+	}
+	// A real functional change must be caught.
+	b.Cells[id].Func = logic.NandN(2)
+	mm, err = Verify(a, b, 4, 1, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mm == nil {
+		t.Fatal("functional change verified clean")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"fpgadbg/internal/bench"
 	"fpgadbg/internal/core"
 )
 
@@ -25,8 +26,8 @@ type OverheadSweepRow struct {
 // OverheadSweep runs the 10/20/30% slack ablation.
 func OverheadSweep(cfg Config) ([]OverheadSweepRow, error) {
 	cfg = cfg.withDefaults()
-	var rows []OverheadSweepRow
-	for _, d := range cfg.catalog() {
+	perDesign, err := forEachDesign(cfg, func(d bench.Info) ([]OverheadSweepRow, error) {
+		var rows []OverheadSweepRow
 		for _, ov := range []float64{0.10, 0.20, 0.30} {
 			c := cfg
 			c.Overhead = ov
@@ -48,6 +49,14 @@ func OverheadSweep(cfg Config) ([]OverheadSweepRow, error) {
 			}
 			rows = append(rows, row)
 		}
+		return rows, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var rows []OverheadSweepRow
+	for _, rs := range perDesign {
+		rows = append(rows, rs...)
 	}
 	return rows, nil
 }
@@ -75,33 +84,31 @@ type BoundaryRow struct {
 // modes.
 func BoundaryAblation(cfg Config) ([]BoundaryRow, error) {
 	cfg = cfg.withDefaults()
-	var rows []BoundaryRow
-	for _, d := range cfg.catalog() {
+	return forEachDesign(cfg, func(d bench.Info) (BoundaryRow, error) {
 		mapped, err := Mapped(d)
 		if err != nil {
-			return nil, err
+			return BoundaryRow{}, err
 		}
 		uni, err := core.BuildMapped(mapped.Clone(), core.Spec{
 			Overhead: cfg.Overhead, TileFrac: 0.10, Seed: cfg.Seed,
 			PlaceEffort: cfg.PlaceEffort, UniformBoundaries: true,
 		})
 		if err != nil {
-			return nil, err
+			return BoundaryRow{}, err
 		}
 		opt, err := core.BuildMapped(mapped, core.Spec{
 			Overhead: cfg.Overhead, TileFrac: 0.10, Seed: cfg.Seed,
 			PlaceEffort: cfg.PlaceEffort,
 		})
 		if err != nil {
-			return nil, err
+			return BoundaryRow{}, err
 		}
-		rows = append(rows, BoundaryRow{
+		return BoundaryRow{
 			Design:             d.Name,
 			UniformCrossings:   interTileCrossings(uni),
 			OptimizedCrossings: interTileCrossings(opt),
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // interTileCrossings counts routed edges linking different tiles.

@@ -11,6 +11,8 @@ package experiments
 import (
 	"fmt"
 	"strings"
+	"sync"
+	"time"
 
 	"fpgadbg/internal/bench"
 	"fpgadbg/internal/core"
@@ -19,7 +21,6 @@ import (
 	"fpgadbg/internal/netlist"
 	"fpgadbg/internal/synth"
 	"fpgadbg/internal/timing"
-	"time"
 )
 
 // Config tunes the reproduction runs.
@@ -32,6 +33,10 @@ type Config struct {
 	// Overhead is the tiling resource slack (paper: ~0.20).
 	Overhead float64
 	Seed     int64
+	// Workers caps the parallel fan-out across independent designs and
+	// fault campaigns (0 = GOMAXPROCS). Results are deterministic and
+	// order-preserving regardless of the worker count.
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -60,19 +65,28 @@ func (c Config) catalog() []bench.Info {
 	return out
 }
 
-// mappedCache avoids re-mapping a benchmark for every experiment.
-var mappedCache = map[string]*netlist.Netlist{}
+// mappedCache avoids re-mapping a benchmark for every experiment; the
+// mutex makes it safe under the parallel design fan-out.
+var (
+	mappedMu    sync.Mutex
+	mappedCache = map[string]*netlist.Netlist{}
+)
 
 // Mapped returns the tech-mapped form of a benchmark (cached).
 func Mapped(d bench.Info) (*netlist.Netlist, error) {
-	if m, ok := mappedCache[d.Name]; ok {
+	mappedMu.Lock()
+	m, ok := mappedCache[d.Name]
+	mappedMu.Unlock()
+	if ok {
 		return m.Clone(), nil
 	}
 	mapped, err := synth.TechMap(d.Build())
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %s: %w", d.Name, err)
 	}
+	mappedMu.Lock()
 	mappedCache[d.Name] = mapped
+	mappedMu.Unlock()
 	return mapped.Clone(), nil
 }
 
@@ -102,43 +116,41 @@ var paperTable1 = map[string][2]float64{
 // design.
 func Table1(cfg Config) ([]Table1Row, error) {
 	cfg = cfg.withDefaults()
-	var rows []Table1Row
-	for _, d := range cfg.catalog() {
+	return forEachDesign(cfg, func(d bench.Info) (Table1Row, error) {
 		mapped, err := Mapped(d)
 		if err != nil {
-			return nil, err
+			return Table1Row{}, err
 		}
 		// Untiled baseline: tightest device that still places and routes.
 		base, err := core.BuildMapped(mapped.Clone(), core.Spec{
 			Overhead: 0.02, TileFrac: 1.0, Seed: cfg.Seed, PlaceEffort: cfg.PlaceEffort,
 		})
 		if err != nil {
-			return nil, fmt.Errorf("experiments: %s untiled: %w", d.Name, err)
+			return Table1Row{}, fmt.Errorf("experiments: %s untiled: %w", d.Name, err)
 		}
 		tiled, err := core.BuildMapped(mapped, core.Spec{
 			Overhead: cfg.Overhead, TileFrac: 0.10, Seed: cfg.Seed, PlaceEffort: cfg.PlaceEffort,
 		})
 		if err != nil {
-			return nil, fmt.Errorf("experiments: %s tiled: %w", d.Name, err)
+			return Table1Row{}, fmt.Errorf("experiments: %s tiled: %w", d.Name, err)
 		}
 		tBase, err := analyzeTiming(base)
 		if err != nil {
-			return nil, err
+			return Table1Row{}, err
 		}
 		tTiled, err := analyzeTiming(tiled)
 		if err != nil {
-			return nil, err
+			return Table1Row{}, err
 		}
 		paper := paperTable1[d.Name]
-		rows = append(rows, Table1Row{
+		return Table1Row{
 			Design:         d.Name,
 			CLBs:           tiled.NumCLBs(),
 			AreaOverhead:   float64(tiled.Dev.NumCLBSites())/float64(tiled.NumCLBs()) - 1,
 			TimingOverhead: timing.Overhead(tBase, tTiled),
 			PaperCLBs:      d.PaperCLBs, PaperAreaOverhead: paper[0], PaperTimingOverhead: paper[1],
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // analyzeTiming runs STA over a layout.
@@ -213,11 +225,10 @@ func tiledLayout(d bench.Info, cfg Config) (*core.Layout, error) {
 // every tile (the paper's curves saturate at 100%).
 func Figure3(cfg Config) ([]Series, error) {
 	cfg = cfg.withDefaults()
-	var out []Series
-	for _, d := range cfg.catalog() {
+	return forEachDesign(cfg, func(d bench.Info) (Series, error) {
 		l, err := tiledLayout(d, cfg)
 		if err != nil {
-			return nil, err
+			return Series{}, err
 		}
 		seed := centralTile(l)
 		s := Series{Design: d.Name, X: FigXAxis()}
@@ -230,9 +241,8 @@ func Figure3(cfg Config) ([]Series, error) {
 			}
 			s.Y = append(s.Y, 100*float64(len(tiles))/float64(len(l.Tiles)))
 		}
-		out = append(out, s)
-	}
-	return out, nil
+		return s, nil
+	})
 }
 
 // centralTile picks the tile containing the device center, a deterministic
@@ -246,38 +256,34 @@ func centralTile(l *core.Layout) int {
 // recruiting neighbors.
 func Figure4(cfg Config) ([]Series, error) {
 	cfg = cfg.withDefaults()
-	var out []Series
-	for _, d := range cfg.catalog() {
+	return forEachDesign(cfg, func(d bench.Info) (Series, error) {
 		l, err := tiledLayout(d, cfg)
 		if err != nil {
-			return nil, err
+			return Series{}, err
 		}
 		s := Series{Design: d.Name, X: FigXAxis()}
 		for _, k := range s.X {
 			s.Y = append(s.Y, float64(l.MaxTestLogic(k)))
 		}
-		out = append(out, s)
-	}
-	return out, nil
+		return s, nil
+	})
 }
 
 // Figure4Clustered is the end-of-§6.1 variant where all test points land
 // in one tile.
 func Figure4Clustered(cfg Config) ([]Series, error) {
 	cfg = cfg.withDefaults()
-	var out []Series
-	for _, d := range cfg.catalog() {
+	return forEachDesign(cfg, func(d bench.Info) (Series, error) {
 		l, err := tiledLayout(d, cfg)
 		if err != nil {
-			return nil, err
+			return Series{}, err
 		}
 		s := Series{Design: d.Name, X: FigXAxis()}
 		for _, k := range s.X {
 			s.Y = append(s.Y, float64(l.MaxTestLogicClustered(k)))
 		}
-		out = append(out, s)
-	}
-	return out, nil
+		return s, nil
+	})
 }
 
 // FormatSeries renders figure curves as an aligned text table (one column
@@ -336,8 +342,8 @@ func Figure5(cfg Config) ([]Fig5Row, error) {
 	cfg = cfg.withDefaults()
 	fracs := []float64{0.025, 0.05, 0.15, 0.25}
 	large := map[string]bool{"s9234": true, "MIPS R2000": true, "DES": true}
-	var rows []Fig5Row
-	for _, d := range cfg.catalog() {
+	perDesign, err := forEachDesign(cfg, func(d bench.Info) ([]Fig5Row, error) {
+		var rows []Fig5Row
 		for _, frac := range fracs {
 			if frac == 0.025 && !large[d.Name] {
 				continue
@@ -377,6 +383,14 @@ func Figure5(cfg Config) ([]Fig5Row, error) {
 			}
 			rows = append(rows, row)
 		}
+		return rows, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var rows []Fig5Row
+	for _, rs := range perDesign {
+		rows = append(rows, rs...)
 	}
 	return rows, nil
 }

@@ -168,3 +168,57 @@ func TestStatsHelpers(t *testing.T) {
 		t.Fatal("even median")
 	}
 }
+
+func TestFaultCampaignShapes(t *testing.T) {
+	rows, err := FaultCampaign(fastCfg(), 6, 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Injections != 6 {
+			t.Errorf("%s: injections = %d", r.Design, r.Injections)
+		}
+		if r.Detected < 1 || r.Detected > r.Injections {
+			t.Errorf("%s: implausible detection count %d of %d", r.Design, r.Detected, r.Injections)
+		}
+		if r.Detected > 0 && r.AvgCycles < 1 {
+			t.Errorf("%s: detected errors but avg cycles %.1f", r.Design, r.AvgCycles)
+		}
+	}
+	if out := FormatFaultCampaign(rows); len(out) == 0 {
+		t.Fatal("empty rendering")
+	}
+}
+
+func TestParallelFanOutMatchesSerial(t *testing.T) {
+	// Same experiment, one worker vs many: identical rows in identical
+	// order (the fan-out must not perturb seeds or ordering).
+	serial := fastCfg()
+	serial.Workers = 1
+	parallel := fastCfg()
+	parallel.Workers = 4
+	a, err := Figure4(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Figure4(parallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("series count %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Design != b[i].Design {
+			t.Fatalf("series %d: order changed: %s vs %s", i, a[i].Design, b[i].Design)
+		}
+		for j := range a[i].Y {
+			if a[i].Y[j] != b[i].Y[j] {
+				t.Fatalf("%s sample %d: %v vs %v", a[i].Design, j, a[i].Y[j], b[i].Y[j])
+			}
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+
+	"fpgadbg/internal/bench"
+)
+
+// forEachDesign runs f over the designs on a worker pool of cfg.Workers
+// goroutines (default GOMAXPROCS) and returns the per-design results in
+// catalog order. Designs are independent — separate netlists, layouts and
+// seeds — so fan-out changes wall time, not results. The first error
+// cancels nothing (siblings finish) but wins the return.
+func forEachDesign[T any](cfg Config, f func(d bench.Info) (T, error)) ([]T, error) {
+	designs := cfg.catalog()
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(designs) {
+		workers = len(designs)
+	}
+	out := make([]T, len(designs))
+	errs := make([]error, len(designs))
+	if workers <= 1 {
+		for i, d := range designs {
+			out[i], errs[i] = f(d)
+		}
+	} else {
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					out[i], errs[i] = f(designs[i])
+				}
+			}()
+		}
+		for i := range designs {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"fpgadbg/internal/netlist"
+	"fpgadbg/internal/sim"
+	"fpgadbg/internal/testgen"
+)
+
+// SimBenchRow is one design's simulator micro-benchmark: ns per
+// pattern-cycle (64 parallel patterns per word) through the compiled
+// trace path and through the legacy map-driven Step interpreter, plus
+// their ratio. cmd/benchrepro -json serializes these rows to
+// BENCH_sim.json so the performance trajectory is tracked across PRs.
+type SimBenchRow struct {
+	Design  string  `json:"design"`
+	LUTs    int     `json:"luts"`
+	DFFs    int     `json:"dffs"`
+	Cycles  int     `json:"cycles"`
+	TraceNs float64 `json:"trace_ns_per_pattern_cycle"`
+	StepNs  float64 `json:"step_ns_per_pattern_cycle"`
+	Speedup float64 `json:"speedup"`
+}
+
+// SimBench measures the emulation substrate on the tech-mapped designs.
+// Unlike the other experiments it runs designs serially — concurrent
+// timing would skew the numbers it exists to record.
+func SimBench(cfg Config, cycles int) ([]SimBenchRow, error) {
+	cfg = cfg.withDefaults()
+	if cycles < 1 {
+		cycles = 256
+	}
+	var rows []SimBenchRow
+	for _, d := range cfg.catalog() {
+		mapped, err := Mapped(d)
+		if err != nil {
+			return nil, err
+		}
+		m, err := sim.Compile(mapped)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", d.Name, err)
+		}
+		pis := mapped.SortedPINames()
+		if err := m.BindNames(pis); err != nil {
+			return nil, err
+		}
+		stim := testgen.RandomBlocks(len(pis), cycles, cfg.Seed)
+		var tr sim.Trace
+		m.RunTraceInto(&tr, stim) // warm buffers
+		traceNs := timeNs(func() { m.RunTraceInto(&tr, stim) })
+
+		ref, err := sim.CompileReference(mapped)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", d.Name, err)
+		}
+		maps := testgen.Random(pis, cycles, cfg.Seed)
+		step := func() {
+			ref.Reset()
+			for _, in := range maps {
+				if _, err := ref.Step(in); err != nil {
+					panic(err) // inputs come from the design's own PI list
+				}
+			}
+		}
+		step() // warm
+		stepNs := timeNs(step)
+
+		luts, dffs := 0, 0
+		for ci := range mapped.Cells {
+			c := &mapped.Cells[ci]
+			if c.Dead {
+				continue
+			}
+			if c.Kind == netlist.KindLUT {
+				luts++
+			} else {
+				dffs++
+			}
+		}
+		patCycles := float64(cycles * 64)
+		rows = append(rows, SimBenchRow{
+			Design: d.Name, LUTs: luts, DFFs: dffs, Cycles: cycles,
+			TraceNs: traceNs / patCycles,
+			StepNs:  stepNs / patCycles,
+			Speedup: stepNs / traceNs,
+		})
+	}
+	return rows, nil
+}
+
+// timeNs runs f repeatedly for at least 50ms (and at least 3 times) and
+// returns the mean ns per call.
+func timeNs(f func()) float64 {
+	const target = 50 * time.Millisecond
+	n := 0
+	start := time.Now()
+	for {
+		f()
+		n++
+		if el := time.Since(start); el >= target && n >= 3 {
+			return float64(el.Nanoseconds()) / float64(n)
+		}
+	}
+}
+
+// FormatSimBench renders the micro-benchmark table.
+func FormatSimBench(rows []SimBenchRow) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Simulator micro-benchmark (ns per pattern-cycle)")
+	fmt.Fprintf(&b, "%-11s %6s %6s %10s %10s %9s\n", "design", "LUTs", "DFFs", "trace", "step", "speedup")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-11s %6d %6d %10.2f %10.2f %8.1fx\n",
+			r.Design, r.LUTs, r.DFFs, r.TraceNs, r.StepNs, r.Speedup)
+	}
+	return b.String()
+}

@@ -2,9 +2,9 @@ package sim
 
 import (
 	"fmt"
-	"math/rand"
 
 	"fpgadbg/internal/netlist"
+	"fpgadbg/internal/testgen"
 )
 
 // Mismatch describes the first detected difference between two designs.
@@ -28,57 +28,131 @@ func (m *Mismatch) String() string {
 // sequential designs each block is held for cycles clock cycles. It returns
 // nil when no difference was observed, or a Mismatch describing the first
 // divergence.
+//
+// Both designs are replayed through the compiled trace API: names are
+// bound to slots once and the whole sequence runs allocation-free.
 func Equivalent(a, b *netlist.Netlist, words, cycles int, seed int64) (*Mismatch, error) {
-	if err := sameNames(a.SortedPINames(), b.SortedPINames()); err != nil {
+	ma, err := Compile(a)
+	if err != nil {
+		return nil, err
+	}
+	return EquivalentCompiled(ma, b, words, cycles, seed)
+}
+
+// EquivalentCompiled is Equivalent with the first design precompiled —
+// for fault campaigns comparing one golden machine against many mutants
+// without recompiling the golden side per comparison.
+func EquivalentCompiled(ma *Machine, b *netlist.Netlist, words, cycles int, seed int64) (*Mismatch, error) {
+	a := ma.Netlist()
+	pis := a.SortedPINames()
+	pos := a.SortedPONames()
+	if err := sameNames(pis, b.SortedPINames()); err != nil {
 		return nil, fmt.Errorf("sim: PI mismatch: %w", err)
 	}
-	if err := sameNames(a.SortedPONames(), b.SortedPONames()); err != nil {
+	if err := sameNames(pos, b.SortedPONames()); err != nil {
 		return nil, fmt.Errorf("sim: PO mismatch: %w", err)
+	}
+	if cycles < 1 {
+		cycles = 1
+	}
+	blocks := testgen.RandomBlocks(len(pis), words, seed)
+	stim := testgen.Repeat(blocks, cycles)
+	return compareTraces(ma, b, pis, pos, stim, false)
+}
+
+// ExhaustiveEquivalent compares two purely combinational designs on every
+// input assignment; the common PI count must be at most 20.
+func ExhaustiveEquivalent(a, b *netlist.Netlist) (*Mismatch, error) {
+	pis := a.SortedPINames()
+	pos := a.SortedPONames()
+	if err := sameNames(pis, b.SortedPINames()); err != nil {
+		return nil, fmt.Errorf("sim: PI mismatch: %w", err)
+	}
+	if err := sameNames(pos, b.SortedPONames()); err != nil {
+		return nil, fmt.Errorf("sim: PO mismatch: %w", err)
+	}
+	if len(pis) > 20 {
+		return nil, fmt.Errorf("sim: %d PIs too many for exhaustive comparison", len(pis))
+	}
+	stim, err := testgen.ExhaustiveBlocks(len(pis))
+	if err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
 	}
 	ma, err := Compile(a)
 	if err != nil {
 		return nil, err
 	}
+	return compareTraces(ma, b, pis, pos, stim, true)
+}
+
+// compareWindow bounds how many cycles compareTraces replays before
+// scanning for a divergence, so a mismatch on an early cycle does not pay
+// for the whole sequence.
+const compareWindow = 64
+
+// compareTraces replays stim on both designs in windows and reports the
+// first differing PO bit. When maskTail is set, invalid pattern bits of a
+// final partial exhaustive word are ignored.
+func compareTraces(ma *Machine, b *netlist.Netlist, pis, pos []string, stim [][]uint64, maskTail bool) (*Mismatch, error) {
 	mb, err := Compile(b)
 	if err != nil {
 		return nil, err
 	}
-	if cycles < 1 {
-		cycles = 1
+	if err := ma.BindNames(pis); err != nil {
+		return nil, err
 	}
-	r := rand.New(rand.NewSource(seed))
-	pis := a.SortedPINames()
-	pos := a.SortedPONames()
-	cycle := 0
-	for w := 0; w < words; w++ {
-		in := make(map[string]uint64, len(pis))
-		for _, name := range pis {
-			in[name] = r.Uint64()
+	if err := mb.BindNames(pis); err != nil {
+		return nil, err
+	}
+	aCols, err := ma.POCols(pos)
+	if err != nil {
+		return nil, err
+	}
+	bCols, err := mb.POCols(pos)
+	if err != nil {
+		return nil, err
+	}
+	ma.Reset()
+	mb.Reset()
+	var ta, tb Trace
+	for base := 0; base < len(stim); base += compareWindow {
+		end := base + compareWindow
+		if end > len(stim) {
+			end = len(stim)
 		}
-		for c := 0; c < cycles; c++ {
-			oa, err := ma.Step(in)
-			if err != nil {
-				return nil, err
-			}
-			ob, err := mb.Step(in)
-			if err != nil {
-				return nil, err
-			}
-			for _, name := range pos {
-				if oa[name] != ob[name] {
-					diff := oa[name] ^ ob[name]
-					p := firstBit(diff)
-					return &Mismatch{
-						Cycle:   cycle,
-						Output:  name,
-						Pattern: p,
-						WantBit: oa[name]&(1<<p) != 0,
-						GotBit:  ob[name]&(1<<p) != 0,
-						Inputs:  in,
-					}, nil
+		window := stim[base:end]
+		ma.ResumeTraceInto(&ta, window)
+		mb.ResumeTraceInto(&tb, window)
+		for c := 0; c < len(window); c++ {
+			mask := ^uint64(0)
+			if maskTail {
+				total := uint64(1) << len(pis)
+				off := uint64(base+c) * 64
+				if total-off < 64 {
+					mask = uint64(1)<<(total-off) - 1
 				}
 			}
-			cycle++
+			for i, name := range pos {
+				av := ta.Out(c, aCols[i])
+				bv := tb.Out(c, bCols[i])
+				if d := (av ^ bv) & mask; d != 0 {
+					p := firstBit(d)
+					mm := &Mismatch{
+						Cycle:   base + c,
+						Output:  name,
+						Pattern: p,
+						WantBit: av&(1<<p) != 0,
+						GotBit:  bv&(1<<p) != 0,
+						Inputs:  make(map[string]uint64, len(pis)),
+					}
+					for j, pi := range pis {
+						if j < len(stim[base+c]) {
+							mm.Inputs[pi] = stim[base+c][j]
+						}
+					}
+					return mm, nil
+				}
+			}
 		}
 	}
 	return nil, nil
@@ -103,75 +177,4 @@ func sameNames(a, b []string) error {
 		}
 	}
 	return nil
-}
-
-// ExhaustiveEquivalent compares two purely combinational designs on every
-// input assignment; the common PI count must be at most 20.
-func ExhaustiveEquivalent(a, b *netlist.Netlist) (*Mismatch, error) {
-	pis := a.SortedPINames()
-	if err := sameNames(pis, b.SortedPINames()); err != nil {
-		return nil, fmt.Errorf("sim: PI mismatch: %w", err)
-	}
-	if err := sameNames(a.SortedPONames(), b.SortedPONames()); err != nil {
-		return nil, fmt.Errorf("sim: PO mismatch: %w", err)
-	}
-	if len(pis) > 20 {
-		return nil, fmt.Errorf("sim: %d PIs too many for exhaustive comparison", len(pis))
-	}
-	ma, err := Compile(a)
-	if err != nil {
-		return nil, err
-	}
-	mb, err := Compile(b)
-	if err != nil {
-		return nil, err
-	}
-	pos := a.SortedPONames()
-	total := uint64(1) << len(pis)
-	for base := uint64(0); base < total; base += 64 {
-		in := make(map[string]uint64, len(pis))
-		for i, name := range pis {
-			var w uint64
-			for p := 0; p < 64 && base+uint64(p) < total; p++ {
-				if (base+uint64(p))&(1<<i) != 0 {
-					w |= 1 << p
-				}
-			}
-			in[name] = w
-		}
-		oa, err := ma.Step(in)
-		if err != nil {
-			return nil, err
-		}
-		ob, err := mb.Step(in)
-		if err != nil {
-			return nil, err
-		}
-		valid := uint64(1)<<min64(64, total-base) - 1
-		if total-base >= 64 {
-			valid = ^uint64(0)
-		}
-		for _, name := range pos {
-			if d := (oa[name] ^ ob[name]) & valid; d != 0 {
-				p := firstBit(d)
-				return &Mismatch{
-					Output:  name,
-					Pattern: p,
-					WantBit: oa[name]&(1<<p) != 0,
-					GotBit:  ob[name]&(1<<p) != 0,
-					Inputs:  in,
-				}, nil
-			}
-		}
-		ma.Reset()
-		mb.Reset()
-	}
-	return nil, nil
-}
-
-func min64(a int, b uint64) uint64 {
-	if uint64(a) < b {
-		return uint64(a)
-	}
-	return b
 }

@@ -3,32 +3,97 @@
 // whose bit p is the net's value under input pattern p, so one pass over
 // the levelized network evaluates 64 test patterns.
 //
+// Compile lowers a netlist into a flat, allocation-free program: fanins
+// are packed into one CSR array, LUTs of four or fewer inputs run as
+// specialized truth-table kernels (straight-line word ops, no cube
+// iteration), and wider LUTs fall back to the generic cover evaluator
+// over a preallocated scratch buffer. Primary inputs, primary outputs and
+// flip-flops are resolved to dense index tables once at compile time.
+//
+// Two calling conventions are offered:
+//
+//   - The ID-based batch API — Slots/Bind, Probe, RunTrace — drives a
+//     whole clocked stimulus sequence with zero per-cycle allocations and
+//     is what every hot path in this repository uses (see DESIGN.md §3).
+//   - The name/map API — SetPI, Step, Outputs, Net — is a thin
+//     compatibility shim kept for external callers and tests; it pays a
+//     map allocation and string hashing per cycle.
+//
 // The paper runs designs on FPGA emulation hardware; this simulator plays
-// that role (see DESIGN.md §3). Detection compares outputs against a golden
-// model, and localization probes internal nets — both map directly onto
-// Machine.Out and Machine.Net.
+// that role (see DESIGN.md §3). Detection compares outputs against a
+// golden model, and localization probes internal nets — both map directly
+// onto the trace API (and, in shim form, Machine.Out and Machine.Net).
 package sim
 
 import (
 	"fmt"
+	"sort"
 
+	"fpgadbg/internal/logic"
 	"fpgadbg/internal/netlist"
 )
 
-// Machine is a compiled simulator instance for one netlist. It is not safe
-// for concurrent use.
-type Machine struct {
-	nl    *netlist.Netlist
-	order []netlist.CellID // LUTs in topo order
-	dffs  []netlist.CellID
-	val   []uint64 // per net, 64 patterns wide
-	state []uint64 // per entry of dffs: current Q value
-	// scratch fanin buffer reused across evaluations
-	buf []uint64
+// Kernel opcodes. LUTs with at most four inputs are compiled to their
+// 16-bit truth table and evaluated by unrolled Shannon muxing; wider LUTs
+// keep their sum-of-products cover.
+const (
+	opConst uint8 = iota // zero-input LUT; tt bit 0 is the constant
+	opTT1                // 1-input truth-table kernel
+	opTT2                // 2-input truth-table kernel
+	opTT3                // 3-input truth-table kernel
+	opTT4                // 4-input truth-table kernel
+	opCover              // generic cover evaluation (k > 4)
+)
+
+// node is one compiled LUT in topological order.
+type node struct {
+	out   int32  // output net index
+	start int32  // first fanin in the CSR array
+	nin   int32  // fanin count
+	aux   int32  // opTT*: start in ttab; opCover: index into covers
+	op    uint8  // kernel opcode
+	tt    uint16 // raw truth table (opConst: bit 0 is the constant)
 }
 
-// Compile levelizes the netlist and returns a ready-to-run machine in the
-// reset state. The netlist must be combinationally acyclic.
+// Machine is a compiled simulator instance for one netlist. It is not safe
+// for concurrent use; compile one Machine per worker.
+type Machine struct {
+	nl *netlist.Netlist
+
+	// Compiled program.
+	nodes  []node
+	fanin  []int32       // CSR-packed fanin net indices for all nodes
+	ttab   []uint64      // broadcast pair tables of all opTT* nodes
+	covers []logic.Cover // functions of opCover nodes
+	buf    []uint64      // scratch fanin gather for opCover kernels
+
+	// Flip-flop tables (compile order, stable across the Machine's life).
+	dffD    []int32  // D input net per DFF
+	dffQ    []int32  // Q output net per DFF
+	dffInit []uint64 // power-on word per DFF (0 or all-ones)
+
+	// Primary input/output tables.
+	pis     []int32  // PI net indices, sorted by name
+	piNames []string // names parallel to pis
+	pos     []int32  // PO net indices in netlist declaration order
+	poNames []string // names parallel to pos
+
+	val   []uint64 // per net, 64 patterns wide
+	state []uint64 // per DFF: current Q value
+
+	// Trace configuration (see trace.go).
+	bound        []int32 // net index per stimulus column
+	probes       []int32 // net indices sampled into Trace.ProbeVals
+	captureState bool
+
+	// Override list: nets pinned to a fixed word during evaluation.
+	ovIdx  []int32 // per net: index into ovVal, or -1 (nil until first use)
+	ovNets []int32
+	ovVal  []uint64
+}
+
+// Compile levelizes the netlist and lowers it into a ready-to-run machine
+// in the reset state. The netlist must be combinationally acyclic.
 func Compile(nl *netlist.Netlist) (*Machine, error) {
 	order, err := nl.TopoOrder()
 	if err != nil {
@@ -43,16 +108,71 @@ func Compile(nl *netlist.Netlist) (*Machine, error) {
 		c := &nl.Cells[id]
 		switch c.Kind {
 		case netlist.KindLUT:
-			m.order = append(m.order, id)
-			if len(c.Fanin) > maxFanin {
-				maxFanin = len(c.Fanin)
+			n := node{
+				out:   int32(c.Out),
+				start: int32(len(m.fanin)),
+				nin:   int32(len(c.Fanin)),
+				aux:   -1,
 			}
+			for _, f := range c.Fanin {
+				m.fanin = append(m.fanin, int32(f))
+			}
+			switch {
+			case len(c.Fanin) == 0:
+				n.op = opConst
+				if c.Func.Eval(0) {
+					n.tt = 1
+				}
+			case len(c.Fanin) <= 4:
+				tt, err := c.Func.TT()
+				if err != nil {
+					return nil, fmt.Errorf("sim: cell %q: %w", c.Name, err)
+				}
+				w4, err := tt.Word4()
+				if err != nil {
+					return nil, fmt.Errorf("sim: cell %q: %w", c.Name, err)
+				}
+				n.op = opConst + uint8(len(c.Fanin)) // opTT1..opTT4
+				n.tt = w4
+				n.aux = int32(len(m.ttab))
+				m.ttab = append(m.ttab, expandTT(w4, len(c.Fanin))...)
+			default:
+				n.op = opCover
+				n.aux = int32(len(m.covers))
+				m.covers = append(m.covers, c.Func)
+				if len(c.Fanin) > maxFanin {
+					maxFanin = len(c.Fanin)
+				}
+			}
+			m.nodes = append(m.nodes, n)
 		case netlist.KindDFF:
-			m.dffs = append(m.dffs, id)
+			m.dffD = append(m.dffD, int32(c.Fanin[0]))
+			m.dffQ = append(m.dffQ, int32(c.Out))
+			if c.Init == 1 {
+				m.dffInit = append(m.dffInit, ^uint64(0))
+			} else {
+				m.dffInit = append(m.dffInit, 0)
+			}
 		}
 	}
-	m.state = make([]uint64, len(m.dffs))
 	m.buf = make([]uint64, maxFanin)
+	m.state = make([]uint64, len(m.dffQ))
+	for _, pi := range nl.PIs {
+		m.pis = append(m.pis, int32(pi))
+	}
+	sort.Slice(m.pis, func(i, j int) bool {
+		return nl.Nets[m.pis[i]].Name < nl.Nets[m.pis[j]].Name
+	})
+	m.piNames = make([]string, len(m.pis))
+	for i, pi := range m.pis {
+		m.piNames[i] = nl.Nets[pi].Name
+	}
+	for _, po := range nl.POs {
+		m.pos = append(m.pos, int32(po))
+		m.poNames = append(m.poNames, nl.Nets[po].Name)
+	}
+	// Default binding: every PI, in sorted-name order.
+	m.bound = append([]int32(nil), m.pis...)
 	m.Reset()
 	return m, nil
 }
@@ -60,19 +180,187 @@ func Compile(nl *netlist.Netlist) (*Machine, error) {
 // Netlist returns the compiled design.
 func (m *Machine) Netlist() *netlist.Netlist { return m.nl }
 
+// NumDFFs returns the number of compiled flip-flops.
+func (m *Machine) NumDFFs() int { return len(m.dffQ) }
+
 // Reset restores every DFF to its power-on value and clears all nets.
+// Trace bindings, probes and overrides are configuration, not state, and
+// survive a reset.
 func (m *Machine) Reset() {
 	for i := range m.val {
 		m.val[i] = 0
 	}
-	for i, id := range m.dffs {
-		if m.nl.Cells[id].Init == 1 {
-			m.state[i] = ^uint64(0)
-		} else {
-			m.state[i] = 0
+	copy(m.state, m.dffInit)
+}
+
+// Eval propagates the current primary inputs and flip-flop state through
+// the combinational logic. It does not advance the clock. Nets on the
+// override list read their pinned word instead of their computed value.
+func (m *Machine) Eval() {
+	for i, q := range m.dffQ {
+		m.val[q] = m.state[i]
+	}
+	if len(m.ovNets) == 0 {
+		m.evalNodes()
+		return
+	}
+	// Pre-apply overrides so source nets (PIs, DFF outputs) read forced;
+	// driven nets are re-forced as their node executes.
+	for _, net := range m.ovNets {
+		m.val[net] = m.ovVal[m.ovIdx[net]]
+	}
+	m.evalNodesOverridden()
+}
+
+// evalNodes is the hot loop: one pass over the compiled program.
+func (m *Machine) evalNodes() {
+	v := m.val
+	fan := m.fanin
+	ttab := m.ttab
+	nodes := m.nodes
+	for i := range nodes {
+		n := nodes[i]
+		s := n.start
+		var w uint64
+		switch n.op {
+		case opTT2:
+			f := fan[s : s+2 : s+2]
+			t := ttab[n.aux : n.aux+4 : n.aux+4]
+			w = evalTab2(t, v[f[0]], v[f[1]])
+		case opTT3:
+			f := fan[s : s+3 : s+3]
+			t := ttab[n.aux : n.aux+8 : n.aux+8]
+			w = evalTab3(t, v[f[0]], v[f[1]], v[f[2]])
+		case opTT4:
+			f := fan[s : s+4 : s+4]
+			t := ttab[n.aux : n.aux+16 : n.aux+16]
+			w = evalTab4(t, v[f[0]], v[f[1]], v[f[2]], v[f[3]])
+		case opTT1:
+			w = evalTab1(ttab[n.aux:n.aux+2:n.aux+2], v[fan[s]])
+		case opConst:
+			w = -uint64(n.tt & 1)
+		default: // opCover
+			buf := m.buf[:n.nin]
+			for j := int32(0); j < n.nin; j++ {
+				buf[j] = v[fan[s+j]]
+			}
+			w = m.covers[n.aux].EvalWords(buf)
 		}
+		v[n.out] = w
 	}
 }
+
+// evalNodesOverridden is evalNodes plus the per-net override check; split
+// out so the common no-override path stays branch-light.
+func (m *Machine) evalNodesOverridden() {
+	v := m.val
+	fan := m.fanin
+	ttab := m.ttab
+	nodes := m.nodes
+	for i := range nodes {
+		n := nodes[i]
+		s := n.start
+		var w uint64
+		switch n.op {
+		case opTT2:
+			w = evalTab2(ttab[n.aux:n.aux+4:n.aux+4], v[fan[s]], v[fan[s+1]])
+		case opTT3:
+			w = evalTab3(ttab[n.aux:n.aux+8:n.aux+8], v[fan[s]], v[fan[s+1]], v[fan[s+2]])
+		case opTT4:
+			w = evalTab4(ttab[n.aux:n.aux+16:n.aux+16], v[fan[s]], v[fan[s+1]], v[fan[s+2]], v[fan[s+3]])
+		case opTT1:
+			w = evalTab1(ttab[n.aux:n.aux+2:n.aux+2], v[fan[s]])
+		case opConst:
+			w = -uint64(n.tt & 1)
+		default: // opCover
+			buf := m.buf[:n.nin]
+			for j := int32(0); j < n.nin; j++ {
+				buf[j] = v[fan[s+j]]
+			}
+			w = m.covers[n.aux].EvalWords(buf)
+		}
+		if o := m.ovIdx[n.out]; o >= 0 {
+			w = m.ovVal[o]
+		}
+		v[n.out] = w
+	}
+}
+
+// Clock latches every DFF's D input into its state. Callers should have
+// called Eval first; the usual cycle is SetPIs → Eval → read outputs →
+// Clock.
+func (m *Machine) Clock() {
+	for i, d := range m.dffD {
+		m.state[i] = m.val[d]
+	}
+}
+
+// SetOverride pins a net to a fixed 64-pattern word for every subsequent
+// Eval (and hence RunTrace cycle) until cleared — the software analogue of
+// a control point holding a signal. Unlike ForceNet, the override is
+// honored by the execution core itself: downstream logic evaluated in the
+// same pass reads the forced value, and re-evaluation does not clobber it.
+func (m *Machine) SetOverride(id netlist.NetID, w uint64) error {
+	if int(id) < 0 || int(id) >= len(m.val) {
+		return fmt.Errorf("sim: override of invalid net %d", id)
+	}
+	if m.ovIdx == nil {
+		m.ovIdx = make([]int32, len(m.val))
+		for i := range m.ovIdx {
+			m.ovIdx[i] = -1
+		}
+	}
+	if o := m.ovIdx[id]; o >= 0 {
+		m.ovVal[o] = w
+		return nil
+	}
+	m.ovIdx[id] = int32(len(m.ovNets))
+	m.ovNets = append(m.ovNets, int32(id))
+	m.ovVal = append(m.ovVal, w)
+	return nil
+}
+
+// ClearOverride removes one net from the override list.
+func (m *Machine) ClearOverride(id netlist.NetID) {
+	if m.ovIdx == nil || int(id) < 0 || int(id) >= len(m.ovIdx) {
+		return
+	}
+	o := m.ovIdx[id]
+	if o < 0 {
+		return
+	}
+	last := int32(len(m.ovNets) - 1)
+	m.ovNets[o] = m.ovNets[last]
+	m.ovVal[o] = m.ovVal[last]
+	m.ovIdx[m.ovNets[o]] = o
+	m.ovNets = m.ovNets[:last]
+	m.ovVal = m.ovVal[:last]
+	m.ovIdx[id] = -1
+}
+
+// ClearOverrides removes every override.
+func (m *Machine) ClearOverrides() {
+	for _, net := range m.ovNets {
+		m.ovIdx[net] = -1
+	}
+	m.ovNets = m.ovNets[:0]
+	m.ovVal = m.ovVal[:0]
+}
+
+// Overridden reports whether a net is on the override list, and its word.
+func (m *Machine) Overridden(id netlist.NetID) (uint64, bool) {
+	if m.ovIdx == nil || int(id) < 0 || int(id) >= len(m.ovIdx) || m.ovIdx[id] < 0 {
+		return 0, false
+	}
+	return m.ovVal[m.ovIdx[id]], true
+}
+
+// ---------------------------------------------------------------- shim
+//
+// The name/map API below predates the trace API. It is kept as a
+// compatibility layer: correct, convenient for one-off probing and tests,
+// and deliberately unoptimized (per-cycle map allocation and string
+// hashing). Hot paths should use Slots/Bind/RunTrace instead.
 
 // SetPI drives a primary input net with a 64-pattern word.
 func (m *Machine) SetPI(name string, w uint64) error {
@@ -95,31 +383,6 @@ func (m *Machine) SetPIs(in map[string]uint64) error {
 		}
 	}
 	return nil
-}
-
-// Eval propagates the current primary inputs and flip-flop state through
-// the combinational logic. It does not advance the clock.
-func (m *Machine) Eval() {
-	for i, id := range m.dffs {
-		m.val[m.nl.Cells[id].Out] = m.state[i]
-	}
-	for _, id := range m.order {
-		c := &m.nl.Cells[id]
-		buf := m.buf[:len(c.Fanin)]
-		for j, f := range c.Fanin {
-			buf[j] = m.val[f]
-		}
-		m.val[c.Out] = c.Func.EvalWords(buf)
-	}
-}
-
-// Clock latches every DFF's D input into its state. Callers should have
-// called Eval first; the usual cycle is SetPIs → Eval → read outputs →
-// Clock.
-func (m *Machine) Clock() {
-	for i, id := range m.dffs {
-		m.state[i] = m.val[m.nl.Cells[id].Fanin[0]]
-	}
 }
 
 // Step is the common SetPIs → Eval → Clock cycle, returning the primary
@@ -147,10 +410,11 @@ func (m *Machine) Net(name string) (uint64, error) {
 // NetByID probes a net by ID.
 func (m *Machine) NetByID(id netlist.NetID) uint64 { return m.val[id] }
 
-// ForceNet overrides a net's current value (the software analogue of
-// control logic); the override lasts until the next Eval recomputes it, so
-// it is useful for combinational what-if probing only on undriven nets or
-// between Eval and Clock.
+// ForceNet overwrites a net's current value in place. The write is
+// one-shot: the next Eval recomputes driven nets and clobbers it, so it is
+// only useful for combinational what-if probing on undriven nets or in the
+// window between Eval and Clock. For a forcing that persists across
+// evaluations — and that downstream logic observes — use SetOverride.
 func (m *Machine) ForceNet(id netlist.NetID, w uint64) { m.val[id] = w }
 
 // Out returns a primary output word by name.
@@ -167,9 +431,9 @@ func (m *Machine) Out(name string) (uint64, error) {
 
 // Outputs returns all primary output words keyed by name.
 func (m *Machine) Outputs() map[string]uint64 {
-	out := make(map[string]uint64, len(m.nl.POs))
-	for _, po := range m.nl.POs {
-		out[m.nl.Nets[po].Name] = m.val[po]
+	out := make(map[string]uint64, len(m.pos))
+	for i, po := range m.pos {
+		out[m.poNames[i]] = m.val[po]
 	}
 	return out
 }

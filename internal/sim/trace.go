@@ -1,0 +1,212 @@
+package sim
+
+// The ID-based batch API. Names are resolved to PISlot / column indices
+// once, outside the loop; RunTrace then replays an entire clocked stimulus
+// sequence with zero per-cycle allocations. This is the calling convention
+// every hot path in the repository uses (detection, localization,
+// equivalence checking, fault campaigns, the benchmarks).
+
+import (
+	"fmt"
+
+	"fpgadbg/internal/netlist"
+)
+
+// PISlot identifies one primary input of a compiled Machine: an index into
+// PIOrder. Slots are resolved from names once and reused for every trace.
+type PISlot int32
+
+// PIOrder returns the machine's primary inputs in slot order (sorted by
+// name at compile time). Slot i drives PIOrder()[i].
+func (m *Machine) PIOrder() []string { return m.piNames }
+
+// PONames returns the primary output names in Trace column order.
+func (m *Machine) PONames() []string { return m.poNames }
+
+// Slot resolves a primary input name to its slot.
+func (m *Machine) Slot(name string) (PISlot, error) {
+	for i, n := range m.piNames {
+		if n == name {
+			return PISlot(i), nil
+		}
+	}
+	return -1, fmt.Errorf("sim: no primary input %q", name)
+}
+
+// Slots resolves several primary input names at once.
+func (m *Machine) Slots(names []string) ([]PISlot, error) {
+	out := make([]PISlot, len(names))
+	for i, n := range names {
+		s, err := m.Slot(n)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+// Bind fixes the stimulus column order for RunTrace: column j of every
+// stimulus row drives the primary input of slots[j]. Primary inputs not
+// bound (and not overridden) are held at zero — the convention used for
+// implementation-only control inputs. Compile binds all PIs in PIOrder by
+// default.
+func (m *Machine) Bind(slots []PISlot) error {
+	bound := make([]int32, len(slots))
+	for j, s := range slots {
+		if int(s) < 0 || int(s) >= len(m.pis) {
+			return fmt.Errorf("sim: bind of invalid slot %d", s)
+		}
+		bound[j] = m.pis[s]
+	}
+	m.bound = bound
+	return nil
+}
+
+// BindNames is Bind for a list of primary input names.
+func (m *Machine) BindNames(names []string) error {
+	slots, err := m.Slots(names)
+	if err != nil {
+		return err
+	}
+	return m.Bind(slots)
+}
+
+// Probe configures the set of nets sampled into Trace.ProbeVals each cycle
+// — the software analogue of attached observation logic. It replaces any
+// previous probe set.
+func (m *Machine) Probe(nets ...netlist.NetID) error {
+	probes := make([]int32, len(nets))
+	for i, id := range nets {
+		if int(id) < 0 || int(id) >= len(m.val) {
+			return fmt.Errorf("sim: probe of invalid net %d", id)
+		}
+		probes[i] = int32(id)
+	}
+	m.probes = probes
+	return nil
+}
+
+// ClearProbes removes every probe.
+func (m *Machine) ClearProbes() { m.probes = nil }
+
+// CaptureState toggles recording of the flip-flop state stream into
+// Trace.States (one word per DFF per cycle, sampled after the clock edge,
+// matching StateWords after Step).
+func (m *Machine) CaptureState(on bool) { m.captureState = on }
+
+// POCols resolves primary output names to Trace column indices.
+func (m *Machine) POCols(names []string) ([]int, error) {
+	out := make([]int, len(names))
+	for i, name := range names {
+		col := -1
+		for j, n := range m.poNames {
+			if n == name {
+				col = j
+				break
+			}
+		}
+		if col < 0 {
+			return nil, fmt.Errorf("sim: no primary output %q", name)
+		}
+		out[i] = col
+	}
+	return out, nil
+}
+
+// Trace is the recorded result of one RunTrace: per cycle, every primary
+// output word, every probed net word and (optionally) the flip-flop state.
+// All streams are stored row-major in flat slices so a Trace can be reused
+// across runs without reallocation.
+type Trace struct {
+	Cycles    int
+	NumPOs    int
+	NumProbes int
+	NumState  int
+	// Outs[c*NumPOs+i] is PO column i (machine PONames order) at cycle c,
+	// sampled after Eval and before the clock edge.
+	Outs []uint64
+	// ProbeVals[c*NumProbes+i] is probed net i at cycle c.
+	ProbeVals []uint64
+	// States[c*NumState+i] is DFF i's state after cycle c's clock edge.
+	States []uint64
+}
+
+// Out returns PO column po at the given cycle.
+func (t *Trace) Out(cycle, po int) uint64 { return t.Outs[cycle*t.NumPOs+po] }
+
+// ProbeVal returns probed net p at the given cycle.
+func (t *Trace) ProbeVal(cycle, p int) uint64 { return t.ProbeVals[cycle*t.NumProbes+p] }
+
+// State returns DFF i's post-edge state at the given cycle.
+func (t *Trace) State(cycle, i int) uint64 { return t.States[cycle*t.NumState+i] }
+
+// grow returns s with length n, reusing capacity when possible.
+func grow(s []uint64, n int) []uint64 {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]uint64, n)
+}
+
+// RunTrace resets the machine and replays the whole clocked stimulus
+// sequence: for each cycle, stimulus[c][j] drives the j-th bound input
+// (see Bind), the logic is evaluated, primary outputs and probed nets are
+// recorded, and the clock advances. Rows shorter than the binding leave
+// the remaining bound inputs at zero.
+func (m *Machine) RunTrace(stimulus [][]uint64) *Trace {
+	return m.RunTraceInto(new(Trace), stimulus)
+}
+
+// RunTraceInto is RunTrace reusing the given Trace's buffers; in steady
+// state the replay loop performs zero allocations.
+func (m *Machine) RunTraceInto(tr *Trace, stimulus [][]uint64) *Trace {
+	m.Reset()
+	return m.ResumeTraceInto(tr, stimulus)
+}
+
+// ResumeTraceInto is RunTraceInto without the leading reset: the replay
+// continues from the machine's current flip-flop state. Callers use it to
+// trace a long sequence in windows — scanning each window before paying
+// for the next — while keeping cycle semantics identical to one long
+// RunTrace.
+func (m *Machine) ResumeTraceInto(tr *Trace, stimulus [][]uint64) *Trace {
+	tr.Cycles = len(stimulus)
+	tr.NumPOs = len(m.pos)
+	tr.NumProbes = len(m.probes)
+	tr.Outs = grow(tr.Outs, tr.Cycles*tr.NumPOs)
+	tr.ProbeVals = grow(tr.ProbeVals, tr.Cycles*tr.NumProbes)
+	if m.captureState {
+		tr.NumState = len(m.dffQ)
+		tr.States = grow(tr.States, tr.Cycles*tr.NumState)
+	} else {
+		tr.NumState = 0
+		tr.States = tr.States[:0]
+	}
+	for c, row := range stimulus {
+		k := len(row)
+		if k > len(m.bound) {
+			k = len(m.bound)
+		}
+		for j := 0; j < k; j++ {
+			m.val[m.bound[j]] = row[j]
+		}
+		for j := k; j < len(m.bound); j++ {
+			m.val[m.bound[j]] = 0
+		}
+		m.Eval()
+		o := c * tr.NumPOs
+		for i, po := range m.pos {
+			tr.Outs[o+i] = m.val[po]
+		}
+		p := c * tr.NumProbes
+		for i, pr := range m.probes {
+			tr.ProbeVals[p+i] = m.val[pr]
+		}
+		m.Clock()
+		if m.captureState {
+			copy(tr.States[c*tr.NumState:(c+1)*tr.NumState], m.state)
+		}
+	}
+	return tr
+}

@@ -1,7 +1,16 @@
 // Package testgen generates test stimulus — step 10 of the paper's
 // debugging loop ("generate test patterns", done in software). Patterns
 // are produced as 64-wide words matching the bit-parallel simulator: one
-// map applies 64 scalar test vectors at once.
+// row applies 64 scalar test vectors at once.
+//
+// The primary representation is the ID-indexed stimulus block: a
+// [][]uint64 where row c is one clock cycle and column j drives the j-th
+// bound input of a compiled sim.Machine (see sim.Bind). Blocks carry no
+// names, allocate nothing per cycle during replay, and are what every hot
+// path uses. The map-keyed variants (Random, Weighted, ...) are thin
+// wrappers kept for the name-based compatibility API; they draw from the
+// same random streams, so Random(pis, ...) and RandomBlocks(len(pis), ...)
+// produce identical words column for column.
 package testgen
 
 import (
@@ -9,67 +18,147 @@ import (
 	"math/rand"
 )
 
-// Random returns nWords blocks of 64 uniformly random patterns over the
-// named inputs.
-func Random(pis []string, nWords int, seed int64) []map[string]uint64 {
+// RandomBlocks returns nWords stimulus rows of uniformly random
+// 64-pattern words over cols input columns.
+func RandomBlocks(cols, nWords int, seed int64) [][]uint64 {
 	r := rand.New(rand.NewSource(seed))
-	out := make([]map[string]uint64, nWords)
+	out := make([][]uint64, nWords)
 	for w := range out {
-		m := make(map[string]uint64, len(pis))
-		for _, name := range pis {
-			m[name] = r.Uint64()
+		row := make([]uint64, cols)
+		for j := range row {
+			row[j] = r.Uint64()
 		}
-		out[w] = m
+		out[w] = row
 	}
 	return out
 }
 
-// Weighted returns random patterns with each input biased to 1 with the
-// given probability — useful for exciting control-dominated logic.
-func Weighted(pis []string, nWords int, p1 float64, seed int64) []map[string]uint64 {
+// WeightedBlocks returns random stimulus rows with each input bit biased
+// to 1 with probability p1 — useful for exciting control-dominated logic.
+func WeightedBlocks(cols, nWords int, p1 float64, seed int64) [][]uint64 {
 	r := rand.New(rand.NewSource(seed))
-	out := make([]map[string]uint64, nWords)
+	out := make([][]uint64, nWords)
 	for w := range out {
-		m := make(map[string]uint64, len(pis))
-		for _, name := range pis {
+		row := make([]uint64, cols)
+		for j := range row {
 			var word uint64
 			for b := 0; b < 64; b++ {
 				if r.Float64() < p1 {
 					word |= 1 << b
 				}
 			}
-			m[name] = word
+			row[j] = word
 		}
-		out[w] = m
+		out[w] = row
 	}
 	return out
 }
 
-// Exhaustive returns every assignment over the inputs, packed 64 per
-// word. It refuses more than 20 inputs (2^20 patterns).
-func Exhaustive(pis []string) ([]map[string]uint64, error) {
-	n := len(pis)
-	if n > 20 {
-		return nil, fmt.Errorf("testgen: %d inputs is too many for exhaustive patterns", n)
+// ExhaustiveBlocks returns every assignment over cols inputs, packed 64
+// patterns per row. It refuses more than 20 inputs (2^20 patterns).
+func ExhaustiveBlocks(cols int) ([][]uint64, error) {
+	if cols > 20 {
+		return nil, fmt.Errorf("testgen: %d inputs is too many for exhaustive patterns", cols)
 	}
-	total := uint64(1) << n
+	total := uint64(1) << cols
 	words := int((total + 63) / 64)
-	out := make([]map[string]uint64, words)
+	out := make([][]uint64, words)
 	for w := 0; w < words; w++ {
-		m := make(map[string]uint64, n)
+		row := make([]uint64, cols)
 		base := uint64(w) * 64
-		for i, name := range pis {
+		for j := range row {
 			var word uint64
 			for p := uint64(0); p < 64 && base+p < total; p++ {
-				if (base+p)&(1<<i) != 0 {
+				if (base+p)&(1<<j) != 0 {
 					word |= 1 << p
 				}
 			}
-			m[name] = word
+			row[j] = word
 		}
-		out[w] = m
+		out[w] = row
 	}
 	return out, nil
+}
+
+// SequenceBlocks returns a clocked stimulus of length rows over cols
+// inputs from an LFSR stream.
+func SequenceBlocks(cols, length int, seed uint64) [][]uint64 {
+	l := NewLFSR(seed)
+	out := make([][]uint64, length)
+	for c := range out {
+		row := make([]uint64, cols)
+		for j := range row {
+			row[j] = l.Next()
+		}
+		out[c] = row
+	}
+	return out
+}
+
+// HoldingBlocks returns random stimulus where the columns named in hold
+// are pinned to fixed words while the rest stay random — the pattern
+// shape used with control points (hold the force inputs, randomize the
+// functional ones).
+func HoldingBlocks(cols int, hold map[int]uint64, nWords int, seed int64) [][]uint64 {
+	out := RandomBlocks(cols, nWords, seed)
+	for _, row := range out {
+		for j, v := range hold {
+			if j >= 0 && j < len(row) {
+				row[j] = v
+			}
+		}
+	}
+	return out
+}
+
+// Repeat expands a block sequence into a clocked one: each row is held
+// for cycles consecutive clock cycles (rows are shared, not copied).
+func Repeat(blocks [][]uint64, cycles int) [][]uint64 {
+	if cycles < 1 {
+		cycles = 1
+	}
+	out := make([][]uint64, 0, len(blocks)*cycles)
+	for _, row := range blocks {
+		for c := 0; c < cycles; c++ {
+			out = append(out, row)
+		}
+	}
+	return out
+}
+
+// toMaps keys block columns by the given input names.
+func toMaps(pis []string, blocks [][]uint64) []map[string]uint64 {
+	out := make([]map[string]uint64, len(blocks))
+	for i, row := range blocks {
+		m := make(map[string]uint64, len(pis))
+		for j, name := range pis {
+			m[name] = row[j]
+		}
+		out[i] = m
+	}
+	return out
+}
+
+// Random returns nWords blocks of 64 uniformly random patterns over the
+// named inputs. Compatibility wrapper over RandomBlocks.
+func Random(pis []string, nWords int, seed int64) []map[string]uint64 {
+	return toMaps(pis, RandomBlocks(len(pis), nWords, seed))
+}
+
+// Weighted returns random patterns with each input biased to 1 with the
+// given probability. Compatibility wrapper over WeightedBlocks.
+func Weighted(pis []string, nWords int, p1 float64, seed int64) []map[string]uint64 {
+	return toMaps(pis, WeightedBlocks(len(pis), nWords, p1, seed))
+}
+
+// Exhaustive returns every assignment over the inputs, packed 64 per
+// word. Compatibility wrapper over ExhaustiveBlocks.
+func Exhaustive(pis []string) ([]map[string]uint64, error) {
+	blocks, err := ExhaustiveBlocks(len(pis))
+	if err != nil {
+		return nil, err
+	}
+	return toMaps(pis, blocks), nil
 }
 
 // LFSR produces a maximal-ish pseudo-random bit sequence from a 64-bit
@@ -100,25 +189,17 @@ func (l *LFSR) Next() uint64 {
 }
 
 // Sequence returns a clocked stimulus: length cycles of patterns for the
-// named inputs, from an LFSR stream.
+// named inputs, from an LFSR stream. Compatibility wrapper over
+// SequenceBlocks.
 func Sequence(pis []string, length int, seed uint64) []map[string]uint64 {
-	l := NewLFSR(seed)
-	out := make([]map[string]uint64, length)
-	for c := range out {
-		m := make(map[string]uint64, len(pis))
-		for _, name := range pis {
-			m[name] = l.Next()
-		}
-		out[c] = m
-	}
-	return out
+	return toMaps(pis, SequenceBlocks(len(pis), length, seed))
 }
 
 // Holding returns stimulus where selected inputs are held at fixed values
-// while the rest are random — the pattern shape used with control points
-// (hold the force inputs, randomize the functional ones).
+// while the rest are random; held names outside pis are added to the
+// maps. Compatibility wrapper over RandomBlocks.
 func Holding(pis []string, hold map[string]uint64, nWords int, seed int64) []map[string]uint64 {
-	pats := Random(pis, nWords, seed)
+	pats := toMaps(pis, RandomBlocks(len(pis), nWords, seed))
 	for _, m := range pats {
 		for k, v := range hold {
 			m[k] = v
