@@ -7,6 +7,7 @@
 //	benchrepro -all
 //	benchrepro -table1 -fig5 -designs "s9234,MIPS R2000,DES" -effort 1.0
 //	benchrepro -json              # sim micro-bench → BENCH_sim.json
+//	benchrepro -json-service      # campaign-service load test → BENCH_service.json
 package main
 
 import (
@@ -16,6 +17,7 @@ import (
 	"os"
 	"strings"
 
+	"fpgadbg/internal/bench"
 	"fpgadbg/internal/experiments"
 )
 
@@ -30,6 +32,10 @@ func main() {
 		jsonBench = flag.Bool("json", false, "run the simulator micro-benchmark and write BENCH_sim.json")
 		jsonOut   = flag.String("json-out", "BENCH_sim.json", "output path for -json")
 		simCycles = flag.Int("sim-cycles", 256, "stimulus depth of the -json micro-benchmark")
+		jsonSvc   = flag.Bool("json-service", false, "run the campaign-service load test and write BENCH_service.json")
+		svcOut    = flag.String("json-service-out", "BENCH_service.json", "output path for -json-service")
+		svcN      = flag.Int("service-campaigns", 64, "campaigns in the -json-service burst")
+		svcW      = flag.Int("service-workers", 0, "service worker pool for -json-service (0 = GOMAXPROCS)")
 		all       = flag.Bool("all", false, "run every table, figure and ablation")
 		effort    = flag.Float64("effort", 0.5, "placement effort (1.0 = full anneal)")
 		seed      = flag.Int64("seed", 1, "random seed")
@@ -40,19 +46,25 @@ func main() {
 	if *all {
 		*table1, *fig3, *fig4, *fig5, *ablations = true, true, true, true, true
 	}
-	if !*table1 && !*fig3 && !*fig4 && !*fig5 && !*ablations && *faultsN == 0 && !*jsonBench {
+	if !*table1 && !*fig3 && !*fig4 && !*fig5 && !*ablations && *faultsN == 0 && !*jsonBench && !*jsonSvc {
 		flag.Usage()
 		os.Exit(2)
-	}
-	cfg := experiments.Config{PlaceEffort: *effort, Seed: *seed, Workers: *workers}
-	if *designs != "" {
-		for _, d := range strings.Split(*designs, ",") {
-			cfg.Designs = append(cfg.Designs, strings.TrimSpace(d))
-		}
 	}
 	die := func(err error) {
 		fmt.Fprintln(os.Stderr, "benchrepro:", err)
 		os.Exit(1)
+	}
+	cfg := experiments.Config{PlaceEffort: *effort, Seed: *seed, Workers: *workers}
+	if *designs != "" {
+		for _, d := range strings.Split(*designs, ",") {
+			name := strings.TrimSpace(d)
+			// Reject unknown names up front — a silent no-match run looks
+			// like success with empty tables.
+			if _, err := bench.ByName(name); err != nil {
+				die(err)
+			}
+			cfg.Designs = append(cfg.Designs, name)
+		}
 	}
 	if *table1 {
 		rows, err := experiments.Table1(cfg)
@@ -133,5 +145,20 @@ func main() {
 			die(err)
 		}
 		fmt.Printf("wrote %s\n", *jsonOut)
+	}
+	if *jsonSvc {
+		rep, err := experiments.ServiceLoadTest(cfg, *svcN, *svcW)
+		if err != nil {
+			die(err)
+		}
+		fmt.Println(experiments.FormatServiceLoad(rep))
+		blob, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			die(err)
+		}
+		if err := os.WriteFile(*svcOut, append(blob, '\n'), 0o644); err != nil {
+			die(err)
+		}
+		fmt.Printf("wrote %s\n", *svcOut)
 	}
 }

@@ -7,9 +7,16 @@
 // Usage:
 //
 //	fpgadbg -design c880 -fault-seed 3 -tilefrac 0.1
+//
+// With -remote the campaign is submitted to a running fpgadbgd daemon
+// instead of executing in-process; progress events stream back as the
+// daemon works and the result summary is printed when it finishes:
+//
+//	fpgadbg -design c880 -fault-seed 3 -remote http://localhost:8080
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -18,6 +25,7 @@ import (
 	"fpgadbg/internal/core"
 	"fpgadbg/internal/debug"
 	"fpgadbg/internal/faults"
+	"fpgadbg/internal/service"
 	"fpgadbg/internal/synth"
 )
 
@@ -31,15 +39,30 @@ func main() {
 		seed      = flag.Int64("seed", 1, "layout seed")
 		words     = flag.Int("words", 8, "random stimulus blocks (64 patterns each) per detection")
 		cycles    = flag.Int("cycles", 4, "clock cycles per stimulus block")
+		remote    = flag.String("remote", "", "submit to a fpgadbgd daemon at this base URL instead of running locally")
+		priority  = flag.Int("priority", 0, "queue priority for -remote (higher runs first)")
 	)
 	flag.Parse()
 	die := func(err error) {
 		fmt.Fprintln(os.Stderr, "fpgadbg:", err)
 		os.Exit(1)
 	}
+	if *words < 1 || *cycles < 1 {
+		die(fmt.Errorf("-words and -cycles must be >= 1 (got %d, %d)", *words, *cycles))
+	}
 	info, err := bench.ByName(*design)
 	if err != nil {
 		die(err)
+	}
+	if *remote != "" {
+		if err := runRemote(*remote, service.Spec{
+			Design: info.Name, FaultSeed: *faultSeed, Seed: *seed,
+			Overhead: *overhead, TileFrac: *tilefrac, PlaceEffort: *effort,
+			Words: *words, Cycles: *cycles, Priority: *priority,
+		}); err != nil {
+			die(err)
+		}
+		return
 	}
 	fmt.Printf("== %s: synthesize + map ==\n", info.Name)
 	golden, err := synth.TechMap(info.Build())
@@ -106,4 +129,41 @@ func main() {
 	fmt.Printf("one full re-P&R:              %v\n", full)
 	perIter := sess.TileEffort.Work() / float64(iters)
 	fmt.Printf("speedup vs non-tiled per debugging iteration: %.1fx (work)\n", full.Work()/perIter)
+}
+
+// runRemote submits the campaign to a daemon, streams its progress and
+// prints the result summary.
+func runRemote(base string, spec service.Spec) error {
+	ctx := context.Background()
+	cl := &service.Client{Base: base}
+	if err := cl.Healthz(ctx); err != nil {
+		return fmt.Errorf("daemon unreachable: %w", err)
+	}
+	st, err := cl.Submit(ctx, spec)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("== campaign %s submitted to %s ==\n", st.ID, base)
+	if err := cl.Events(ctx, st.ID, func(ev service.Event) {
+		if ev.Round > 0 {
+			fmt.Printf("[%s #%d] %s\n", ev.Stage, ev.Round, ev.Msg)
+		} else {
+			fmt.Printf("[%s] %s\n", ev.Stage, ev.Msg)
+		}
+	}); err != nil {
+		return err
+	}
+	res, err := cl.Wait(ctx, st.ID, 0)
+	if err != nil {
+		return err
+	}
+	fmt.Println("== result ==")
+	fmt.Printf("injected error: %s\n", res.Injected)
+	fmt.Printf("detected=%v clean=%v iterations=%d rounds=%d probes=%d fixed=%v\n",
+		res.Detected, res.Clean, res.Iterations, res.Rounds, res.ProbesInserted, res.Fixed)
+	fmt.Printf("tile-local work %.0f vs full re-P&R %.0f — %.1fx per physical update\n",
+		res.TileWork, res.FullWork, res.SpeedupPerIter)
+	fmt.Printf("artifact cache: %d hit(s), %d miss(es); wall %.1fms; digest %s\n",
+		res.CacheHits, res.CacheMisses, res.WallMs, res.Digest)
+	return nil
 }

@@ -1,0 +1,99 @@
+// Command fpgadbgd is the debugging-campaign daemon: a long-running HTTP
+// server that schedules concurrent detect → localize → correct campaigns
+// over a bounded worker pool and a content-addressed artifact cache, so a
+// fleet of clients debugging the same designs shares synthesis, placement
+// and compiled-simulator work.
+//
+// Usage:
+//
+//	fpgadbgd -addr :8080 -workers 8 -cache-mb 256
+//
+// API (JSON; see internal/service):
+//
+//	POST /campaigns               {"design":"c880","fault_seed":3}
+//	GET  /campaigns               list
+//	GET  /campaigns/{id}          status + result
+//	GET  /campaigns/{id}/events   NDJSON progress stream
+//	POST /campaigns/{id}/cancel   cancel
+//	GET  /healthz                 liveness
+//	GET  /metrics                 expvar, service stats under "fpgadbgd"
+//
+// Submit one campaign from the shell:
+//
+//	curl -s -X POST localhost:8080/campaigns -d '{"design":"9sym","fault_seed":1}'
+//	curl -s localhost:8080/campaigns/c000001
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"fpgadbg/internal/service"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		workers    = flag.Int("workers", 0, "concurrent campaign workers (0 = GOMAXPROCS)")
+		cacheMB    = flag.Int64("cache-mb", 256, "artifact cache byte budget in MiB")
+		cacheEntry = flag.Int("cache-entries", 512, "artifact cache entry budget")
+	)
+	flag.Parse()
+
+	svc := service.New(service.Config{
+		Workers:      *workers,
+		CacheBytes:   *cacheMB << 20,
+		CacheEntries: *cacheEntry,
+	})
+	server := &http.Server{
+		Addr:    *addr,
+		Handler: logRequests(svc.Handler()),
+		// No write timeout: /campaigns/{id}/events streams for a
+		// campaign's lifetime. Header/read timeouts stop slow-client
+		// connection pinning.
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("fpgadbgd: listening on %s (workers=%d, cache=%dMiB)",
+			*addr, svc.Stats().Workers, *cacheMB)
+		errCh <- server.ListenAndServe()
+	}()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigCh:
+		log.Printf("fpgadbgd: %v — shutting down", sig)
+	case err := <-errCh:
+		if !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "fpgadbgd:", err)
+			os.Exit(1)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	server.Shutdown(ctx) //nolint:errcheck // best-effort drain
+	svc.Close()
+	log.Printf("fpgadbgd: stopped")
+}
+
+// logRequests is a minimal access log.
+func logRequests(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		next.ServeHTTP(w, r)
+		log.Printf("%s %s %s", r.Method, r.URL.Path, time.Since(start).Round(time.Microsecond))
+	})
+}

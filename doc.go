@@ -18,8 +18,9 @@
 // (internal/faults) and pattern generation (internal/testgen),
 // engineering-change tracing (internal/eco), partial bitstream generation
 // (internal/bitstream), FM partitioning (internal/partition), the nine
-// benchmark generators (internal/bench), and the evaluation harness
-// (internal/experiments).
+// benchmark generators (internal/bench), the evaluation harness
+// (internal/experiments), and the concurrent debug-campaign service
+// (internal/service) served over HTTP by cmd/fpgadbgd.
 //
 // See DESIGN.md for the system inventory (the compiled emulation
 // substrate is §3) and EXPERIMENTS.md for paper-versus-measured results.

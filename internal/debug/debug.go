@@ -13,7 +13,9 @@
 package debug
 
 import (
+	"context"
 	"fmt"
+	"hash/fnv"
 	"sort"
 
 	"fpgadbg/internal/core"
@@ -24,11 +26,42 @@ import (
 	"fpgadbg/internal/testgen"
 )
 
+// Event is one progress notification emitted while a session works; the
+// campaign service streams these to clients as they happen.
+type Event struct {
+	// Stage is "detect", "localize", "correct" or "loop".
+	Stage string
+	// Round is the localization round or loop iteration (1-based), 0
+	// where it does not apply.
+	Round int
+	Msg   string
+}
+
+// TraceStore caches golden reference traces across sessions. Keys are
+// content addresses (golden fingerprint + stimulus hash), so any campaign
+// on the same golden design replays the same detection stimulus for free.
+// Stored traces are shared — callers must treat them as read-only.
+type TraceStore interface {
+	GetTrace(key string) (*sim.Trace, bool)
+	PutTrace(key string, tr *sim.Trace)
+}
+
 // Session is one debugging campaign.
 type Session struct {
 	Golden *netlist.Netlist
 	Layout *core.Layout
 	Seed   int64
+
+	// Ctx, when set, cancels the campaign between replay and CAD steps;
+	// long loops return Ctx.Err() wrapped. Nil means never canceled.
+	Ctx context.Context
+	// Progress, when set, receives an Event at each stage and round.
+	// Called synchronously from the session's goroutine.
+	Progress func(Event)
+	// Traces, when set, memoizes probe-free golden reference traces by
+	// content address, so repeated detections of the same golden design
+	// (within this session or across concurrent sessions) replay once.
+	Traces TraceStore
 
 	// TileEffort accumulates all tile-local CAD work spent by this
 	// session (observation inserts + corrections).
@@ -41,6 +74,8 @@ type Session struct {
 	// golden netlist never mutates; the implementation does, so it is
 	// recompiled per comparison).
 	golden *sim.Machine
+	// goldenFP caches the golden netlist's fingerprint for trace keys.
+	goldenFP string
 }
 
 // NewSession pairs a golden netlist with an implementation layout. The
@@ -52,6 +87,60 @@ func NewSession(golden *netlist.Netlist, layout *core.Layout, seed int64) (*Sess
 		return nil, fmt.Errorf("debug: nil golden or layout")
 	}
 	return &Session{Golden: golden, Layout: layout, Seed: seed}, nil
+}
+
+// SetGoldenMachine supplies a pre-compiled machine for the golden design —
+// typically a Fork of a cached compile — instead of compiling one in the
+// first comparison. The machine must have been compiled from (a clone of)
+// s.Golden and must be private to this session.
+func (s *Session) SetGoldenMachine(m *sim.Machine) { s.golden = m }
+
+// SetGoldenFingerprint supplies a precomputed content fingerprint of the
+// golden netlist for trace-cache keys, saving the per-session hash when
+// the caller (the campaign service) already has it.
+func (s *Session) SetGoldenFingerprint(fp string) { s.goldenFP = fp }
+
+// interrupted returns the context error once the session's context is
+// canceled; checked between replay and CAD steps.
+func (s *Session) interrupted() error {
+	if s.Ctx == nil {
+		return nil
+	}
+	if err := s.Ctx.Err(); err != nil {
+		return fmt.Errorf("debug: campaign canceled: %w", err)
+	}
+	return nil
+}
+
+// emit delivers one progress event if a listener is attached.
+func (s *Session) emit(stage string, round int, format string, args ...any) {
+	if s.Progress != nil {
+		s.Progress(Event{Stage: stage, Round: round, Msg: fmt.Sprintf(format, args...)})
+	}
+}
+
+// goldenTraceKey content-addresses a probe-free golden replay: the golden
+// design's fingerprint plus a hash of the stimulus sequence.
+func (s *Session) goldenTraceKey(seq [][]uint64) string {
+	if s.goldenFP == "" {
+		s.goldenFP = s.Golden.Fingerprint()
+	}
+	h := fnv.New64a()
+	var b [8]byte
+	wr := func(v uint64) {
+		for i := range b {
+			b[i] = byte(v >> (8 * i))
+		}
+		h.Write(b[:])
+	}
+	wr(uint64(len(seq)))
+	for _, row := range seq {
+		wr(uint64(len(row)))
+		for _, w := range row {
+			wr(w)
+		}
+	}
+	return fmt.Sprintf("trace/%s/%016x", s.goldenFP, h.Sum64())
 }
 
 // Detection is the outcome of one detect step.
@@ -73,6 +162,12 @@ type Detection struct {
 // are held at zero through the machine's override list;
 // implementation-only outputs are ignored.
 func (s *Session) Detect(words, cycles int) (*Detection, error) {
+	if words < 1 || cycles < 1 {
+		return nil, fmt.Errorf("debug: detection needs words and cycles >= 1 (got %d, %d)", words, cycles)
+	}
+	if err := s.interrupted(); err != nil {
+		return nil, err
+	}
 	goldenPIs := s.Golden.SortedPINames()
 	blocks := testgen.RandomBlocks(len(goldenPIs), words, s.Seed)
 	seq := testgen.Repeat(blocks, cycles)
@@ -105,6 +200,9 @@ func (s *Session) goldenMachine() (*sim.Machine, error) {
 // probe k's streams diverged (probes missing from either design are
 // skipped and report false).
 func (s *Session) compare(seq [][]uint64, probeNames []string) (badPOs []string, differ []bool, err error) {
+	if err := s.interrupted(); err != nil {
+		return nil, nil, err
+	}
 	mg, err := s.goldenMachine()
 	if err != nil {
 		return nil, nil, err
@@ -170,7 +268,21 @@ func (s *Session) compare(seq [][]uint64, probeNames []string) (badPOs []string,
 	if err := mi.Probe(iProbes...); err != nil {
 		return nil, nil, err
 	}
-	tg := mg.RunTrace(seq)
+	// Probe-free golden replays depend only on (golden design, stimulus)
+	// and are memoized by content address when a TraceStore is attached;
+	// cached traces are shared and read-only.
+	var tg *sim.Trace
+	if s.Traces != nil && len(gProbes) == 0 {
+		key := s.goldenTraceKey(seq)
+		if hit, ok := s.Traces.GetTrace(key); ok && hit.Cycles == len(seq) && hit.NumPOs == len(mg.PONames()) {
+			tg = hit
+		} else {
+			tg = mg.RunTrace(seq)
+			s.Traces.PutTrace(key, tg)
+		}
+	} else {
+		tg = mg.RunTrace(seq)
+	}
 	ti := mi.RunTrace(seq)
 	bad := make(map[string]bool)
 	for c := 0; c < len(seq); c++ {
@@ -242,7 +354,11 @@ func (s *Session) Localize(det *Detection, maxRounds, probesPerRound int) (*Diag
 	}
 	diag := &Diagnosis{}
 	probed := make(map[string]bool)
+	s.emit("localize", 0, "initial suspect cone: %d cells", len(suspects))
 	for round := 0; round < maxRounds && len(suspects) > 1; round++ {
+		if err := s.interrupted(); err != nil {
+			return nil, err
+		}
 		targets := s.pickProbes(suspects, probed, probesPerRound)
 		if len(targets) == 0 {
 			break
@@ -286,6 +402,7 @@ func (s *Session) Localize(det *Detection, maxRounds, probesPerRound int) (*Diag
 				suspects = keep
 			}
 		}
+		s.emit("localize", diag.Rounds, "%d observation stages in, %d suspects remain", diag.Probes, len(suspects))
 	}
 	for name := range suspects {
 		diag.Suspects = append(diag.Suspects, name)
@@ -394,6 +511,9 @@ type Correction struct {
 // consulted (the paper's designer would consult the HDL; our golden model
 // plays that role).
 func (s *Session) Correct(diag *Diagnosis, det *Detection) (*Correction, error) {
+	if err := s.interrupted(); err != nil {
+		return nil, err
+	}
 	nl := s.Layout.NL
 	changes := eco.Diff(s.Golden, nl)
 	differing := make(map[string]string) // name -> kind
@@ -447,6 +567,7 @@ func (s *Session) Correct(diag *Diagnosis, det *Detection) (*Correction, error) 
 		}
 		modified = append(modified, iid)
 	}
+	s.emit("correct", 0, "repairing %d cell(s) from the golden model", len(toFix))
 	rep, err := s.Layout.ApplyDelta(core.Delta{Modified: modified})
 	if err != nil {
 		return nil, err
@@ -475,18 +596,42 @@ type LoopReport struct {
 }
 
 // RunLoop executes detect→localize→correct until the design is clean or
-// maxIters is exhausted — the paper's while-loop (steps 9–22).
+// maxIters is exhausted — the paper's while-loop (steps 9–22) — then
+// measures the full re-place-and-route baseline for comparison.
 func (s *Session) RunLoop(maxIters, words, cycles, maxRounds, probesPerRound int) (*LoopReport, error) {
+	rep, err := s.RunLoopCore(maxIters, words, cycles, maxRounds, probesPerRound)
+	if err != nil {
+		return nil, err
+	}
+	full, err := s.Layout.FullRePlaceRoute(s.Seed + 1000)
+	if err != nil {
+		return nil, err
+	}
+	rep.FullEffort = full
+	return rep, nil
+}
+
+// RunLoopCore is RunLoop without the trailing baseline measurement
+// (LoopReport.FullEffort stays zero). The campaign service uses it and
+// fills the baseline from its artifact cache instead of re-measuring per
+// campaign.
+func (s *Session) RunLoopCore(maxIters, words, cycles, maxRounds, probesPerRound int) (*LoopReport, error) {
 	rep := &LoopReport{}
 	for iter := 0; iter < maxIters; iter++ {
+		if err := s.interrupted(); err != nil {
+			return nil, err
+		}
+		s.emit("detect", iter+1, "replaying %d blocks × %d cycles", words, cycles)
 		det, err := s.Detect(words, cycles)
 		if err != nil {
 			return nil, err
 		}
 		if !det.Failed {
+			s.emit("loop", iter+1, "detection passes — design clean")
 			rep.Clean = true
 			break
 		}
+		s.emit("detect", iter+1, "FAILED outputs %v", det.FailingOutputs)
 		rep.Iterations++
 		diag, err := s.Localize(det, maxRounds, probesPerRound)
 		if err != nil {
@@ -498,16 +643,12 @@ func (s *Session) RunLoop(maxIters, words, cycles, maxRounds, probesPerRound int
 			return nil, err
 		}
 		rep.Corrections = append(rep.Corrections, cor)
+		s.emit("correct", iter+1, "fixed %v, verified=%v", cor.Fixed, cor.Verified)
 		if cor.Verified {
 			rep.Clean = true
 			break
 		}
 	}
 	rep.TileEffort = s.TileEffort
-	full, err := s.Layout.FullRePlaceRoute(s.Seed + 1000)
-	if err != nil {
-		return nil, err
-	}
-	rep.FullEffort = full
 	return rep, nil
 }

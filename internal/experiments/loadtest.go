@@ -1,0 +1,264 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"fpgadbg/internal/service"
+)
+
+// The service load test: hammer an in-process campaign service with a
+// concurrent burst of debugging campaigns over a small design mix and
+// measure what the artifact cache and worker pool buy — throughput,
+// sojourn-latency percentiles, the hit-vs-miss service-time speedup, and
+// determinism of results under concurrency. cmd/benchrepro -json-service
+// serializes the report to BENCH_service.json so the service's
+// performance trajectory is tracked across PRs.
+
+// LatencyMs summarizes a latency sample in milliseconds.
+type LatencyMs struct {
+	P50  float64 `json:"p50"`
+	P90  float64 `json:"p90"`
+	P99  float64 `json:"p99"`
+	Mean float64 `json:"mean"`
+	Max  float64 `json:"max"`
+}
+
+func summarize(ms []float64) LatencyMs {
+	if len(ms) == 0 {
+		return LatencyMs{}
+	}
+	sorted := append([]float64(nil), ms...)
+	sort.Float64s(sorted)
+	pick := func(q float64) float64 {
+		i := int(q * float64(len(sorted)-1))
+		return sorted[i]
+	}
+	return LatencyMs{
+		P50: pick(0.50), P90: pick(0.90), P99: pick(0.99),
+		Mean: mean(sorted), Max: sorted[len(sorted)-1],
+	}
+}
+
+// ServiceLoadReport is the outcome of one load-test run.
+type ServiceLoadReport struct {
+	Campaigns     int `json:"campaigns"`
+	DistinctSpecs int `json:"distinct_specs"`
+	Workers       int `json:"workers"`
+	// Cold phase: fresh service, empty cache, all campaigns submitted in
+	// one burst. Latency is sojourn time (submit → finished, queueing
+	// included); ServiceTime is the worker-side wall per campaign.
+	ColdWallMs      float64   `json:"cold_wall_ms"`
+	ColdThroughput  float64   `json:"cold_campaigns_per_sec"`
+	ColdLatency     LatencyMs `json:"cold_latency_ms"`
+	ColdServiceTime LatencyMs `json:"cold_service_time_ms"`
+	// Warm phase: the identical burst resubmitted to the same service —
+	// every artifact get hits.
+	WarmWallMs      float64   `json:"warm_wall_ms"`
+	WarmThroughput  float64   `json:"warm_campaigns_per_sec"`
+	WarmLatency     LatencyMs `json:"warm_latency_ms"`
+	WarmServiceTime LatencyMs `json:"warm_service_time_ms"`
+	// MissMeanMs / HitMeanMs split cold-phase service time by whether the
+	// campaign had to build at least one artifact; CacheSpeedup is their
+	// ratio — the measured hit-vs-miss effect of the content-addressed
+	// cache (synth/place/compile skipped).
+	MissMeanMs   float64 `json:"miss_mean_ms"`
+	HitMeanMs    float64 `json:"hit_mean_ms"`
+	CacheSpeedup float64 `json:"cache_speedup"`
+	// Clean counts campaigns that converged to a passing design (out of
+	// 2×Campaigns runs).
+	Clean int `json:"clean"`
+	// Deterministic: within each phase, repeats of the same spec produced
+	// identical result digests. SeedStable: an independent fresh service
+	// reproduced the cold phase's digests exactly.
+	Deterministic bool               `json:"deterministic"`
+	SeedStable    bool               `json:"seed_stable"`
+	Cache         service.CacheStats `json:"cache"`
+}
+
+// loadSpecs builds the campaign mix: fault seeds 1..4 over the design
+// set, cycled until n campaigns. cfg.Designs filters the mix (default:
+// the three small designs, keeping the standard run fast); cfg.Seed
+// drives layout and stimulus randomness in every spec.
+func loadSpecs(n int, cfg Config) []service.Spec {
+	designs := cfg.Designs
+	if len(designs) == 0 {
+		designs = []string{"9sym", "c880", "styr"}
+	}
+	var distinct []service.Spec
+	for _, d := range designs {
+		for fs := int64(1); fs <= 4; fs++ {
+			distinct = append(distinct, service.Spec{
+				Design: d, FaultSeed: fs, Seed: cfg.Seed,
+				PlaceEffort: cfg.PlaceEffort, TileFrac: 0.25, Words: 4, Cycles: 2,
+			})
+		}
+	}
+	out := make([]service.Spec, n)
+	for i := range out {
+		out[i] = distinct[i%len(distinct)]
+	}
+	return out
+}
+
+func loadSpecKey(sp service.Spec) string {
+	return fmt.Sprintf("%s/%d", sp.Design, sp.FaultSeed)
+}
+
+// runBurst submits every spec at once and waits for all results,
+// returning per-campaign sojourn latencies, service times and digests.
+func runBurst(svc *service.Service, specs []service.Spec) (sojournMs, serviceMs []float64, digests map[string]string, results []*service.Result, err error) {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+	ids := make([]string, len(specs))
+	for i, sp := range specs {
+		id, err := svc.Submit(sp)
+		if err != nil {
+			return nil, nil, nil, nil, err
+		}
+		ids[i] = id
+	}
+	digests = make(map[string]string)
+	for i, id := range ids {
+		res, err := svc.Wait(ctx, id)
+		if err != nil {
+			return nil, nil, nil, nil, fmt.Errorf("experiments: campaign %s (%s): %w", id, loadSpecKey(specs[i]), err)
+		}
+		st, err := svc.Status(id)
+		if err != nil {
+			return nil, nil, nil, nil, err
+		}
+		sojournMs = append(sojournMs, float64(st.Finished.Sub(st.Queued).Microseconds())/1000)
+		serviceMs = append(serviceMs, res.WallMs)
+		key := loadSpecKey(specs[i])
+		if prev, ok := digests[key]; ok && prev != res.Digest {
+			digests[key] = "NONDETERMINISTIC"
+		} else if !ok {
+			digests[key] = res.Digest
+		}
+		results = append(results, res)
+	}
+	return sojournMs, serviceMs, digests, results, nil
+}
+
+// ServiceLoadTest runs the cold burst, the warm burst and the
+// seed-stability re-run. campaigns defaults to 64, workers to the
+// service default (GOMAXPROCS).
+func ServiceLoadTest(cfg Config, campaigns, workers int) (*ServiceLoadReport, error) {
+	cfg = cfg.withDefaults()
+	if campaigns <= 0 {
+		campaigns = 64
+	}
+	specs := loadSpecs(campaigns, cfg)
+	distinct := make(map[string]bool)
+	for _, sp := range specs {
+		distinct[loadSpecKey(sp)] = true
+	}
+
+	svc := service.New(service.Config{Workers: workers})
+	defer svc.Close()
+	rep := &ServiceLoadReport{
+		Campaigns:     campaigns,
+		DistinctSpecs: len(distinct),
+		Workers:       svc.Stats().Workers,
+		Deterministic: true,
+	}
+
+	// Cold burst.
+	start := time.Now()
+	sojourn, svcTime, coldDigests, coldResults, err := runBurst(svc, specs)
+	if err != nil {
+		return nil, err
+	}
+	coldWall := time.Since(start)
+	rep.ColdWallMs = float64(coldWall.Microseconds()) / 1000
+	rep.ColdThroughput = float64(campaigns) / coldWall.Seconds()
+	rep.ColdLatency = summarize(sojourn)
+	rep.ColdServiceTime = summarize(svcTime)
+	// Only campaigns that actually built an artifact count as misses.
+	// Cold-phase campaigns with CacheMisses == 0 latched onto a sibling's
+	// in-flight build (singleflight) and paid most of its wall time, so
+	// they belong to neither side of the hit-vs-miss comparison; genuine
+	// hit times come from the warm phase below.
+	var missMs, hitMs []float64
+	for i, res := range coldResults {
+		if res.Clean {
+			rep.Clean++
+		}
+		if res.CacheMisses > 0 {
+			missMs = append(missMs, svcTime[i])
+		}
+	}
+	rep.MissMeanMs = mean(missMs)
+
+	// Warm burst: identical specs, cache fully resident.
+	start = time.Now()
+	sojourn, svcTime, warmDigests, warmResults, err := runBurst(svc, specs)
+	if err != nil {
+		return nil, err
+	}
+	warmWall := time.Since(start)
+	rep.WarmWallMs = float64(warmWall.Microseconds()) / 1000
+	rep.WarmThroughput = float64(campaigns) / warmWall.Seconds()
+	rep.WarmLatency = summarize(sojourn)
+	rep.WarmServiceTime = summarize(svcTime)
+	for i, res := range warmResults {
+		if res.Clean {
+			rep.Clean++
+		}
+		if res.CacheMisses == 0 {
+			hitMs = append(hitMs, svcTime[i])
+		}
+	}
+	rep.HitMeanMs = mean(hitMs)
+	if rep.HitMeanMs > 0 {
+		rep.CacheSpeedup = rep.MissMeanMs / rep.HitMeanMs
+	}
+	rep.Cache = svc.Cache().Stats()
+
+	for key, d := range coldDigests {
+		if d == "NONDETERMINISTIC" || warmDigests[key] != d {
+			rep.Deterministic = false
+		}
+	}
+
+	// Seed stability: a fresh service must reproduce every digest.
+	svc2 := service.New(service.Config{Workers: workers})
+	defer svc2.Close()
+	_, _, digests2, _, err := runBurst(svc2, specs)
+	if err != nil {
+		return nil, err
+	}
+	rep.SeedStable = true
+	for key, d := range coldDigests {
+		if digests2[key] != d {
+			rep.SeedStable = false
+		}
+	}
+	return rep, nil
+}
+
+// FormatServiceLoad renders the report.
+func FormatServiceLoad(r *ServiceLoadReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Service load test: %d campaigns (%d distinct specs) over %d workers\n",
+		r.Campaigns, r.DistinctSpecs, r.Workers)
+	fmt.Fprintf(&b, "%-6s %10s %12s %28s %28s\n", "phase", "wall", "throughput", "sojourn p50/p90/p99 (ms)", "service p50/p90/p99 (ms)")
+	row := func(name string, wallMs, thr float64, lat, st LatencyMs) {
+		fmt.Fprintf(&b, "%-6s %9.0fms %9.1f/s %12.1f %6.1f %6.1f %12.1f %6.1f %6.1f\n",
+			name, wallMs, thr, lat.P50, lat.P90, lat.P99, st.P50, st.P90, st.P99)
+	}
+	row("cold", r.ColdWallMs, r.ColdThroughput, r.ColdLatency, r.ColdServiceTime)
+	row("warm", r.WarmWallMs, r.WarmThroughput, r.WarmLatency, r.WarmServiceTime)
+	fmt.Fprintf(&b, "artifact cache: %d hits, %d misses, %d dedups, %d evictions (%d entries, %.1f MiB)\n",
+		r.Cache.Hits, r.Cache.Misses, r.Cache.Dedups, r.Cache.Evictions,
+		r.Cache.Entries, float64(r.Cache.Bytes)/(1<<20))
+	fmt.Fprintf(&b, "hit-vs-miss service time: %.1fms vs %.1fms — %.1fx from the cache\n",
+		r.HitMeanMs, r.MissMeanMs, r.CacheSpeedup)
+	fmt.Fprintf(&b, "clean %d/%d, deterministic=%v, seed-stable=%v\n",
+		r.Clean, 2*r.Campaigns, r.Deterministic, r.SeedStable)
+	return b.String()
+}

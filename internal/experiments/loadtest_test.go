@@ -1,0 +1,39 @@
+package experiments
+
+import "testing"
+
+func TestServiceLoadTestSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load test in -short mode")
+	}
+	rep, err := ServiceLoadTest(Config{PlaceEffort: 0.3}, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Campaigns != 8 || rep.Workers != 4 {
+		t.Fatalf("shape: %+v", rep)
+	}
+	if !rep.Deterministic || !rep.SeedStable {
+		t.Fatalf("results not reproducible: deterministic=%v seed-stable=%v",
+			rep.Deterministic, rep.SeedStable)
+	}
+	if rep.Clean != 2*rep.Campaigns {
+		t.Fatalf("%d/%d campaigns clean", rep.Clean, 2*rep.Campaigns)
+	}
+	if rep.Cache.Hits == 0 || rep.CacheSpeedup <= 1 {
+		t.Fatalf("cache ineffective: %+v", rep)
+	}
+	if rep.ColdThroughput <= 0 || rep.WarmThroughput <= 0 {
+		t.Fatalf("throughput not measured: %+v", rep)
+	}
+}
+
+func TestSummarizePercentiles(t *testing.T) {
+	s := summarize([]float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	if s.P50 != 5 || s.Max != 10 || s.P99 != 9 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if z := summarize(nil); z.Mean != 0 {
+		t.Fatalf("empty summary = %+v", z)
+	}
+}

@@ -1,0 +1,60 @@
+package netlist
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+)
+
+// Fingerprint returns a stable content hash of the netlist: a hex-encoded
+// SHA-256 over every live cell (name, kind, init, function cubes, fanin
+// net names), every live net name, and the PI/PO sets. Two netlists built
+// the same way hash identically regardless of tombstones left behind by
+// prior edits, so the fingerprint is a content address — the campaign
+// service keys its artifact cache (mapped netlists, compiled simulators,
+// layouts, golden traces) on it. Logically equivalent but structurally
+// different designs may hash differently; for a cache key that only costs
+// a miss, never a wrong hit.
+func (n *Netlist) Fingerprint() string {
+	h := sha256.New()
+	var scratch [8]byte
+	wInt := func(v uint64) {
+		binary.LittleEndian.PutUint64(scratch[:], v)
+		h.Write(scratch[:])
+	}
+	wStr := func(s string) {
+		wInt(uint64(len(s)))
+		h.Write([]byte(s))
+	}
+	wStr(n.Name)
+	for ci := range n.Cells {
+		c := &n.Cells[ci]
+		if c.Dead {
+			continue
+		}
+		wStr(c.Name)
+		wInt(uint64(c.Kind))
+		wInt(uint64(c.Init))
+		wInt(uint64(c.Func.N))
+		wInt(uint64(len(c.Func.Cubes)))
+		for _, cu := range c.Func.Cubes {
+			wInt(cu.Mask)
+			wInt(cu.Val)
+		}
+		wInt(uint64(len(c.Fanin)))
+		for _, f := range c.Fanin {
+			wStr(n.Nets[f].Name)
+		}
+		wStr(n.Nets[c.Out].Name)
+	}
+	wInt(uint64(len(n.PIs)))
+	for _, name := range n.SortedPINames() {
+		wStr(name)
+	}
+	wInt(uint64(len(n.POs)))
+	for _, name := range n.SortedPONames() {
+		wStr(name)
+	}
+	sum := h.Sum(nil)
+	return hex.EncodeToString(sum[:16])
+}

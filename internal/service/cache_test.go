@@ -1,0 +1,180 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func buildVal(v string, bytes int64) func() (any, int64, error) {
+	return func() (any, int64, error) { return v, bytes, nil }
+}
+
+func TestCacheHitMissEviction(t *testing.T) {
+	tests := []struct {
+		name       string
+		maxEntries int
+		maxBytes   int64
+		steps      []string // keys inserted in order, 100 bytes each
+		wantLive   []string
+		wantGone   []string
+		wantEvict  int64
+	}{
+		{
+			name:       "entry budget evicts LRU",
+			maxEntries: 2,
+			steps:      []string{"a", "b", "c"},
+			wantLive:   []string{"b", "c"},
+			wantGone:   []string{"a"},
+			wantEvict:  1,
+		},
+		{
+			name:     "byte budget evicts LRU",
+			maxBytes: 250, // 100 bytes per entry: third insert overflows
+			steps:    []string{"a", "b", "c"},
+			wantLive: []string{"b", "c"},
+			wantGone: []string{"a"},
+			// c pushes bytes to 300 > 250, evicting a.
+			wantEvict: 1,
+		},
+		{
+			name:       "touch refreshes recency",
+			maxEntries: 2,
+			steps:      []string{"a", "b", "a", "c"}, // re-get of a makes b the LRU
+			wantLive:   []string{"a", "c"},
+			wantGone:   []string{"b"},
+			wantEvict:  1,
+		},
+		{
+			name:     "unbounded keeps everything",
+			steps:    []string{"a", "b", "c", "d"},
+			wantLive: []string{"a", "b", "c", "d"},
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			c := NewCache(tc.maxEntries, tc.maxBytes)
+			for _, key := range tc.steps {
+				if _, _, err := c.GetOrBuild(key, buildVal("v:"+key, 100)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for _, key := range tc.wantLive {
+				if v, ok := c.Get(key); !ok || v != "v:"+key {
+					t.Errorf("key %q missing or wrong: %v %v", key, v, ok)
+				}
+			}
+			for _, key := range tc.wantGone {
+				if _, ok := c.Get(key); ok {
+					t.Errorf("key %q should have been evicted", key)
+				}
+			}
+			if st := c.Stats(); st.Evictions != tc.wantEvict {
+				t.Errorf("evictions = %d, want %d", st.Evictions, tc.wantEvict)
+			}
+		})
+	}
+}
+
+func TestCacheStatsCounting(t *testing.T) {
+	c := NewCache(8, 0)
+	if _, hit, _ := c.GetOrBuild("k", buildVal("v", 10)); hit {
+		t.Fatal("first build reported as hit")
+	}
+	if v, hit, _ := c.GetOrBuild("k", func() (any, int64, error) {
+		t.Fatal("builder re-ran on hit")
+		return nil, 0, nil
+	}); !hit || v != "v" {
+		t.Fatalf("expected hit with cached value, got %v %v", v, hit)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 || st.Bytes != 10 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestCacheBuildErrorNotCached(t *testing.T) {
+	c := NewCache(8, 0)
+	boom := errors.New("boom")
+	calls := 0
+	build := func() (any, int64, error) { calls++; return nil, 0, boom }
+	if _, _, err := c.GetOrBuild("k", build); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, _, err := c.GetOrBuild("k", build); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if calls != 2 {
+		t.Fatalf("failed build cached: %d calls", calls)
+	}
+	if st := c.Stats(); st.Entries != 0 {
+		t.Fatalf("error left an entry: %+v", st)
+	}
+}
+
+func TestCacheSingleflight(t *testing.T) {
+	c := NewCache(8, 0)
+	var builds atomic.Int32
+	release := make(chan struct{})
+	build := func() (any, int64, error) {
+		builds.Add(1)
+		<-release
+		return "shared", 10, nil
+	}
+	const waiters = 16
+	var wg sync.WaitGroup
+	vals := make([]any, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, _, err := c.GetOrBuild("k", build)
+			if err != nil {
+				t.Error(err)
+			}
+			vals[i] = v
+		}(i)
+	}
+	// Give every goroutine a chance to reach the cache before the single
+	// build completes.
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	wg.Wait()
+	if n := builds.Load(); n != 1 {
+		t.Fatalf("builder ran %d times, want 1", n)
+	}
+	for i, v := range vals {
+		if v != "shared" {
+			t.Fatalf("waiter %d got %v", i, v)
+		}
+	}
+	if st := c.Stats(); st.Dedups != waiters-1 {
+		t.Fatalf("dedups = %d, want %d (stats %+v)", st.Dedups, waiters-1, st)
+	}
+}
+
+func TestCacheConcurrentDistinctKeys(t *testing.T) {
+	c := NewCache(0, 0)
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			key := fmt.Sprintf("k%d", i%8)
+			for j := 0; j < 50; j++ {
+				v, _, err := c.GetOrBuild(key, buildVal(key, 8))
+				if err != nil || v != key {
+					t.Errorf("got %v %v", v, err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if st := c.Stats(); st.Entries != 8 {
+		t.Fatalf("entries = %d, want 8", st.Entries)
+	}
+}

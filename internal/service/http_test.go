@@ -1,0 +1,144 @@
+package service
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestHTTPRoundTrip(t *testing.T) {
+	svc := New(Config{Workers: 2})
+	defer svc.Close()
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+	cl := &Client{Base: srv.URL, HTTP: srv.Client()}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	if err := cl.Healthz(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := cl.Submit(ctx, fastSpec("9sym", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ID == "" || st.State.Terminal() {
+		t.Fatalf("submit status = %+v", st)
+	}
+
+	// Stream events until the campaign completes; the stream must replay
+	// the past and end at "done".
+	var stages []string
+	if err := cl.Events(ctx, st.ID, func(ev Event) {
+		stages = append(stages, ev.Stage)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(stages) == 0 || stages[0] != "queue" || stages[len(stages)-1] != "done" {
+		t.Fatalf("event stages = %v", stages)
+	}
+
+	res, err := cl.Wait(ctx, st.ID, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Clean || res.Digest == "" {
+		t.Fatalf("result = %+v", res)
+	}
+
+	list, err := cl.List(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 1 || list[0].ID != st.ID {
+		t.Fatalf("list = %+v", list)
+	}
+}
+
+func TestHTTPErrors(t *testing.T) {
+	svc := New(Config{Workers: 1})
+	defer svc.Close()
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+	cl := &Client{Base: srv.URL, HTTP: srv.Client()}
+	ctx := context.Background()
+
+	// Unknown design: 400 with the valid names in the message.
+	if _, err := cl.Submit(ctx, Spec{Design: "bogus"}); err == nil {
+		t.Fatal("bogus design accepted over HTTP")
+	} else if !strings.Contains(err.Error(), "9sym") {
+		t.Fatalf("error does not list valid designs: %v", err)
+	}
+
+	// Unknown campaign: 404.
+	if _, err := cl.Status(ctx, "c999999"); err == nil {
+		t.Fatal("unknown campaign id accepted")
+	}
+	resp, err := srv.Client().Get(srv.URL + "/campaigns/c999999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status = %d, want 404", resp.StatusCode)
+	}
+
+	// Malformed JSON: 400.
+	resp, err = srv.Client().Post(srv.URL+"/campaigns", "application/json", strings.NewReader("{"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestHTTPCancelAndMetrics(t *testing.T) {
+	svc := New(Config{Workers: 1})
+	defer svc.Close()
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+	cl := &Client{Base: srv.URL, HTTP: srv.Client()}
+	ctx := context.Background()
+
+	blocker, err := cl.Submit(ctx, fastSpec("styr", 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim, err := cl.Submit(ctx, fastSpec("c880", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Cancel(ctx, victim.ID); err != nil {
+		t.Fatal(err)
+	}
+	st, err := cl.Status(ctx, victim.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateCanceled {
+		t.Fatalf("state = %s, want canceled", st.State)
+	}
+	if _, err := cl.Wait(ctx, blocker.ID, 10*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status = %d", resp.StatusCode)
+	}
+	buf := make([]byte, 1<<16)
+	n, _ := resp.Body.Read(buf)
+	if !strings.Contains(string(buf[:n]), "fpgadbgd") {
+		t.Fatal("expvar output missing fpgadbgd service stats")
+	}
+}

@@ -1,0 +1,877 @@
+// Package service turns the one-shot debugging loop into a long-running,
+// concurrent campaign server: the production face of the paper's argument
+// that debug productivity is bounded by how fast the
+// detect → localize → correct loop re-spins.
+//
+// A Service owns a bounded worker pool fed by a priority FIFO queue of
+// campaigns, a content-addressed artifact cache (mapped netlists, compiled
+// simulator programs, pristine layouts, full-re-P&R baselines and golden
+// reference traces, keyed by netlist fingerprint + build parameters, with
+// singleflight dedup and LRU + byte-budget eviction), and per-campaign
+// progress events streamed as they happen. Campaigns are cancellable at
+// every stage through contexts threaded into internal/debug.
+//
+// The same typed API (Submit / Status / Events / Wait / Cancel) is served
+// in-process (the load generator in internal/experiments) and over
+// HTTP/JSON by cmd/fpgadbgd (see http.go and client.go).
+package service
+
+import (
+	"container/heap"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"runtime"
+	"strconv"
+	"sync"
+	"time"
+
+	"fpgadbg/internal/bench"
+	"fpgadbg/internal/core"
+	"fpgadbg/internal/debug"
+	"fpgadbg/internal/faults"
+	"fpgadbg/internal/netlist"
+	"fpgadbg/internal/sim"
+	"fpgadbg/internal/synth"
+)
+
+// Spec describes one debugging campaign: which design, which injected
+// error, and the knobs of the loop. Zero values take the documented
+// defaults so an HTTP client can post `{"design":"c880","fault_seed":3}`.
+type Spec struct {
+	// Design is a benchmark catalog name (bench.Catalog).
+	Design string `json:"design"`
+	// FaultSeed selects the injected design error.
+	FaultSeed int64 `json:"fault_seed"`
+	// Seed drives layout and stimulus randomness (default 1).
+	Seed int64 `json:"seed,omitempty"`
+	// Overhead is the tiling resource slack (default 0.20).
+	Overhead float64 `json:"overhead,omitempty"`
+	// TileFrac is the tile size as a device fraction (default 0.10).
+	TileFrac float64 `json:"tile_frac,omitempty"`
+	// PlaceEffort scales annealing work (default 0.5).
+	PlaceEffort float64 `json:"place_effort,omitempty"`
+	// Words and Cycles shape each detection replay (defaults 8 and 4).
+	Words  int `json:"words,omitempty"`
+	Cycles int `json:"cycles,omitempty"`
+	// MaxIters bounds detect→localize→correct iterations (default 4).
+	MaxIters int `json:"max_iters,omitempty"`
+	// MaxRounds bounds observation-insertion rounds (default 4).
+	MaxRounds int `json:"max_rounds,omitempty"`
+	// ProbesPerRound is the observation fan-out per round (default 4).
+	ProbesPerRound int `json:"probes_per_round,omitempty"`
+	// Priority orders the queue: higher runs first; equal priorities are
+	// FIFO.
+	Priority int `json:"priority,omitempty"`
+}
+
+func (sp Spec) withDefaults() Spec {
+	if sp.Seed == 0 {
+		sp.Seed = 1
+	}
+	if sp.Overhead == 0 {
+		sp.Overhead = 0.20
+	}
+	if sp.TileFrac == 0 {
+		sp.TileFrac = 0.10
+	}
+	if sp.PlaceEffort == 0 {
+		sp.PlaceEffort = 0.5
+	}
+	if sp.Words == 0 {
+		sp.Words = 8
+	}
+	if sp.Cycles == 0 {
+		sp.Cycles = 4
+	}
+	if sp.MaxIters == 0 {
+		sp.MaxIters = 4
+	}
+	if sp.MaxRounds == 0 {
+		sp.MaxRounds = 4
+	}
+	if sp.ProbesPerRound == 0 {
+		sp.ProbesPerRound = 4
+	}
+	return sp
+}
+
+// Validate rejects malformed specs before they enter the queue.
+func (sp Spec) Validate() error {
+	if _, err := bench.ByName(sp.Design); err != nil {
+		return err
+	}
+	if sp.Words < 0 || sp.Cycles < 0 {
+		return fmt.Errorf("service: words and cycles must be positive (got %d, %d)", sp.Words, sp.Cycles)
+	}
+	if sp.MaxIters < 0 || sp.MaxRounds < 0 || sp.ProbesPerRound < 0 {
+		return fmt.Errorf("service: loop bounds must be positive")
+	}
+	if sp.Overhead < 0 || sp.Overhead > 1 || sp.TileFrac < 0 || sp.TileFrac > 1 {
+		return fmt.Errorf("service: overhead and tile_frac must lie in (0,1]")
+	}
+	return nil
+}
+
+// layoutKey content-addresses the pristine tiled layout of an
+// implementation netlist under this spec's physical-design knobs. Floats
+// are encoded exactly — truncation would alias distinct parameters onto
+// one key and serve a layout built with the wrong knobs.
+func (sp Spec) layoutKey(implFP string) string {
+	return fmt.Sprintf("layout/%s/o%s-t%s-s%d-e%s",
+		implFP,
+		strconv.FormatFloat(sp.Overhead, 'g', -1, 64),
+		strconv.FormatFloat(sp.TileFrac, 'g', -1, 64),
+		sp.Seed,
+		strconv.FormatFloat(sp.PlaceEffort, 'g', -1, 64))
+}
+
+// State is a campaign's lifecycle position.
+type State string
+
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// Event is one progress notification of a campaign.
+type Event struct {
+	Seq   int    `json:"seq"`
+	Stage string `json:"stage"`
+	Round int    `json:"round,omitempty"`
+	Msg   string `json:"msg"`
+}
+
+// Result is the outcome of a finished campaign. Every field except WallMs
+// is deterministic for a given Spec; Digest hashes those fields so tests
+// and clients can assert seed-stability.
+type Result struct {
+	Design   string `json:"design"`
+	Injected string `json:"injected"`
+	// Detected reports whether the injected error was excited at all;
+	// Clean whether the loop converged to a passing design.
+	Detected   bool `json:"detected"`
+	Clean      bool `json:"clean"`
+	Iterations int  `json:"iterations"`
+	// Rounds and ProbesInserted total the localization work.
+	Rounds         int      `json:"rounds"`
+	ProbesInserted int      `json:"probes_inserted"`
+	Fixed          []string `json:"fixed,omitempty"`
+	// TileWork is the campaign's tile-local CAD effort; FullWork the full
+	// re-place-and-route baseline of the pristine layout (cached, shared
+	// across campaigns on the same design).
+	TileWork float64 `json:"tile_work"`
+	FullWork float64 `json:"full_work"`
+	// SpeedupPerIter is FullWork divided by tile work per physical update.
+	SpeedupPerIter float64 `json:"speedup_per_iter"`
+	// CacheHits / CacheMisses count this campaign's artifact lookups
+	// (golden netlist+simulator artifact, layout, baseline).
+	CacheHits   int     `json:"cache_hits"`
+	CacheMisses int     `json:"cache_misses"`
+	WallMs      float64 `json:"wall_ms"`
+	Digest      string  `json:"digest"`
+}
+
+// digest hashes the deterministic fields.
+func (r *Result) digest() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s|%s|%v|%v|%d|%d|%d|%v|%.0f|%.0f",
+		r.Design, r.Injected, r.Detected, r.Clean, r.Iterations,
+		r.Rounds, r.ProbesInserted, r.Fixed, r.TileWork, r.FullWork)
+	sum := h.Sum(nil)
+	return hex.EncodeToString(sum[:8])
+}
+
+// Status is the externally visible snapshot of a campaign.
+type Status struct {
+	ID       string    `json:"id"`
+	State    State     `json:"state"`
+	Spec     Spec      `json:"spec"`
+	Queued   time.Time `json:"queued"`
+	Started  time.Time `json:"started,omitzero"`
+	Finished time.Time `json:"finished,omitzero"`
+	Events   int       `json:"events"`
+	Error    string    `json:"error,omitempty"`
+	Result   *Result   `json:"result,omitempty"`
+}
+
+// campaign is the internal record.
+type campaign struct {
+	id   string
+	spec Spec
+	seq  int64
+
+	mu       sync.Mutex
+	state    State
+	events   []Event
+	subs     map[chan Event]struct{}
+	err      error
+	result   *Result
+	cancel   context.CancelFunc
+	done     chan struct{}
+	queued   time.Time
+	started  time.Time
+	finished time.Time
+}
+
+// appendEvent records and fans out one event. Subscriber channels are
+// buffered; a subscriber that stops draining loses events rather than
+// blocking the campaign.
+func (c *campaign) appendEvent(stage string, round int, format string, args ...any) {
+	c.mu.Lock()
+	c.appendEventLocked(stage, round, fmt.Sprintf(format, args...))
+	c.mu.Unlock()
+}
+
+// appendEventLocked is appendEvent with c.mu already held.
+func (c *campaign) appendEventLocked(stage string, round int, msg string) {
+	ev := Event{Seq: len(c.events) + 1, Stage: stage, Round: round, Msg: msg}
+	c.events = append(c.events, ev)
+	for ch := range c.subs {
+		select {
+		case ch <- ev:
+		default:
+		}
+	}
+}
+
+// finishLocked moves the campaign to a terminal state and releases
+// waiters and subscribers. Caller holds c.mu.
+func (c *campaign) finishLocked(state State, res *Result, err error) {
+	c.state = state
+	c.result = res
+	c.err = err
+	c.finished = time.Now()
+	for ch := range c.subs {
+		close(ch)
+		delete(c.subs, ch)
+	}
+	close(c.done)
+}
+
+func (c *campaign) status() Status {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := Status{
+		ID: c.id, State: c.state, Spec: c.spec,
+		Queued: c.queued, Started: c.started, Finished: c.finished,
+		Events: len(c.events), Result: c.result,
+	}
+	if c.err != nil {
+		st.Error = c.err.Error()
+	}
+	return st
+}
+
+// queueItem orders campaigns by (priority desc, submission seq asc).
+type queueItem struct {
+	c *campaign
+}
+
+type campaignQueue []queueItem
+
+func (q campaignQueue) Len() int { return len(q) }
+func (q campaignQueue) Less(i, j int) bool {
+	if q[i].c.spec.Priority != q[j].c.spec.Priority {
+		return q[i].c.spec.Priority > q[j].c.spec.Priority
+	}
+	return q[i].c.seq < q[j].c.seq
+}
+func (q campaignQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *campaignQueue) Push(x any)   { *q = append(*q, x.(queueItem)) }
+func (q *campaignQueue) Pop() any {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = queueItem{}
+	*q = old[:n-1]
+	return it
+}
+
+// Config tunes a Service.
+type Config struct {
+	// Workers bounds concurrently running campaigns (default GOMAXPROCS).
+	Workers int
+	// CacheEntries and CacheBytes bound the artifact cache (defaults 512
+	// entries, 256 MiB estimated).
+	CacheEntries int
+	CacheBytes   int64
+	// RetainCampaigns bounds retained terminal campaign records (event
+	// logs + results); the oldest finished campaigns are pruned beyond it
+	// so a long-running daemon's memory stays bounded like its cache.
+	// Default 4096; negative means unbounded.
+	RetainCampaigns int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 512
+	}
+	if c.CacheBytes == 0 {
+		c.CacheBytes = 256 << 20
+	}
+	if c.RetainCampaigns == 0 {
+		c.RetainCampaigns = 4096
+	}
+	return c
+}
+
+// Stats is a service-level snapshot, published by the daemon via expvar.
+type Stats struct {
+	Workers   int        `json:"workers"`
+	Submitted int64      `json:"submitted"`
+	Queued    int        `json:"queued"`
+	Running   int        `json:"running"`
+	Done      int64      `json:"done"`
+	Failed    int64      `json:"failed"`
+	Canceled  int64      `json:"canceled"`
+	Cache     CacheStats `json:"cache"`
+}
+
+// Service is the concurrent campaign server.
+type Service struct {
+	cfg   Config
+	cache *Cache
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   campaignQueue
+	byID    map[string]*campaign
+	order   []string // submission order, for List
+	nextSeq int64
+	running int
+	done    int64
+	failed  int64
+	cancels int64
+	closed  bool
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	wg         sync.WaitGroup
+}
+
+// New starts a service with cfg.Workers campaign workers.
+func New(cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	s := &Service{
+		cfg:   cfg,
+		cache: NewCache(cfg.CacheEntries, cfg.CacheBytes),
+		byID:  make(map[string]*campaign),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+	for w := 0; w < cfg.Workers; w++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Cache exposes the artifact cache (stats, pre-warming in tests).
+func (s *Service) Cache() *Cache { return s.cache }
+
+// Submit validates and enqueues a campaign, returning its ID.
+func (s *Service) Submit(spec Spec) (string, error) {
+	spec = spec.withDefaults()
+	if err := spec.Validate(); err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return "", fmt.Errorf("service: closed")
+	}
+	s.nextSeq++
+	c := &campaign{
+		id:     fmt.Sprintf("c%06d", s.nextSeq),
+		spec:   spec,
+		seq:    s.nextSeq,
+		state:  StateQueued,
+		subs:   make(map[chan Event]struct{}),
+		done:   make(chan struct{}),
+		queued: time.Now(),
+	}
+	s.byID[c.id] = c
+	s.order = append(s.order, c.id)
+	heap.Push(&s.queue, queueItem{c: c})
+	s.cond.Signal()
+	c.appendEvent("queue", 0, "queued (priority %d)", spec.Priority)
+	return c.id, nil
+}
+
+func (s *Service) lookup(id string) (*campaign, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.byID[id]
+	if !ok {
+		return nil, fmt.Errorf("service: no campaign %q", id)
+	}
+	return c, nil
+}
+
+// Status reports a campaign snapshot.
+func (s *Service) Status(id string) (Status, error) {
+	c, err := s.lookup(id)
+	if err != nil {
+		return Status{}, err
+	}
+	return c.status(), nil
+}
+
+// List returns every campaign's status in submission order.
+func (s *Service) List() []Status {
+	// Snapshot the campaign pointers under s.mu (Submit writes the map);
+	// status() then takes each c.mu, preserving the s.mu → c.mu order.
+	s.mu.Lock()
+	cs := make([]*campaign, 0, len(s.order))
+	for _, id := range s.order {
+		cs = append(cs, s.byID[id])
+	}
+	s.mu.Unlock()
+	out := make([]Status, 0, len(cs))
+	for _, c := range cs {
+		out = append(out, c.status())
+	}
+	return out
+}
+
+// Events returns the events so far plus a live channel for the rest. The
+// channel is closed when the campaign reaches a terminal state; cancel the
+// subscription with the returned func.
+func (s *Service) Events(id string) ([]Event, <-chan Event, func(), error) {
+	c, err := s.lookup(id)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	past := append([]Event(nil), c.events...)
+	ch := make(chan Event, 256)
+	if c.state.Terminal() {
+		close(ch)
+		return past, ch, func() {}, nil
+	}
+	c.subs[ch] = struct{}{}
+	unsub := func() {
+		c.mu.Lock()
+		if _, ok := c.subs[ch]; ok {
+			delete(c.subs, ch)
+			close(ch)
+		}
+		c.mu.Unlock()
+	}
+	return past, ch, unsub, nil
+}
+
+// Wait blocks until the campaign finishes (or ctx expires) and returns
+// its result; failed and canceled campaigns return their error.
+func (s *Service) Wait(ctx context.Context, id string) (*Result, error) {
+	c, err := s.lookup(id)
+	if err != nil {
+		return nil, err
+	}
+	select {
+	case <-c.done:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err != nil {
+		return nil, c.err
+	}
+	return c.result, nil
+}
+
+// Cancel stops a campaign: dequeued if still queued, interrupted through
+// its context if running. Canceling a finished campaign is a no-op.
+func (s *Service) Cancel(id string) error {
+	c, err := s.lookup(id)
+	if err != nil {
+		return err
+	}
+	wasQueued := false
+	c.mu.Lock()
+	switch c.state {
+	case StateQueued:
+		c.appendEventLocked("cancel", 0, "canceled while queued")
+		c.finishLocked(StateCanceled, nil, context.Canceled)
+		wasQueued = true
+	case StateRunning:
+		c.cancel() // worker observes ctx and finishes as canceled
+	}
+	c.mu.Unlock()
+	// Lock order is always s.mu before c.mu (the worker holds s.mu while
+	// starting campaigns), so the counter update happens after c.mu drops.
+	if wasQueued {
+		s.mu.Lock()
+		s.cancels++
+		s.mu.Unlock()
+	}
+	return nil
+}
+
+// Stats snapshots service counters.
+func (s *Service) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Canceled-while-queued campaigns stay in the heap until a worker
+	// skips them; count only genuinely waiting ones.
+	queued := 0
+	for _, it := range s.queue {
+		it.c.mu.Lock()
+		if it.c.state == StateQueued {
+			queued++
+		}
+		it.c.mu.Unlock()
+	}
+	return Stats{
+		Workers:   s.cfg.Workers,
+		Submitted: s.nextSeq,
+		Queued:    queued,
+		Running:   s.running,
+		Done:      s.done,
+		Failed:    s.failed,
+		Canceled:  s.cancels,
+		Cache:     s.cache.Stats(),
+	}
+}
+
+// pruneLocked drops the oldest terminal campaign records beyond the
+// retention budget. Caller holds s.mu; c.mu nests inside per the global
+// lock order.
+func (s *Service) pruneLocked() {
+	if s.cfg.RetainCampaigns < 0 {
+		return
+	}
+	excess := len(s.order) - s.cfg.RetainCampaigns
+	if excess <= 0 {
+		return
+	}
+	kept := s.order[:0]
+	for _, id := range s.order {
+		c := s.byID[id]
+		c.mu.Lock()
+		terminal := c.state.Terminal()
+		c.mu.Unlock()
+		if excess > 0 && terminal {
+			delete(s.byID, id)
+			excess--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.order = kept
+}
+
+// Close cancels queued and running campaigns and waits for the workers.
+func (s *Service) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.closed = true
+	for s.queue.Len() > 0 {
+		it := heap.Pop(&s.queue).(queueItem)
+		c := it.c
+		c.mu.Lock()
+		// Campaigns already canceled via Cancel were counted then; only
+		// count the ones this shutdown actually cancels.
+		if c.state == StateQueued {
+			s.cancels++
+			c.appendEventLocked("cancel", 0, "service shutting down")
+			c.finishLocked(StateCanceled, nil, context.Canceled)
+		}
+		c.mu.Unlock()
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	s.baseCancel()
+	s.wg.Wait()
+}
+
+// worker pulls campaigns off the queue until the service closes.
+func (s *Service) worker() {
+	defer s.wg.Done()
+	for {
+		s.mu.Lock()
+		for s.queue.Len() == 0 && !s.closed {
+			s.cond.Wait()
+		}
+		if s.closed && s.queue.Len() == 0 {
+			s.mu.Unlock()
+			return
+		}
+		it := heap.Pop(&s.queue).(queueItem)
+		c := it.c
+		c.mu.Lock()
+		if c.state != StateQueued { // canceled while queued
+			c.mu.Unlock()
+			s.mu.Unlock()
+			continue
+		}
+		ctx, cancel := context.WithCancel(s.baseCtx)
+		c.state = StateRunning
+		c.started = time.Now()
+		c.cancel = cancel
+		c.appendEventLocked("start", 0, "campaign running")
+		c.mu.Unlock()
+		s.running++
+		s.mu.Unlock()
+
+		res, err := s.runCampaign(ctx, c)
+		cancel()
+
+		c.mu.Lock()
+		switch {
+		case err == nil:
+			c.appendEventLocked("done", 0, fmt.Sprintf("clean=%v digest=%s", res.Clean, res.Digest))
+			c.finishLocked(StateDone, res, nil)
+		case errors.Is(err, context.Canceled):
+			c.appendEventLocked("cancel", 0, "canceled while running")
+			c.finishLocked(StateCanceled, nil, err)
+		default:
+			c.appendEventLocked("fail", 0, err.Error())
+			c.finishLocked(StateFailed, nil, err)
+		}
+		c.mu.Unlock()
+
+		s.mu.Lock()
+		s.running--
+		switch {
+		case err == nil:
+			s.done++
+		case errors.Is(err, context.Canceled):
+			s.cancels++
+		default:
+			s.failed++
+		}
+		s.pruneLocked()
+		s.mu.Unlock()
+	}
+}
+
+// goldenArtifact bundles everything derivable from a design name alone:
+// the mapped golden netlist (shared read-only), its content fingerprint,
+// and the compiled simulator program (forked per campaign).
+type goldenArtifact struct {
+	golden *netlist.Netlist
+	fp     string
+	mach   *sim.Machine
+}
+
+// hitWord renders a cache outcome for event messages without counting it
+// (used when one cached artifact backs several pipeline stages).
+func hitWord(hit bool) string {
+	if hit {
+		return "cache hit"
+	}
+	return "built"
+}
+
+// traceStore adapts the artifact cache to debug.TraceStore.
+type traceStore struct{ c *Cache }
+
+func (t traceStore) GetTrace(key string) (*sim.Trace, bool) {
+	v, ok := t.c.Get(key)
+	if !ok {
+		return nil, false
+	}
+	tr, ok := v.(*sim.Trace)
+	return tr, ok
+}
+
+func (t traceStore) PutTrace(key string, tr *sim.Trace) {
+	t.c.Put(key, tr, traceBytes(tr))
+}
+
+// runCampaign executes the full pipeline for one campaign, sharing every
+// cacheable artifact through the content-addressed cache.
+func (s *Service) runCampaign(ctx context.Context, c *campaign) (*Result, error) {
+	start := time.Now()
+	spec := c.spec
+	hits, misses := 0, 0
+	count := func(hit bool) string {
+		if hit {
+			hits++
+			return "cache hit"
+		}
+		misses++
+		return "built"
+	}
+
+	info, err := bench.ByName(spec.Design)
+	if err != nil {
+		return nil, err
+	}
+
+	// 1. Golden artifact: the technology-mapped netlist (shared
+	// read-only), its content fingerprint, and the compiled simulator
+	// program (forked per campaign: the fork shares the program, owns the
+	// state). The bench catalog is static and deterministic, so the
+	// design name addresses all three — warm campaigns skip the netlist
+	// rebuild and fingerprint hashing entirely.
+	v, hit, err := s.cache.GetOrBuild("golden/"+spec.Design, func() (any, int64, error) {
+		mapped, err := synth.TechMap(info.Build())
+		if err != nil {
+			return nil, 0, err
+		}
+		mach, err := sim.Compile(mapped)
+		if err != nil {
+			return nil, 0, err
+		}
+		ga := &goldenArtifact{golden: mapped, fp: mapped.Fingerprint(), mach: mach}
+		return ga, netlistBytes(mapped) + machineBytes(mach), nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("synth %s: %w", spec.Design, err)
+	}
+	ga := v.(*goldenArtifact)
+	golden := ga.golden
+	goldenMach := ga.mach.Fork()
+	c.appendEvent("synth", 0, "golden mapped netlist %s (%s)", ga.fp[:8], count(hit))
+	c.appendEvent("compile", 0, "golden simulator program (%s)", hitWord(hit))
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	// 2. Implementation under test: golden + injected design error.
+	impl := golden.Clone()
+	inj, err := faults.InjectRandom(impl, spec.FaultSeed)
+	if err != nil {
+		return nil, fmt.Errorf("inject: %w", err)
+	}
+	c.appendEvent("inject", 0, "design error: %v", inj)
+	implFP := impl.Fingerprint()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	// 3. Pristine tiled layout: the expensive synth/place/route artifact.
+	// Cached by content address + physical-design knobs; each campaign
+	// mutates a private clone.
+	lkey := spec.layoutKey(implFP)
+	v, hit, err = s.cache.GetOrBuild(lkey, func() (any, int64, error) {
+		l, err := core.BuildMapped(impl.Clone(), core.Spec{
+			Overhead: spec.Overhead, TileFrac: spec.TileFrac,
+			Seed: spec.Seed, PlaceEffort: spec.PlaceEffort,
+		})
+		return l, layoutBytes(l), err
+	})
+	if err != nil {
+		return nil, fmt.Errorf("layout %s: %w", spec.Design, err)
+	}
+	pristine := v.(*core.Layout)
+	layout := pristine.Clone()
+	c.appendEvent("place", 0, "tiled layout %v, %d tiles (%s)", layout.Dev, len(layout.Tiles), count(hit))
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	// 4. Full re-P&R baseline of the pristine layout — the non-tiled
+	// comparison point, identical for every campaign on this layout.
+	v, hit, err = s.cache.GetOrBuild(lkey+"/fullpr", func() (any, int64, error) {
+		eff, err := pristine.FullRePlaceRoute(spec.Seed + 1000)
+		return eff, 64, err
+	})
+	if err != nil {
+		return nil, fmt.Errorf("baseline %s: %w", spec.Design, err)
+	}
+	fullEffort := v.(core.Effort)
+	c.appendEvent("baseline", 0, "full re-P&R baseline (%s)", count(hit))
+
+	// 5. The debugging loop, with context, progress and the golden-trace
+	// cache threaded through.
+	sess, err := debug.NewSession(golden, layout, spec.Seed)
+	if err != nil {
+		return nil, err
+	}
+	sess.Ctx = ctx
+	sess.Traces = traceStore{s.cache}
+	sess.SetGoldenMachine(goldenMach)
+	sess.SetGoldenFingerprint(ga.fp)
+	sess.Progress = func(ev debug.Event) {
+		c.appendEvent(ev.Stage, ev.Round, "%s", ev.Msg)
+	}
+
+	rep, err := sess.RunLoopCore(spec.MaxIters, spec.Words, spec.Cycles, spec.MaxRounds, spec.ProbesPerRound)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Design:     spec.Design,
+		Injected:   inj.String(),
+		Detected:   rep.Iterations > 0,
+		Clean:      rep.Clean,
+		Iterations: rep.Iterations,
+	}
+	for _, diag := range rep.Diagnoses {
+		res.Rounds += diag.Rounds
+		res.ProbesInserted += diag.Probes
+	}
+	for _, cor := range rep.Corrections {
+		res.Fixed = append(res.Fixed, cor.Fixed...)
+	}
+
+	res.TileWork = rep.TileEffort.Work()
+	res.FullWork = fullEffort.Work()
+	if updates := res.Rounds + res.Iterations; updates > 0 && res.TileWork > 0 {
+		res.SpeedupPerIter = res.FullWork / (res.TileWork / float64(updates))
+	}
+	res.CacheHits = hits
+	res.CacheMisses = misses
+	res.WallMs = float64(time.Since(start).Microseconds()) / 1000
+	res.Digest = res.digest()
+	return res, nil
+}
+
+// ---------------------------------------------------------- size estimates
+//
+// The cache's byte budget works on estimates: close enough to keep the
+// resident set bounded, cheap enough to compute at insert time.
+
+func netlistBytes(n *netlist.Netlist) int64 {
+	b := int64(128)
+	for i := range n.Cells {
+		b += 96 + int64(len(n.Cells[i].Fanin))*8 + int64(len(n.Cells[i].Func.Cubes))*16 + int64(len(n.Cells[i].Name))
+	}
+	for i := range n.Nets {
+		b += 32 + int64(len(n.Nets[i].Name))
+	}
+	return b
+}
+
+func machineBytes(m *sim.Machine) int64 {
+	st := m.MemoryFootprint()
+	return st
+}
+
+func layoutBytes(l *core.Layout) int64 {
+	b := netlistBytes(l.NL) + 256
+	b += int64(len(l.Packed.CLBs)) * 64
+	b += int64(len(l.CLBLoc)) * 16
+	b += int64(len(l.PadLoc)) * 24
+	for _, rn := range l.Routes {
+		b += 48 + int64(len(rn.Pins))*16 + int64(len(rn.Route))*4
+	}
+	return b
+}
+
+func traceBytes(tr *sim.Trace) int64 {
+	return 64 + int64(len(tr.Outs)+len(tr.ProbeVals)+len(tr.States))*8
+}
