@@ -149,6 +149,81 @@ func BenchmarkSimStep(b *testing.B) {
 	}
 }
 
+// Fault-scan benchmark scope: every fault of the universe sees
+// faultScanPatterns broadcast patterns held faultScanCycles cycles.
+const (
+	faultScanPatterns = 64
+	faultScanCycles   = 2
+)
+
+// faultScanSetup compiles a design and enumerates its fault universe.
+func faultScanSetup(b *testing.B, name string) (*sim.Machine, []faults.Fault) {
+	b.Helper()
+	m := simBenchMapped(b, name)
+	return m, faults.Universe(m.Netlist())
+}
+
+// BenchmarkFaultScan measures the 64-lane fault-parallel mutant engine:
+// one op fault-simulates the design's whole exhaustive universe (stuck-at
+// per net + single LUT-bit flips) in 64-fault batches sharing one
+// compiled program. The acceptance metric is faults/sec versus
+// BenchmarkFaultScanSerial on the identical broadcast stimulus (>= 8x);
+// cmd/benchrepro -json-faults records the same comparison — against the
+// even-stronger pattern-packed serial baseline — in BENCH_faults.json.
+func BenchmarkFaultScan(b *testing.B) {
+	for _, name := range simBenchSet() {
+		b.Run(name, func(b *testing.B) {
+			prog, u := faultScanSetup(b, name)
+			scfg := faults.ScanConfig{Patterns: faultScanPatterns, Cycles: faultScanCycles, Seed: 1}
+			warm := u
+			if len(warm) > 64 {
+				warm = warm[:64]
+			}
+			if _, err := faults.Scan(prog, warm, scfg); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := faults.Scan(prog, u, scfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(len(u))*float64(b.N)/b.Elapsed().Seconds(), "faults/sec")
+		})
+	}
+}
+
+// BenchmarkFaultScanSerial is the serial per-fault baseline for the same
+// workload: every fault is a netlist clone + mutation + recompile + full
+// replay of the identical broadcast stimulus (faults.SerialScan, the
+// engine's differential oracle). A stride sample bounds the run; the
+// metric is still faults/sec.
+func BenchmarkFaultScanSerial(b *testing.B) {
+	for _, name := range simBenchSet() {
+		b.Run(name, func(b *testing.B) {
+			prog, u := faultScanSetup(b, name)
+			if len(u) > 128 {
+				stride := len(u) / 128
+				sample := make([]faults.Fault, 0, 128)
+				for i := 0; i < len(u) && len(sample) < 128; i += stride {
+					sample = append(sample, u[i])
+				}
+				u = sample
+			}
+			scfg := faults.ScanConfig{Patterns: faultScanPatterns, Cycles: faultScanCycles, Seed: 1}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := faults.SerialScan(prog, u, scfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(len(u))*float64(b.N)/b.Elapsed().Seconds(), "faults/sec")
+		})
+	}
+}
+
 // BenchmarkTable1 regenerates Table 1: tiled layout statistics (CLB
 // counts, area overhead, timing overhead vs an untiled layout).
 func BenchmarkTable1(b *testing.B) {

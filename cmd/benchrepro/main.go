@@ -8,6 +8,8 @@
 //	benchrepro -table1 -fig5 -designs "s9234,MIPS R2000,DES" -effort 1.0
 //	benchrepro -json              # sim micro-bench → BENCH_sim.json
 //	benchrepro -json-service      # campaign-service load test → BENCH_service.json
+//	benchrepro -seu               # SEU vulnerability campaign (fault-parallel)
+//	benchrepro -json-faults       # fault-parallel vs serial scan → BENCH_faults.json
 package main
 
 import (
@@ -36,6 +38,12 @@ func main() {
 		svcOut    = flag.String("json-service-out", "BENCH_service.json", "output path for -json-service")
 		svcN      = flag.Int("service-campaigns", 64, "campaigns in the -json-service burst")
 		svcW      = flag.Int("service-workers", 0, "service worker pool for -json-service (0 = GOMAXPROCS)")
+		seu       = flag.Bool("seu", false, "run the SEU vulnerability campaign (64-lane fault-parallel universe scan)")
+		jsonFlt   = flag.Bool("json-faults", false, "measure fault-parallel vs serial scan throughput and write BENCH_faults.json")
+		fltOut    = flag.String("json-faults-out", "BENCH_faults.json", "output path for -json-faults")
+		fltPat    = flag.Int("fault-patterns", 64, "broadcast test patterns per fault for -seu and -json-faults")
+		fltCyc    = flag.Int("fault-cycles", 2, "clock cycles each fault pattern is held")
+		serialCap = flag.Int("serial-cap", 192, "max faults the serial baseline replays per design for -json-faults")
 		all       = flag.Bool("all", false, "run every table, figure and ablation")
 		effort    = flag.Float64("effort", 0.5, "placement effort (1.0 = full anneal)")
 		seed      = flag.Int64("seed", 1, "random seed")
@@ -46,7 +54,7 @@ func main() {
 	if *all {
 		*table1, *fig3, *fig4, *fig5, *ablations = true, true, true, true, true
 	}
-	if !*table1 && !*fig3 && !*fig4 && !*fig5 && !*ablations && *faultsN == 0 && !*jsonBench && !*jsonSvc {
+	if !*table1 && !*fig3 && !*fig4 && !*fig5 && !*ablations && *faultsN == 0 && !*jsonBench && !*jsonSvc && !*seu && !*jsonFlt {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -145,6 +153,32 @@ func main() {
 			die(err)
 		}
 		fmt.Printf("wrote %s\n", *jsonOut)
+	}
+	if *seu {
+		rows, err := experiments.SEUCampaign(cfg, *fltPat, *fltCyc)
+		if err != nil {
+			die(err)
+		}
+		fmt.Println(experiments.FormatSEU(rows))
+	}
+	if *jsonFlt {
+		rows, err := experiments.FaultScanBench(cfg, *fltPat, *fltCyc, *serialCap)
+		if err != nil {
+			die(err)
+		}
+		fmt.Println(experiments.FormatFaultBench(rows))
+		blob, err := json.MarshalIndent(struct {
+			Patterns int                         `json:"patterns"`
+			Cycles   int                         `json:"cycles"`
+			Rows     []experiments.FaultBenchRow `json:"rows"`
+		}{*fltPat, *fltCyc, rows}, "", "  ")
+		if err != nil {
+			die(err)
+		}
+		if err := os.WriteFile(*fltOut, append(blob, '\n'), 0o644); err != nil {
+			die(err)
+		}
+		fmt.Printf("wrote %s\n", *fltOut)
 	}
 	if *jsonSvc {
 		rep, err := experiments.ServiceLoadTest(cfg, *svcN, *svcW)

@@ -13,6 +13,14 @@
 // daemon works and the result summary is printed when it finishes:
 //
 //	fpgadbg -design c880 -fault-seed 3 -remote http://localhost:8080
+//
+// -kind faultscan switches from the debugging loop to an exhaustive
+// fault-universe scan (stuck-ats per net + LUT-bit flips, 64 mutants per
+// simulator pass), locally or against the daemon; -use-dict attaches the
+// fault-dictionary localizer to a debug campaign:
+//
+//	fpgadbg -design 9sym -kind faultscan -patterns 128
+//	fpgadbg -design c880 -fault-seed 3 -use-dict -remote http://localhost:8080
 package main
 
 import (
@@ -24,8 +32,10 @@ import (
 	"fpgadbg/internal/bench"
 	"fpgadbg/internal/core"
 	"fpgadbg/internal/debug"
+	"fpgadbg/internal/experiments"
 	"fpgadbg/internal/faults"
 	"fpgadbg/internal/service"
+	"fpgadbg/internal/sim"
 	"fpgadbg/internal/synth"
 )
 
@@ -39,6 +49,9 @@ func main() {
 		seed      = flag.Int64("seed", 1, "layout seed")
 		words     = flag.Int("words", 8, "random stimulus blocks (64 patterns each) per detection")
 		cycles    = flag.Int("cycles", 4, "clock cycles per stimulus block")
+		kind      = flag.String("kind", "debug", "campaign kind: debug (the full loop) or faultscan (exhaustive fault-universe scan)")
+		patterns  = flag.Int("patterns", 64, "broadcast test patterns for -kind faultscan")
+		useDict   = flag.Bool("use-dict", false, "consult a fault dictionary before inserting probes (debug campaigns)")
 		remote    = flag.String("remote", "", "submit to a fpgadbgd daemon at this base URL instead of running locally")
 		priority  = flag.Int("priority", 0, "queue priority for -remote (higher runs first)")
 	)
@@ -50,18 +63,33 @@ func main() {
 	if *words < 1 || *cycles < 1 {
 		die(fmt.Errorf("-words and -cycles must be >= 1 (got %d, %d)", *words, *cycles))
 	}
+	if *kind != service.KindDebug && *kind != service.KindFaultScan {
+		die(fmt.Errorf("-kind must be %q or %q (got %q)", service.KindDebug, service.KindFaultScan, *kind))
+	}
 	info, err := bench.ByName(*design)
 	if err != nil {
 		die(err)
 	}
 	if *remote != "" {
 		if err := runRemote(*remote, service.Spec{
-			Design: info.Name, FaultSeed: *faultSeed, Seed: *seed,
+			Design: info.Name, Kind: *kind, FaultSeed: *faultSeed, Seed: *seed,
 			Overhead: *overhead, TileFrac: *tilefrac, PlaceEffort: *effort,
-			Words: *words, Cycles: *cycles, Priority: *priority,
+			Words: *words, Cycles: *cycles, Patterns: *patterns,
+			UseDict: *useDict, Priority: *priority,
 		}); err != nil {
 			die(err)
 		}
+		return
+	}
+	if *kind == service.KindFaultScan {
+		// Local faultscan: the SEU campaign restricted to one design.
+		rows, err := experiments.SEUCampaign(experiments.Config{
+			Designs: []string{info.Name}, Seed: *seed, Workers: 1,
+		}, *patterns, *cycles)
+		if err != nil {
+			die(err)
+		}
+		fmt.Print(experiments.FormatSEU(rows))
 		return
 	}
 	fmt.Printf("== %s: synthesize + map ==\n", info.Name)
@@ -91,6 +119,20 @@ func main() {
 	if err != nil {
 		die(err)
 	}
+	if *useDict {
+		prog, err := sim.Compile(golden)
+		if err != nil {
+			die(err)
+		}
+		dict, err := debug.BuildFaultDict(prog, *words, *cycles, *seed)
+		if err != nil {
+			die(err)
+		}
+		sess.Dict = dict
+		sess.SetGoldenMachine(prog.Fork())
+		fmt.Printf("fault dictionary: %d/%d faults detectable, %d signatures\n",
+			dict.Detected, dict.Faults, dict.Signatures())
+	}
 	fmt.Println("== debugging loop ==")
 	det, err := sess.Detect(*words, *cycles)
 	if err != nil {
@@ -103,12 +145,17 @@ func main() {
 	fmt.Printf("detect:   FAILED outputs %v (replayed %d cycles × 64 patterns over %d inputs)\n",
 		det.FailingOutputs, len(det.Stimulus), len(det.PIs))
 
-	diag, err := sess.Localize(det, 4, 4)
+	diag, err := sess.LocalizeDict(det, 4, 4)
 	if err != nil {
 		die(err)
 	}
-	fmt.Printf("localize: %d rounds, %d observation stages inserted, suspects %v in tiles %v\n",
-		diag.Rounds, diag.Probes, diag.Suspects, diag.Tiles)
+	if diag.Dict {
+		fmt.Printf("localize: fault dictionary hit — suspects %v in tiles %v, zero probes\n",
+			diag.Suspects, diag.Tiles)
+	} else {
+		fmt.Printf("localize: %d rounds, %d observation stages inserted, suspects %v in tiles %v\n",
+			diag.Rounds, diag.Probes, diag.Suspects, diag.Tiles)
+	}
 	fmt.Printf("          tile-local effort: %v\n", diag.Effort)
 
 	cor, err := sess.Correct(diag, det)
@@ -158,9 +205,17 @@ func runRemote(base string, spec service.Spec) error {
 		return err
 	}
 	fmt.Println("== result ==")
+	if res.FaultsTotal > 0 {
+		fmt.Printf("fault universe: %d faults in %d batches\n", res.FaultsTotal, res.FaultBatches)
+		fmt.Printf("detected %d (%.1f%% coverage), mean latency %.1f cycles, %.0f faults/sec\n",
+			res.FaultsDetected, 100*res.FaultCoverage, res.MeanLatencyCycles, res.FaultsPerSec)
+		fmt.Printf("artifact cache: %d hit(s), %d miss(es); wall %.1fms; digest %s\n",
+			res.CacheHits, res.CacheMisses, res.WallMs, res.Digest)
+		return nil
+	}
 	fmt.Printf("injected error: %s\n", res.Injected)
-	fmt.Printf("detected=%v clean=%v iterations=%d rounds=%d probes=%d fixed=%v\n",
-		res.Detected, res.Clean, res.Iterations, res.Rounds, res.ProbesInserted, res.Fixed)
+	fmt.Printf("detected=%v clean=%v iterations=%d rounds=%d probes=%d dict=%d fixed=%v\n",
+		res.Detected, res.Clean, res.Iterations, res.Rounds, res.ProbesInserted, res.DictResolved, res.Fixed)
 	fmt.Printf("tile-local work %.0f vs full re-P&R %.0f — %.1fx per physical update\n",
 		res.TileWork, res.FullWork, res.SpeedupPerIter)
 	fmt.Printf("artifact cache: %d hit(s), %d miss(es); wall %.1fms; digest %s\n",

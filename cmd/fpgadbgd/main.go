@@ -18,9 +18,14 @@
 //	GET  /healthz                 liveness
 //	GET  /metrics                 expvar, service stats under "fpgadbgd"
 //
-// Submit one campaign from the shell:
+// Two campaign kinds are served: "debug" (the full detect → localize →
+// correct loop, optionally with the fault-dictionary localizer via
+// "use_dict":true) and "faultscan" (exhaustive single-fault universe
+// scan on the 64-lane fault-parallel mutant engine). Submit from the
+// shell:
 //
 //	curl -s -X POST localhost:8080/campaigns -d '{"design":"9sym","fault_seed":1}'
+//	curl -s -X POST localhost:8080/campaigns -d '{"design":"9sym","kind":"faultscan","patterns":128}'
 //	curl -s localhost:8080/campaigns/c000001
 package main
 

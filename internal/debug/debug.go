@@ -62,6 +62,14 @@ type Session struct {
 	// content address, so repeated detections of the same golden design
 	// (within this session or across concurrent sessions) replay once.
 	Traces TraceStore
+	// Dict, when set, is the golden design's fault dictionary: RunLoopCore
+	// and LocalizeDict consult it before inserting any observation logic,
+	// and only fall back to probe rounds when it is ambiguous (see
+	// dictionary.go). Dictionaries are immutable and shareable.
+	Dict *FaultDict
+	// DictMaxSuspects bounds the matched-class size LocalizeDict accepts
+	// without probes (0 = DefaultDictMaxSuspects).
+	DictMaxSuspects int
 
 	// TileEffort accumulates all tile-local CAD work spent by this
 	// session (observation inserts + corrections).
@@ -320,6 +328,9 @@ type Diagnosis struct {
 	Probes int
 	// Effort is the tile-local CAD effort spent inserting them.
 	Effort core.Effort
+	// Dict reports that the fault dictionary resolved the suspect without
+	// any probe round (Rounds and Probes are zero, Effort empty).
+	Dict bool
 }
 
 // Localize narrows the failure of det to a set of suspect cells by
@@ -407,20 +418,26 @@ func (s *Session) Localize(det *Detection, maxRounds, probesPerRound int) (*Diag
 	for name := range suspects {
 		diag.Suspects = append(diag.Suspects, name)
 	}
+	s.fillTiles(diag)
+	return diag, nil
+}
+
+// fillTiles resolves the physical tiles hosting the diagnosis suspects.
+func (s *Session) fillTiles(diag *Diagnosis) {
 	sort.Strings(diag.Suspects)
 	tiles := make(map[int]bool)
 	for _, name := range diag.Suspects {
-		if id, ok := nl.CellByName(name); ok {
+		if id, ok := s.Layout.NL.CellByName(name); ok {
 			if clb, ok := s.Layout.Packed.CellCLB[id]; ok {
 				tiles[s.Layout.TileOf(s.Layout.CLBLoc[clb])] = true
 			}
 		}
 	}
+	diag.Tiles = diag.Tiles[:0]
 	for t := range tiles {
 		diag.Tiles = append(diag.Tiles, t)
 	}
 	sort.Ints(diag.Tiles)
-	return diag, nil
 }
 
 // pickProbes chooses observation targets whose suspect-restricted fan-in
@@ -633,7 +650,7 @@ func (s *Session) RunLoopCore(maxIters, words, cycles, maxRounds, probesPerRound
 		}
 		s.emit("detect", iter+1, "FAILED outputs %v", det.FailingOutputs)
 		rep.Iterations++
-		diag, err := s.Localize(det, maxRounds, probesPerRound)
+		diag, err := s.LocalizeDict(det, maxRounds, probesPerRound)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,17 @@
+// Package eco implements engineering-change support — the "correct"
+// third of the paper's debugging loop and the Section 5.1 hierarchy
+// machinery around it:
+//
+//   - Diff compares two netlists cell by cell (function, wiring,
+//     initialization) and is the source of Correct's repair set in
+//     internal/debug: the golden model plays the role of the designer's
+//     corrected HDL.
+//   - Tree is the back-annotation hierarchy of Section 5.1: it traces a
+//     change made at any level of the design hierarchy down to leaf
+//     cells — and, through the layout, to the affected tiles, so a
+//     high-level edit maps to tile-local physical work.
+//   - Verify re-runs equivalence after a repair.
+//
+// Everything here is netlist-level; physical application of a change
+// set (re-place-and-route of the touched tiles) lives in internal/core.
+package eco

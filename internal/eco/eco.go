@@ -1,8 +1,3 @@
-// Package eco implements engineering-change support: comparing two
-// netlists cell-by-cell (the source of Correct's repair set) and the
-// back-annotation hierarchy tree of Section 5.1, which traces a change
-// made at any level of the design hierarchy down to leaf cells — and,
-// through the layout, to affected tiles.
 package eco
 
 import (

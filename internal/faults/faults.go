@@ -1,19 +1,22 @@
-// Package faults injects design errors — the bugs the debugging loop must
-// detect, localize and correct. The error model follows the functional
-// design-error literature rather than manufacturing faults: wrong LUT
-// functions (a mis-specified gate), swapped input connections, inverted
-// polarity, and mis-wired fanins. All injections are deterministic under a
-// seed and return a record naming the mutated cell, which the test suite
-// uses to verify that localization finds the right site.
 package faults
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 
 	"fpgadbg/internal/logic"
 	"fpgadbg/internal/netlist"
 )
+
+// ErrNoSite reports that the netlist has no cell a requested error kind
+// could ever apply to (e.g. no multi-input LUT for an input swap).
+var ErrNoSite = errors.New("no injectable site")
+
+// ErrExhausted reports RNG exhaustion: eligible cells exist, but the
+// seeded random search gave up before finding an applicable, non-trivial
+// mutation. Retrying with a different seed may succeed.
+var ErrExhausted = errors.New("injection attempts exhausted")
 
 // Kind enumerates the design-error models.
 type Kind int
@@ -28,7 +31,16 @@ const (
 	// WrongNet rewires one LUT fanin to a different (topologically safe)
 	// net.
 	WrongNet
-	numKinds
+	// numInjectKinds bounds the kinds Inject can apply; the enumeration
+	// kinds below are deliberately outside InjectRandom's rotation so
+	// existing fault seeds keep selecting the same errors.
+	numInjectKinds
+	// StuckAt0 pins a net to 0 — an SEU/bridging model used by Universe
+	// and the fault-parallel scanner, simulated as a lane perturbation
+	// (sim.SetLaneFault) rather than injected as a netlist mutation.
+	StuckAt0
+	// StuckAt1 pins a net to 1.
+	StuckAt1
 )
 
 func (k Kind) String() string {
@@ -41,6 +53,10 @@ func (k Kind) String() string {
 		return "polarity"
 	case WrongNet:
 		return "wrong-net"
+	case StuckAt0:
+		return "stuck-at-0"
+	case StuckAt1:
+		return "stuck-at-1"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -64,6 +80,9 @@ func (in Injection) String() string {
 // The netlist is mutated in place; inject into a Clone to keep a golden
 // copy.
 func Inject(nl *netlist.Netlist, kind Kind, seed int64) (*Injection, error) {
+	if kind < 0 || kind >= numInjectKinds {
+		return nil, fmt.Errorf("faults: kind %s is not injectable", kind)
+	}
 	r := rand.New(rand.NewSource(seed))
 	var luts []netlist.CellID
 	for ci := range nl.Cells {
@@ -73,7 +92,19 @@ func Inject(nl *netlist.Netlist, kind Kind, seed int64) (*Injection, error) {
 		}
 	}
 	if len(luts) == 0 {
-		return nil, fmt.Errorf("faults: no LUTs to mutate")
+		return nil, fmt.Errorf("faults: %w: no LUTs to mutate", ErrNoSite)
+	}
+	if kind == InputSwap {
+		ok := false
+		for _, id := range luts {
+			if len(nl.Cells[id].Fanin) >= 2 {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return nil, fmt.Errorf("faults: %w: no multi-input LUT for %s", ErrNoSite, kind)
+		}
 	}
 	// Try several candidates: some mutations are inapplicable (e.g. a
 	// 1-input LUT cannot swap inputs) or would be no-ops.
@@ -135,19 +166,29 @@ func Inject(nl *netlist.Netlist, kind Kind, seed int64) (*Injection, error) {
 			return nil, fmt.Errorf("faults: unknown kind %d", kind)
 		}
 	}
-	return nil, fmt.Errorf("faults: no applicable site for %s after 64 attempts", kind)
+	return nil, fmt.Errorf("faults: %w: no applicable site for %s after 64 attempts", ErrExhausted, kind)
 }
 
-// InjectRandom picks a random error kind and site.
+// InjectRandom picks a random error kind and site. The returned error
+// distinguishes a design with nothing to mutate (ErrNoSite) from RNG
+// exhaustion across every kind (ErrExhausted, retry with another seed).
 func InjectRandom(nl *netlist.Netlist, seed int64) (*Injection, error) {
 	r := rand.New(rand.NewSource(seed))
-	order := r.Perm(int(numKinds))
+	order := r.Perm(int(numInjectKinds))
+	exhausted := false
 	for _, k := range order {
-		if inj, err := Inject(nl, Kind(k), seed+int64(k)+1); err == nil {
+		inj, err := Inject(nl, Kind(k), seed+int64(k)+1)
+		if err == nil {
 			return inj, nil
 		}
+		if !errors.Is(err, ErrNoSite) {
+			exhausted = true
+		}
 	}
-	return nil, fmt.Errorf("faults: no injectable error found")
+	if exhausted {
+		return nil, fmt.Errorf("faults: %w: no error kind applied for seed %d", ErrExhausted, seed)
+	}
+	return nil, fmt.Errorf("faults: %w: design offers no injectable error", ErrNoSite)
 }
 
 // swapInvariant reports whether the function is symmetric in variables i

@@ -1,6 +1,8 @@
 package faults
 
 import (
+	"errors"
+	"strings"
 	"testing"
 
 	"fpgadbg/internal/logic"
@@ -26,7 +28,7 @@ func target(t testing.TB) *netlist.Netlist {
 }
 
 func TestEachKindChangesBehaviour(t *testing.T) {
-	for kind := Kind(0); kind < numKinds; kind++ {
+	for kind := Kind(0); kind < numInjectKinds; kind++ {
 		golden := target(t)
 		mutant := golden.Clone()
 		inj, err := Inject(mutant, kind, 7)
@@ -95,15 +97,23 @@ func TestWrongNetNeverCreatesCycle(t *testing.T) {
 }
 
 func TestInputSwapSkipsSymmetricFunctions(t *testing.T) {
-	// A netlist with only symmetric gates cannot take an input swap.
+	// A netlist with only symmetric gates cannot take an input swap; the
+	// failure is RNG exhaustion, not a missing site (a 2-input LUT exists).
 	nl := netlist.New("sym")
 	a := nl.AddPI("a")
 	b := nl.AddPI("b")
 	o := nl.AddNet("o")
 	nl.MustAddLUT("and", logic.AndN(2), []netlist.NetID{a, b}, o)
 	nl.MarkPO(o)
-	if _, err := Inject(nl, InputSwap, 1); err == nil {
+	_, err := Inject(nl, InputSwap, 1)
+	if err == nil {
 		t.Fatal("swap on symmetric-only netlist should fail")
+	}
+	if !errors.Is(err, ErrExhausted) {
+		t.Fatalf("want ErrExhausted, got %v", err)
+	}
+	if errors.Is(err, ErrNoSite) {
+		t.Fatalf("ErrNoSite misreported: %v", err)
 	}
 }
 
@@ -113,7 +123,39 @@ func TestNoLUTs(t *testing.T) {
 	q := nl.AddNet("q")
 	nl.MustAddDFF("ff", d, q, 0)
 	nl.MarkPO(q)
-	if _, err := Inject(nl, Polarity, 1); err == nil {
+	_, err := Inject(nl, Polarity, 1)
+	if err == nil {
 		t.Fatal("injection into LUT-less netlist should fail")
+	}
+	if !errors.Is(err, ErrNoSite) {
+		t.Fatalf("want ErrNoSite, got %v", err)
+	}
+	if _, err := InjectRandom(nl, 3); !errors.Is(err, ErrNoSite) {
+		t.Fatalf("InjectRandom on LUT-less netlist: want ErrNoSite, got %v", err)
+	}
+}
+
+func TestSingleLUTOnlySwapExhausts(t *testing.T) {
+	// One asymmetric multi-input LUT exists, but every swap candidate the
+	// RNG draws is the identity or symmetric — here we force exhaustion by
+	// offering only a 1-input LUT for the swap kind.
+	nl := netlist.New("one")
+	a := nl.AddPI("a")
+	o := nl.AddNet("o")
+	nl.MustAddLUT("inv", logic.NotN(), []netlist.NetID{a}, o)
+	nl.MarkPO(o)
+	if _, err := Inject(nl, InputSwap, 1); !errors.Is(err, ErrNoSite) {
+		t.Fatalf("swap with no multi-input LUT: want ErrNoSite, got %v", err)
+	}
+}
+
+func TestInjectionStringNamesKind(t *testing.T) {
+	mutant := target(t)
+	inj, err := Inject(mutant, Polarity, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := inj.String(); !strings.Contains(got, Polarity.String()) {
+		t.Fatalf("Injection.String() %q does not name the fault kind %q", got, Polarity)
 	}
 }

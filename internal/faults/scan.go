@@ -1,0 +1,233 @@
+package faults
+
+import (
+	"fmt"
+	"math/bits"
+
+	"fpgadbg/internal/sim"
+	"fpgadbg/internal/testgen"
+)
+
+// ScanConfig shapes one fault-simulation campaign: Patterns scalar test
+// vectors, each broadcast to all 64 lanes and held for Cycles clock
+// cycles, drawn deterministically from Seed. The same config must be used
+// to build a fault dictionary and to observe a failing design against
+// it — signatures are only comparable under identical stimulus.
+type ScanConfig struct {
+	Patterns int // broadcast patterns (default 64)
+	Cycles   int // clock cycles each pattern is held (default 2)
+	Seed     int64
+	// OnBatch, when set, is called after each 64-fault batch with the
+	// progress so far; returning an error aborts the scan (the campaign
+	// service cancels through it).
+	OnBatch func(done, total int) error
+}
+
+func (c ScanConfig) withDefaults() ScanConfig {
+	if c.Patterns < 1 {
+		c.Patterns = 64
+	}
+	if c.Cycles < 1 {
+		c.Cycles = 2
+	}
+	return c
+}
+
+// Stimulus builds the broadcast stimulus sequence for a machine with npi
+// primary inputs: Patterns scalar vectors × Cycles cycles each, columns
+// in sim PIOrder.
+func (c ScanConfig) Stimulus(npi int) [][]uint64 {
+	c = c.withDefaults()
+	return testgen.Repeat(testgen.ScalarBlocks(npi, c.Patterns, c.Seed), c.Cycles)
+}
+
+// ScanResult is one fault's simulated outcome under a ScanConfig.
+type ScanResult struct {
+	Fault Fault
+	// Detected reports whether any primary output ever diverged from the
+	// golden stream.
+	Detected bool
+	// FirstCycle is the first diverging cycle (absolute position in the
+	// stimulus sequence), or -1 when undetected — the detection latency.
+	FirstCycle int
+	// Mismatches counts diverging (cycle, output) pairs.
+	Mismatches int
+	// Signature is an order-sensitive hash of the PO-mismatch stream; two
+	// faults share it iff they produce the same mismatch pattern under
+	// this stimulus. Zero when undetected.
+	Signature uint64
+	// POMask records which PO columns diverged (column i sets bit i mod 64).
+	POMask uint64
+}
+
+// Signer folds a stream of (cycle, primary-output) mismatches into a
+// ScanResult signature. Both the fault scanner and the debug layer's
+// observed-behaviour hashing use it, so dictionary keys and observations
+// agree bit for bit. Mismatches must be noted in (cycle asc, PO asc)
+// order — the hash is order-sensitive.
+type Signer struct {
+	sig    uint64
+	poMask uint64
+	first  int
+	n      int
+}
+
+// fnv64 constants (FNV-1a).
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// Reset clears the accumulated signature.
+func (s *Signer) Reset() {
+	s.sig = fnvOffset
+	s.poMask = 0
+	s.first = -1
+	s.n = 0
+}
+
+// Note records one diverging (cycle, PO column) observation.
+func (s *Signer) Note(cycle, po int) {
+	if s.n == 0 {
+		s.first = cycle
+	}
+	s.n++
+	s.sig = (s.sig ^ (uint64(cycle)<<20 | uint64(po))) * fnvPrime
+	s.poMask |= 1 << (uint(po) & 63)
+}
+
+// Detected reports whether any mismatch was noted.
+func (s *Signer) Detected() bool { return s.n > 0 }
+
+// Result packages the accumulated stream as the outcome for one fault.
+func (s *Signer) Result(f Fault) ScanResult {
+	r := ScanResult{Fault: f, FirstCycle: -1}
+	if s.n > 0 {
+		r.Detected = true
+		r.FirstCycle = s.first
+		r.Mismatches = s.n
+		r.Signature = s.sig
+		r.POMask = s.poMask
+	}
+	return r
+}
+
+// Scan fault-simulates every fault in 64-lane batches: each batch arms up
+// to 64 faults on the lanes of one fork of prog (which must be compiled
+// from the golden design), replays the broadcast stimulus once, and reads
+// each lane's divergence from the golden trace. No netlist is cloned and
+// nothing is recompiled — per batch the only work beyond the trace replay
+// is arming the lane faults. Results are in input order.
+func Scan(prog *sim.Machine, fs []Fault, cfg ScanConfig) ([]ScanResult, error) {
+	cfg = cfg.withDefaults()
+	return ScanStim(prog, fs, cfg.Stimulus(len(prog.PIOrder())), cfg.OnBatch)
+}
+
+// ScanStim is Scan over an explicit broadcast stimulus sequence (every
+// word 0 or all-ones) — the entry point for callers that derive the
+// stimulus from elsewhere, e.g. the fault dictionary transposing a
+// detection sequence (testgen.TransposeToScalar).
+func ScanStim(prog *sim.Machine, fs []Fault, stim [][]uint64, onBatch func(done, total int) error) ([]ScanResult, error) {
+	gt := prog.Fork().RunTrace(stim)
+	mu := prog.Fork()
+	batches := Batches(fs)
+	out := make([]ScanResult, 0, len(fs))
+	var tr sim.Trace
+	var signers [64]Signer
+	for bi, batch := range batches {
+		mu.ClearLaneFaults()
+		for lane, f := range batch {
+			lf, err := f.Lane()
+			if err != nil {
+				return nil, err
+			}
+			if err := mu.SetLaneFault(lane, lf); err != nil {
+				return nil, fmt.Errorf("faults: arming %s: %w", f.Describe(prog.Netlist()), err)
+			}
+			signers[lane].Reset()
+		}
+		mu.RunTraceInto(&tr, stim)
+		for c := 0; c < tr.Cycles; c++ {
+			for po := 0; po < tr.NumPOs; po++ {
+				d := tr.Out(c, po) ^ gt.Out(c, po)
+				for d != 0 {
+					lane := bits.TrailingZeros64(d)
+					d &= d - 1
+					if lane < len(batch) {
+						signers[lane].Note(c, po)
+					}
+				}
+			}
+		}
+		for lane, f := range batch {
+			out = append(out, signers[lane].Result(f))
+		}
+		if onBatch != nil {
+			if err := onBatch(bi+1, len(batches)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+// SerialScan computes the same per-fault outcomes one mutant at a time —
+// the legacy campaign shape: per fault, clone the golden netlist, apply
+// the mutation, recompile and replay (stuck-ats on source nets, which
+// have no netlist form, run as net overrides on a fork instead). It is
+// the differential oracle for Scan — outcomes must be bit-identical —
+// and the baseline the fault-parallel speedup is measured against.
+func SerialScan(prog *sim.Machine, fs []Fault, cfg ScanConfig) ([]ScanResult, error) {
+	cfg = cfg.withDefaults()
+	return SerialScanStim(prog, fs, cfg.Stimulus(len(prog.PIOrder())), cfg.OnBatch)
+}
+
+// SerialScanStim is SerialScan over an explicit broadcast stimulus.
+func SerialScanStim(prog *sim.Machine, fs []Fault, stim [][]uint64, onBatch func(done, total int) error) ([]ScanResult, error) {
+	golden := prog.Netlist()
+	gt := prog.Fork().RunTrace(stim)
+	out := make([]ScanResult, 0, len(fs))
+	var s Signer
+	for fi, f := range fs {
+		var tr *sim.Trace
+		mutant := golden.Clone()
+		applied, err := f.Apply(mutant)
+		if err != nil {
+			return nil, err
+		}
+		if applied {
+			m2, err := sim.Compile(mutant)
+			if err != nil {
+				return nil, fmt.Errorf("faults: %s: %w", f.Describe(golden), err)
+			}
+			tr = m2.RunTrace(stim)
+		} else {
+			m2 := prog.Fork()
+			w := uint64(0)
+			if f.Kind == StuckAt1 {
+				w = ^uint64(0)
+			}
+			if err := m2.SetOverride(f.Net, w); err != nil {
+				return nil, fmt.Errorf("faults: %s: %w", f.Describe(golden), err)
+			}
+			tr = m2.RunTrace(stim)
+		}
+		// Broadcast stimulus and a single whole-design mutation keep all
+		// 64 lanes identical, so whole-word comparison is per-lane exact.
+		s.Reset()
+		for c := 0; c < tr.Cycles; c++ {
+			for po := 0; po < tr.NumPOs; po++ {
+				if tr.Out(c, po) != gt.Out(c, po) {
+					s.Note(c, po)
+				}
+			}
+		}
+		out = append(out, s.Result(f))
+		if onBatch != nil && ((fi+1)%64 == 0 || fi+1 == len(fs)) {
+			if err := onBatch((fi+1+63)/64, (len(fs)+63)/64); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}

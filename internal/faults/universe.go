@@ -1,0 +1,144 @@
+package faults
+
+import (
+	"fmt"
+
+	"fpgadbg/internal/logic"
+	"fpgadbg/internal/netlist"
+	"fpgadbg/internal/sim"
+)
+
+// Fault is one enumerable single fault: a stuck-at on a net or a single
+// LUT-bit flip on a cell. Unlike Injection (a netlist mutation that
+// happened), a Fault is a site — it can be armed on a simulator lane
+// (Lane), applied to a netlist clone (Apply) or looked up in a fault
+// dictionary.
+type Fault struct {
+	Kind Kind
+	// Net is the faulty net for StuckAt0/StuckAt1.
+	Net netlist.NetID
+	// Cell is the faulty LUT for LUTBitFlip.
+	Cell netlist.CellID
+	// Bit is the flipped truth-table entry for LUTBitFlip.
+	Bit uint32
+}
+
+// Describe renders the fault with design names resolved.
+func (f Fault) Describe(nl *netlist.Netlist) string {
+	switch f.Kind {
+	case StuckAt0, StuckAt1:
+		return fmt.Sprintf("%s on net %s", f.Kind, nl.NetName(f.Net))
+	case LUTBitFlip:
+		return fmt.Sprintf("%s minterm %d at %s", f.Kind, f.Bit, nl.CellName(f.Cell))
+	default:
+		return f.Kind.String()
+	}
+}
+
+// SuspectCell names the implementation cell a confirmed fault implicates:
+// the flipped LUT, or the driver of the stuck net. Stuck-ats on
+// driverless nets (primary inputs) implicate no cell and return false.
+func (f Fault) SuspectCell(nl *netlist.Netlist) (string, bool) {
+	switch f.Kind {
+	case LUTBitFlip:
+		return nl.CellName(f.Cell), true
+	case StuckAt0, StuckAt1:
+		d := nl.Nets[f.Net].Driver
+		if d == netlist.NilCell {
+			return "", false
+		}
+		return nl.CellName(d), true
+	default:
+		return "", false
+	}
+}
+
+// Lane lowers the fault to its per-lane simulator perturbation.
+func (f Fault) Lane() (sim.LaneFault, error) {
+	switch f.Kind {
+	case StuckAt0:
+		return sim.LaneFault{Kind: sim.LaneStuckAt0, Net: f.Net}, nil
+	case StuckAt1:
+		return sim.LaneFault{Kind: sim.LaneStuckAt1, Net: f.Net}, nil
+	case LUTBitFlip:
+		return sim.LaneFault{Kind: sim.LaneLUTFlip, Cell: f.Cell, Minterm: f.Bit}, nil
+	default:
+		return sim.LaneFault{}, fmt.Errorf("faults: %s has no lane form", f.Kind)
+	}
+}
+
+// Apply mutates a netlist (clone!) with this fault, for the serial
+// one-mutant-at-a-time reference path: LUT-bit flips rewrite the cell
+// function, stuck-ats on LUT-driven nets rewrite the driver to a
+// constant. Stuck-ats on source nets (PIs, DFF outputs) have no netlist
+// form — Apply reports applied=false and callers model them with
+// sim.SetOverride instead.
+func (f Fault) Apply(nl *netlist.Netlist) (applied bool, err error) {
+	switch f.Kind {
+	case LUTBitFlip:
+		c := &nl.Cells[f.Cell]
+		tt, err := c.Func.TT()
+		if err != nil {
+			return false, fmt.Errorf("faults: %s: %w", f.Describe(nl), err)
+		}
+		tt.SetBit(uint64(f.Bit), !tt.Bit(uint64(f.Bit)))
+		c.Func = tt.ToCover()
+		return true, nil
+	case StuckAt0, StuckAt1:
+		d := nl.Nets[f.Net].Driver
+		if d == netlist.NilCell || nl.Cells[d].Kind != netlist.KindLUT {
+			return false, nil
+		}
+		c := &nl.Cells[d]
+		c.Func = logic.Const(c.Func.N, f.Kind == StuckAt1)
+		return true, nil
+	default:
+		return false, fmt.Errorf("faults: %s cannot be applied", f.Kind)
+	}
+}
+
+// maxFlipInputs bounds the LUT sizes whose truth-table bits Universe
+// enumerates; 4-LUT technology mapping keeps every cell within it, and
+// the bound keeps the fault list linear in design size.
+const maxFlipInputs = 4
+
+// Universe enumerates the exhaustive single-fault list of a design in a
+// deterministic order: stuck-at-0 and stuck-at-1 on every live net, then
+// one bit flip per truth-table entry of every live LUT cell of at most
+// maxFlipInputs inputs — the configuration-memory SEU model.
+func Universe(nl *netlist.Netlist) []Fault {
+	var out []Fault
+	for ni := range nl.Nets {
+		if nl.Nets[ni].Dead {
+			continue
+		}
+		id := netlist.NetID(ni)
+		out = append(out,
+			Fault{Kind: StuckAt0, Net: id},
+			Fault{Kind: StuckAt1, Net: id})
+	}
+	for ci := range nl.Cells {
+		c := &nl.Cells[ci]
+		if c.Dead || c.Kind != netlist.KindLUT || len(c.Fanin) > maxFlipInputs {
+			continue
+		}
+		for bit := uint32(0); bit < 1<<uint(len(c.Fanin)); bit++ {
+			out = append(out, Fault{Kind: LUTBitFlip, Cell: netlist.CellID(ci), Bit: bit})
+		}
+	}
+	return out
+}
+
+// Batches splits a fault list into 64-fault groups, one simulator lane
+// each. The last batch may be short; order is preserved.
+func Batches(fs []Fault) [][]Fault {
+	if len(fs) == 0 {
+		return nil
+	}
+	out := make([][]Fault, 0, (len(fs)+63)/64)
+	for len(fs) > 64 {
+		out = append(out, fs[:64])
+		fs = fs[64:]
+	}
+	return append(out, fs)
+}

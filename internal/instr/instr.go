@@ -1,16 +1,3 @@
-// Package instr builds the control and observation logic of the paper's
-// Section 4 as ordinary netlist cells, so that inserting a test point has
-// a real area cost (CLBs) and a real physical footprint (the tiles it
-// lands in):
-//
-//   - Observation: a MISR (multiple-input signature register) — one
-//     XOR/DFF stage per observed net plus a polynomial feedback tap. The
-//     signature is compared off-chip against the golden model's signature,
-//     raising the paper's "flag" when an erroneous state was captured.
-//   - Control: a force multiplexer per controlled net — a test-mode
-//     select and a forced value (new primary inputs driven by the test
-//     harness) that override the net's normal driver, letting the debugger
-//     steer the circuit into suspect states.
 package instr
 
 import (

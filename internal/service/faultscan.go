@@ -1,0 +1,73 @@
+package service
+
+// The faultscan campaign pipeline: fault-simulate a design's exhaustive
+// single-fault universe on the 64-lane mutant engine and report detection
+// coverage and latency. Unlike debug campaigns it touches no layout — the
+// only shared artifact is the cached golden netlist + compiled simulator
+// program, which it forks per campaign.
+
+import (
+	"context"
+	"time"
+
+	"fpgadbg/internal/faults"
+)
+
+// faultScanEventEvery throttles per-batch progress events.
+const faultScanEventEvery = 32
+
+// runFaultScan executes one faultscan campaign against the cached golden
+// artifact. Cancellation is honored between 64-fault batches.
+func (s *Service) runFaultScan(ctx context.Context, c *campaign, ga *goldenArtifact) (*Result, error) {
+	spec := c.spec
+	u := faults.Universe(ga.golden)
+	batches := (len(u) + 63) / 64
+	c.appendEvent("faultscan", 0, "universe: %d faults in %d batches of 64 (%d patterns x %d cycles)",
+		len(u), batches, spec.Patterns, spec.Cycles)
+	cfg := faults.ScanConfig{
+		Patterns: spec.Patterns,
+		Cycles:   spec.Cycles,
+		Seed:     spec.Seed,
+		OnBatch: func(done, total int) error {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if done%faultScanEventEvery == 0 && done < total {
+				c.appendEvent("faultscan", done, "batch %d/%d scanned", done, total)
+			}
+			return nil
+		},
+	}
+	scanStart := time.Now()
+	results, err := faults.Scan(ga.mach, u, cfg)
+	if err != nil {
+		return nil, err
+	}
+	wall := time.Since(scanStart)
+	res := &Result{
+		Design:       spec.Design,
+		FaultsTotal:  len(u),
+		FaultBatches: batches,
+	}
+	latSum := 0
+	for _, r := range results {
+		if !r.Detected {
+			continue
+		}
+		res.FaultsDetected++
+		latSum += r.FirstCycle + 1
+	}
+	res.Detected = res.FaultsDetected > 0
+	if len(u) > 0 {
+		res.FaultCoverage = float64(res.FaultsDetected) / float64(len(u))
+	}
+	if res.FaultsDetected > 0 {
+		res.MeanLatencyCycles = float64(latSum) / float64(res.FaultsDetected)
+	}
+	if sec := wall.Seconds(); sec > 0 {
+		res.FaultsPerSec = float64(len(u)) / sec
+	}
+	c.appendEvent("faultscan", batches, "done: %d/%d detected (%.1f%%), mean latency %.1f cycles, %.0f faults/sec",
+		res.FaultsDetected, len(u), 100*res.FaultCoverage, res.MeanLatencyCycles, res.FaultsPerSec)
+	return res, nil
+}

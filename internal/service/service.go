@@ -1,19 +1,3 @@
-// Package service turns the one-shot debugging loop into a long-running,
-// concurrent campaign server: the production face of the paper's argument
-// that debug productivity is bounded by how fast the
-// detect → localize → correct loop re-spins.
-//
-// A Service owns a bounded worker pool fed by a priority FIFO queue of
-// campaigns, a content-addressed artifact cache (mapped netlists, compiled
-// simulator programs, pristine layouts, full-re-P&R baselines and golden
-// reference traces, keyed by netlist fingerprint + build parameters, with
-// singleflight dedup and LRU + byte-budget eviction), and per-campaign
-// progress events streamed as they happen. Campaigns are cancellable at
-// every stage through contexts threaded into internal/debug.
-//
-// The same typed API (Submit / Status / Events / Wait / Cancel) is served
-// in-process (the load generator in internal/experiments) and over
-// HTTP/JSON by cmd/fpgadbgd (see http.go and client.go).
 package service
 
 import (
@@ -37,13 +21,26 @@ import (
 	"fpgadbg/internal/synth"
 )
 
-// Spec describes one debugging campaign: which design, which injected
-// error, and the knobs of the loop. Zero values take the documented
-// defaults so an HTTP client can post `{"design":"c880","fault_seed":3}`.
+// Campaign kinds.
+const (
+	// KindDebug is the full detect → localize → correct loop (default).
+	KindDebug = "debug"
+	// KindFaultScan fault-simulates the design's exhaustive single-fault
+	// universe in 64-lane batches and reports detection coverage and
+	// latency; it needs no layout, no injection and no correction.
+	KindFaultScan = "faultscan"
+)
+
+// Spec describes one campaign: which design, which injected error, and
+// the knobs of the loop. Zero values take the documented defaults so an
+// HTTP client can post `{"design":"c880","fault_seed":3}`.
 type Spec struct {
 	// Design is a benchmark catalog name (bench.Catalog).
 	Design string `json:"design"`
-	// FaultSeed selects the injected design error.
+	// Kind selects the campaign pipeline: KindDebug (default) or
+	// KindFaultScan.
+	Kind string `json:"kind,omitempty"`
+	// FaultSeed selects the injected design error (debug campaigns).
 	FaultSeed int64 `json:"fault_seed"`
 	// Seed drives layout and stimulus randomness (default 1).
 	Seed int64 `json:"seed,omitempty"`
@@ -62,14 +59,27 @@ type Spec struct {
 	MaxRounds int `json:"max_rounds,omitempty"`
 	// ProbesPerRound is the observation fan-out per round (default 4).
 	ProbesPerRound int `json:"probes_per_round,omitempty"`
+	// Patterns is the broadcast-pattern count of a faultscan campaign
+	// (default 64).
+	Patterns int `json:"patterns,omitempty"`
+	// UseDict attaches a fault dictionary (built once per design and
+	// cached) to a debug campaign, so localization tries a probe-free
+	// dictionary lookup before inserting observation logic.
+	UseDict bool `json:"use_dict,omitempty"`
 	// Priority orders the queue: higher runs first; equal priorities are
 	// FIFO.
 	Priority int `json:"priority,omitempty"`
 }
 
 func (sp Spec) withDefaults() Spec {
+	if sp.Kind == "" {
+		sp.Kind = KindDebug
+	}
 	if sp.Seed == 0 {
 		sp.Seed = 1
+	}
+	if sp.Patterns == 0 {
+		sp.Patterns = 64
 	}
 	if sp.Overhead == 0 {
 		sp.Overhead = 0.20
@@ -84,7 +94,13 @@ func (sp Spec) withDefaults() Spec {
 		sp.Words = 8
 	}
 	if sp.Cycles == 0 {
-		sp.Cycles = 4
+		// Debug detection holds each block 4 cycles; faultscan matches the
+		// benchrepro -seu / EXPERIMENTS.md reference of 2 cycles per pattern.
+		if sp.Kind == KindFaultScan {
+			sp.Cycles = 2
+		} else {
+			sp.Cycles = 4
+		}
 	}
 	if sp.MaxIters == 0 {
 		sp.MaxIters = 4
@@ -102,6 +118,12 @@ func (sp Spec) withDefaults() Spec {
 func (sp Spec) Validate() error {
 	if _, err := bench.ByName(sp.Design); err != nil {
 		return err
+	}
+	if sp.Kind != "" && sp.Kind != KindDebug && sp.Kind != KindFaultScan {
+		return fmt.Errorf("service: unknown campaign kind %q (have %q, %q)", sp.Kind, KindDebug, KindFaultScan)
+	}
+	if sp.Patterns < 0 {
+		return fmt.Errorf("service: patterns must be positive (got %d)", sp.Patterns)
 	}
 	if sp.Words < 0 || sp.Cycles < 0 {
 		return fmt.Errorf("service: words and cycles must be positive (got %d, %d)", sp.Words, sp.Cycles)
@@ -174,20 +196,34 @@ type Result struct {
 	FullWork float64 `json:"full_work"`
 	// SpeedupPerIter is FullWork divided by tile work per physical update.
 	SpeedupPerIter float64 `json:"speedup_per_iter"`
+	// DictResolved counts diagnoses the fault dictionary settled without
+	// probe rounds (debug campaigns with UseDict).
+	DictResolved int `json:"dict_resolved,omitempty"`
+	// Faultscan campaigns (Kind == "faultscan") report the universe scan
+	// instead of the loop fields above.
+	FaultsTotal       int     `json:"faults_total,omitempty"`
+	FaultsDetected    int     `json:"faults_detected,omitempty"`
+	FaultBatches      int     `json:"fault_batches,omitempty"`
+	FaultCoverage     float64 `json:"fault_coverage,omitempty"`
+	MeanLatencyCycles float64 `json:"mean_latency_cycles,omitempty"`
+	FaultsPerSec      float64 `json:"faults_per_sec,omitempty"`
 	// CacheHits / CacheMisses count this campaign's artifact lookups
-	// (golden netlist+simulator artifact, layout, baseline).
+	// (golden netlist+simulator artifact, layout, baseline, dictionary).
 	CacheHits   int     `json:"cache_hits"`
 	CacheMisses int     `json:"cache_misses"`
 	WallMs      float64 `json:"wall_ms"`
 	Digest      string  `json:"digest"`
 }
 
-// digest hashes the deterministic fields.
+// digest hashes the deterministic fields (wall-clock throughput and cache
+// outcomes excluded).
 func (r *Result) digest() string {
 	h := sha256.New()
-	fmt.Fprintf(h, "%s|%s|%v|%v|%d|%d|%d|%v|%.0f|%.0f",
+	fmt.Fprintf(h, "%s|%s|%v|%v|%d|%d|%d|%v|%.0f|%.0f|%d|%d|%d|%d|%.3f",
 		r.Design, r.Injected, r.Detected, r.Clean, r.Iterations,
-		r.Rounds, r.ProbesInserted, r.Fixed, r.TileWork, r.FullWork)
+		r.Rounds, r.ProbesInserted, r.Fixed, r.TileWork, r.FullWork,
+		r.DictResolved, r.FaultsTotal, r.FaultsDetected, r.FaultBatches,
+		r.MeanLatencyCycles)
 	sum := h.Sum(nil)
 	return hex.EncodeToString(sum[:8])
 }
@@ -750,6 +786,21 @@ func (s *Service) runCampaign(ctx context.Context, c *campaign) (*Result, error)
 		return nil, err
 	}
 
+	// Faultscan campaigns branch off here: they need no injection, no
+	// layout and no baseline — just the golden artifact and the 64-lane
+	// mutant engine.
+	if spec.Kind == KindFaultScan {
+		res, err := s.runFaultScan(ctx, c, ga)
+		if err != nil {
+			return nil, err
+		}
+		res.CacheHits = hits
+		res.CacheMisses = misses
+		res.WallMs = float64(time.Since(start).Microseconds()) / 1000
+		res.Digest = res.digest()
+		return res, nil
+	}
+
 	// 2. Implementation under test: golden + injected design error.
 	impl := golden.Clone()
 	inj, err := faults.InjectRandom(impl, spec.FaultSeed)
@@ -809,6 +860,26 @@ func (s *Service) runCampaign(ctx context.Context, c *campaign) (*Result, error)
 		c.appendEvent(ev.Stage, ev.Round, "%s", ev.Msg)
 	}
 
+	// 5b. Optional fault dictionary: built once per (design, detection
+	// params) and cached, it lets localization skip probe insertion for
+	// errors it can name from the PO-mismatch signature alone.
+	if spec.UseDict {
+		dkey := fmt.Sprintf("dict/%s/w%d-c%d-s%d", ga.fp, spec.Words, spec.Cycles, spec.Seed)
+		v, hit, err = s.cache.GetOrBuild(dkey, func() (any, int64, error) {
+			d, err := debug.BuildFaultDict(ga.mach, spec.Words, spec.Cycles, spec.Seed)
+			if err != nil {
+				return nil, 0, err
+			}
+			return d, d.MemoryFootprint(), nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("dict %s: %w", spec.Design, err)
+		}
+		sess.Dict = v.(*debug.FaultDict)
+		c.appendEvent("dict", 0, "fault dictionary: %d/%d faults detectable, %d signatures (%s)",
+			sess.Dict.Detected, sess.Dict.Faults, sess.Dict.Signatures(), count(hit))
+	}
+
 	rep, err := sess.RunLoopCore(spec.MaxIters, spec.Words, spec.Cycles, spec.MaxRounds, spec.ProbesPerRound)
 	if err != nil {
 		return nil, err
@@ -823,6 +894,9 @@ func (s *Service) runCampaign(ctx context.Context, c *campaign) (*Result, error)
 	for _, diag := range rep.Diagnoses {
 		res.Rounds += diag.Rounds
 		res.ProbesInserted += diag.Probes
+		if diag.Dict {
+			res.DictResolved++
+		}
 	}
 	for _, cor := range rep.Corrections {
 		res.Fixed = append(res.Fixed, cor.Fixed...)

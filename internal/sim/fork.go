@@ -10,25 +10,27 @@ package sim
 // neither the parent nor any fork may mutate the netlist afterwards.
 //
 // The fork starts in the reset state with the default all-PIs binding and
-// no probes or overrides, regardless of the parent's current state.
+// no probes, overrides or lane faults, regardless of the parent's current
+// state.
 func (m *Machine) Fork() *Machine {
 	f := &Machine{
-		nl:      m.nl,
-		nodes:   m.nodes,
-		fanin:   m.fanin,
-		ttab:    m.ttab,
-		covers:  m.covers,
-		buf:     make([]uint64, len(m.buf)),
-		dffD:    m.dffD,
-		dffQ:    m.dffQ,
-		dffInit: m.dffInit,
-		pis:     m.pis,
-		piNames: m.piNames,
-		pos:     m.pos,
-		poNames: m.poNames,
-		val:     make([]uint64, len(m.val)),
-		state:   make([]uint64, len(m.state)),
-		bound:   append([]int32(nil), m.pis...),
+		nl:         m.nl,
+		nodes:      m.nodes,
+		fanin:      m.fanin,
+		ttab:       m.ttab,
+		covers:     m.covers,
+		buf:        make([]uint64, len(m.buf)),
+		dffD:       m.dffD,
+		dffQ:       m.dffQ,
+		dffInit:    m.dffInit,
+		pis:        m.pis,
+		piNames:    m.piNames,
+		pos:        m.pos,
+		poNames:    m.poNames,
+		nodeOfCell: m.nodeOfCell,
+		val:        make([]uint64, len(m.val)),
+		state:      make([]uint64, len(m.state)),
+		bound:      append([]int32(nil), m.pis...),
 	}
 	f.Reset()
 	return f

@@ -1,0 +1,250 @@
+package sim
+
+// Fault-parallel execution: one mutant per bit lane. In normal operation
+// the 64 bits of a net word are 64 independent test patterns; in
+// fault-parallel mode they are 64 independent *mutants* evaluated under a
+// broadcast stimulus (every primary input word is 0 or all-ones, so each
+// lane sees the same scalar pattern). A lane mutation perturbs the value
+// one compiled node produces — or one source net carries — in exactly the
+// lanes its mask selects, and the perturbation is applied *during* the
+// evaluation pass, so downstream logic in the same combinational wave and
+// the flip-flops clocked afterwards all observe the faulty value, exactly
+// as if the netlist itself had been mutated and recompiled.
+//
+// Two perturbation shapes cover the classic fault models:
+//
+//   - stuck-at: the net reads 0 (or 1) in the faulty lanes regardless of
+//     its computed value — an SEU or bridging defect on a wire;
+//   - LUT-bit flip: the cell's output is inverted in the faulty lanes
+//     whenever its fanin minterm equals the flipped truth-table entry —
+//     an SEU in a configuration-memory bit.
+//
+// Arm up to 64 faults (one per lane) with SetLaneFault, replay a
+// broadcast stimulus once, and every lane's primary-output stream is the
+// stream of its private mutant: a 64-way fault-simulation batch for the
+// cost of one trace, with no netlist clone and no recompilation
+// (internal/faults batches exhaustive fault lists on top of this; see
+// DESIGN.md §9).
+
+import (
+	"fmt"
+
+	"fpgadbg/internal/netlist"
+)
+
+// LaneFaultKind enumerates the per-lane perturbations the execution core
+// applies natively.
+type LaneFaultKind uint8
+
+const (
+	// LaneStuckAt0 forces a net to 0 in the faulty lanes.
+	LaneStuckAt0 LaneFaultKind = iota
+	// LaneStuckAt1 forces a net to 1 in the faulty lanes.
+	LaneStuckAt1
+	// LaneLUTFlip inverts one truth-table entry of a LUT cell in the
+	// faulty lanes: the output is complemented whenever the cell's inputs
+	// select the flipped minterm.
+	LaneLUTFlip
+)
+
+func (k LaneFaultKind) String() string {
+	switch k {
+	case LaneStuckAt0:
+		return "stuck-at-0"
+	case LaneStuckAt1:
+		return "stuck-at-1"
+	case LaneLUTFlip:
+		return "lut-flip"
+	default:
+		return fmt.Sprintf("LaneFaultKind(%d)", int(k))
+	}
+}
+
+// LaneFault is one per-lane perturbation. Net addresses stuck-at faults;
+// Cell and Minterm address LUT-bit flips.
+type LaneFault struct {
+	Kind    LaneFaultKind
+	Net     netlist.NetID  // LaneStuckAt0/1: the faulty net
+	Cell    netlist.CellID // LaneLUTFlip: the faulty LUT
+	Minterm uint32         // LaneLUTFlip: the flipped truth-table entry
+}
+
+// laneMut is one compiled perturbation attached to a node (or, for
+// sources, a net): apply to the lanes in mask.
+type laneMut struct {
+	mask    uint64
+	minterm uint32
+	kind    LaneFaultKind
+}
+
+// preMut is a stuck-at on a source net — a primary input, a flip-flop
+// output or an undriven net — applied before the node pass, after inputs
+// and state have been loaded.
+type preMut struct {
+	net  int32
+	mask uint64
+	kind LaneFaultKind
+}
+
+// SetLaneFault arms one fault on one mutant lane (0..63). Faults
+// accumulate until ClearLaneFaults; arming several faults on the same
+// lane models a multi-fault mutant. Like overrides, lane faults are
+// configuration, not state: they survive Reset (and hence RunTrace).
+func (m *Machine) SetLaneFault(lane int, f LaneFault) error {
+	if lane < 0 || lane > 63 {
+		return fmt.Errorf("sim: lane %d out of [0,63]", lane)
+	}
+	mask := uint64(1) << lane
+	switch f.Kind {
+	case LaneStuckAt0, LaneStuckAt1:
+		if int(f.Net) < 0 || int(f.Net) >= len(m.val) {
+			return fmt.Errorf("sim: lane fault on invalid net %d", f.Net)
+		}
+		d := m.nl.Nets[f.Net].Driver
+		if d != netlist.NilCell && m.nl.Cells[d].Kind == netlist.KindLUT {
+			node := m.nodeOfCell[d]
+			if node < 0 {
+				return fmt.Errorf("sim: lane fault on net %q driven by uncompiled cell", m.nl.NetName(f.Net))
+			}
+			m.addNodeMut(node, laneMut{mask: mask, kind: f.Kind})
+		} else {
+			// PI, DFF output or undriven: force before the node pass.
+			m.preMuts = append(m.preMuts, preMut{net: int32(f.Net), mask: mask, kind: f.Kind})
+		}
+	case LaneLUTFlip:
+		if int(f.Cell) < 0 || int(f.Cell) >= len(m.nodeOfCell) {
+			return fmt.Errorf("sim: lane fault on invalid cell %d", f.Cell)
+		}
+		node := m.nodeOfCell[f.Cell]
+		if node < 0 {
+			return fmt.Errorf("sim: lut-flip on cell %q, which is not a compiled LUT", m.nl.CellName(f.Cell))
+		}
+		if n := m.nodes[node].nin; uint32(1)<<n <= f.Minterm {
+			return fmt.Errorf("sim: lut-flip minterm %d out of range for %d-input cell %q",
+				f.Minterm, n, m.nl.CellName(f.Cell))
+		}
+		m.addNodeMut(node, laneMut{mask: mask, minterm: f.Minterm, kind: LaneLUTFlip})
+	default:
+		return fmt.Errorf("sim: unknown lane-fault kind %d", f.Kind)
+	}
+	return nil
+}
+
+// addNodeMut attaches one perturbation to a compiled node.
+func (m *Machine) addNodeMut(node int32, mut laneMut) {
+	if m.mutOf == nil {
+		m.mutOf = make([]int32, len(m.nodes))
+		for i := range m.mutOf {
+			m.mutOf[i] = -1
+		}
+	}
+	if mi := m.mutOf[node]; mi >= 0 {
+		m.mutLists[mi] = append(m.mutLists[mi], mut)
+		return
+	}
+	m.mutOf[node] = int32(len(m.mutLists))
+	m.mutNodes = append(m.mutNodes, node)
+	// Recycle the inner slice truncated by ClearLaneFaults so arming the
+	// next batch reuses its capacity instead of allocating per fault.
+	if len(m.mutLists) < cap(m.mutLists) {
+		m.mutLists = m.mutLists[:len(m.mutLists)+1]
+		last := len(m.mutLists) - 1
+		m.mutLists[last] = append(m.mutLists[last][:0], mut)
+		return
+	}
+	m.mutLists = append(m.mutLists, []laneMut{mut})
+}
+
+// ClearLaneFaults removes every armed lane fault, returning the machine
+// to fault-free evaluation. The mutation tables are retained for reuse,
+// so arming the next 64-fault batch allocates (almost) nothing.
+func (m *Machine) ClearLaneFaults() {
+	for _, node := range m.mutNodes {
+		m.mutOf[node] = -1
+	}
+	m.mutNodes = m.mutNodes[:0]
+	m.mutLists = m.mutLists[:0]
+	m.preMuts = m.preMuts[:0]
+}
+
+// LaneFaultsArmed reports whether any lane fault is configured.
+func (m *Machine) LaneFaultsArmed() bool {
+	return len(m.mutNodes) > 0 || len(m.preMuts) > 0
+}
+
+// applyStuck applies a stuck-at mutation to a word.
+func applyStuck(w uint64, mut laneMut) uint64 {
+	if mut.kind == LaneStuckAt1 {
+		return w | mut.mask
+	}
+	return w &^ mut.mask
+}
+
+// applyNodeMuts perturbs one node's freshly computed word. For LUT flips
+// the select word — all-ones in lanes whose fanin assignment equals the
+// flipped minterm — is recomputed from the already-evaluated fanin words,
+// so the flip tracks the inputs cycle by cycle just like a mutated truth
+// table would.
+func (m *Machine) applyNodeMuts(w uint64, n *node, muts []laneMut) uint64 {
+	for _, mut := range muts {
+		switch mut.kind {
+		case LaneLUTFlip:
+			sel := ^uint64(0)
+			s := n.start
+			for j := int32(0); j < n.nin; j++ {
+				fv := m.val[m.fanin[s+j]]
+				if mut.minterm&(1<<uint(j)) != 0 {
+					sel &= fv
+				} else {
+					sel &= ^fv
+				}
+			}
+			w ^= sel & mut.mask
+		default:
+			w = applyStuck(w, mut)
+		}
+	}
+	return w
+}
+
+// evalNodesFaulty is the fault-parallel pass: evalNodes plus the per-node
+// override check and lane-mutation hook. Kept separate so the fault-free
+// paths pay nothing for the feature.
+func (m *Machine) evalNodesFaulty() {
+	v := m.val
+	fan := m.fanin
+	ttab := m.ttab
+	nodes := m.nodes
+	for i := range nodes {
+		n := nodes[i]
+		s := n.start
+		var w uint64
+		switch n.op {
+		case opTT2:
+			w = evalTab2(ttab[n.aux:n.aux+4:n.aux+4], v[fan[s]], v[fan[s+1]])
+		case opTT3:
+			w = evalTab3(ttab[n.aux:n.aux+8:n.aux+8], v[fan[s]], v[fan[s+1]], v[fan[s+2]])
+		case opTT4:
+			w = evalTab4(ttab[n.aux:n.aux+16:n.aux+16], v[fan[s]], v[fan[s+1]], v[fan[s+2]], v[fan[s+3]])
+		case opTT1:
+			w = evalTab1(ttab[n.aux:n.aux+2:n.aux+2], v[fan[s]])
+		case opConst:
+			w = -uint64(n.tt & 1)
+		default: // opCover
+			buf := m.buf[:n.nin]
+			for j := int32(0); j < n.nin; j++ {
+				buf[j] = v[fan[s+j]]
+			}
+			w = m.covers[n.aux].EvalWords(buf)
+		}
+		if m.ovIdx != nil {
+			if o := m.ovIdx[n.out]; o >= 0 {
+				w = m.ovVal[o]
+			}
+		}
+		if mi := m.mutOf[i]; mi >= 0 {
+			w = m.applyNodeMuts(w, &nodes[i], m.mutLists[mi])
+		}
+		v[n.out] = w
+	}
+}

@@ -90,6 +90,15 @@ type Machine struct {
 	ovIdx  []int32 // per net: index into ovVal, or -1 (nil until first use)
 	ovNets []int32
 	ovVal  []uint64
+
+	// Fault-parallel lane mutations (see lanefault.go). nodeOfCell is part
+	// of the compiled program (shared by forks); the rest is per-instance
+	// configuration like the override list.
+	nodeOfCell []int32 // per cell: compiled node index, or -1
+	mutOf      []int32 // per node: index into mutLists, or -1 (nil until first use)
+	mutNodes   []int32 // nodes carrying mutations, for clearing
+	mutLists   [][]laneMut
+	preMuts    []preMut // stuck-ats on PIs, DFF outputs and undriven nets
 }
 
 // Compile levelizes the netlist and lowers it into a ready-to-run machine
@@ -100,14 +109,19 @@ func Compile(nl *netlist.Netlist) (*Machine, error) {
 		return nil, fmt.Errorf("sim: %w", err)
 	}
 	m := &Machine{
-		nl:  nl,
-		val: make([]uint64, len(nl.Nets)),
+		nl:         nl,
+		val:        make([]uint64, len(nl.Nets)),
+		nodeOfCell: make([]int32, len(nl.Cells)),
+	}
+	for i := range m.nodeOfCell {
+		m.nodeOfCell[i] = -1
 	}
 	maxFanin := 0
 	for _, id := range order {
 		c := &nl.Cells[id]
 		switch c.Kind {
 		case netlist.KindLUT:
+			m.nodeOfCell[id] = int32(len(m.nodes))
 			n := node{
 				out:   int32(c.Out),
 				start: int32(len(m.fanin)),
@@ -200,16 +214,29 @@ func (m *Machine) Eval() {
 	for i, q := range m.dffQ {
 		m.val[q] = m.state[i]
 	}
-	if len(m.ovNets) == 0 {
+	if len(m.ovNets) != 0 {
+		// Pre-apply overrides so source nets (PIs, DFF outputs) read
+		// forced; driven nets are re-forced as their node executes.
+		for _, net := range m.ovNets {
+			m.val[net] = m.ovVal[m.ovIdx[net]]
+		}
+	}
+	if len(m.preMuts) != 0 {
+		// Source-net stuck-ats: PIs, DFF outputs and undriven nets are
+		// never written by the node pass, so forcing them up front is
+		// final for this evaluation.
+		for _, pm := range m.preMuts {
+			m.val[pm.net] = applyStuck(m.val[pm.net], laneMut{mask: pm.mask, kind: pm.kind})
+		}
+	}
+	switch {
+	case len(m.mutNodes) != 0:
+		m.evalNodesFaulty()
+	case len(m.ovNets) != 0:
+		m.evalNodesOverridden()
+	default:
 		m.evalNodes()
-		return
 	}
-	// Pre-apply overrides so source nets (PIs, DFF outputs) read forced;
-	// driven nets are re-forced as their node executes.
-	for _, net := range m.ovNets {
-		m.val[net] = m.ovVal[m.ovIdx[net]]
-	}
-	m.evalNodesOverridden()
 }
 
 // evalNodes is the hot loop: one pass over the compiled program.

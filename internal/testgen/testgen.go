@@ -33,6 +33,46 @@ func RandomBlocks(cols, nWords int, seed int64) [][]uint64 {
 	return out
 }
 
+// ScalarBlocks returns nPatterns broadcast stimulus rows over cols input
+// columns: every word is 0 or all-ones, so all 64 simulator lanes see the
+// same scalar test vector. This is the stimulus shape of fault-parallel
+// simulation (one mutant per lane, see sim.SetLaneFault), where the lanes
+// carry mutants instead of patterns and therefore must share the input.
+func ScalarBlocks(cols, nPatterns int, seed int64) [][]uint64 {
+	r := rand.New(rand.NewSource(seed))
+	out := make([][]uint64, nPatterns)
+	for p := range out {
+		row := make([]uint64, cols)
+		for j := range row {
+			if r.Int63()&1 != 0 {
+				row[j] = ^uint64(0)
+			}
+		}
+		out[p] = row
+	}
+	return out
+}
+
+// TransposeToScalar expands packed 64-pattern stimulus rows into their
+// individual scalar patterns as broadcast rows: pattern p of packed row w
+// becomes one row whose words are 0 or all-ones. The result drives the
+// fault-parallel scanner with exactly the pattern set of a pattern-
+// parallel replay, so (for combinational logic) whatever the packed
+// stimulus excites, the scalar replay excites too.
+func TransposeToScalar(blocks [][]uint64) [][]uint64 {
+	out := make([][]uint64, 0, len(blocks)*64)
+	for _, packed := range blocks {
+		for p := 0; p < 64; p++ {
+			row := make([]uint64, len(packed))
+			for j, w := range packed {
+				row[j] = -(w >> uint(p) & 1)
+			}
+			out = append(out, row)
+		}
+	}
+	return out
+}
+
 // WeightedBlocks returns random stimulus rows with each input bit biased
 // to 1 with probability p1 — useful for exciting control-dominated logic.
 func WeightedBlocks(cols, nWords int, p1 float64, seed int64) [][]uint64 {
