@@ -10,6 +10,7 @@
 //	benchrepro -json-service      # campaign-service load test → BENCH_service.json
 //	benchrepro -seu               # SEU vulnerability campaign (fault-parallel)
 //	benchrepro -json-faults       # fault-parallel vs serial scan → BENCH_faults.json
+//	benchrepro -json-repair       # repair-candidate search campaign → BENCH_repair.json
 package main
 
 import (
@@ -44,6 +45,11 @@ func main() {
 		fltPat    = flag.Int("fault-patterns", 64, "broadcast test patterns per fault for -seu and -json-faults")
 		fltCyc    = flag.Int("fault-cycles", 2, "clock cycles each fault pattern is held")
 		serialCap = flag.Int("serial-cap", 192, "max faults the serial baseline replays per design for -json-faults")
+		jsonRep   = flag.Bool("json-repair", false, "run the repair campaign (lane-parallel candidate search) and write BENCH_repair.json")
+		repOut    = flag.String("json-repair-out", "BENCH_repair.json", "output path for -json-repair")
+		repWords  = flag.Int("repair-words", 4, "detection stimulus blocks per repair attempt")
+		repCyc    = flag.Int("repair-cycles", 2, "clock cycles each repair detection block is held")
+		repMax    = flag.Int("repair-faults", 24, "max localizable faults injected and repaired per design")
 		all       = flag.Bool("all", false, "run every table, figure and ablation")
 		effort    = flag.Float64("effort", 0.5, "placement effort (1.0 = full anneal)")
 		seed      = flag.Int64("seed", 1, "random seed")
@@ -54,7 +60,7 @@ func main() {
 	if *all {
 		*table1, *fig3, *fig4, *fig5, *ablations = true, true, true, true, true
 	}
-	if !*table1 && !*fig3 && !*fig4 && !*fig5 && !*ablations && *faultsN == 0 && !*jsonBench && !*jsonSvc && !*seu && !*jsonFlt {
+	if !*table1 && !*fig3 && !*fig4 && !*fig5 && !*ablations && *faultsN == 0 && !*jsonBench && !*jsonSvc && !*seu && !*jsonFlt && !*jsonRep {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -179,6 +185,26 @@ func main() {
 			die(err)
 		}
 		fmt.Printf("wrote %s\n", *fltOut)
+	}
+	if *jsonRep {
+		rows, err := experiments.RepairCampaign(cfg, *repWords, *repCyc, *repMax)
+		if err != nil {
+			die(err)
+		}
+		fmt.Println(experiments.FormatRepair(rows))
+		blob, err := json.MarshalIndent(struct {
+			Words     int                     `json:"words"`
+			Cycles    int                     `json:"cycles"`
+			MaxFaults int                     `json:"max_faults"`
+			Rows      []experiments.RepairRow `json:"rows"`
+		}{*repWords, *repCyc, *repMax, rows}, "", "  ")
+		if err != nil {
+			die(err)
+		}
+		if err := os.WriteFile(*repOut, append(blob, '\n'), 0o644); err != nil {
+			die(err)
+		}
+		fmt.Printf("wrote %s\n", *repOut)
 	}
 	if *jsonSvc {
 		rep, err := experiments.ServiceLoadTest(cfg, *svcN, *svcW)

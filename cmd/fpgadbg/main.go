@@ -21,6 +21,17 @@
 //
 //	fpgadbg -design 9sym -kind faultscan -patterns 128
 //	fpgadbg -design c880 -fault-seed 3 -use-dict -remote http://localhost:8080
+//
+// -repair corrects by lane-parallel repair-candidate search instead of
+// copying the suspect cells from the golden netlist: candidates (bit
+// flips, pin swaps, resynthesized truth tables) are validated 64 per
+// trace replay against the golden model acting purely as an output
+// oracle, and the winner flows through the tile-local ECO path. An
+// inconclusive search falls back to the golden copy. With -remote this
+// submits a "repair" campaign kind:
+//
+//	fpgadbg -design 9sym -fault-seed 2 -repair
+//	fpgadbg -design c880 -fault-seed 3 -repair -remote http://localhost:8080
 package main
 
 import (
@@ -41,19 +52,20 @@ import (
 
 func main() {
 	var (
-		design    = flag.String("design", "c880", "benchmark design name")
-		faultSeed = flag.Int64("fault-seed", 1, "seed selecting the injected design error")
-		overhead  = flag.Float64("overhead", 0.20, "resource slack for tiling")
-		tilefrac  = flag.Float64("tilefrac", 0.10, "tile size as fraction of the device")
-		effort    = flag.Float64("effort", 0.5, "placement effort")
-		seed      = flag.Int64("seed", 1, "layout seed")
-		words     = flag.Int("words", 8, "random stimulus blocks (64 patterns each) per detection")
-		cycles    = flag.Int("cycles", 4, "clock cycles per stimulus block")
-		kind      = flag.String("kind", "debug", "campaign kind: debug (the full loop) or faultscan (exhaustive fault-universe scan)")
-		patterns  = flag.Int("patterns", 64, "broadcast test patterns for -kind faultscan")
-		useDict   = flag.Bool("use-dict", false, "consult a fault dictionary before inserting probes (debug campaigns)")
-		remote    = flag.String("remote", "", "submit to a fpgadbgd daemon at this base URL instead of running locally")
-		priority  = flag.Int("priority", 0, "queue priority for -remote (higher runs first)")
+		design     = flag.String("design", "c880", "benchmark design name")
+		faultSeed  = flag.Int64("fault-seed", 1, "seed selecting the injected design error")
+		overhead   = flag.Float64("overhead", 0.20, "resource slack for tiling")
+		tilefrac   = flag.Float64("tilefrac", 0.10, "tile size as fraction of the device")
+		effort     = flag.Float64("effort", 0.5, "placement effort")
+		seed       = flag.Int64("seed", 1, "layout seed")
+		words      = flag.Int("words", 8, "random stimulus blocks (64 patterns each) per detection")
+		cycles     = flag.Int("cycles", 4, "clock cycles per stimulus block")
+		kind       = flag.String("kind", "debug", "campaign kind: debug (the full loop), faultscan (exhaustive fault-universe scan) or repair (candidate-search correction)")
+		patterns   = flag.Int("patterns", 64, "broadcast test patterns for -kind faultscan")
+		useDict    = flag.Bool("use-dict", false, "consult a fault dictionary before inserting probes (debug campaigns)")
+		repairSrch = flag.Bool("repair", false, "correct by repair-candidate search (golden as oracle only); shorthand for -kind repair")
+		remote     = flag.String("remote", "", "submit to a fpgadbgd daemon at this base URL instead of running locally")
+		priority   = flag.Int("priority", 0, "queue priority for -remote (higher runs first)")
 	)
 	flag.Parse()
 	die := func(err error) {
@@ -63,8 +75,18 @@ func main() {
 	if *words < 1 || *cycles < 1 {
 		die(fmt.Errorf("-words and -cycles must be >= 1 (got %d, %d)", *words, *cycles))
 	}
-	if *kind != service.KindDebug && *kind != service.KindFaultScan {
-		die(fmt.Errorf("-kind must be %q or %q (got %q)", service.KindDebug, service.KindFaultScan, *kind))
+	if *repairSrch && *kind == service.KindFaultScan {
+		die(fmt.Errorf("-repair does not apply to -kind faultscan"))
+	}
+	if *repairSrch && *kind == service.KindDebug {
+		*kind = service.KindRepair
+	}
+	if *kind != service.KindDebug && *kind != service.KindFaultScan && *kind != service.KindRepair {
+		die(fmt.Errorf("-kind must be %q, %q or %q (got %q)",
+			service.KindDebug, service.KindFaultScan, service.KindRepair, *kind))
+	}
+	if *kind == service.KindRepair {
+		*repairSrch = true
 	}
 	info, err := bench.ByName(*design)
 	if err != nil {
@@ -119,6 +141,11 @@ func main() {
 	if err != nil {
 		die(err)
 	}
+	if *repairSrch {
+		// The repair pipeline always consults the dictionary first, like
+		// the daemon's repair campaign kind.
+		*useDict = true
+	}
 	if *useDict {
 		prog, err := sim.Compile(golden)
 		if err != nil {
@@ -158,9 +185,22 @@ func main() {
 	}
 	fmt.Printf("          tile-local effort: %v\n", diag.Effort)
 
-	cor, err := sess.Correct(diag, det)
+	var cor *debug.Correction
+	if *repairSrch {
+		var fellBack bool
+		cor, fellBack, err = sess.CorrectAuto(diag, det, nil)
+		if fellBack {
+			fmt.Println("repair:   candidate search inconclusive — golden-copy fallback")
+		}
+	} else {
+		cor, err = sess.CorrectFromGolden(diag, det)
+	}
 	if err != nil {
 		die(err)
+	}
+	if cor.Repaired {
+		fmt.Printf("repair:   %s repaired %v — %d candidate(s), %d survivor(s), %d lane batch(es), eco-verified=%v\n",
+			cor.RepairKind, cor.Fixed, cor.Candidates, cor.Survivors, cor.Batches, cor.ECOVerified)
 	}
 	fmt.Printf("correct:  fixed %v, affected tiles %v, verified=%v\n",
 		cor.Fixed, cor.Report.AffectedTiles, cor.Verified)
@@ -216,6 +256,11 @@ func runRemote(base string, spec service.Spec) error {
 	fmt.Printf("injected error: %s\n", res.Injected)
 	fmt.Printf("detected=%v clean=%v iterations=%d rounds=%d probes=%d dict=%d fixed=%v\n",
 		res.Detected, res.Clean, res.Iterations, res.Rounds, res.ProbesInserted, res.DictResolved, res.Fixed)
+	if res.Repaired > 0 || res.RepairFallback {
+		fmt.Printf("repair: %d candidate-search fix(es) (%s), %d candidate(s), %d survivor(s), %d lane batch(es), eco-verified=%v, fallback=%v\n",
+			res.Repaired, res.RepairKind, res.Candidates, res.Survivors, res.CandidateBatches,
+			res.ECOVerified, res.RepairFallback)
+	}
 	fmt.Printf("tile-local work %.0f vs full re-P&R %.0f — %.1fx per physical update\n",
 		res.TileWork, res.FullWork, res.SpeedupPerIter)
 	fmt.Printf("artifact cache: %d hit(s), %d miss(es); wall %.1fms; digest %s\n",

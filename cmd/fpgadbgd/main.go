@@ -18,14 +18,17 @@
 //	GET  /healthz                 liveness
 //	GET  /metrics                 expvar, service stats under "fpgadbgd"
 //
-// Two campaign kinds are served: "debug" (the full detect → localize →
+// Three campaign kinds are served: "debug" (the full detect → localize →
 // correct loop, optionally with the fault-dictionary localizer via
-// "use_dict":true) and "faultscan" (exhaustive single-fault universe
-// scan on the 64-lane fault-parallel mutant engine). Submit from the
-// shell:
+// "use_dict":true), "faultscan" (exhaustive single-fault universe scan
+// on the 64-lane fault-parallel mutant engine) and "repair" (one detect
+// → dictionary-localize → candidate-search-repair pass where the golden
+// design is only a behavioural oracle; the compiled candidate program is
+// cached per injected design). Submit from the shell:
 //
 //	curl -s -X POST localhost:8080/campaigns -d '{"design":"9sym","fault_seed":1}'
 //	curl -s -X POST localhost:8080/campaigns -d '{"design":"9sym","kind":"faultscan","patterns":128}'
+//	curl -s -X POST localhost:8080/campaigns -d '{"design":"9sym","kind":"repair","fault_seed":2}'
 //	curl -s localhost:8080/campaigns/c000001
 package main
 

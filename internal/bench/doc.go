@@ -1,0 +1,19 @@
+// Package bench generates the paper's nine benchmark designs. The MCNC /
+// ISCAS distribution files are not available offline, so each design is
+// rebuilt as a deterministic generator of the same function class and
+// approximate size (see DESIGN.md §3 for the substitution argument):
+//
+//	9sym    – the exact MCNC function: 9-input symmetric, true for 3..6 ones
+//	c499    – single-error-correcting Hamming decoder (XOR network), 41 in / 32 out
+//	c880    – 8-bit ALU with flags
+//	styr    – Moore FSM, 30 states / 9 in / 10 out (MCNC parameters)
+//	sand    – Moore FSM, 32 states / 11 in / 9 out
+//	planet1 – Moore FSM, 48 states / 7 in / 19 out
+//	s9234   – synthetic sequential datapath (pipelines + LFSR control)
+//	mips    – MIPS-subset register-file datapath (BYU core stand-in)
+//	des     – key-specific DES round logic, unrolled (Leonard/Mangione-Smith stand-in)
+//
+// Every generator is deterministic; sizes are tuned so the packed CLB
+// counts land near Table 1's (measured values are recorded in
+// EXPERIMENTS.md).
+package bench

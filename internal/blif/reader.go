@@ -1,9 +1,3 @@
-// Package blif reads and writes the Berkeley Logic Interchange Format, the
-// distribution format of the MCNC benchmark suite the paper evaluates on.
-// The subset implemented covers everything those netlists use:
-// .model/.inputs/.outputs/.names (with both output phases)/.latch/.end,
-// comments, and line continuations. Parsing is from scratch on purpose —
-// the reproduction explicitly avoids external EDA libraries.
 package blif
 
 import (

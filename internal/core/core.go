@@ -1,17 +1,3 @@
-// Package core implements the paper's contribution: physical-design tiling
-// for FPGA emulation debugging. A Layout is a placed-and-routed design
-// whose device area is partitioned into independent rectangular tiles with
-// locked interfaces. Debugging steps (test-logic insertion, error
-// correction) are applied as netlist deltas; the engine identifies the
-// affected tiles, recruits neighbors when free resources run short, clears
-// and re-places-and-routes only those tiles, and re-locks the interfaces —
-// so back-end CAD effort scales with the change, not the design.
-//
-// The three baselines of Figure 5 are provided alongside: full
-// re-place-and-route (functional-block granularity, the Quick_ECO model —
-// the paper treats each benchmark as a single functional block) and an
-// incremental place-and-route model (ripple re-placement without locked
-// interfaces).
 package core
 
 import (

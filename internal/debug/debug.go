@@ -1,15 +1,3 @@
-// Package debug drives the paper's four-step emulation debugging loop on
-// top of the tiling engine: test-pattern generation, error detection,
-// error localization, and error correction (pseudo-code steps 9–22).
-//
-// A Session holds a golden (known-good) mapped netlist and a tiled layout
-// of the implementation under test. Detection emulates both on common
-// stimulus and compares outputs. Localization physically inserts
-// observation logic (MISRs) round by round — each insertion flowing
-// through the tiling engine and paying only tile-local re-place-and-route
-// — and narrows the suspect cone by comparing observed streams.
-// Correction repairs the differing cells from the golden model as a
-// tile-local engineering change and re-verifies.
 package debug
 
 import (
@@ -29,7 +17,7 @@ import (
 // Event is one progress notification emitted while a session works; the
 // campaign service streams these to clients as they happen.
 type Event struct {
-	// Stage is "detect", "localize", "correct" or "loop".
+	// Stage is "detect", "localize", "repair", "correct" or "loop".
 	Stage string
 	// Round is the localization round or loop iteration (1-based), 0
 	// where it does not apply.
@@ -162,6 +150,11 @@ type Detection struct {
 	// failure (Stimulus[c][j] drives PIs[j] with 64 parallel patterns),
 	// replayed during localization.
 	Stimulus [][]uint64
+	// Words and Cycles record the detection parameters, so downstream
+	// steps (dictionary observation, repair-candidate validation,
+	// re-detection) can regenerate the exact stimulus family.
+	Words  int
+	Cycles int
 }
 
 // Detect runs words blocks of random stimulus for cycles clock cycles
@@ -179,7 +172,7 @@ func (s *Session) Detect(words, cycles int) (*Detection, error) {
 	goldenPIs := s.Golden.SortedPINames()
 	blocks := testgen.RandomBlocks(len(goldenPIs), words, s.Seed)
 	seq := testgen.Repeat(blocks, cycles)
-	det := &Detection{PIs: goldenPIs, Stimulus: seq}
+	det := &Detection{PIs: goldenPIs, Stimulus: seq, Words: words, Cycles: cycles}
 	mismatch, _, err := s.compare(seq, nil)
 	if err != nil {
 		return nil, err
@@ -511,23 +504,42 @@ func (s *Session) compareStreams(seq [][]uint64, targets []netlist.NetID) ([]net
 	return out, nil
 }
 
-// Correction is the outcome of one correct step.
+// Correction is the outcome of one correct step — a candidate-search
+// repair (Repair) or a golden-copy restoration (CorrectFromGolden).
 type Correction struct {
 	// Fixed lists the repaired cell names.
 	Fixed []string
 	// Report is the tile-local physical update.
 	Report *core.ChangeReport
-	// Verified is true when detection passes after the repair.
+	// Verified is true when detection passes after the repair (and, for
+	// candidate-search repairs, the ECO sign-off replay too).
 	Verified bool
+
+	// Repaired is true when the fix came from the repair-candidate
+	// search, false for a golden-copy restoration.
+	Repaired bool
+	// RepairKind names the winning candidate shape ("bit-flip",
+	// "pin-swap", "resynth"); empty for golden-copy corrections.
+	RepairKind string
+	// Candidates, Survivors and Batches summarize the search: how many
+	// corrections were enumerated, how many explained the whole detection
+	// stimulus, and how many 64-candidate lane batches were replayed.
+	Candidates int
+	Survivors  int
+	Batches    int
+	// ECOVerified reports the tile-local ECO sign-off: after the repair,
+	// an independent replay against the golden model found no divergence.
+	ECOVerified bool
 }
 
-// Correct repairs the implementation from the golden model: every suspect
-// cell that differs from its golden counterpart (function or wiring) is
-// restored, the delta goes through tile-local re-place-and-route, and
-// detection re-runs to verify. If no suspect differs, the full diff is
-// consulted (the paper's designer would consult the HDL; our golden model
-// plays that role).
-func (s *Session) Correct(diag *Diagnosis, det *Detection) (*Correction, error) {
+// CorrectFromGolden repairs the implementation from the golden model:
+// every suspect cell that differs from its golden counterpart (function
+// or wiring) is restored, the delta goes through tile-local
+// re-place-and-route, and detection re-runs to verify. If no suspect
+// differs, the full diff is consulted. This is diagnosis by answer key —
+// it reads the golden netlist's structure — and is kept as the fallback
+// for errors the candidate search (Repair) cannot explain.
+func (s *Session) CorrectFromGolden(diag *Diagnosis, det *Detection) (*Correction, error) {
 	if err := s.interrupted(); err != nil {
 		return nil, err
 	}
@@ -535,7 +547,7 @@ func (s *Session) Correct(diag *Diagnosis, det *Detection) (*Correction, error) 
 	changes := eco.Diff(s.Golden, nl)
 	differing := make(map[string]string) // name -> kind
 	for _, ch := range changes.Cells {
-		if ch.Kind == "function" || ch.Kind == "wiring" {
+		if ch.Kind != "added" && ch.Kind != "removed" {
 			differing[ch.Name] = ch.Kind
 		}
 	}
@@ -591,12 +603,22 @@ func (s *Session) Correct(diag *Diagnosis, det *Detection) (*Correction, error) 
 	}
 	s.TileEffort.Add(rep.Effort)
 	cor := &Correction{Fixed: toFix, Report: rep}
-	redet, err := s.Detect(len(det.Stimulus), 1)
+	redet, err := s.redetect(det)
 	if err != nil {
 		return nil, err
 	}
 	cor.Verified = !redet.Failed
 	return cor, nil
+}
+
+// redetect replays the detection that exposed the failure. Older
+// Detection values (built before Words/Cycles were recorded) fall back
+// to one flat replay of the captured stimulus length.
+func (s *Session) redetect(det *Detection) (*Detection, error) {
+	if det.Words > 0 && det.Cycles > 0 {
+		return s.Detect(det.Words, det.Cycles)
+	}
+	return s.Detect(len(det.Stimulus), 1)
 }
 
 // LoopReport summarizes a full debugging campaign.
@@ -655,7 +677,12 @@ func (s *Session) RunLoopCore(maxIters, words, cycles, maxRounds, probesPerRound
 			return nil, err
 		}
 		rep.Diagnoses = append(rep.Diagnoses, diag)
-		cor, err := s.Correct(diag, det)
+		// True correction first: search candidate repairs with the golden
+		// model as a behavioural oracle only. Errors the search cannot
+		// explain (no verified candidate, wiring outside the candidate
+		// space, an un-excitable broadcast form) fall back to the
+		// golden-copy restoration.
+		cor, _, err := s.CorrectAuto(diag, det, nil)
 		if err != nil {
 			return nil, err
 		}

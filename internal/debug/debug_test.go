@@ -161,12 +161,15 @@ func TestCorrectRepairsDesign(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		cor, err := s.Correct(diag, det)
+		cor, err := s.CorrectFromGolden(diag, det)
 		if err != nil {
 			t.Fatal(err)
 		}
 		if !cor.Verified {
 			t.Fatalf("seed %d: correction did not verify (fixed %v)", seed, cor.Fixed)
+		}
+		if cor.Repaired {
+			t.Fatal("golden-copy correction must not claim a candidate-search repair")
 		}
 		if len(cor.Fixed) == 0 {
 			t.Fatal("nothing was fixed")

@@ -45,10 +45,13 @@ type FaultDict struct {
 	bySig map[uint64][]faults.Fault
 }
 
-// dictStimulus is the broadcast scan stimulus shared by BuildFaultDict
-// and observeSignature: Words random 64-pattern blocks transposed into
-// 64·Words scalar patterns, each held for Cycles clock cycles.
-func dictStimulus(npi, words, cycles int, seed int64) [][]uint64 {
+// DictStimulus is the broadcast scan stimulus shared by BuildFaultDict,
+// signature observation and repair-candidate validation: words random
+// 64-pattern blocks transposed into 64·words scalar patterns, each held
+// for cycles clock cycles. It is the one canonical recipe — anything
+// classifying faults against a dictionary must use it with the
+// dictionary's exact parameters, or signatures stop being comparable.
+func DictStimulus(npi, words, cycles int, seed int64) [][]uint64 {
 	return testgen.Repeat(testgen.TransposeToScalar(testgen.RandomBlocks(npi, words, seed)), cycles)
 }
 
@@ -66,7 +69,7 @@ func BuildFaultDict(prog *sim.Machine, words, cycles int, seed int64) (*FaultDic
 		cycles = 1
 	}
 	u := faults.Universe(prog.Netlist())
-	stim := dictStimulus(len(prog.PIOrder()), words, cycles, seed)
+	stim := DictStimulus(len(prog.PIOrder()), words, cycles, seed)
 	results, err := faults.ScanStim(prog, u, stim, nil)
 	if err != nil {
 		return nil, fmt.Errorf("debug: building fault dictionary: %w", err)
@@ -214,7 +217,7 @@ func (s *Session) observeSignature() (sig uint64, excited bool, err error) {
 	if err != nil {
 		return 0, false, fmt.Errorf("debug: impl: %w", err)
 	}
-	stim := dictStimulus(len(piNames), s.Dict.Words, s.Dict.Cycles, s.Dict.Seed)
+	stim := DictStimulus(len(piNames), s.Dict.Words, s.Dict.Cycles, s.Dict.Seed)
 	var tg *sim.Trace
 	if s.Traces != nil {
 		key := s.goldenTraceKey(stim)

@@ -1,0 +1,169 @@
+package debug
+
+// The correction step, paper-faithful edition: instead of copying the
+// suspect cells' logic out of the golden netlist (CorrectFromGolden — an
+// answer-key shortcut), Repair searches the space of candidate
+// corrections with internal/repair. Candidates are validated 64 per
+// trace replay on the lanes of the shared compiled implementation
+// program, survivors are re-verified on an independent stimulus, and the
+// ranked winner is applied through the same tile-local ECO path every
+// other physical change takes — core.Layout.ApplyDelta plus an
+// eco.Verify sign-off replay against the golden model. The golden design
+// is consulted only behaviourally (its primary-output streams, and the
+// same internal-net stream observation localization already performs);
+// its cell structure is never read. See DESIGN.md §10.
+
+import (
+	"errors"
+	"fmt"
+
+	"fpgadbg/internal/core"
+	"fpgadbg/internal/eco"
+	"fpgadbg/internal/netlist"
+	"fpgadbg/internal/repair"
+	"fpgadbg/internal/sim"
+)
+
+// ecoVerifySeedOffset decorrelates the ECO sign-off replay from the
+// detection stimulus.
+const ecoVerifySeedOffset = 4242
+
+// ErrRepairInconclusive marks repair failures where NOTHING was applied
+// to the layout — an empty or unrepairable suspect set, a broadcast
+// stimulus that cannot excite the error, or a search with no verified
+// winner. Only these are safe to fall back from (CorrectFromGolden);
+// any other Repair error may leave the applied winner in place and must
+// propagate.
+var ErrRepairInconclusive = errors.New("repair search inconclusive")
+
+// Repair runs the repair-candidate search for a diagnosis and applies
+// the winning correction tile-locally. It compiles the current
+// implementation netlist into the candidate program; RepairWith accepts
+// a pre-compiled (cached) one.
+func (s *Session) Repair(diag *Diagnosis, det *Detection) (*Correction, error) {
+	return s.RepairWith(diag, det, nil)
+}
+
+// CorrectAuto is the one place holding the fallback rule: try the
+// candidate-search repair, and only when the search was inconclusive —
+// ErrRepairInconclusive, i.e. nothing reached the layout — restore from
+// the golden copy. fellBack reports that the golden copy ran; any other
+// repair error (the winner may already be applied) propagates untouched.
+func (s *Session) CorrectAuto(diag *Diagnosis, det *Detection, prog *sim.Machine) (cor *Correction, fellBack bool, err error) {
+	cor, err = s.RepairWith(diag, det, prog)
+	if err == nil {
+		return cor, false, nil
+	}
+	if !errors.Is(err, ErrRepairInconclusive) {
+		return nil, false, err
+	}
+	s.emit("repair", 0, "candidate search inconclusive (%v) — golden-copy fallback", err)
+	cor, err = s.CorrectFromGolden(diag, det)
+	return cor, true, err
+}
+
+// RepairWith is Repair with an optional pre-compiled candidate program.
+// prog must have been compiled from (a clone of) the session's current
+// implementation netlist — the campaign service passes a fork of its
+// cached program when localization left the netlist untouched — and nil
+// compiles one here. On success the winner has been applied to the
+// layout and the returned Correction carries the search statistics. An
+// error wrapping ErrRepairInconclusive means nothing was applied and
+// the caller may fall back to CorrectFromGolden; any other error may
+// have fired after the winner reached the layout and must not be
+// papered over with a fallback.
+func (s *Session) RepairWith(diag *Diagnosis, det *Detection, prog *sim.Machine) (*Correction, error) {
+	if err := s.interrupted(); err != nil {
+		return nil, err
+	}
+	if det == nil || !det.Failed {
+		return nil, fmt.Errorf("debug: nothing to repair (detection passed): %w", ErrRepairInconclusive)
+	}
+	if len(diag.Suspects) == 0 {
+		return nil, fmt.Errorf("debug: empty suspect set: %w", ErrRepairInconclusive)
+	}
+	mg, err := s.goldenMachine()
+	if err != nil {
+		return nil, err
+	}
+	if prog == nil {
+		prog, err = sim.Compile(s.Layout.NL)
+		if err != nil {
+			return nil, fmt.Errorf("debug: candidate program: %w", err)
+		}
+	}
+	eng, err := repair.NewEngine(mg, prog)
+	if err != nil {
+		return nil, err
+	}
+
+	// Validation stimulus: the scalar expansion of the detection blocks —
+	// the same broadcast family the fault dictionary observes under, so
+	// whatever detection excited, validation (largely) excites too.
+	words, cycles := det.Words, det.Cycles
+	if words < 1 {
+		words = 8
+	}
+	if cycles < 1 {
+		cycles = 1
+	}
+	detB := DictStimulus(len(det.PIs), words, cycles, s.Seed)
+
+	s.emit("repair", 0, "searching candidate corrections for %d suspect(s)", len(diag.Suspects))
+	out, err := eng.Search(diag.Suspects, detB, repair.Config{
+		Seed:         s.Seed,
+		VerifyCycles: cycles,
+		OnBatch: func(done, total int) error {
+			return s.interrupted()
+		},
+	})
+	if err != nil {
+		if errors.Is(err, repair.ErrNotExcited) {
+			return nil, fmt.Errorf("%w: %w", ErrRepairInconclusive, err)
+		}
+		return nil, err
+	}
+	s.emit("repair", 0, "%d candidate(s) in %d lane batch(es): %d survive detection, %d verify",
+		out.Candidates, out.Batches, out.Survivors, out.Verified)
+	if out.Winner == nil {
+		return nil, fmt.Errorf("debug: no verified repair among %d candidate(s): %w",
+			out.Candidates, ErrRepairInconclusive)
+	}
+
+	// Apply the winner through the tile-local ECO path.
+	cellID, err := out.Winner.Apply(s.Layout.NL)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := s.Layout.ApplyDelta(core.Delta{Modified: []netlist.CellID{cellID}})
+	if err != nil {
+		return nil, err
+	}
+	s.TileEffort.Add(rep.Effort)
+	s.emit("repair", 0, "applied %s, tiles %v", out.Winner.Describe(), rep.AffectedTiles)
+
+	cor := &Correction{
+		Fixed:      []string{out.Winner.Cell},
+		Report:     rep,
+		Repaired:   true,
+		RepairKind: out.Winner.Kind.String(),
+		Candidates: out.Candidates,
+		Survivors:  out.Survivors,
+		Batches:    out.Batches,
+	}
+
+	// ECO sign-off: an independent replay against the golden model, then
+	// the original detection.
+	mm, err := eco.Verify(s.Golden, s.Layout.NL, words, cycles, s.Seed+ecoVerifySeedOffset)
+	if err != nil {
+		return nil, fmt.Errorf("debug: eco verify: %w", err)
+	}
+	cor.ECOVerified = mm == nil
+	redet, err := s.redetect(det)
+	if err != nil {
+		return nil, err
+	}
+	cor.Verified = cor.ECOVerified && !redet.Failed
+	s.emit("repair", 0, "eco verify %v, re-detection clean=%v", cor.ECOVerified, !redet.Failed)
+	return cor, nil
+}

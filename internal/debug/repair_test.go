@@ -1,0 +1,298 @@
+package debug
+
+import (
+	"testing"
+
+	"fpgadbg/internal/bench"
+	"fpgadbg/internal/core"
+	"fpgadbg/internal/faults"
+	"fpgadbg/internal/sim"
+	"fpgadbg/internal/synth"
+)
+
+// kindSession builds golden + buggy layout with one injected error of a
+// specific kind.
+func kindSession(t testing.TB, kind faults.Kind, seed int64) (*Session, *faults.Injection) {
+	t.Helper()
+	golden := mappedDesign(t, 300, 4242)
+	impl := golden.Clone()
+	inj, err := faults.Inject(impl, kind, seed)
+	if err != nil {
+		t.Skipf("no %s site for seed %d: %v", kind, seed, err)
+	}
+	lay, err := core.BuildMapped(impl, core.Spec{Seed: seed, PlaceEffort: 0.25, TileFrac: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSession(golden, lay, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, inj
+}
+
+// TestRepairFixesInjectedErrors runs the candidate-search correction on
+// each repairable injection kind and checks the repair verifies without
+// ever copying golden cell structure.
+func TestRepairFixesInjectedErrors(t *testing.T) {
+	kinds := []faults.Kind{faults.LUTBitFlip, faults.InputSwap, faults.Polarity}
+	for _, kind := range kinds {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			for seed := int64(1); seed <= 6; seed++ {
+				s, inj := kindSession(t, kind, seed)
+				det, err := s.Detect(8, 4)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !det.Failed {
+					continue
+				}
+				diag, err := s.Localize(det, 4, 4)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cor, err := s.Repair(diag, det)
+				if err != nil {
+					t.Logf("seed %d: repair inconclusive (%v), trying next seed", seed, err)
+					continue
+				}
+				if !cor.Repaired || cor.RepairKind == "" {
+					t.Fatalf("repair metadata missing: %+v", cor)
+				}
+				if !cor.ECOVerified || !cor.Verified {
+					t.Fatalf("seed %d: repair of %v applied but not verified: %+v", seed, inj, cor)
+				}
+				if cor.Candidates < 1 || cor.Survivors < 1 || cor.Batches < 1 {
+					t.Fatalf("implausible search stats: %+v", cor)
+				}
+				if err := s.Layout.Check(); err != nil {
+					t.Fatalf("layout invalid after repair: %v", err)
+				}
+				return
+			}
+			t.Skip("no seed produced a conclusive repair case")
+		})
+	}
+}
+
+// TestRepairLoopConvergesWithoutGoldenCopy pins that the full loop can
+// converge purely through candidate-search repairs for a function-shaped
+// error: the correction must carry repair provenance.
+func TestRepairLoopConvergesWithoutGoldenCopy(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		s, _ := kindSession(t, faults.LUTBitFlip, seed)
+		det, err := s.Detect(8, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !det.Failed {
+			continue
+		}
+		rep, err := s.RunLoopCore(3, 8, 4, 3, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Clean {
+			continue // rare: search inconclusive and golden fallback iterated out
+		}
+		for _, cor := range rep.Corrections {
+			if cor.Repaired {
+				return // at least one correction came from the search engine
+			}
+		}
+		t.Fatalf("seed %d: loop converged but every correction was a golden copy", seed)
+	}
+	t.Skip("no seed excited its injected error")
+}
+
+// TestLocalizeDictMissFallsThroughAndConverges injects TWO universe
+// faults, so the observed signature matches no single-fault dictionary
+// entry: LocalizeDict must fall through to probe rounds (a miss), and the
+// loop must still converge through the fallback correction path.
+func TestLocalizeDictMissFallsThroughAndConverges(t *testing.T) {
+	info, err := bench.ByName("9sym")
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden, err := synth.TechMap(info.Build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := sim.Compile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dict, err := BuildFaultDict(prog, 4, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := faults.Universe(golden)
+	for seed := 0; seed < 8; seed++ {
+		impl := golden.Clone()
+		applied := 0
+		for i := seed; i < len(u) && applied < 2; i += len(u)/7 + 1 {
+			if ok, err := u[i].Apply(impl); err == nil && ok {
+				applied++
+			}
+		}
+		if applied < 2 {
+			continue
+		}
+		lay, err := core.BuildMapped(impl, core.Spec{
+			Overhead: 0.35, TileFrac: 0.25, Seed: 1, PlaceEffort: 0.3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sess, err := NewSession(golden, lay, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sess.Dict = dict
+		sess.SetGoldenMachine(prog.Fork())
+		det, err := sess.Detect(4, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !det.Failed {
+			continue
+		}
+		diag, err := sess.LocalizeDict(det, 4, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if diag.Dict {
+			continue // double fault mimicked a modeled one; try another pair
+		}
+		// The miss fell through to the sound probe-based rounds.
+		if len(diag.Suspects) == 0 {
+			t.Fatal("fallback produced no suspects")
+		}
+		rep, err := sess.RunLoopCore(4, 4, 2, 4, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Clean {
+			t.Fatalf("loop did not converge after dictionary miss (%d iterations)", rep.Iterations)
+		}
+		// Once a correction removes one of the two faults, the residual
+		// single fault may legitimately dictionary-resolve — only the
+		// double-fault diagnosis itself had to miss, which diag.Dict
+		// above already pinned.
+		return
+	}
+	t.Skip("no double-fault pair was excited and missed")
+}
+
+// TestLocalizeDictAmbiguousFallsThroughAndConverges finds a fault whose
+// signature class spans several cells, then tightens DictMaxSuspects so
+// the class counts as ambiguous: LocalizeDict must fall back to probe
+// rounds and still converge.
+func TestLocalizeDictAmbiguousFallsThroughAndConverges(t *testing.T) {
+	info, err := bench.ByName("9sym")
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden, err := synth.TechMap(info.Build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := sim.Compile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const words, cycles, seed = 4, 2, 1
+	dict, err := BuildFaultDict(prog, words, cycles, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Scan the universe under the dictionary stimulus and pick an
+	// applied-form fault whose signature class implicates >= 2 cells.
+	u := faults.Universe(golden)
+	stim := DictStimulus(len(prog.PIOrder()), words, cycles, seed)
+	results, err := faults.ScanStim(prog, u, stim, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	classCells := make(map[uint64]map[string]bool)
+	for _, r := range results {
+		if !r.Detected {
+			continue
+		}
+		if classCells[r.Signature] == nil {
+			classCells[r.Signature] = map[string]bool{}
+		}
+		if name, ok := r.Fault.SuspectCell(golden); ok {
+			classCells[r.Signature][name] = true
+		}
+	}
+	var pick *faults.ScanResult
+	for i := range results {
+		r := &results[i]
+		if !r.Detected || len(classCells[r.Signature]) < 2 {
+			continue
+		}
+		impl := golden.Clone()
+		if ok, err := r.Fault.Apply(impl); err != nil || !ok {
+			continue
+		}
+		pick = r
+		break
+	}
+	if pick == nil {
+		t.Skip("no multi-cell signature class with an applied form")
+	}
+	impl := golden.Clone()
+	if _, err := pick.Fault.Apply(impl); err != nil {
+		t.Fatal(err)
+	}
+	lay, err := core.BuildMapped(impl, core.Spec{
+		Overhead: 0.35, TileFrac: 0.25, Seed: 1, PlaceEffort: 0.3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := NewSession(golden, lay, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess.Dict = dict
+	sess.DictMaxSuspects = 1 // any multi-cell class is now ambiguous
+	sess.SetGoldenMachine(prog.Fork())
+	det, err := sess.Detect(words, cycles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !det.Failed {
+		t.Skip("picked fault not excited by packed detection")
+	}
+	diag, err := sess.LocalizeDict(det, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diag.Dict {
+		t.Fatalf("class of %d cells accepted despite DictMaxSuspects=1",
+			len(classCells[pick.Signature]))
+	}
+	if diag.Rounds == 0 && len(diag.Suspects) > 1 {
+		t.Fatalf("ambiguous fallback did no probe work: %+v", diag)
+	}
+	want, _ := pick.Fault.SuspectCell(golden)
+	found := false
+	for _, name := range diag.Suspects {
+		if name == want {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("probe fallback %v misses the true cell %s", diag.Suspects, want)
+	}
+	rep, err := sess.RunLoopCore(3, words, cycles, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean {
+		t.Fatal("loop did not converge after ambiguous dictionary class")
+	}
+}

@@ -1,0 +1,6 @@
+// Package device models the target FPGA: a W×H array of CLB sites
+// surrounded by a perimeter ring of IOB sites, with uniform-capacity
+// routing channels between adjacent grid positions. It is a simplified
+// Xilinx XC4000 — the family the paper targets — at the granularity every
+// reported result uses (whole CLBs and channel segments).
+package device

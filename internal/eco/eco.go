@@ -12,9 +12,10 @@ import (
 // CellChange describes one differing cell between two netlists.
 type CellChange struct {
 	Name string
-	// Kind is "added" (only in the new netlist), "removed" (only in the
-	// old), "function" (same fanin, different logic), or "wiring"
-	// (different fanin nets).
+	// Kind is "added" (only in the updated netlist), "removed" (only in
+	// the old), "function" (same fanin, different logic), "wiring"
+	// (different fanin nets), or "function+wiring" when both aspects
+	// differ.
 	Kind string
 }
 
@@ -35,41 +36,49 @@ func (c Changes) Names() []string {
 // Diff compares netlists by cell name. Cells are considered equal when
 // their kind, fanin net names (in order) and logic function agree.
 // Functions wider than the truth-table limit fall back to syntactic cover
-// comparison.
-func Diff(old, new_ *netlist.Netlist) Changes {
+// comparison. A cell whose wiring and function both changed reports
+// "function+wiring" — wiring no longer short-circuits function detection.
+func Diff(old, updated *netlist.Netlist) Changes {
 	var out Changes
 	oldCells := liveCellNames(old)
-	newCells := liveCellNames(new_)
+	updatedCells := liveCellNames(updated)
 	for name, oid := range oldCells {
-		nid, ok := newCells[name]
+		nid, ok := updatedCells[name]
 		if !ok {
 			out.Cells = append(out.Cells, CellChange{Name: name, Kind: "removed"})
 			continue
 		}
-		oc, nc := &old.Cells[oid], &new_.Cells[nid]
+		oc, nc := &old.Cells[oid], &updated.Cells[nid]
 		if oc.Kind != nc.Kind || len(oc.Fanin) != len(nc.Fanin) {
+			// Different shape: pin counts (and functions over them) are not
+			// comparable aspect by aspect.
 			out.Cells = append(out.Cells, CellChange{Name: name, Kind: "wiring"})
 			continue
 		}
 		wiring := false
 		for i := range oc.Fanin {
-			if old.NetName(oc.Fanin[i]) != new_.NetName(nc.Fanin[i]) {
+			if old.NetName(oc.Fanin[i]) != updated.NetName(nc.Fanin[i]) {
 				wiring = true
 				break
 			}
 		}
-		if wiring {
-			out.Cells = append(out.Cells, CellChange{Name: name, Kind: "wiring"})
-			continue
-		}
+		function := false
 		if oc.Kind == netlist.KindLUT && !sameFunc(oc, nc) {
-			out.Cells = append(out.Cells, CellChange{Name: name, Kind: "function"})
+			function = true
 		}
 		if oc.Kind == netlist.KindDFF && oc.Init != nc.Init {
+			function = true
+		}
+		switch {
+		case function && wiring:
+			out.Cells = append(out.Cells, CellChange{Name: name, Kind: "function+wiring"})
+		case wiring:
+			out.Cells = append(out.Cells, CellChange{Name: name, Kind: "wiring"})
+		case function:
 			out.Cells = append(out.Cells, CellChange{Name: name, Kind: "function"})
 		}
 	}
-	for name := range newCells {
+	for name := range updatedCells {
 		if _, ok := oldCells[name]; !ok {
 			out.Cells = append(out.Cells, CellChange{Name: name, Kind: "added"})
 		}

@@ -83,6 +83,21 @@ func TestDiffWiringAndAddRemove(t *testing.T) {
 	}
 }
 
+func TestDiffReportsFunctionAndWiringTogether(t *testing.T) {
+	a := hierDesign(t)
+	b := a.Clone()
+	id, _ := b.CellByName("top/ctl/x0")
+	aNet, _ := b.NetByName("a")
+	if err := b.SetFanin(id, 0, aNet); err != nil {
+		t.Fatal(err)
+	}
+	b.Cells[id].Func = logic.AndN(2)
+	ch := Diff(a, b)
+	if len(ch.Cells) != 1 || ch.Cells[0].Name != "top/ctl/x0" || ch.Cells[0].Kind != "function+wiring" {
+		t.Fatalf("want one function+wiring change, got %v", ch.Cells)
+	}
+}
+
 func TestTreeStructure(t *testing.T) {
 	nl := hierDesign(t)
 	tr := BuildTree(nl)

@@ -1,11 +1,3 @@
-// Package experiments regenerates every table and figure of the paper's
-// evaluation (Section 6). Each experiment returns structured rows and can
-// render itself as the text table the paper prints; cmd/benchrepro and the
-// top-level benchmarks are thin wrappers around this package.
-//
-// Absolute numbers come from our own substrate (simulated XC4000-class
-// device, our SA placer and negotiated-congestion router), so they differ
-// from the paper's 1990s toolchain; EXPERIMENTS.md records both sides.
 package experiments
 
 import (

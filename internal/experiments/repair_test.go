@@ -1,0 +1,33 @@
+package experiments
+
+import "testing"
+
+// TestRepairCampaignMeetsBars runs the repair campaign on the smallest
+// design and pins the acceptance bars: ≥90% of sampled
+// dictionary-localizable faults repaired and ECO-verified, and the
+// lane-parallel candidate validation faster than the serial
+// clone+recompile baseline (the full ≥8× measurement lives in
+// BENCH_repair.json; a shared CI box only gets a loose floor).
+func TestRepairCampaignMeetsBars(t *testing.T) {
+	cfg := Config{Designs: []string{"9sym"}, PlaceEffort: 0.3, Seed: 1}
+	rows, err := RepairCampaign(cfg, 4, 2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("want one row, got %d", len(rows))
+	}
+	r := rows[0]
+	if r.Universe == 0 || r.Injectable == 0 || r.Localizable == 0 {
+		t.Fatalf("classification empty: %+v", r)
+	}
+	if r.Attempted < 5 {
+		t.Fatalf("only %d faults attempted — sample too small to be meaningful", r.Attempted)
+	}
+	if r.RepairRate < 0.9 {
+		t.Fatalf("repair rate %.0f%% below the 90%% bar (%d/%d)", 100*r.RepairRate, r.Repaired, r.Attempted)
+	}
+	if r.BenchCandidates == 0 || r.ParallelCandsPerSec <= r.SerialCandsPerSec {
+		t.Fatalf("lane-parallel validation not faster than serial: %+v", r)
+	}
+}

@@ -1,0 +1,353 @@
+package experiments
+
+// The repair campaign and the candidate-validation throughput benchmark.
+// Both exercise the lane-parallel repair engine (internal/repair) over
+// the injected-fault universe: every universe fault with a netlist form
+// whose dictionary signature class is tight enough to localize without
+// probes is injected into a clone of the tiled layout, diagnosed through
+// the fault dictionary and repaired by candidate search — the golden
+// design acting only as a behavioural oracle. The campaign reports the
+// repair-success rate (acceptance bar: ≥ 90% of dictionary-localizable
+// single faults repaired and ECO-verified); the benchmark times
+// lane-parallel versus serial clone+recompile candidate validation
+// (acceptance bar: ≥ 8×) into BENCH_repair.json.
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"fpgadbg/internal/core"
+	"fpgadbg/internal/debug"
+	"fpgadbg/internal/faults"
+	"fpgadbg/internal/logic"
+	"fpgadbg/internal/netlist"
+	"fpgadbg/internal/repair"
+	"fpgadbg/internal/sim"
+)
+
+// RepairRow is one design's repair-campaign outcome.
+type RepairRow struct {
+	Design string `json:"design"`
+	// Universe is the exhaustive single-fault count; Injectable how many
+	// have a netlist form (LUT-bit flips and stuck-ats on LUT-driven
+	// nets); Localizable how many of those the fault dictionary resolves
+	// to a probe-free suspect class.
+	Universe    int `json:"universe"`
+	Injectable  int `json:"injectable"`
+	Localizable int `json:"localizable"`
+	// Attempted is the sampled localizable faults actually injected and
+	// put through detect → localize → repair; Repaired how many ended in
+	// an applied, ECO-verified, re-detection-clean candidate repair.
+	Attempted  int     `json:"attempted"`
+	Repaired   int     `json:"repaired"`
+	RepairRate float64 `json:"repair_rate"`
+	// Fallbacks counts attempts where the candidate search was
+	// inconclusive (the loop would fall back to the golden copy).
+	Fallbacks int `json:"fallbacks"`
+	// MeanCandidates and MeanBatches average the search size of
+	// conclusive repairs (fallback attempts return no search counters).
+	MeanCandidates float64 `json:"mean_candidates"`
+	MeanBatches    float64 `json:"mean_batches"`
+	// Candidate-validation throughput: candidates per second through the
+	// 64-lane engine versus the serial clone+recompile baseline, measured
+	// on one representative faulty design.
+	BenchCandidates     int     `json:"bench_candidates"`
+	SerialCandsPerSec   float64 `json:"serial_cands_per_sec"`
+	ParallelCandsPerSec float64 `json:"parallel_cands_per_sec"`
+	Speedup             float64 `json:"speedup"`
+}
+
+// repairApply mutates an implementation netlist (matched by name, so it
+// works on layout-owned clones) with one universe fault. Faults without
+// a netlist form report ok=false.
+func repairApply(nl, golden *netlist.Netlist, f faults.Fault) bool {
+	switch f.Kind {
+	case faults.LUTBitFlip:
+		id, found := nl.CellByName(golden.CellName(f.Cell))
+		if !found {
+			return false
+		}
+		c := &nl.Cells[id]
+		tt, err := c.Func.TT()
+		if err != nil {
+			return false
+		}
+		tt.SetBit(uint64(f.Bit), !tt.Bit(uint64(f.Bit)))
+		c.Func = tt.ToCover()
+		return true
+	case faults.StuckAt0, faults.StuckAt1:
+		id, found := nl.NetByName(golden.NetName(f.Net))
+		if !found {
+			return false
+		}
+		d := nl.Nets[id].Driver
+		if d == netlist.NilCell || nl.Cells[d].Kind != netlist.KindLUT {
+			return false
+		}
+		c := &nl.Cells[d]
+		c.Func = logic.Const(c.Func.N, f.Kind == faults.StuckAt1)
+		return true
+	default:
+		return false
+	}
+}
+
+// RepairCampaign runs the repair engine over every design: build the
+// dictionary, classify the universe, inject up to maxFaults localizable
+// faults (stride-sampled) and repair each through the full session path
+// — dictionary localization, lane-parallel candidate search, tile-local
+// ECO apply and verification. Timing runs serially per design so the
+// speedup columns are unskewed.
+func RepairCampaign(cfg Config, words, cycles, maxFaults int) ([]RepairRow, error) {
+	cfg = cfg.withDefaults()
+	if words < 1 {
+		words = 4
+	}
+	if cycles < 1 {
+		cycles = 2
+	}
+	if maxFaults < 1 {
+		maxFaults = 24
+	}
+	var rows []RepairRow
+	for _, d := range cfg.catalog() {
+		golden, err := Mapped(d)
+		if err != nil {
+			return nil, err
+		}
+		prog, err := sim.Compile(golden)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", d.Name, err)
+		}
+		dict, err := debug.BuildFaultDict(prog, words, cycles, cfg.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", d.Name, err)
+		}
+		u := faults.Universe(golden)
+		row := RepairRow{Design: d.Name, Universe: len(u)}
+
+		// Classify the universe under the dictionary stimulus: which
+		// faults are injectable, and which of those does the dictionary
+		// localize probe-free?
+		npi := len(prog.PIOrder())
+		dictStim := debug.DictStimulus(npi, words, cycles, cfg.Seed)
+		results, err := faults.ScanStim(prog, u, dictStim, nil)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", d.Name, err)
+		}
+		classCells := make(map[uint64]map[string]bool)
+		for _, r := range results {
+			if !r.Detected {
+				continue
+			}
+			if classCells[r.Signature] == nil {
+				classCells[r.Signature] = map[string]bool{}
+			}
+			if name, ok := r.Fault.SuspectCell(golden); ok {
+				classCells[r.Signature][name] = true
+			}
+		}
+		injectable := func(f faults.Fault) bool {
+			switch f.Kind {
+			case faults.LUTBitFlip:
+				return true
+			case faults.StuckAt0, faults.StuckAt1:
+				dr := golden.Nets[f.Net].Driver
+				return dr != netlist.NilCell && golden.Cells[dr].Kind == netlist.KindLUT
+			default:
+				return false
+			}
+		}
+		var localizable []faults.Fault
+		for _, r := range results {
+			if !injectable(r.Fault) {
+				continue
+			}
+			row.Injectable++
+			if !r.Detected {
+				continue
+			}
+			n := len(classCells[r.Signature])
+			if n >= 1 && n <= debug.DefaultDictMaxSuspects {
+				localizable = append(localizable, r.Fault)
+			}
+		}
+		row.Localizable = len(localizable)
+
+		// The tiled layout is built once per design; every injected fault
+		// is a function-only change, so each attempt mutates a clone.
+		pristine, err := core.BuildMapped(golden.Clone(), core.Spec{
+			Overhead: cfg.Overhead, TileFrac: 0.25, Seed: cfg.Seed, PlaceEffort: cfg.PlaceEffort,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", d.Name, err)
+		}
+
+		sample := strideSample(localizable, maxFaults)
+		sumCands, sumBatches := 0, 0
+		var benchSuspects []string
+		for _, f := range sample {
+			lay := pristine.Clone()
+			if !repairApply(lay.NL, golden, f) {
+				continue
+			}
+			sess, err := debug.NewSession(golden, lay, cfg.Seed)
+			if err != nil {
+				return nil, err
+			}
+			sess.Dict = dict
+			sess.SetGoldenMachine(prog.Fork())
+			det, err := sess.Detect(words, cycles)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %s: %w", d.Name, err)
+			}
+			if !det.Failed {
+				continue // packed detection did not excite this one
+			}
+			diag, err := sess.LocalizeDict(det, 4, 4)
+			if err != nil {
+				return nil, err
+			}
+			row.Attempted++
+			cor, err := sess.Repair(diag, det)
+			if err != nil {
+				if !errors.Is(err, debug.ErrRepairInconclusive) {
+					return nil, fmt.Errorf("experiments: %s: %w", d.Name, err)
+				}
+				row.Fallbacks++
+				continue
+			}
+			sumCands += cor.Candidates
+			sumBatches += cor.Batches
+			if cor.Repaired && cor.Verified && cor.ECOVerified {
+				row.Repaired++
+			}
+			if benchSuspects == nil {
+				benchSuspects = diag.Suspects
+			}
+		}
+		if row.Attempted > 0 {
+			row.RepairRate = float64(row.Repaired) / float64(row.Attempted)
+		}
+		if conclusive := row.Attempted - row.Fallbacks; conclusive > 0 {
+			row.MeanCandidates = float64(sumCands) / float64(conclusive)
+			row.MeanBatches = float64(sumBatches) / float64(conclusive)
+		}
+
+		// Candidate-validation throughput on one representative fault.
+		if len(sample) > 0 {
+			impl := golden.Clone()
+			if repairApply(impl, golden, sample[0]) {
+				br, err := repairValidationBench(prog, golden, impl, benchSuspects, words, cycles, cfg.Seed)
+				if err != nil {
+					return nil, fmt.Errorf("experiments: %s: %w", d.Name, err)
+				}
+				row.BenchCandidates = br.candidates
+				row.SerialCandsPerSec = br.serial
+				row.ParallelCandsPerSec = br.parallel
+				if br.serial > 0 {
+					row.Speedup = br.parallel / br.serial
+				}
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+type repairBenchResult struct {
+	candidates int
+	serial     float64
+	parallel   float64
+}
+
+// repairValidationBench times lane-parallel vs serial validation of one
+// candidate list on one faulty implementation. The suspect pool is
+// padded with additional cells until the list spans several 64-lane
+// batches, so both sides time the same multi-batch workload.
+func repairValidationBench(goldenProg *sim.Machine, golden, impl *netlist.Netlist,
+	suspects []string, words, cycles int, seed int64) (repairBenchResult, error) {
+
+	implProg, err := sim.Compile(impl)
+	if err != nil {
+		return repairBenchResult{}, err
+	}
+	eng, err := repair.NewEngine(goldenProg, implProg)
+	if err != nil {
+		return repairBenchResult{}, err
+	}
+	pool := append([]string(nil), suspects...)
+	seen := make(map[string]bool, len(pool))
+	for _, s := range pool {
+		seen[s] = true
+	}
+	for ci := range impl.Cells {
+		if len(pool) >= 24 {
+			break
+		}
+		c := &impl.Cells[ci]
+		if c.Dead || c.Kind != netlist.KindLUT || len(c.Fanin) > 4 || seen[c.Name] {
+			continue
+		}
+		pool = append(pool, c.Name)
+	}
+	npi := len(goldenProg.PIOrder())
+	stim := debug.DictStimulus(npi, words, cycles, seed)
+	cands, err := eng.Enumerate(pool, stim)
+	if err != nil {
+		return repairBenchResult{}, err
+	}
+	if len(cands) == 0 {
+		return repairBenchResult{}, nil
+	}
+
+	// Warm once, then time the lane-parallel pass.
+	if _, _, err := eng.Validate(cands[:min(len(cands), 64)], stim, nil); err != nil {
+		return repairBenchResult{}, err
+	}
+	start := time.Now()
+	par, _, err := eng.Validate(cands, stim, nil)
+	if err != nil {
+		return repairBenchResult{}, err
+	}
+	parWall := time.Since(start)
+
+	start = time.Now()
+	ser, err := eng.SerialValidate(cands, stim)
+	if err != nil {
+		return repairBenchResult{}, err
+	}
+	serWall := time.Since(start)
+
+	// The differential guarantee, enforced on every benchmark run too.
+	for i := range cands {
+		if par[i] != ser[i] {
+			return repairBenchResult{}, fmt.Errorf("surviving-candidate sets diverge at %d (%s)",
+				i, cands[i].Describe())
+		}
+	}
+	out := repairBenchResult{candidates: len(cands)}
+	if s := parWall.Seconds(); s > 0 {
+		out.parallel = float64(len(cands)) / s
+	}
+	if s := serWall.Seconds(); s > 0 {
+		out.serial = float64(len(cands)) / s
+	}
+	return out, nil
+}
+
+// FormatRepair renders the campaign as a text table.
+func FormatRepair(rows []RepairRow) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Repair campaign: lane-parallel candidate search over dictionary-localizable faults")
+	fmt.Fprintf(&b, "%-11s %8s %8s %8s %8s %8s %7s %9s %12s %12s %9s\n",
+		"design", "universe", "inject", "localiz", "attempt", "repaired", "rate", "cands/rep", "serial c/s", "parallel c/s", "speedup")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-11s %8d %8d %8d %8d %8d %6.1f%% %9.1f %12.0f %12.0f %8.1fx\n",
+			r.Design, r.Universe, r.Injectable, r.Localizable, r.Attempted, r.Repaired,
+			100*r.RepairRate, r.MeanCandidates, r.SerialCandsPerSec, r.ParallelCandsPerSec, r.Speedup)
+	}
+	return b.String()
+}

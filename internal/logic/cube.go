@@ -1,13 +1,3 @@
-// Package logic provides the Boolean-function representations used
-// throughout the tiling CAD flow: product terms (Cube), two-level
-// sum-of-products covers (Cover), and bit-vector truth tables (TT).
-//
-// Covers are the working representation for technology-independent logic:
-// they cofactor cheaply, which the LUT decomposition in package synth relies
-// on. Truth tables are the working representation for mapped 4-input LUTs
-// and for equivalence checking in tests. Both forms evaluate 64 input
-// patterns at a time (see Cover.EvalWords), which the bit-parallel simulator
-// in package sim builds on.
 package logic
 
 import (

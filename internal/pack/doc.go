@@ -1,0 +1,10 @@
+// Package pack groups a mapped 4-LUT/DFF netlist into XC4000-style
+// configurable logic blocks. The CLB model is the one the paper counts
+// overhead in: two 4-input lookup tables plus two D flip-flops per block
+// (the XC4000's H-LUT and carry logic are omitted; every reported metric is
+// a CLB count, which the simplification does not change — see DESIGN.md §3).
+//
+// Packing is a deterministic greedy pass: flip-flops prefer the CLB of the
+// LUT driving their D input (saving a routed net), and LUT pairs are chosen
+// to maximize shared fanin signals (reducing inter-CLB routing demand).
+package pack

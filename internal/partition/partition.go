@@ -1,8 +1,3 @@
-// Package partition implements Fiduccia–Mattheyses min-cut bipartitioning.
-// The main flow draws tile boundaries after placement (the paper's order);
-// this partitioner supports the alternative "partition-then-place" tiling
-// mode used as an ablation, and is the classic substrate for minimizing
-// inter-tile interconnect.
 package partition
 
 import (

@@ -1,15 +1,3 @@
-// Package place is the back-end placer: VPR-style simulated annealing over
-// the device grid, minimizing total half-perimeter wirelength. Three
-// features carry the tiling technique of the paper:
-//
-//   - Fixed blocks: cells outside the affected tiles are locked in place
-//     and are never moved or displaced.
-//   - Region constraints: movable blocks can be confined to a set of
-//     rectangles (the affected tiles), so a tile-local re-place never
-//     perturbs the rest of the design.
-//   - Deterministic effort counters: attempted moves are reported so that
-//     Figure 5's speedups can be measured as work ratios independent of
-//     host noise (wall-clock is measured by the benches as well).
 package place
 
 import (

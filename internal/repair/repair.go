@@ -1,0 +1,394 @@
+package repair
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"fpgadbg/internal/logic"
+	"fpgadbg/internal/netlist"
+	"fpgadbg/internal/sim"
+)
+
+// Kind enumerates the candidate-correction shapes.
+type Kind uint8
+
+const (
+	// BitFlip complements one truth-table entry of a suspect LUT.
+	BitFlip Kind = iota
+	// PinSwap exchanges two fanin pins of a suspect LUT — a wiring
+	// repair, validated as the equivalent permuted truth table.
+	PinSwap
+	// Resynth replaces the whole truth table with one rebuilt from the
+	// cell's observed I/O behaviour.
+	Resynth
+)
+
+func (k Kind) String() string {
+	switch k {
+	case BitFlip:
+		return "bit-flip"
+	case PinSwap:
+		return "pin-swap"
+	case Resynth:
+		return "resynth"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Candidate is one proposed correction of one implementation cell. All
+// kinds are behaviourally a truth-table substitution over the cell's
+// existing fanins, which is how they are validated on simulator lanes;
+// Apply realizes PinSwap as the actual rewire.
+type Candidate struct {
+	// Cell names the implementation cell the candidate repairs.
+	Cell string
+	Kind Kind
+	// Bit is the complemented minterm (BitFlip).
+	Bit uint32
+	// PinA and PinB are the exchanged fanin pins (PinSwap).
+	PinA, PinB int
+	// TT is the replacement truth table over the cell's k fanins (low
+	// 2^k bits) — the lane-patch form of the candidate.
+	TT uint16
+	// Flips counts truth-table entries the candidate changes; the
+	// primary minimality rank key.
+	Flips int
+}
+
+// Describe renders the candidate for events and logs.
+func (c Candidate) Describe() string {
+	switch c.Kind {
+	case BitFlip:
+		return fmt.Sprintf("%s: flip minterm %d of %s", c.Kind, c.Bit, c.Cell)
+	case PinSwap:
+		return fmt.Sprintf("%s: swap pins %d,%d of %s", c.Kind, c.PinA, c.PinB, c.Cell)
+	case Resynth:
+		return fmt.Sprintf("%s: rewrite %s to tt %04x (%d bits)", c.Kind, c.Cell, c.TT, c.Flips)
+	default:
+		return fmt.Sprintf("%s at %s", c.Kind, c.Cell)
+	}
+}
+
+// Apply realizes the candidate on a live netlist: PinSwap rewires the
+// two fanin pins (the wiring repair the ECO path re-routes tile-locally);
+// BitFlip and Resynth rewrite the cell function. It returns the modified
+// cell for core.Delta.Modified.
+func (c Candidate) Apply(nl *netlist.Netlist) (netlist.CellID, error) {
+	id, ok := nl.CellByName(c.Cell)
+	if !ok {
+		return netlist.NilCell, fmt.Errorf("repair: cell %q vanished from the implementation", c.Cell)
+	}
+	cell := &nl.Cells[id]
+	if cell.Kind != netlist.KindLUT {
+		return netlist.NilCell, fmt.Errorf("repair: cell %q is not a LUT", c.Cell)
+	}
+	if c.Kind == PinSwap {
+		if c.PinA < 0 || c.PinB < 0 || c.PinA >= len(cell.Fanin) || c.PinB >= len(cell.Fanin) {
+			return netlist.NilCell, fmt.Errorf("repair: cell %q has no pins %d,%d", c.Cell, c.PinA, c.PinB)
+		}
+		cell.Fanin[c.PinA], cell.Fanin[c.PinB] = cell.Fanin[c.PinB], cell.Fanin[c.PinA]
+		return id, nil
+	}
+	k := len(cell.Fanin)
+	tt := logic.NewTT(k)
+	for m := uint64(0); m < 1<<uint(k); m++ {
+		tt.SetBit(m, c.TT&(1<<m) != 0)
+	}
+	cell.Func = tt.ToCover()
+	return id, nil
+}
+
+// Engine searches candidate corrections for one (golden, implementation)
+// pair. It holds private machine forks bound to the golden primary-input
+// order — implementation-only inputs are pinned to zero, matching the
+// debug layer's comparison convention — and never mutates either design.
+type Engine struct {
+	golden *sim.Machine // oracle fork
+	impl   *sim.Machine // candidate program fork, lanes patched per batch
+
+	piNames []string // golden sorted PI names = stimulus column order
+	poNames []string // golden trace column order
+	iCols   []int    // implementation trace columns of poNames
+	// implOnlyPIs are pinned to zero on every implementation fork.
+	implOnlyPIs []netlist.NetID
+
+	tr sim.Trace // batch replay buffer, reused across batches
+}
+
+// NewEngine pairs a golden oracle machine with the implementation's
+// compiled candidate program. Both machines are forked, so callers may
+// keep using (or cache) the originals; the implementation machine's
+// netlist must name-match the layout netlist candidates will be applied
+// to.
+func NewEngine(golden, impl *sim.Machine) (*Engine, error) {
+	e := &Engine{golden: golden.Fork(), impl: impl.Fork()}
+	goldenNL := golden.Netlist()
+	e.piNames = goldenNL.SortedPINames()
+	if err := e.golden.BindNames(e.piNames); err != nil {
+		return nil, fmt.Errorf("repair: golden: %w", err)
+	}
+	if err := e.impl.BindNames(e.piNames); err != nil {
+		return nil, fmt.Errorf("repair: impl: %w", err)
+	}
+	goldenPI := make(map[string]bool, len(e.piNames))
+	for _, n := range e.piNames {
+		goldenPI[n] = true
+	}
+	implNL := impl.Netlist()
+	for _, n := range implNL.SortedPINames() {
+		if goldenPI[n] {
+			continue
+		}
+		id, ok := implNL.NetByName(n)
+		if !ok {
+			continue
+		}
+		e.implOnlyPIs = append(e.implOnlyPIs, id)
+		if err := e.impl.SetOverride(id, 0); err != nil {
+			return nil, fmt.Errorf("repair: impl: %w", err)
+		}
+	}
+	e.poNames = e.golden.PONames()
+	iCols, err := e.impl.POCols(e.poNames)
+	if err != nil {
+		return nil, fmt.Errorf("repair: impl: %w", err)
+	}
+	e.iCols = iCols
+	return e, nil
+}
+
+// Netlist returns the implementation netlist candidates are enumerated
+// from.
+func (e *Engine) Netlist() *netlist.Netlist { return e.impl.Netlist() }
+
+// NumPIs returns the stimulus column count (golden primary inputs).
+func (e *Engine) NumPIs() int { return len(e.piNames) }
+
+// newImplFork returns a fresh implementation machine configured like
+// e.impl (binding and zero-pinned extra inputs) — used for observation
+// replays so probe configuration never leaks into the batch machine.
+func (e *Engine) newImplFork() (*sim.Machine, error) {
+	f := e.impl.Fork()
+	if err := f.BindNames(e.piNames); err != nil {
+		return nil, err
+	}
+	for _, id := range e.implOnlyPIs {
+		if err := f.SetOverride(id, 0); err != nil {
+			return nil, err
+		}
+	}
+	return f, nil
+}
+
+// ttWord returns the low 2^k-bit truth-table word of a ≤4-input LUT
+// function.
+func ttWord(f logic.Cover) (uint16, int, bool) {
+	k := f.N
+	if k > 4 {
+		return 0, 0, false
+	}
+	tt, err := f.TT()
+	if err != nil {
+		return 0, 0, false
+	}
+	w4, err := tt.Word4()
+	if err != nil {
+		return 0, 0, false
+	}
+	if k < 4 {
+		w4 &= 1<<(1<<uint(k)) - 1
+	}
+	return w4, k, true
+}
+
+// permuteTT exchanges variables a and b of a k-input truth-table word.
+func permuteTT(tt uint16, k, a, b int) uint16 {
+	var out uint16
+	for m := 0; m < 1<<uint(k); m++ {
+		if tt&(1<<uint(m)) == 0 {
+			continue
+		}
+		ba := m >> uint(a) & 1
+		bb := m >> uint(b) & 1
+		s := m
+		if ba != bb {
+			s = m ^ (1 << uint(a)) ^ (1 << uint(b))
+		}
+		out |= 1 << uint(s)
+	}
+	return out
+}
+
+// Enumerate builds the candidate-correction list for a suspect set:
+// every single truth-table-bit flip, every distinguishable pin swap, and
+// — when obsStim is non-empty — one truth table resynthesized from the
+// cell's I/O behaviour observed under obsStim (implementation fanins,
+// golden same-named output stream; unobserved minterms keep their
+// current value). Suspects that are not ≤4-input LUTs in the
+// implementation are skipped; candidates equal to the current function
+// are dropped, and candidates of one cell are deduplicated by resulting
+// table (first kind wins, in BitFlip < PinSwap < Resynth order). The
+// result is deterministic: suspects are processed in sorted order.
+func (e *Engine) Enumerate(suspects []string, obsStim [][]uint64) ([]Candidate, error) {
+	names := append([]string(nil), suspects...)
+	sort.Strings(names)
+	nl := e.impl.Netlist()
+
+	var sites []site
+	for _, name := range names {
+		id, ok := nl.CellByName(name)
+		if !ok {
+			continue
+		}
+		c := &nl.Cells[id]
+		if c.Dead || c.Kind != netlist.KindLUT {
+			continue
+		}
+		cur, k, ok := ttWord(c.Func)
+		if !ok {
+			continue
+		}
+		sites = append(sites, site{name: name, id: id, cur: cur, k: k})
+	}
+
+	resynth := map[string]uint16{}
+	if len(obsStim) > 0 && len(sites) > 0 {
+		var err error
+		resynth, err = e.observeTables(sites, obsStim)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	var out []Candidate
+	for _, s := range sites {
+		seen := map[uint16]bool{s.cur: true}
+		add := func(c Candidate) {
+			if seen[c.TT] {
+				return
+			}
+			seen[c.TT] = true
+			c.Cell = s.name
+			c.Flips = bits.OnesCount16(c.TT ^ s.cur)
+			out = append(out, c)
+		}
+		for bit := uint32(0); bit < 1<<uint(s.k); bit++ {
+			add(Candidate{Kind: BitFlip, Bit: bit, TT: s.cur ^ 1<<bit})
+		}
+		for a := 0; a < s.k; a++ {
+			for b := a + 1; b < s.k; b++ {
+				add(Candidate{Kind: PinSwap, PinA: a, PinB: b, TT: permuteTT(s.cur, s.k, a, b)})
+			}
+		}
+		if tt, ok := resynth[s.name]; ok {
+			add(Candidate{Kind: Resynth, TT: tt})
+		}
+	}
+	return out, nil
+}
+
+// site is one enumerable suspect: a live ≤4-input LUT of the
+// implementation with its current truth-table word.
+type site struct {
+	name string
+	id   netlist.CellID
+	cur  uint16
+	k    int
+}
+
+// observeTables replays obsStim once on the golden model, probing — per
+// site — the same-named fanin nets and output net of the suspect cell,
+// and resynthesizes the truth table the observed behaviour demands:
+// minterm m of the fanin stream must produce the output stream's value.
+// Observing both sides of the cell on the golden replay keeps the pairs
+// consistent even when the fault has walked the implementation's
+// flip-flop state away from golden (a fault in next-state logic corrupts
+// every downstream stream of the implementation, but never the golden
+// one). This is purely behavioural use of the golden design — net-value
+// streams by name, exactly what localization's stream comparison already
+// observes — not a structural read. obsStim must be broadcast scalar
+// stimulus (every word 0 or all-ones); only lane 0 is read. Sites with a
+// fanin or output net the golden design does not know, or whose
+// observations conflict (a rewired fanin makes the output no function of
+// the observed nets), produce no table; unobserved minterms keep the
+// implementation's current value.
+func (e *Engine) observeTables(sites []site, obsStim [][]uint64) (map[string]uint16, error) {
+	nl := e.impl.Netlist()
+	goldenNL := e.golden.Netlist()
+
+	var probes []netlist.NetID
+	type probed struct {
+		site     int
+		faninCol int // first fanin column in the golden trace
+		outCol   int // output column in the golden trace
+	}
+	var ps []probed
+	for si, s := range sites {
+		cell := &nl.Cells[s.id]
+		cols := make([]netlist.NetID, 0, len(cell.Fanin)+1)
+		known := true
+		for _, f := range cell.Fanin {
+			gid, ok := goldenNL.NetByName(nl.NetName(f))
+			if !ok {
+				known = false
+				break
+			}
+			cols = append(cols, gid)
+		}
+		gout, ok := goldenNL.NetByName(nl.NetName(cell.Out))
+		if !known || !ok {
+			continue
+		}
+		ps = append(ps, probed{site: si, faninCol: len(probes), outCol: len(probes) + len(cols)})
+		probes = append(probes, cols...)
+		probes = append(probes, gout)
+	}
+	if len(ps) == 0 {
+		return map[string]uint16{}, nil
+	}
+
+	mg := e.golden.Fork()
+	if err := mg.BindNames(e.piNames); err != nil {
+		return nil, fmt.Errorf("repair: observe: %w", err)
+	}
+	if err := mg.Probe(probes...); err != nil {
+		return nil, fmt.Errorf("repair: observe: %w", err)
+	}
+	tg := mg.RunTrace(obsStim)
+
+	out := make(map[string]uint16, len(ps))
+	for _, p := range ps {
+		s := sites[p.site]
+		var want, care uint16
+		conflict := false
+		for c := 0; c < len(obsStim) && !conflict; c++ {
+			m := 0
+			for j := 0; j < s.k; j++ {
+				if tg.ProbeVal(c, p.faninCol+j)&1 != 0 {
+					m |= 1 << uint(j)
+				}
+			}
+			bit := uint16(0)
+			if tg.ProbeVal(c, p.outCol)&1 != 0 {
+				bit = 1
+			}
+			mask := uint16(1) << uint(m)
+			if care&mask != 0 {
+				if (want>>uint(m))&1 != bit {
+					conflict = true
+				}
+				continue
+			}
+			care |= mask
+			want |= bit << uint(m)
+		}
+		if conflict {
+			continue
+		}
+		tt := s.cur&^care | want
+		out[s.name] = tt
+	}
+	return out, nil
+}

@@ -1,0 +1,293 @@
+package repair
+
+import (
+	"testing"
+
+	"fpgadbg/internal/bench"
+	"fpgadbg/internal/faults"
+	"fpgadbg/internal/logic"
+	"fpgadbg/internal/netlist"
+	"fpgadbg/internal/sim"
+	"fpgadbg/internal/synth"
+	"fpgadbg/internal/testgen"
+)
+
+// goldenDesign builds a small sequential design with asymmetric logic so
+// every candidate kind has a meaningful target.
+func goldenDesign(t *testing.T) *netlist.Netlist {
+	t.Helper()
+	nl := netlist.New("repairme")
+	a := nl.AddPI("a")
+	b := nl.AddPI("b")
+	c := nl.AddPI("c")
+	n1 := nl.AddNet("n1")
+	n2 := nl.AddNet("n2")
+	d := nl.AddNet("d")
+	q := nl.AddNet("q")
+	y := nl.AddNet("y")
+	nl.MustAddLUT("g_and", logic.AndN(2), []netlist.NetID{a, b}, n1)
+	nl.MustAddLUT("g_mux", logic.Mux2(), []netlist.NetID{c, n1, b}, n2)
+	nl.MustAddLUT("g_xor", logic.XorN(2), []netlist.NetID{n2, q}, d)
+	nl.MustAddDFF("ff", d, q, 0)
+	nl.MustAddLUT("g_or", logic.OrN(2), []netlist.NetID{n1, d}, y)
+	nl.MarkPO(y)
+	nl.MarkPO(d)
+	return nl
+}
+
+func detStim(npi int) [][]uint64 {
+	// Odd hold count: holding a pattern an even number of cycles walks
+	// the XOR-feedback register back to its pre-pattern state, hiding
+	// state-dependent minterms from excitation.
+	return testgen.Repeat(testgen.ScalarBlocks(npi, 48, 3), 3)
+}
+
+// runSearch builds an engine over (golden, impl) and searches the given
+// suspects under the default configuration.
+func runSearch(t *testing.T, golden, impl *netlist.Netlist, suspects []string) *Outcome {
+	t.Helper()
+	mg, err := sim.Compile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mi, err := sim.Compile(impl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(mg, mi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := e.Search(suspects, detStim(len(golden.SortedPINames())), Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// applyAndCheck applies the winner and asserts behavioural equivalence
+// with the golden design.
+func applyAndCheck(t *testing.T, golden, impl *netlist.Netlist, out *Outcome) {
+	t.Helper()
+	if out.Winner == nil {
+		t.Fatalf("no winner: %d candidates, %d survivors, %d verified",
+			out.Candidates, out.Survivors, out.Verified)
+	}
+	if _, err := out.Winner.Apply(impl); err != nil {
+		t.Fatal(err)
+	}
+	mm, err := sim.Equivalent(golden, impl, 16, 2, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mm != nil {
+		t.Fatalf("repaired design still differs: %v (winner %s)", mm, out.Winner.Describe())
+	}
+}
+
+func TestSearchRepairsBitFlip(t *testing.T) {
+	golden := goldenDesign(t)
+	impl := golden.Clone()
+	id, _ := impl.CellByName("g_xor")
+	tt := impl.Cells[id].Func.MustTT()
+	tt.SetBit(2, !tt.Bit(2))
+	impl.Cells[id].Func = tt.ToCover()
+
+	out := runSearch(t, golden, impl, []string{"g_xor"})
+	applyAndCheck(t, golden, impl, out)
+	if out.Winner.Kind != BitFlip || out.Winner.Bit != 2 {
+		t.Fatalf("want bit-flip of minterm 2, got %s", out.Winner.Describe())
+	}
+}
+
+func TestSearchRepairsPinSwap(t *testing.T) {
+	golden := goldenDesign(t)
+	impl := golden.Clone()
+	id, _ := impl.CellByName("g_mux")
+	f := impl.Cells[id].Fanin
+	f[1], f[2] = f[2], f[1] // swapped data pins of the asymmetric mux
+
+	out := runSearch(t, golden, impl, []string{"g_mux"})
+	applyAndCheck(t, golden, impl, out)
+}
+
+func TestSearchRepairsPolarityViaResynth(t *testing.T) {
+	golden := goldenDesign(t)
+	impl := golden.Clone()
+	id, _ := impl.CellByName("g_mux")
+	inv, err := impl.Cells[id].Func.Not()
+	if err != nil {
+		t.Fatal(err)
+	}
+	impl.Cells[id].Func = inv
+
+	out := runSearch(t, golden, impl, []string{"g_mux"})
+	applyAndCheck(t, golden, impl, out)
+	if out.Winner.Kind != Resynth {
+		t.Fatalf("polarity error should need resynthesis, got %s", out.Winner.Describe())
+	}
+}
+
+func TestSearchRepairsStuckDriver(t *testing.T) {
+	golden := goldenDesign(t)
+	impl := golden.Clone()
+	id, _ := impl.CellByName("g_and")
+	impl.Cells[id].Func = logic.Const(2, true) // stuck-at-1 driver, applied form
+
+	out := runSearch(t, golden, impl, []string{"g_and"})
+	applyAndCheck(t, golden, impl, out)
+}
+
+// TestSearchAmbiguousSuspects feeds the whole suspect class and checks
+// the winner still lands on the truly faulty cell's behaviour.
+func TestSearchAmbiguousSuspects(t *testing.T) {
+	golden := goldenDesign(t)
+	impl := golden.Clone()
+	id, _ := impl.CellByName("g_or")
+	tt := impl.Cells[id].Func.MustTT()
+	tt.SetBit(1, !tt.Bit(1))
+	impl.Cells[id].Func = tt.ToCover()
+
+	out := runSearch(t, golden, impl, []string{"g_or", "g_and", "g_xor"})
+	applyAndCheck(t, golden, impl, out)
+	if out.Winner.Cell != "g_or" {
+		t.Fatalf("winner repaired %q, faulty cell is g_or", out.Winner.Cell)
+	}
+}
+
+func TestSearchNotExcited(t *testing.T) {
+	golden := goldenDesign(t)
+	impl := golden.Clone() // no error injected
+	mg, err := sim.Compile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mi, err := sim.Compile(impl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(mg, mi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Search([]string{"g_and"}, detStim(3), Config{Seed: 1}); err != ErrNotExcited {
+		t.Fatalf("want ErrNotExcited, got %v", err)
+	}
+}
+
+// TestValidateMatchesSerial pins the differential guarantee on the
+// handcrafted design: lane-parallel validation and the serial
+// clone+recompile path must agree on the exact surviving-candidate set.
+func TestValidateMatchesSerial(t *testing.T) {
+	golden := goldenDesign(t)
+	impl := golden.Clone()
+	id, _ := impl.CellByName("g_mux")
+	tt := impl.Cells[id].Func.MustTT()
+	tt.SetBit(5, !tt.Bit(5))
+	impl.Cells[id].Func = tt.ToCover()
+
+	mg, err := sim.Compile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mi, err := sim.Compile(impl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(mg, mi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stim := detStim(3)
+	cands, err := e.Enumerate([]string{"g_mux", "g_and", "g_xor", "g_or"}, stim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) < 20 {
+		t.Fatalf("expected a multi-batch-worthy candidate list, got %d", len(cands))
+	}
+	par, _, err := e.Validate(cands, stim, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ser, err := e.SerialValidate(cands, stim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range cands {
+		if par[i] != ser[i] {
+			t.Fatalf("candidate %d (%s): parallel=%v serial=%v", i, cands[i].Describe(), par[i], ser[i])
+		}
+	}
+}
+
+// TestValidateMatchesSerialOnCatalogDesign repeats the differential
+// oracle on a real mapped benchmark with an injected design error and
+// candidates spanning several 64-lane batches.
+func TestValidateMatchesSerialOnCatalogDesign(t *testing.T) {
+	info, err := bench.ByName("9sym")
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden, err := synth.TechMap(info.Build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	impl := golden.Clone()
+	inj, err := faults.Inject(impl, faults.LUTBitFlip, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mg, err := sim.Compile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mi, err := sim.Compile(impl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(mg, mi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Suspect pool: the injected cell plus a handful of healthy ones, so
+	// surviving and dying candidates both cross batch boundaries.
+	suspects := []string{inj.CellName}
+	for ci := range impl.Cells {
+		c := &impl.Cells[ci]
+		if !c.Dead && c.Kind == netlist.KindLUT && len(c.Fanin) >= 2 && len(c.Fanin) <= 4 && len(suspects) < 10 {
+			suspects = append(suspects, c.Name)
+		}
+	}
+	stim := testgen.Repeat(testgen.ScalarBlocks(len(golden.SortedPINames()), 32, 7), 2)
+	cands, err := e.Enumerate(suspects, stim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) <= 64 {
+		t.Fatalf("want a multi-batch candidate list, got %d", len(cands))
+	}
+	par, batches, err := e.Validate(cands, stim, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batches != (len(cands)+63)/64 {
+		t.Fatalf("batches=%d for %d candidates", batches, len(cands))
+	}
+	ser, err := e.SerialValidate(cands, stim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	surviving := 0
+	for i := range cands {
+		if par[i] {
+			surviving++
+		}
+		if par[i] != ser[i] {
+			t.Fatalf("candidate %d (%s): parallel=%v serial=%v", i, cands[i].Describe(), par[i], ser[i])
+		}
+	}
+	if surviving == 0 {
+		t.Fatal("no surviving candidate — the reverse flip must survive")
+	}
+}

@@ -1,0 +1,318 @@
+package repair
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"fpgadbg/internal/sim"
+	"fpgadbg/internal/testgen"
+)
+
+// ErrNotExcited reports that the unrepaired implementation already
+// matches the golden model under the given stimulus — there is nothing
+// for candidate validation to discriminate on, so the search would rank
+// noise. Callers fall back to probe-based flows.
+var ErrNotExcited = errors.New("repair: stimulus does not excite the error")
+
+// Config tunes one candidate search.
+type Config struct {
+	// ObservePatterns extends the resynthesis observation beyond the
+	// detection stimulus with this many extra broadcast patterns, so
+	// rarely excited minterms still get observed (default 256, 0 keeps
+	// the default; negative disables the extension).
+	ObservePatterns int
+	// VerifyPatterns sizes the independent verification stimulus
+	// survivors are ranked by (default 128).
+	VerifyPatterns int
+	// VerifyCycles holds each verification pattern for this many clock
+	// cycles (default 2).
+	VerifyCycles int
+	// RefineRounds bounds the observation-refinement loop: when no
+	// survivor verifies, the failed verification stimulus — golden
+	// behaviour, i.e. ground truth — is folded into the resynthesis
+	// observation and the search repeats with a fresh verification
+	// stream (default 2 rounds total).
+	RefineRounds int
+	// Seed derives the observation and verification streams; they are
+	// drawn from offsets of it so neither replays the detection stimulus.
+	Seed int64
+	// OnBatch, when set, is called after each 64-candidate validation
+	// batch; returning an error aborts the search (the campaign service
+	// cancels through it).
+	OnBatch func(done, total int) error
+}
+
+func (c Config) withDefaults() Config {
+	if c.ObservePatterns == 0 {
+		c.ObservePatterns = 256
+	}
+	if c.VerifyPatterns < 1 {
+		c.VerifyPatterns = 128
+	}
+	if c.VerifyCycles < 1 {
+		c.VerifyCycles = 2
+	}
+	if c.RefineRounds < 1 {
+		c.RefineRounds = 2
+	}
+	return c
+}
+
+// Outcome is the result of one candidate search.
+type Outcome struct {
+	// Candidates is the enumerated candidate count; Survivors how many
+	// matched the golden outputs on the whole detection stimulus;
+	// Verified how many of those also matched on the independent
+	// verification stimulus.
+	Candidates int
+	Survivors  int
+	Verified   int
+	// Batches counts 64-candidate lane batches replayed (detection +
+	// verification passes).
+	Batches int
+	// Winner is the top-ranked verified candidate, nil when the search
+	// found no correction that explains all observed behaviour.
+	Winner *Candidate
+	// Ranked lists every verified candidate, best first.
+	Ranked []Candidate
+}
+
+// Validate scores candidates 64 per trace replay: each batch arms one
+// truth-table substitution per lane (sim.SetLanePatch) on the engine's
+// shared compiled implementation program and compares every lane's
+// primary-output stream against the golden oracle trace. stim must be
+// broadcast scalar stimulus. alive[i] reports that candidate i's lanes
+// never diverged from the golden stream. onBatch may be nil.
+func (e *Engine) Validate(cands []Candidate, stim [][]uint64, onBatch func(done, total int) error) (alive []bool, batches int, err error) {
+	gt := e.golden.RunTrace(stim)
+	return e.validateAgainst(gt, cands, stim, onBatch)
+}
+
+// validateAgainst is Validate with the golden trace precomputed, so the
+// detection and verification passes of one Search share the oracle
+// replays per stimulus.
+func (e *Engine) validateAgainst(gt *sim.Trace, cands []Candidate, stim [][]uint64, onBatch func(done, total int) error) (alive []bool, batches int, err error) {
+	nl := e.impl.Netlist()
+	alive = make([]bool, len(cands))
+	total := (len(cands) + 63) / 64
+	for base := 0; base < len(cands); base += 64 {
+		batch := cands[base:]
+		if len(batch) > 64 {
+			batch = batch[:64]
+		}
+		e.impl.ClearLaneFaults()
+		for lane, c := range batch {
+			id, ok := nl.CellByName(c.Cell)
+			if !ok {
+				return nil, batches, fmt.Errorf("repair: candidate cell %q vanished", c.Cell)
+			}
+			if err := e.impl.SetLanePatch(lane, id, c.TT); err != nil {
+				return nil, batches, fmt.Errorf("repair: arming %s: %w", c.Describe(), err)
+			}
+		}
+		e.impl.RunTraceInto(&e.tr, stim)
+		batches++
+		mask := ^uint64(0)
+		if len(batch) < 64 {
+			mask = uint64(1)<<uint(len(batch)) - 1
+		}
+		for c := 0; c < e.tr.Cycles && mask != 0; c++ {
+			for po, col := range e.iCols {
+				mask &^= e.tr.Out(c, col) ^ gt.Out(c, po)
+			}
+		}
+		for lane := range batch {
+			alive[base+lane] = mask>>uint(lane)&1 != 0
+		}
+		if onBatch != nil {
+			if err := onBatch(batches, total); err != nil {
+				return nil, batches, err
+			}
+		}
+	}
+	e.impl.ClearLaneFaults()
+	return alive, batches, nil
+}
+
+// SerialValidate computes the same per-candidate outcomes one mutant at
+// a time — per candidate: clone the implementation netlist, apply the
+// repair, recompile, replay. It is the differential oracle for Validate
+// (surviving sets must be identical) and the baseline the lane-parallel
+// candidate-validation speedup is measured against.
+func (e *Engine) SerialValidate(cands []Candidate, stim [][]uint64) ([]bool, error) {
+	gt := e.golden.Fork()
+	if err := gt.BindNames(e.piNames); err != nil {
+		return nil, err
+	}
+	goldenTr := gt.RunTrace(stim)
+	implNL := e.impl.Netlist()
+	goldenPI := make(map[string]bool, len(e.piNames))
+	for _, n := range e.piNames {
+		goldenPI[n] = true
+	}
+	alive := make([]bool, len(cands))
+	for i, c := range cands {
+		mutant := implNL.Clone()
+		if _, err := c.Apply(mutant); err != nil {
+			return nil, err
+		}
+		m, err := sim.Compile(mutant)
+		if err != nil {
+			return nil, fmt.Errorf("repair: serial %s: %w", c.Describe(), err)
+		}
+		if err := m.BindNames(e.piNames); err != nil {
+			return nil, err
+		}
+		for _, n := range mutant.SortedPINames() {
+			if goldenPI[n] {
+				continue
+			}
+			if id, ok := mutant.NetByName(n); ok {
+				if err := m.SetOverride(id, 0); err != nil {
+					return nil, err
+				}
+			}
+		}
+		cols, err := m.POCols(e.poNames)
+		if err != nil {
+			return nil, err
+		}
+		tr := m.RunTrace(stim)
+		ok := true
+		for cy := 0; cy < tr.Cycles && ok; cy++ {
+			for po, col := range cols {
+				if tr.Out(cy, col) != goldenTr.Out(cy, po) {
+					ok = false
+					break
+				}
+			}
+		}
+		alive[i] = ok
+	}
+	return alive, nil
+}
+
+// rankLess orders verified candidates best-first: fewest truth-table
+// changes, then kind (bit flip before pin swap before resynthesis), then
+// cell name and candidate detail for determinism.
+func rankLess(a, b Candidate) bool {
+	if a.Flips != b.Flips {
+		return a.Flips < b.Flips
+	}
+	if a.Kind != b.Kind {
+		return a.Kind < b.Kind
+	}
+	if a.Cell != b.Cell {
+		return a.Cell < b.Cell
+	}
+	if a.Bit != b.Bit {
+		return a.Bit < b.Bit
+	}
+	if a.PinA != b.PinA {
+		return a.PinA < b.PinA
+	}
+	return a.PinB < b.PinB
+}
+
+// Search runs the full candidate-search pipeline for a suspect set:
+// enumerate candidates (resynthesis observed under detStim plus
+// cfg.ObservePatterns extra broadcast patterns), validate them
+// lane-parallel against the golden oracle on detStim, re-validate the
+// survivors on an independent verification stimulus, and rank what
+// remains by minimality. detStim must be broadcast scalar stimulus that
+// excites the error — Search returns ErrNotExcited otherwise, and the
+// caller falls back to its probe- or golden-based flow.
+func (e *Engine) Search(suspects []string, detStim [][]uint64, cfg Config) (*Outcome, error) {
+	cfg = cfg.withDefaults()
+
+	// The unrepaired implementation must fail detStim, or survival means
+	// nothing.
+	gt := e.golden.RunTrace(detStim)
+	e.impl.ClearLaneFaults()
+	e.impl.RunTraceInto(&e.tr, detStim)
+	excited := false
+	for c := 0; c < e.tr.Cycles && !excited; c++ {
+		for po, col := range e.iCols {
+			if e.tr.Out(c, col) != gt.Out(c, po) {
+				excited = true
+				break
+			}
+		}
+	}
+	if !excited {
+		return nil, ErrNotExcited
+	}
+
+	obsStim := append([][]uint64{}, detStim...)
+	if cfg.ObservePatterns > 0 {
+		obsStim = append(obsStim, testgenScalar(e.NumPIs(), cfg.ObservePatterns, cfg.Seed+obsSeedOffset, cfg.VerifyCycles)...)
+	}
+	out := &Outcome{}
+	for round := 0; round < cfg.RefineRounds; round++ {
+		cands, err := e.Enumerate(suspects, obsStim)
+		if err != nil {
+			return nil, err
+		}
+		out.Candidates = len(cands)
+		if len(cands) == 0 {
+			return out, nil
+		}
+
+		alive, nb, err := e.validateAgainst(gt, cands, detStim, cfg.OnBatch)
+		if err != nil {
+			return nil, err
+		}
+		out.Batches += nb
+		var survivors []Candidate
+		for i, ok := range alive {
+			if ok {
+				survivors = append(survivors, cands[i])
+			}
+		}
+		out.Survivors = len(survivors)
+		if len(survivors) == 0 {
+			return out, nil
+		}
+
+		verifyStim := testgenScalar(e.NumPIs(), cfg.VerifyPatterns,
+			cfg.Seed+verifySeedOffset+int64(round)*verifySeedStride, cfg.VerifyCycles)
+		verified, nb, err := e.Validate(survivors, verifyStim, cfg.OnBatch)
+		if err != nil {
+			return nil, err
+		}
+		out.Batches += nb
+		out.Ranked = out.Ranked[:0]
+		for i, ok := range verified {
+			if ok {
+				out.Ranked = append(out.Ranked, survivors[i])
+			}
+		}
+		out.Verified = len(out.Ranked)
+		if out.Verified > 0 {
+			sort.Slice(out.Ranked, func(i, j int) bool { return rankLess(out.Ranked[i], out.Ranked[j]) })
+			w := out.Ranked[0]
+			out.Winner = &w
+			return out, nil
+		}
+		// No survivor verified: the verification stream excited behaviour
+		// the observation never saw. It is a golden replay — ground truth —
+		// so fold it into the observation and search again.
+		obsStim = append(obsStim, verifyStim...)
+	}
+	return out, nil
+}
+
+// Seed offsets keeping the observation and verification streams disjoint
+// from each other and from the detection stimulus seed.
+const (
+	obsSeedOffset    = 0x0b5e7ed
+	verifySeedOffset = 0x7e51f1e
+	verifySeedStride = 0x1009
+)
+
+// testgenScalar builds patterns broadcast scalar vectors held cycles
+// clock cycles each.
+func testgenScalar(npi, patterns int, seed int64, cycles int) [][]uint64 {
+	return testgen.Repeat(testgen.ScalarBlocks(npi, patterns, seed), cycles)
+}

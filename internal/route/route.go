@@ -1,16 +1,3 @@
-// Package route is the back-end router: a PathFinder-style
-// negotiated-congestion maze router over the device grid. Nets are routed
-// as Steiner trees by repeated multi-source Dijkstra expansion; congestion
-// is resolved by iterative rip-up-and-reroute with growing present-sharing
-// penalties and accumulated history costs.
-//
-// Tiling hooks:
-//   - Options.Allowed restricts the search to the affected tiles, so a
-//     tile-local re-route can never disturb wiring elsewhere.
-//   - Options.FixedUse charges the capacity consumed by locked routes
-//     (the tile interfaces and all wiring outside the affected tiles).
-//   - Result.Expansions counts heap pops, the router's deterministic
-//     effort metric used by Figure 5.
 package route
 
 import (

@@ -1,0 +1,96 @@
+package service
+
+// The repair campaign pipeline: one detect → dictionary-localize →
+// candidate-search-repair pass. It reuses every cacheable artifact the
+// debug pipeline shares (golden program, layout, baseline, dictionary)
+// and adds one of its own: the compiled candidate program of the
+// injected implementation, keyed by the implementation fingerprint
+// (prog/<fp>), so concurrent repair campaigns on the same injected
+// design arm their 64-candidate lane batches on forks of one compile.
+// When localization had to fall back to probe rounds, the implementation
+// netlist has grown observation logic and the cached pristine program no
+// longer matches — the session then compiles a fresh one itself.
+
+import (
+	"context"
+	"fmt"
+
+	"fpgadbg/internal/debug"
+	"fpgadbg/internal/netlist"
+	"fpgadbg/internal/sim"
+)
+
+// runRepairCampaign executes the repair pass for one campaign; the
+// caller has already set up the session (golden machine, traces,
+// dictionary, progress) and fills in the design, baseline, cache and
+// digest fields.
+func (s *Service) runRepairCampaign(ctx context.Context, c *campaign, sess *debug.Session,
+	impl *netlist.Netlist, implFP string, spec Spec, count func(bool) string) (*Result, error) {
+
+	res := &Result{}
+	c.appendEvent("detect", 1, "replaying %d blocks × %d cycles", spec.Words, spec.Cycles)
+	det, err := sess.Detect(spec.Words, spec.Cycles)
+	if err != nil {
+		return nil, err
+	}
+	if !det.Failed {
+		c.appendEvent("detect", 1, "injected error not excited — nothing to repair")
+		res.Clean = true
+		return res, nil
+	}
+	res.Detected = true
+	res.Iterations = 1
+	c.appendEvent("detect", 1, "FAILED outputs %v", det.FailingOutputs)
+
+	diag, err := sess.LocalizeDict(det, spec.MaxRounds, spec.ProbesPerRound)
+	if err != nil {
+		return nil, err
+	}
+	res.Rounds = diag.Rounds
+	res.ProbesInserted = diag.Probes
+	if diag.Dict {
+		res.DictResolved = 1
+	}
+
+	// Candidate program: shareable only while the implementation netlist
+	// is still pristine, i.e. the dictionary resolved the diagnosis
+	// without inserting observation logic.
+	var prog *sim.Machine
+	if diag.Dict {
+		v, hit, err := s.cache.GetOrBuild("prog/"+implFP, func() (any, int64, error) {
+			m, err := sim.Compile(impl.Clone())
+			if err != nil {
+				return nil, 0, err
+			}
+			return m, m.MemoryFootprint(), nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("candidate program %s: %w", spec.Design, err)
+		}
+		// repair.NewEngine forks the machine it is given, so the cached
+		// program can be passed directly; it is never mutated.
+		prog = v.(*sim.Machine)
+		c.appendEvent("compile", 0, "candidate program %s (%s)", implFP[:8], count(hit))
+	}
+
+	cor, fellBack, err := sess.CorrectAuto(diag, det, prog)
+	if err != nil {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		return nil, err
+	}
+	res.RepairFallback = fellBack
+	res.Fixed = cor.Fixed
+	res.Clean = cor.Verified
+	if cor.Repaired {
+		res.Repaired = 1
+		res.RepairKind = cor.RepairKind
+		res.Candidates = cor.Candidates
+		res.Survivors = cor.Survivors
+		res.CandidateBatches = cor.Batches
+		res.ECOVerified = cor.ECOVerified
+	}
+	c.appendEvent("repair", 0, "fixed %v (kind %s), clean=%v", cor.Fixed, res.RepairKind, res.Clean)
+	return res, nil
+}

@@ -29,6 +29,13 @@ const (
 	// universe in 64-lane batches and reports detection coverage and
 	// latency; it needs no layout, no injection and no correction.
 	KindFaultScan = "faultscan"
+	// KindRepair runs one detect → dictionary-localize → repair pass with
+	// the lane-parallel repair-candidate search: the golden model serves
+	// only as a behavioural oracle, and the campaign reports the search
+	// statistics (candidates, survivors, batches) alongside the usual
+	// loop fields. The fault dictionary is always attached, and the
+	// compiled candidate program is cached per implementation fingerprint.
+	KindRepair = "repair"
 )
 
 // Spec describes one campaign: which design, which injected error, and
@@ -75,6 +82,12 @@ func (sp Spec) withDefaults() Spec {
 	if sp.Kind == "" {
 		sp.Kind = KindDebug
 	}
+	if sp.Kind == KindRepair {
+		// The repair pipeline always consults the dictionary first; a hit
+		// keeps the implementation netlist pristine, which is what lets
+		// the cached candidate program be shared.
+		sp.UseDict = true
+	}
 	if sp.Seed == 0 {
 		sp.Seed = 1
 	}
@@ -119,8 +132,9 @@ func (sp Spec) Validate() error {
 	if _, err := bench.ByName(sp.Design); err != nil {
 		return err
 	}
-	if sp.Kind != "" && sp.Kind != KindDebug && sp.Kind != KindFaultScan {
-		return fmt.Errorf("service: unknown campaign kind %q (have %q, %q)", sp.Kind, KindDebug, KindFaultScan)
+	if sp.Kind != "" && sp.Kind != KindDebug && sp.Kind != KindFaultScan && sp.Kind != KindRepair {
+		return fmt.Errorf("service: unknown campaign kind %q (have %q, %q, %q)",
+			sp.Kind, KindDebug, KindFaultScan, KindRepair)
 	}
 	if sp.Patterns < 0 {
 		return fmt.Errorf("service: patterns must be positive (got %d)", sp.Patterns)
@@ -199,6 +213,20 @@ type Result struct {
 	// DictResolved counts diagnoses the fault dictionary settled without
 	// probe rounds (debug campaigns with UseDict).
 	DictResolved int `json:"dict_resolved,omitempty"`
+	// Repaired counts corrections produced by the repair-candidate search
+	// (as opposed to golden-copy restorations); RepairKind names the last
+	// winning candidate shape and the three search counters total the
+	// candidates enumerated, the detection-stimulus survivors and the
+	// 64-candidate lane batches replayed. ECOVerified reports the
+	// tile-local sign-off replay of the last repair; RepairFallback that
+	// at least one correction had to fall back to the golden copy.
+	Repaired         int    `json:"repaired,omitempty"`
+	RepairKind       string `json:"repair_kind,omitempty"`
+	Candidates       int    `json:"candidates,omitempty"`
+	Survivors        int    `json:"survivors,omitempty"`
+	CandidateBatches int    `json:"candidate_batches,omitempty"`
+	ECOVerified      bool   `json:"eco_verified,omitempty"`
+	RepairFallback   bool   `json:"repair_fallback,omitempty"`
 	// Faultscan campaigns (Kind == "faultscan") report the universe scan
 	// instead of the loop fields above.
 	FaultsTotal       int     `json:"faults_total,omitempty"`
@@ -219,11 +247,13 @@ type Result struct {
 // outcomes excluded).
 func (r *Result) digest() string {
 	h := sha256.New()
-	fmt.Fprintf(h, "%s|%s|%v|%v|%d|%d|%d|%v|%.0f|%.0f|%d|%d|%d|%d|%.3f",
+	fmt.Fprintf(h, "%s|%s|%v|%v|%d|%d|%d|%v|%.0f|%.0f|%d|%d|%d|%d|%.3f|%d|%s|%d|%d|%d|%v|%v",
 		r.Design, r.Injected, r.Detected, r.Clean, r.Iterations,
 		r.Rounds, r.ProbesInserted, r.Fixed, r.TileWork, r.FullWork,
 		r.DictResolved, r.FaultsTotal, r.FaultsDetected, r.FaultBatches,
-		r.MeanLatencyCycles)
+		r.MeanLatencyCycles,
+		r.Repaired, r.RepairKind, r.Candidates, r.Survivors, r.CandidateBatches,
+		r.ECOVerified, r.RepairFallback)
 	sum := h.Sum(nil)
 	return hex.EncodeToString(sum[:8])
 }
@@ -880,29 +910,49 @@ func (s *Service) runCampaign(ctx context.Context, c *campaign) (*Result, error)
 			sess.Dict.Detected, sess.Dict.Faults, sess.Dict.Signatures(), count(hit))
 	}
 
-	rep, err := sess.RunLoopCore(spec.MaxIters, spec.Words, spec.Cycles, spec.MaxRounds, spec.ProbesPerRound)
-	if err != nil {
-		return nil, err
-	}
-	res := &Result{
-		Design:     spec.Design,
-		Injected:   inj.String(),
-		Detected:   rep.Iterations > 0,
-		Clean:      rep.Clean,
-		Iterations: rep.Iterations,
-	}
-	for _, diag := range rep.Diagnoses {
-		res.Rounds += diag.Rounds
-		res.ProbesInserted += diag.Probes
-		if diag.Dict {
-			res.DictResolved++
+	var res *Result
+	if spec.Kind == KindRepair {
+		res, err = s.runRepairCampaign(ctx, c, sess, impl, implFP, spec, count)
+		if err != nil {
+			return nil, err
+		}
+		res.Design = spec.Design
+		res.Injected = inj.String()
+	} else {
+		rep, err := sess.RunLoopCore(spec.MaxIters, spec.Words, spec.Cycles, spec.MaxRounds, spec.ProbesPerRound)
+		if err != nil {
+			return nil, err
+		}
+		res = &Result{
+			Design:     spec.Design,
+			Injected:   inj.String(),
+			Detected:   rep.Iterations > 0,
+			Clean:      rep.Clean,
+			Iterations: rep.Iterations,
+		}
+		for _, diag := range rep.Diagnoses {
+			res.Rounds += diag.Rounds
+			res.ProbesInserted += diag.Probes
+			if diag.Dict {
+				res.DictResolved++
+			}
+		}
+		for _, cor := range rep.Corrections {
+			res.Fixed = append(res.Fixed, cor.Fixed...)
+			if cor.Repaired {
+				res.Repaired++
+				res.RepairKind = cor.RepairKind
+				res.Candidates += cor.Candidates
+				res.Survivors += cor.Survivors
+				res.CandidateBatches += cor.Batches
+				res.ECOVerified = cor.ECOVerified
+			} else {
+				res.RepairFallback = true
+			}
 		}
 	}
-	for _, cor := range rep.Corrections {
-		res.Fixed = append(res.Fixed, cor.Fixed...)
-	}
 
-	res.TileWork = rep.TileEffort.Work()
+	res.TileWork = sess.TileEffort.Work()
 	res.FullWork = fullEffort.Work()
 	if updates := res.Rounds + res.Iterations; updates > 0 && res.TileWork > 0 {
 		res.SpeedupPerIter = res.FullWork / (res.TileWork / float64(updates))

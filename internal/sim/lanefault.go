@@ -155,9 +155,10 @@ func (m *Machine) addNodeMut(node int32, mut laneMut) {
 	m.mutLists = append(m.mutLists, []laneMut{mut})
 }
 
-// ClearLaneFaults removes every armed lane fault, returning the machine
-// to fault-free evaluation. The mutation tables are retained for reuse,
-// so arming the next 64-fault batch allocates (almost) nothing.
+// ClearLaneFaults removes every armed lane fault and lane patch,
+// returning the machine to unperturbed evaluation. The mutation tables
+// are retained for reuse, so arming the next 64-fault batch allocates
+// (almost) nothing.
 func (m *Machine) ClearLaneFaults() {
 	for _, node := range m.mutNodes {
 		m.mutOf[node] = -1
@@ -165,11 +166,13 @@ func (m *Machine) ClearLaneFaults() {
 	m.mutNodes = m.mutNodes[:0]
 	m.mutLists = m.mutLists[:0]
 	m.preMuts = m.preMuts[:0]
+	m.clearLanePatches()
 }
 
-// LaneFaultsArmed reports whether any lane fault is configured.
+// LaneFaultsArmed reports whether any lane fault or lane patch is
+// configured.
 func (m *Machine) LaneFaultsArmed() bool {
-	return len(m.mutNodes) > 0 || len(m.preMuts) > 0
+	return len(m.mutNodes) > 0 || len(m.preMuts) > 0 || len(m.patchNodes) > 0
 }
 
 // applyStuck applies a stuck-at mutation to a word.
@@ -242,8 +245,15 @@ func (m *Machine) evalNodesFaulty() {
 				w = m.ovVal[o]
 			}
 		}
-		if mi := m.mutOf[i]; mi >= 0 {
-			w = m.applyNodeMuts(w, &nodes[i], m.mutLists[mi])
+		if m.mutOf != nil {
+			if mi := m.mutOf[i]; mi >= 0 {
+				w = m.applyNodeMuts(w, &nodes[i], m.mutLists[mi])
+			}
+		}
+		if m.patchOf != nil {
+			if pi := m.patchOf[i]; pi >= 0 {
+				w = m.applyNodePatches(w, &nodes[i], m.patchLists[pi])
+			}
 		}
 		v[n.out] = w
 	}

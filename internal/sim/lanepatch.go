@@ -1,0 +1,131 @@
+package sim
+
+// Per-lane truth-table substitution — the repair-candidate analogue of
+// SetLaneFault. A lane *fault* perturbs a correct design into a mutant; a
+// lane *patch* perturbs a (presumed faulty) design into a repair
+// candidate: in the patched lanes the cell computes a replacement truth
+// table over its existing fanins instead of its compiled one. Arm up to
+// 64 candidate repairs (one per lane), replay a broadcast stimulus once,
+// and every lane's primary-output stream is the stream of its privately
+// repaired design — candidate validation at one trace per 64 candidates,
+// with no netlist clone and no recompile (internal/repair batches
+// candidate searches on top of this; see DESIGN.md §10).
+//
+// A patch subsumes every function-shaped repair: a single bit flip, a
+// pin swap (the permuted table), a resynthesized table, or a constant.
+// Patches share the mutation dispatch with lane faults — ClearLaneFaults
+// removes both — and, like them, are configuration, not state: they
+// survive Reset and RunTrace.
+
+import (
+	"fmt"
+
+	"fpgadbg/internal/netlist"
+)
+
+// lanePatch is one compiled truth-table substitution attached to a node:
+// in the lanes of mask, the node's output is recomputed from the pair
+// table at tab instead of the compiled program's table.
+type lanePatch struct {
+	mask uint64
+	tab  int32 // start of the 2^nin-word pair table in m.patchTabs
+	nin  int32 // fanin count of the patched node
+	tt   uint16
+}
+
+// SetLanePatch arms a replacement truth table for one LUT cell on one
+// mutant lane (0..63). The cell must be a compiled LUT of at most four
+// inputs (wider cells keep their cover kernel and cannot be patched).
+// tt's low 2^k bits are the replacement table over the cell's k fanins in
+// pin order; higher bits are ignored. Patches accumulate until
+// ClearLaneFaults; arming several patches on the same (lane, cell) is an
+// error in the caller's logic and the last one wins.
+func (m *Machine) SetLanePatch(lane int, cell netlist.CellID, tt uint16) error {
+	if lane < 0 || lane > 63 {
+		return fmt.Errorf("sim: lane %d out of [0,63]", lane)
+	}
+	if int(cell) < 0 || int(cell) >= len(m.nodeOfCell) {
+		return fmt.Errorf("sim: lane patch on invalid cell %d", cell)
+	}
+	node := m.nodeOfCell[cell]
+	if node < 0 {
+		return fmt.Errorf("sim: lane patch on cell %q, which is not a compiled LUT", m.nl.CellName(cell))
+	}
+	n := &m.nodes[node]
+	if n.op == opCover {
+		return fmt.Errorf("sim: lane patch on %d-input cell %q (max 4)", n.nin, m.nl.CellName(cell))
+	}
+	if n.nin < 4 {
+		tt &= 1<<(1<<uint(n.nin)) - 1
+	}
+	p := lanePatch{mask: uint64(1) << lane, nin: n.nin, tt: tt, tab: -1}
+	if n.nin > 0 {
+		p.tab = int32(len(m.patchTabs))
+		m.patchTabs = append(m.patchTabs, expandTT(tt, int(n.nin))...)
+	}
+	m.addNodePatch(node, p)
+	return nil
+}
+
+// addNodePatch attaches one truth-table substitution to a compiled node,
+// mirroring addNodeMut's table recycling.
+func (m *Machine) addNodePatch(node int32, p lanePatch) {
+	if m.patchOf == nil {
+		m.patchOf = make([]int32, len(m.nodes))
+		for i := range m.patchOf {
+			m.patchOf[i] = -1
+		}
+	}
+	if pi := m.patchOf[node]; pi >= 0 {
+		m.patchLists[pi] = append(m.patchLists[pi], p)
+		return
+	}
+	m.patchOf[node] = int32(len(m.patchLists))
+	m.patchNodes = append(m.patchNodes, node)
+	if len(m.patchLists) < cap(m.patchLists) {
+		m.patchLists = m.patchLists[:len(m.patchLists)+1]
+		last := len(m.patchLists) - 1
+		m.patchLists[last] = append(m.patchLists[last][:0], p)
+		return
+	}
+	m.patchLists = append(m.patchLists, []lanePatch{p})
+}
+
+// clearLanePatches removes every armed truth-table substitution; called
+// from ClearLaneFaults so one call returns the machine to unperturbed
+// evaluation.
+func (m *Machine) clearLanePatches() {
+	for _, node := range m.patchNodes {
+		m.patchOf[node] = -1
+	}
+	m.patchNodes = m.patchNodes[:0]
+	m.patchLists = m.patchLists[:0]
+	m.patchTabs = m.patchTabs[:0]
+}
+
+// applyNodePatches substitutes one node's freshly computed word in the
+// patched lanes: the replacement table is evaluated from the
+// already-computed fanin words through the same pair-table kernels the
+// compiled program uses, then blended in under the lane mask.
+func (m *Machine) applyNodePatches(w uint64, n *node, patches []lanePatch) uint64 {
+	v := m.val
+	fan := m.fanin
+	s := n.start
+	for _, p := range patches {
+		var pw uint64
+		switch p.nin {
+		case 0:
+			pw = -uint64(p.tt & 1)
+		case 1:
+			pw = evalTab1(m.patchTabs[p.tab:p.tab+2:p.tab+2], v[fan[s]])
+		case 2:
+			pw = evalTab2(m.patchTabs[p.tab:p.tab+4:p.tab+4], v[fan[s]], v[fan[s+1]])
+		case 3:
+			pw = evalTab3(m.patchTabs[p.tab:p.tab+8:p.tab+8], v[fan[s]], v[fan[s+1]], v[fan[s+2]])
+		default:
+			pw = evalTab4(m.patchTabs[p.tab:p.tab+16:p.tab+16], v[fan[s]], v[fan[s+1]], v[fan[s+2]], v[fan[s+3]])
+		}
+		w = w&^p.mask | pw&p.mask
+	}
+	return w
+}

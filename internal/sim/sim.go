@@ -1,28 +1,3 @@
-// Package sim is the emulation substrate: a compiled, 64-way bit-parallel
-// functional simulator for netlist designs. Each net carries a 64-bit word
-// whose bit p is the net's value under input pattern p, so one pass over
-// the levelized network evaluates 64 test patterns.
-//
-// Compile lowers a netlist into a flat, allocation-free program: fanins
-// are packed into one CSR array, LUTs of four or fewer inputs run as
-// specialized truth-table kernels (straight-line word ops, no cube
-// iteration), and wider LUTs fall back to the generic cover evaluator
-// over a preallocated scratch buffer. Primary inputs, primary outputs and
-// flip-flops are resolved to dense index tables once at compile time.
-//
-// Two calling conventions are offered:
-//
-//   - The ID-based batch API — Slots/Bind, Probe, RunTrace — drives a
-//     whole clocked stimulus sequence with zero per-cycle allocations and
-//     is what every hot path in this repository uses (see DESIGN.md §3).
-//   - The name/map API — SetPI, Step, Outputs, Net — is a thin
-//     compatibility shim kept for external callers and tests; it pays a
-//     map allocation and string hashing per cycle.
-//
-// The paper runs designs on FPGA emulation hardware; this simulator plays
-// that role (see DESIGN.md §3). Detection compares outputs against a
-// golden model, and localization probes internal nets — both map directly
-// onto the trace API (and, in shim form, Machine.Out and Machine.Net).
 package sim
 
 import (
@@ -99,6 +74,13 @@ type Machine struct {
 	mutNodes   []int32 // nodes carrying mutations, for clearing
 	mutLists   [][]laneMut
 	preMuts    []preMut // stuck-ats on PIs, DFF outputs and undriven nets
+
+	// Per-lane truth-table substitutions (see lanepatch.go), configured
+	// like lane faults and cleared with them.
+	patchOf    []int32 // per node: index into patchLists, or -1 (nil until first use)
+	patchNodes []int32
+	patchLists [][]lanePatch
+	patchTabs  []uint64 // pair tables of all armed patches
 }
 
 // Compile levelizes the netlist and lowers it into a ready-to-run machine
@@ -230,7 +212,7 @@ func (m *Machine) Eval() {
 		}
 	}
 	switch {
-	case len(m.mutNodes) != 0:
+	case len(m.mutNodes) != 0 || len(m.patchNodes) != 0:
 		m.evalNodesFaulty()
 	case len(m.ovNets) != 0:
 		m.evalNodesOverridden()

@@ -1,10 +1,3 @@
-// Package synth is the front-end of the flow: it turns netlists with
-// arbitrary-width LUT nodes (as produced by the benchmark generators or the
-// BLIF reader) into XC4000-style 4-input LUT networks. The pipeline is the
-// classic two-step one: Decompose rewrites every node into a tree of
-// at-most-2-input gates, and MapLUT4 covers that network with K-input LUTs
-// using priority-cut enumeration (depth-oriented with area tie-breaking).
-// TechMap composes both and sweeps dead logic.
 package synth
 
 import (
