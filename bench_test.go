@@ -374,3 +374,42 @@ func BenchmarkTechMapMIPS(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkEcoRound measures one localization-style physical update on
+// the transactional engine: a checkpoint, a two-net probe insertion
+// through ApplyDelta on the persistent router, and the rollback — the
+// unit of speculative work the debug loop pays per round (DESIGN.md
+// §11, BENCH_eco.json).
+func BenchmarkEcoRound(b *testing.B) {
+	info, err := bench.ByName("c880")
+	if err != nil {
+		b.Fatal(err)
+	}
+	golden, err := synth.TechMap(info.Build())
+	if err != nil {
+		b.Fatal(err)
+	}
+	lay, err := core.BuildMapped(golden.Clone(), core.Spec{Seed: 1, PlaceEffort: 0.3, TileFrac: 0.1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	digest := lay.StateDigest()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cp := lay.Checkpoint()
+		d, err := experiments.ECOProbeDelta(lay, i%4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := lay.ApplyDelta(d); err != nil {
+			b.Fatal(err)
+		}
+		if err := lay.Rollback(cp); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if lay.StateDigest() != digest {
+		b.Fatal("benchmark rounds leaked into the layout")
+	}
+}

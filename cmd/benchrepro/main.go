@@ -50,6 +50,9 @@ func main() {
 		repWords  = flag.Int("repair-words", 4, "detection stimulus blocks per repair attempt")
 		repCyc    = flag.Int("repair-cycles", 2, "clock cycles each repair detection block is held")
 		repMax    = flag.Int("repair-faults", 24, "max localizable faults injected and repaired per design")
+		jsonEco   = flag.Bool("json-eco", false, "measure the transactional incremental physical engine and write BENCH_eco.json")
+		ecoOut    = flag.String("json-eco-out", "BENCH_eco.json", "output path for -json-eco")
+		ecoRounds = flag.Int("eco-rounds", 4, "localization-style probe rounds per design for -json-eco")
 		all       = flag.Bool("all", false, "run every table, figure and ablation")
 		effort    = flag.Float64("effort", 0.5, "placement effort (1.0 = full anneal)")
 		seed      = flag.Int64("seed", 1, "random seed")
@@ -60,7 +63,7 @@ func main() {
 	if *all {
 		*table1, *fig3, *fig4, *fig5, *ablations = true, true, true, true, true
 	}
-	if !*table1 && !*fig3 && !*fig4 && !*fig5 && !*ablations && *faultsN == 0 && !*jsonBench && !*jsonSvc && !*seu && !*jsonFlt && !*jsonRep {
+	if !*table1 && !*fig3 && !*fig4 && !*fig5 && !*ablations && *faultsN == 0 && !*jsonBench && !*jsonSvc && !*seu && !*jsonFlt && !*jsonRep && !*jsonEco {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -205,6 +208,24 @@ func main() {
 			die(err)
 		}
 		fmt.Printf("wrote %s\n", *repOut)
+	}
+	if *jsonEco {
+		rows, err := experiments.ECOBench(cfg, *ecoRounds)
+		if err != nil {
+			die(err)
+		}
+		fmt.Println(experiments.FormatECO(rows))
+		blob, err := json.MarshalIndent(struct {
+			Rounds int                  `json:"rounds"`
+			Rows   []experiments.ECORow `json:"rows"`
+		}{*ecoRounds, rows}, "", "  ")
+		if err != nil {
+			die(err)
+		}
+		if err := os.WriteFile(*ecoOut, append(blob, '\n'), 0o644); err != nil {
+			die(err)
+		}
+		fmt.Printf("wrote %s\n", *ecoOut)
 	}
 	if *jsonSvc {
 		rep, err := experiments.ServiceLoadTest(cfg, *svcN, *svcW)

@@ -32,6 +32,13 @@
 //
 //	fpgadbg -design 9sym -fault-seed 2 -repair
 //	fpgadbg -design c880 -fault-seed 3 -repair -remote http://localhost:8080
+//
+// -timing attaches the incremental timing engine to a local run: the
+// critical-path delay is tracked across every tile-local physical update
+// at cone cost (delta STA) and verified bit-identical against a full
+// analysis at the end:
+//
+//	fpgadbg -design c880 -fault-seed 3 -timing
 package main
 
 import (
@@ -48,6 +55,7 @@ import (
 	"fpgadbg/internal/service"
 	"fpgadbg/internal/sim"
 	"fpgadbg/internal/synth"
+	"fpgadbg/internal/timing"
 )
 
 func main() {
@@ -64,6 +72,7 @@ func main() {
 		patterns   = flag.Int("patterns", 64, "broadcast test patterns for -kind faultscan")
 		useDict    = flag.Bool("use-dict", false, "consult a fault dictionary before inserting probes (debug campaigns)")
 		repairSrch = flag.Bool("repair", false, "correct by repair-candidate search (golden as oracle only); shorthand for -kind repair")
+		showTiming = flag.Bool("timing", false, "track the critical path across the loop with the incremental timing engine (local runs)")
 		remote     = flag.String("remote", "", "submit to a fpgadbgd daemon at this base URL instead of running locally")
 		priority   = flag.Int("priority", 0, "queue priority for -remote (higher runs first)")
 	)
@@ -137,6 +146,23 @@ func main() {
 	}
 	fmt.Printf("device %v, %d tiles, build effort: %v\n", lay.Dev, len(lay.Tiles), lay.BuildEffort)
 
+	// Delta timing: every physical update from here on resynchronizes
+	// arrival times through the touched cones only.
+	reportTiming := func(stage string) {}
+	if *showTiming {
+		if err := lay.EnableTiming(timing.DefaultModel()); err != nil {
+			die(err)
+		}
+		crit, _ := lay.CriticalDelay()
+		fmt.Printf("timing:   critical path %.2f ns (full analysis)\n", crit)
+		reportTiming = func(stage string) {
+			crit, _ := lay.CriticalDelay()
+			eng := lay.TimingEngine()
+			fmt.Printf("timing:   after %s: critical path %.2f ns (delta STA recomputed %d of %d cells over %d update(s))\n",
+				stage, crit, eng.LastCone, eng.LiveCells, eng.Updates)
+		}
+	}
+
 	sess, err := debug.NewSession(golden, lay, *seed)
 	if err != nil {
 		die(err)
@@ -184,6 +210,7 @@ func main() {
 			diag.Rounds, diag.Probes, diag.Suspects, diag.Tiles)
 	}
 	fmt.Printf("          tile-local effort: %v\n", diag.Effort)
+	reportTiming("localization")
 
 	var cor *debug.Correction
 	if *repairSrch {
@@ -205,6 +232,13 @@ func main() {
 	fmt.Printf("correct:  fixed %v, affected tiles %v, verified=%v\n",
 		cor.Fixed, cor.Report.AffectedTiles, cor.Verified)
 	fmt.Printf("          tile-local effort: %v\n", cor.Report.Effort)
+	reportTiming("correction")
+	if *showTiming {
+		if err := lay.TimingEngine().SelfCheck(); err != nil {
+			die(fmt.Errorf("delta STA diverged from full analysis: %w", err))
+		}
+		fmt.Println("timing:   delta STA verified bit-identical against a full analysis")
+	}
 
 	full, err := lay.FullRePlaceRoute(*seed + 99)
 	if err != nil {

@@ -66,8 +66,8 @@ func (l *Layout) IncrementalChange(affected []int, growth float64) (Effort, erro
 	wGrow := int(float64(bb.X1-bb.X0+1) * (growth - 1) / 2)
 	hGrow := int(float64(bb.Y1-bb.Y0+1) * (growth - 1) / 2)
 	window := device.Rect{
-		X0: maxInt(1, bb.X0-wGrow), Y0: maxInt(1, bb.Y0-hGrow),
-		X1: minInt(l.Dev.W, bb.X1+wGrow), Y1: minInt(l.Dev.H, bb.Y1+hGrow),
+		X0: max(1, bb.X0-wGrow), Y0: max(1, bb.Y0-hGrow),
+		X1: min(l.Dev.W, bb.X1+wGrow), Y1: min(l.Dev.H, bb.Y1+hGrow),
 	}
 	region := device.RectSet{window}
 
@@ -104,80 +104,13 @@ func (l *Layout) IncrementalChange(affected []int, growth float64) (Effort, erro
 	eff.CellsPlaced += len(movable)
 
 	// Full re-route of every net touching the window (no locked
-	// interfaces: the whole net is ripped).
-	reff, _, err := scratch.rerouteWindow(region)
+	// interfaces: the whole net is ripped) — the consolidated
+	// rerouteTouched in its window mode.
+	reff, _, err := scratch.rerouteTouched(region, false)
 	if err != nil {
 		return eff, fmt.Errorf("core: incremental route: %w", err)
 	}
 	eff.Add(reff)
 	eff.Wall = time.Since(start)
 	return eff, nil
-}
-
-// rerouteWindow rips and fully re-routes every net with a pin or an edge
-// inside the window — the incremental-tool model (no interface locking).
-func (l *Layout) rerouteWindow(region device.RectSet) (Effort, int, error) {
-	var eff Effort
-	fixedUse := make([]int16, l.Grid.NumEdges())
-	var work []*route.Net
-	for ni := range l.NL.Nets {
-		if l.NL.Nets[ni].Dead {
-			continue
-		}
-		net := netlist.NetID(ni)
-		pins := l.netPins(net)
-		if len(pins) < 2 {
-			continue
-		}
-		touches := false
-		for _, p := range pins {
-			if region.Contains(p) {
-				touches = true
-				break
-			}
-		}
-		old := l.Routes[net]
-		if old != nil && !touches {
-			for _, e := range old.Route {
-				a, b := l.Grid.EdgeEnds(e)
-				if region.Contains(a) || region.Contains(b) {
-					touches = true
-					break
-				}
-			}
-		}
-		if !touches {
-			if old != nil {
-				for _, e := range old.Route {
-					fixedUse[e]++
-				}
-			}
-			continue
-		}
-		work = append(work, &route.Net{ID: ni, Pins: pins})
-	}
-	res, err := route.RouteAll(l.Grid, work, route.Options{FixedUse: fixedUse})
-	if err != nil {
-		return eff, 0, err
-	}
-	eff.RouteExpansions = res.Expansions
-	eff.NetsRouted = len(work)
-	for _, rn := range work {
-		l.Routes[netlist.NetID(rn.ID)] = rn
-	}
-	return eff, len(work), nil
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

@@ -245,18 +245,21 @@ func (l *Layout) netBlockIDs(net netlist.NetID, blockOfCLB map[int]place.BlockID
 	return blocks
 }
 
-// adoptPlacement writes an annealing result back into the layout.
+// adoptPlacement writes an annealing result back into the layout
+// (journaled when a transaction is open; unchanged locations are
+// skipped).
 func (l *Layout) adoptPlacement(res *place.Result, clbOfBlock []int, padOfBlock []netlist.NetID) {
 	for bi, clb := range clbOfBlock {
 		if clb >= 0 {
-			l.CLBLoc[clb] = res.Loc[bi]
+			l.setCLBLoc(clb, res.Loc[bi])
 		} else if padOfBlock[bi] != netlist.NilNet {
-			l.PadLoc[padOfBlock[bi]] = res.Loc[bi]
+			l.setPad(padOfBlock[bi], res.Loc[bi])
 		}
 	}
 }
 
-// routeAllNets routes every multi-block net from scratch.
+// routeAllNets routes every multi-block net from scratch through the
+// layout's persistent router.
 func (l *Layout) routeAllNets() (Effort, error) {
 	nl := l.NL
 	var nets []*route.Net
@@ -274,7 +277,9 @@ func (l *Layout) routeAllNets() (Effort, error) {
 		nets = append(nets, rn)
 		byID[ni] = netlist.NetID(ni)
 	}
-	res, err := route.RouteAll(l.Grid, nets, route.Options{})
+	router := l.ensureRouter()
+	router.BeginPass()
+	res, err := router.Route(nets, route.Options{})
 	if err != nil {
 		return Effort{}, err
 	}

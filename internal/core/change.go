@@ -29,6 +29,9 @@ type ChangeReport struct {
 	Effort        Effort
 	// ReroutedNets counts nets whose wiring changed.
 	ReroutedNets int
+	// ReroutedNetIDs lists them (the incremental timing engine's seed
+	// set).
+	ReroutedNetIDs []netlist.NetID
 }
 
 // ApplyDelta implements the paper's per-iteration physical update
@@ -36,7 +39,29 @@ type ChangeReport struct {
 // re-place their logic together with the newly introduced cells, and
 // re-route locally against locked tile interfaces. Cells, wiring and pads
 // outside the affected tiles are never disturbed.
+//
+// ApplyDelta is transactional: it opens an internal checkpoint and rolls
+// back to it on any failure, so an error (unpackable delta, unplaceable
+// region, exhausted channel capacity) leaves the layout bit-identical to
+// its pre-call state — the physical mutations made before the failure
+// are undone through the journal. Netlist edits made by the caller
+// before the call are outside this transaction; wrap the whole change in
+// an outer Checkpoint to revert those too.
 func (l *Layout) ApplyDelta(d Delta) (*ChangeReport, error) {
+	cp := l.Checkpoint()
+	rep, err := l.applyDelta(d)
+	if err != nil {
+		if rerr := l.Rollback(cp); rerr != nil {
+			return nil, fmt.Errorf("%w (rollback also failed: %v)", err, rerr)
+		}
+		return nil, err
+	}
+	l.Commit(cp)
+	l.timingApply(d, rep)
+	return rep, nil
+}
+
+func (l *Layout) applyDelta(d Delta) (*ChangeReport, error) {
 	start := time.Now()
 	rep := &ChangeReport{}
 
@@ -70,9 +95,7 @@ func (l *Layout) ApplyDelta(d Delta) (*ChangeReport, error) {
 		return nil, err
 	}
 	rep.NewCLBs = newCLBs
-	for len(l.CLBLoc) < len(l.Packed.CLBs) {
-		l.CLBLoc = append(l.CLBLoc, device.XY{})
-	}
+	l.growCLBLoc(len(l.Packed.CLBs))
 	if err := l.placeNewPads(); err != nil {
 		return nil, err
 	}
@@ -123,7 +146,7 @@ func (l *Layout) ApplyDelta(d Delta) (*ChangeReport, error) {
 		rep.Effort.PlaceMoves += res.Moves
 		rep.Effort.CellsPlaced += len(movable)
 
-		routeEff, rerouted, err := l.rerouteRegion(region)
+		routeEff, rerouted, err := l.rerouteTouched(region, true)
 		rep.Effort.Add(routeEff)
 		if err != nil {
 			grown := l.growAffected(affected)
@@ -134,7 +157,8 @@ func (l *Layout) ApplyDelta(d Delta) (*ChangeReport, error) {
 			return nil, err
 		}
 		rep.AffectedTiles = affected
-		rep.ReroutedNets = rerouted
+		rep.ReroutedNets = len(rerouted)
+		rep.ReroutedNetIDs = rerouted
 		break
 	}
 	rep.Effort.Wall = time.Since(start)
@@ -172,7 +196,7 @@ func (l *Layout) placeNewPads() error {
 			return fmt.Errorf("core: no free IOB site for new pad %q", l.NL.NetName(net))
 		}
 		used[best]++
-		l.PadLoc[net] = best
+		l.setPad(net, best)
 		return nil
 	}
 	for _, pi := range l.NL.PIs {
@@ -252,13 +276,23 @@ func (l *Layout) expandAffected(seeds map[int]bool, needCLBs int) ([]int, error)
 	return queue, nil
 }
 
-// rerouteRegion re-routes all wiring that touches the cleared region:
-// nets fully inside are re-routed within it; nets crossing the boundary
-// keep their outside wiring and locked crossing points (the tile
-// interfaces) and only their inside portions are rebuilt; brand-new nets
-// that must reach outside the region are routed over whatever spare
-// channel capacity exists, without disturbing any locked wiring.
-func (l *Layout) rerouteRegion(region device.RectSet) (Effort, int, error) {
+// rerouteTouched re-routes all wiring that touches the given region,
+// through the layout's persistent Router. The two modes consolidate the
+// former rerouteRegion/rerouteWindow near-duplicates:
+//
+//   - lockInterfaces (the paper's tile-local update): nets fully inside
+//     are rebuilt within the region; nets crossing the boundary keep
+//     their outside wiring and locked crossing points (the tile
+//     interfaces) and only their inside portions are rebuilt; brand-new
+//     nets that must reach outside are routed over spare capacity
+//     anywhere without disturbing locked wiring.
+//
+//   - !lockInterfaces (the conventional incremental-tool model used by
+//     the baselines): every net with a pin or an edge in the region is
+//     ripped entirely and re-routed over the whole device.
+//
+// It returns the re-routed net IDs.
+func (l *Layout) rerouteTouched(region device.RectSet, lockInterfaces bool) (Effort, []netlist.NetID, error) {
 	nl := l.NL
 	var eff Effort
 
@@ -269,15 +303,11 @@ func (l *Layout) rerouteRegion(region device.RectSet) (Effort, int, error) {
 	}
 	var innerNets []*route.Net  // nets to route within the region
 	var stitchedNets []stitched // region portion of crossing nets
-	var globalNets []*route.Net // new/expanded nets needing fresh crossings
+	var globalNets []*route.Net // new/expanded/window nets routed anywhere
 
-	// Classify every live net.
-	fixedUse := make([]int16, l.Grid.NumEdges())
-	chargeEdges := func(edges []route.EdgeID) {
-		for _, e := range edges {
-			fixedUse[e]++
-		}
-	}
+	// Classify every live net, charging untouched wiring as locked.
+	router := l.ensureRouter()
+	router.BeginPass()
 	for ni := range nl.Nets {
 		if nl.Nets[ni].Dead {
 			continue
@@ -285,7 +315,7 @@ func (l *Layout) rerouteRegion(region device.RectSet) (Effort, int, error) {
 		net := netlist.NetID(ni)
 		pins := l.netPins(net)
 		if len(pins) < 2 {
-			delete(l.Routes, net)
+			l.deleteRoute(net)
 			continue
 		}
 		inCnt := 0
@@ -309,22 +339,23 @@ func (l *Layout) rerouteRegion(region device.RectSet) (Effort, int, error) {
 			if old == nil {
 				// Untouched net that was never routed (should not happen
 				// after Build) — route it globally.
-				rn := &route.Net{ID: ni, Pins: pins}
-				globalNets = append(globalNets, rn)
+				globalNets = append(globalNets, &route.Net{ID: ni, Pins: pins})
 				continue
 			}
-			chargeEdges(old.Route)
+			router.Charge(old.Route)
 			continue
 		}
 		switch {
+		case !lockInterfaces:
+			// Incremental-tool model: rip the whole net.
+			globalNets = append(globalNets, &route.Net{ID: ni, Pins: pins})
 		case inCnt == len(pins):
 			// Fully inside: rebuild from scratch within the region.
 			innerNets = append(innerNets, &route.Net{ID: ni, Pins: pins})
 		case old == nil:
 			// New net spanning the boundary: no locked interface exists
 			// yet; route globally over spare capacity.
-			rn := &route.Net{ID: ni, Pins: pins}
-			globalNets = append(globalNets, rn)
+			globalNets = append(globalNets, &route.Net{ID: ni, Pins: pins})
 		default:
 			_, outside, crossings := route.SplitRoute(l.Grid, old.Route, region)
 			insidePins := make([]device.XY, 0, inCnt)
@@ -336,11 +367,10 @@ func (l *Layout) rerouteRegion(region device.RectSet) (Effort, int, error) {
 			if len(crossings) == 0 {
 				// The outside tree never reached the region: treat as a
 				// global extension from the existing tree.
-				rn := &route.Net{ID: ni, Pins: pins}
-				globalNets = append(globalNets, rn)
+				globalNets = append(globalNets, &route.Net{ID: ni, Pins: pins})
 				continue
 			}
-			chargeEdges(outside)
+			router.Charge(outside)
 			// The inner portion must connect the locked crossing points
 			// with the (re-placed) inside pins.
 			innerPins := append(append([]device.XY(nil), crossings...), insidePins...)
@@ -352,45 +382,51 @@ func (l *Layout) rerouteRegion(region device.RectSet) (Effort, int, error) {
 
 	// Route the region-confined work first (inner + stitched inner
 	// portions negotiate congestion together).
-	regionWork := make([]*route.Net, 0, len(innerNets)+len(stitchedNets))
-	regionWork = append(regionWork, innerNets...)
-	for _, st := range stitchedNets {
-		regionWork = append(regionWork, st.inner)
-	}
-	allowed := func(p device.XY) bool { return region.Contains(p) }
-	res, err := route.RouteAll(l.Grid, regionWork, route.Options{Allowed: allowed, FixedUse: fixedUse})
-	if err != nil {
-		return eff, 0, fmt.Errorf("core: region re-route: %w", err)
-	}
-	eff.RouteExpansions += res.Expansions
-	for _, rn := range regionWork {
-		chargeEdges(rn.Route)
+	if len(innerNets)+len(stitchedNets) > 0 {
+		regionWork := make([]*route.Net, 0, len(innerNets)+len(stitchedNets))
+		regionWork = append(regionWork, innerNets...)
+		for _, st := range stitchedNets {
+			regionWork = append(regionWork, st.inner)
+		}
+		allowed := func(p device.XY) bool { return region.Contains(p) }
+		res, err := router.Route(regionWork, route.Options{Allowed: allowed})
+		if err != nil {
+			return eff, nil, fmt.Errorf("core: region re-route: %w", err)
+		}
+		eff.RouteExpansions += res.Expansions
+		for _, rn := range regionWork {
+			router.Charge(rn.Route)
+		}
 	}
 
 	// Then global nets over remaining spare capacity anywhere.
 	if len(globalNets) > 0 {
-		gres, err := route.RouteAll(l.Grid, globalNets, route.Options{FixedUse: fixedUse})
+		gres, err := router.Route(globalNets, route.Options{})
 		if err != nil {
-			return eff, 0, fmt.Errorf("core: global net route: %w", err)
+			mode := "global net"
+			if !lockInterfaces {
+				mode = "window"
+			}
+			return eff, nil, fmt.Errorf("core: %s re-route: %w", mode, err)
 		}
 		eff.RouteExpansions += gres.Expansions
 	}
 
-	// Commit results.
-	rerouted := 0
+	// Commit results (journaled when a transaction is open).
+	var rerouted []netlist.NetID
 	for _, rn := range innerNets {
-		l.Routes[netlist.NetID(rn.ID)] = rn
-		rerouted++
+		l.setRoute(netlist.NetID(rn.ID), rn)
+		rerouted = append(rerouted, netlist.NetID(rn.ID))
 	}
 	for _, st := range stitchedNets {
 		full := append(append([]route.EdgeID(nil), st.outside...), st.inner.Route...)
-		l.Routes[st.net] = &route.Net{ID: st.inner.ID, Pins: l.netPins(st.net), Route: full}
-		rerouted++
+		l.setRoute(st.net, &route.Net{ID: st.inner.ID, Pins: l.netPins(st.net), Route: full})
+		rerouted = append(rerouted, st.net)
 	}
 	for _, rn := range globalNets {
-		l.Routes[netlist.NetID(rn.ID)] = rn
-		rerouted++
+		l.setRoute(netlist.NetID(rn.ID), rn)
+		rerouted = append(rerouted, netlist.NetID(rn.ID))
 	}
-	eff.NetsRouted = rerouted
+	eff.NetsRouted = len(rerouted)
 	return eff, rerouted, nil
 }

@@ -110,6 +110,16 @@ type Layout struct {
 	BuildEffort Effort
 
 	seq int // fresh-name counter for inserted logic
+
+	// router is the persistent routing engine, created lazily and reused
+	// across every incremental update; clones start without one. See
+	// txn.go.
+	router *route.Router
+	// journal and txnDepth implement layout transactions (txn.go).
+	journal  []physOp
+	txnDepth int
+	// sta is the optional incremental timing engine state (sta.go).
+	sta *staState
 }
 
 // NumCLBs returns the number of occupied CLB sites (the paper's "design
@@ -285,6 +295,6 @@ func (l *Layout) RegionOf(tiles []int) device.RectSet {
 
 // freshName returns a unique suffix for inserted logic.
 func (l *Layout) freshName(base string) string {
-	l.seq++
+	l.setSeq(l.seq + 1)
 	return fmt.Sprintf("%s@%d", base, l.seq)
 }

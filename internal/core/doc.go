@@ -12,4 +12,14 @@
 // the paper treats each benchmark as a single functional block) and an
 // incremental place-and-route model (ripple re-placement without locked
 // interfaces).
+//
+// The physical state is transactional (DESIGN.md §11): Checkpoint opens
+// an undo journal spanning the netlist, packing, placement, pads and
+// routes; Rollback restores the layout bit-identically in O(changes)
+// and Commit nests. ApplyDelta runs inside its own transaction, so a
+// failed update can never leave a half-mutated layout. A persistent
+// route.Router and an optional incremental timing.Engine (EnableTiming)
+// ride along, giving the debug loop tile-local routing and delta STA
+// without per-update setup cost; StateDigest and VerifyLayout are the
+// bit-identity and invariant oracles over all of it.
 package core

@@ -139,6 +139,33 @@ func routeConnects(g *route.Grid, edges []route.EdgeID, pins []device.XY) error 
 	return nil
 }
 
+// VerifyLayout is the full post-transaction assertion: the layout's
+// physical invariants (Check) plus the transaction machinery's — no
+// checkpoint may be left open, the journals must be drained, and the
+// netlist itself must validate. Tests call it after every rollback to
+// prove the journal restored a consistent state.
+func VerifyLayout(l *Layout) error {
+	if l.txnDepth != 0 {
+		return fmt.Errorf("core: %d transaction(s) still open", l.txnDepth)
+	}
+	if len(l.journal) != 0 {
+		return fmt.Errorf("core: physical journal holds %d orphaned ops", len(l.journal))
+	}
+	if l.NL.JournalActive() || l.NL.JournalLen() != 0 {
+		return fmt.Errorf("core: netlist journal not drained (active=%v, len=%d)", l.NL.JournalActive(), l.NL.JournalLen())
+	}
+	if l.Packed.JournalLen() != 0 {
+		return fmt.Errorf("core: packing journal holds %d orphaned ops", l.Packed.JournalLen())
+	}
+	if err := l.NL.Check(); err != nil {
+		return err
+	}
+	if err := l.Packed.Check(); err != nil {
+		return err
+	}
+	return l.Check()
+}
+
 // FrozenOutside snapshots the placement and routing outside the given
 // region; comparing snapshots before and after a change proves the paper's
 // central claim that unaffected tiles are untouched.

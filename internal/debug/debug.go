@@ -368,16 +368,28 @@ func (s *Session) Localize(det *Detection, maxRounds, probesPerRound int) (*Diag
 			break
 		}
 		diag.Rounds++
-		// Physically insert the MISR; the layout pays tile-local re-P&R.
+		// Physically insert the round's observation batch — all
+		// probesPerRound stages ride one MISR and one ApplyDelta
+		// transaction, opened here so a failed insertion (netlist edit or
+		// physical update alike) rolls the layout back to the round
+		// boundary instead of leaving it half-mutated.
+		cp := s.Layout.Checkpoint()
 		s.misrSeq++
 		misr, err := instr.InsertMISR(nl, fmt.Sprintf("misr%d", s.misrSeq), targets)
 		if err != nil {
+			if rerr := s.Layout.Rollback(cp); rerr != nil {
+				return nil, fmt.Errorf("%w (rollback: %v)", err, rerr)
+			}
 			return nil, err
 		}
 		rep, err := s.Layout.ApplyDelta(core.Delta{Added: misr.Cells})
 		if err != nil {
+			if rerr := s.Layout.Rollback(cp); rerr != nil {
+				return nil, fmt.Errorf("%w (rollback: %v)", err, rerr)
+			}
 			return nil, err
 		}
+		s.Layout.Commit(cp)
 		diag.Effort.Add(rep.Effort)
 		s.TileEffort.Add(rep.Effort)
 		diag.Probes += len(targets)
@@ -568,29 +580,47 @@ func (s *Session) CorrectFromGolden(diag *Diagnosis, det *Detection) (*Correctio
 	if len(toFix) == 0 {
 		return nil, fmt.Errorf("debug: nothing differs from the golden model")
 	}
+	// The whole correction — netlist restoration plus the physical
+	// update — is one transaction; any failure reverts to the pre-repair
+	// layout.
+	cp := s.Layout.Checkpoint()
+	rollback := func(err error) error {
+		if rerr := s.Layout.Rollback(cp); rerr != nil {
+			return fmt.Errorf("%w (rollback: %v)", err, rerr)
+		}
+		return err
+	}
 	var modified []netlist.CellID
 	for _, name := range toFix {
 		iid, ok := nl.CellByName(name)
 		if !ok {
-			return nil, fmt.Errorf("debug: suspect %q vanished", name)
+			return nil, rollback(fmt.Errorf("debug: suspect %q vanished", name))
 		}
 		gid, ok := s.Golden.CellByName(name)
 		if !ok {
-			return nil, fmt.Errorf("debug: %q missing from golden", name)
+			return nil, rollback(fmt.Errorf("debug: %q missing from golden", name))
 		}
 		gc := &s.Golden.Cells[gid]
 		ic := &nl.Cells[iid]
-		ic.Func = gc.Func.Clone()
-		ic.Init = gc.Init
+		if ic.Kind == netlist.KindLUT {
+			if err := nl.SetFunc(iid, gc.Func); err != nil {
+				return nil, rollback(err)
+			}
+		}
+		if ic.Kind == netlist.KindDFF {
+			if err := nl.SetInit(iid, gc.Init); err != nil {
+				return nil, rollback(err)
+			}
+		}
 		for pin := range gc.Fanin {
 			wantName := s.Golden.NetName(gc.Fanin[pin])
 			want, ok := nl.NetByName(wantName)
 			if !ok {
-				return nil, fmt.Errorf("debug: net %q missing from implementation", wantName)
+				return nil, rollback(fmt.Errorf("debug: net %q missing from implementation", wantName))
 			}
 			if ic.Fanin[pin] != want {
 				if err := nl.SetFanin(iid, pin, want); err != nil {
-					return nil, err
+					return nil, rollback(err)
 				}
 			}
 		}
@@ -599,8 +629,9 @@ func (s *Session) CorrectFromGolden(diag *Diagnosis, det *Detection) (*Correctio
 	s.emit("correct", 0, "repairing %d cell(s) from the golden model", len(toFix))
 	rep, err := s.Layout.ApplyDelta(core.Delta{Modified: modified})
 	if err != nil {
-		return nil, err
+		return nil, rollback(err)
 	}
+	s.Layout.Commit(cp)
 	s.TileEffort.Add(rep.Effort)
 	cor := &Correction{Fixed: toFix, Report: rep}
 	redet, err := s.redetect(det)

@@ -218,3 +218,66 @@ func TestLocalizeRejectsCleanDetection(t *testing.T) {
 		t.Fatal("clean detection accepted")
 	}
 }
+
+// TestCampaignRollbackRestoresPristine drives a whole debug campaign —
+// detection, localization (with physical probe insertion), correction —
+// inside one layout transaction and rolls it back, proving the journal
+// restores the pristine state bit-identically. This is the contract the
+// campaign service's layout pool relies on to reuse one layout across
+// campaigns without cloning.
+func TestCampaignRollbackRestoresPristine(t *testing.T) {
+	golden := mappedDesign(t, 300, 4242)
+	lay, err := core.BuildMapped(golden.Clone(), core.Spec{Seed: 5, PlaceEffort: 0.25, TileFrac: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pristine := lay.StateDigest()
+
+	cp := lay.Checkpoint()
+	inj, err := faults.InjectRandom(lay.NL, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSession(golden, lay, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.RunLoopCore(3, 8, 4, 3, 4)
+	if err != nil {
+		t.Fatalf("campaign on %v: %v", inj, err)
+	}
+	if rep.Iterations == 0 {
+		t.Skipf("injected error %v not excited", inj)
+	}
+	if lay.StateDigest() == pristine {
+		t.Fatal("campaign did not change the layout")
+	}
+	if err := lay.Rollback(cp); err != nil {
+		t.Fatal(err)
+	}
+	if got := lay.StateDigest(); got != pristine {
+		t.Fatalf("rollback digest %s != pristine %s", got, pristine)
+	}
+	if err := core.VerifyLayout(lay); err != nil {
+		t.Fatal(err)
+	}
+
+	// The rolled-back layout must support a fresh campaign.
+	cp2 := lay.Checkpoint()
+	if _, err := faults.InjectRandom(lay.NL, 3); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := NewSession(golden, lay, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.RunLoopCore(2, 4, 2, 2, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := lay.Rollback(cp2); err != nil {
+		t.Fatal(err)
+	}
+	if got := lay.StateDigest(); got != pristine {
+		t.Fatalf("second rollback digest %s != pristine %s", got, pristine)
+	}
+}

@@ -28,12 +28,13 @@ import (
 // detection stimulus.
 const ecoVerifySeedOffset = 4242
 
-// ErrRepairInconclusive marks repair failures where NOTHING was applied
-// to the layout — an empty or unrepairable suspect set, a broadcast
-// stimulus that cannot excite the error, or a search with no verified
-// winner. Only these are safe to fall back from (CorrectFromGolden);
-// any other Repair error may leave the applied winner in place and must
-// propagate.
+// ErrRepairInconclusive marks repair failures after which NOTHING
+// remains applied to the layout — an empty or unrepairable suspect set,
+// a broadcast stimulus that cannot excite the error, a search with no
+// verified winner, or a winner the ECO sign-off rejected (applied, then
+// reverted in O(delta) through the layout transaction journal). Only
+// these are safe to fall back from (CorrectFromGolden); any other
+// Repair error must propagate.
 var ErrRepairInconclusive = errors.New("repair search inconclusive")
 
 // Repair runs the repair-candidate search for a diagnosis and applies
@@ -66,12 +67,14 @@ func (s *Session) CorrectAuto(diag *Diagnosis, det *Detection, prog *sim.Machine
 // prog must have been compiled from (a clone of) the session's current
 // implementation netlist — the campaign service passes a fork of its
 // cached program when localization left the netlist untouched — and nil
-// compiles one here. On success the winner has been applied to the
-// layout and the returned Correction carries the search statistics. An
-// error wrapping ErrRepairInconclusive means nothing was applied and
-// the caller may fall back to CorrectFromGolden; any other error may
-// have fired after the winner reached the layout and must not be
-// papered over with a fallback.
+// compiles one here. The winner is applied inside a layout transaction:
+// on success it is committed and the returned Correction carries the
+// search statistics; when the independent ECO sign-off replay finds a
+// divergence the repair is rolled back in O(delta) and the error wraps
+// ErrRepairInconclusive. An error wrapping ErrRepairInconclusive always
+// means nothing remains applied and the caller may fall back to
+// CorrectFromGolden; any other error must not be papered over with a
+// fallback.
 func (s *Session) RepairWith(diag *Diagnosis, det *Detection, prog *sim.Machine) (*Correction, error) {
 	if err := s.interrupted(); err != nil {
 		return nil, err
@@ -130,40 +133,59 @@ func (s *Session) RepairWith(diag *Diagnosis, det *Detection, prog *sim.Machine)
 			out.Candidates, ErrRepairInconclusive)
 	}
 
-	// Apply the winner through the tile-local ECO path.
+	// Apply the winner through the tile-local ECO path, inside a layout
+	// transaction: an ECO sign-off failure reverts the repair in O(delta)
+	// so the golden-copy fallback starts from the pre-repair state.
+	cp := s.Layout.Checkpoint()
+	rollback := func(err error) error {
+		if rerr := s.Layout.Rollback(cp); rerr != nil {
+			return fmt.Errorf("%w (rollback: %v)", err, rerr)
+		}
+		return err
+	}
 	cellID, err := out.Winner.Apply(s.Layout.NL)
 	if err != nil {
-		return nil, err
+		return nil, rollback(err)
 	}
 	rep, err := s.Layout.ApplyDelta(core.Delta{Modified: []netlist.CellID{cellID}})
 	if err != nil {
-		return nil, err
+		return nil, rollback(err)
 	}
+	// The tile-local work is paid whether or not the sign-off below
+	// keeps the repair; count it before the verdict.
 	s.TileEffort.Add(rep.Effort)
 	s.emit("repair", 0, "applied %s, tiles %v", out.Winner.Describe(), rep.AffectedTiles)
 
-	cor := &Correction{
-		Fixed:      []string{out.Winner.Cell},
-		Report:     rep,
-		Repaired:   true,
-		RepairKind: out.Winner.Kind.String(),
-		Candidates: out.Candidates,
-		Survivors:  out.Survivors,
-		Batches:    out.Batches,
-	}
-
-	// ECO sign-off: an independent replay against the golden model, then
-	// the original detection.
+	// ECO sign-off: an independent replay against the golden model. A
+	// divergence means the candidate only explained the detection
+	// stimulus — revert it through the journal and report the search
+	// inconclusive, so nothing of the bad repair survives.
 	mm, err := eco.Verify(s.Golden, s.Layout.NL, words, cycles, s.Seed+ecoVerifySeedOffset)
 	if err != nil {
-		return nil, fmt.Errorf("debug: eco verify: %w", err)
+		return nil, rollback(fmt.Errorf("debug: eco verify: %w", err))
 	}
-	cor.ECOVerified = mm == nil
+	if mm != nil {
+		s.emit("repair", 0, "eco sign-off failed (%v) — repair reverted", mm)
+		return nil, rollback(fmt.Errorf("debug: eco sign-off rejected %s (reverted): %w",
+			out.Winner.Describe(), ErrRepairInconclusive))
+	}
+	s.Layout.Commit(cp)
+
+	cor := &Correction{
+		Fixed:       []string{out.Winner.Cell},
+		Report:      rep,
+		Repaired:    true,
+		RepairKind:  out.Winner.Kind.String(),
+		Candidates:  out.Candidates,
+		Survivors:   out.Survivors,
+		Batches:     out.Batches,
+		ECOVerified: true,
+	}
 	redet, err := s.redetect(det)
 	if err != nil {
 		return nil, err
 	}
-	cor.Verified = cor.ECOVerified && !redet.Failed
-	s.emit("repair", 0, "eco verify %v, re-detection clean=%v", cor.ECOVerified, !redet.Failed)
+	cor.Verified = !redet.Failed
+	s.emit("repair", 0, "eco verify true, re-detection clean=%v", !redet.Failed)
 	return cor, nil
 }

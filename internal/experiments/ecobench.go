@@ -1,0 +1,273 @@
+package experiments
+
+// The transactional-engine benchmark behind BENCH_eco.json. Per design
+// it measures what the persistent physical engine buys the debug loop:
+//
+//   - incremental route effort: localization-round physical updates
+//     (probe insertions through core.Layout.ApplyDelta, persistent
+//     router, locked tile interfaces) versus the from-scratch re-route
+//     of the whole design (acceptance bar: ≥ 5× median effort
+//     reduction);
+//   - transaction cost: Checkpoint+Rollback wall time versus
+//     Layout.Clone for obtaining a disposable trial state (bar: ≥ 10×);
+//   - delta STA: mean recomputed cone versus live cells, with the
+//     incremental engine pinned bit-identical to a full analysis.
+//
+// Every run doubles as the differential oracle: the persistent-router
+// layout must stay digest-identical to a fresh-router reference round
+// by round, every rollback must restore the pristine digest, and the
+// timing engine must pass SelfCheck — any divergence fails the run.
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"fpgadbg/internal/bench"
+	"fpgadbg/internal/core"
+	"fpgadbg/internal/logic"
+	"fpgadbg/internal/netlist"
+	"fpgadbg/internal/timing"
+)
+
+// ECORow is one design's measurement.
+type ECORow struct {
+	Design string `json:"design"`
+	CLBs   int    `json:"clbs"`
+	Tiles  int    `json:"tiles"`
+	Rounds int    `json:"rounds"`
+
+	// FullRouteExpansions is the from-scratch re-route effort of the
+	// whole design; FullWork the complete re-place-and-route work.
+	FullRouteExpansions int64   `json:"full_route_expansions"`
+	FullWork            float64 `json:"full_work"`
+	// MedianIncrRouteExpansions is the median per-round incremental
+	// route effort; RouteSpeedup = full / median (bar: ≥ 5).
+	MedianIncrRouteExpansions float64 `json:"median_incr_route_expansions"`
+	RouteSpeedup              float64 `json:"route_speedup"`
+	// WorkSpeedup compares full re-P&R work to the median round work.
+	WorkSpeedup float64 `json:"work_speedup"`
+
+	// CloneNs is the mean wall time of Layout.Clone;
+	// CheckpointRollbackNs the mean wall time of Checkpoint plus
+	// Rollback around one probe round. RollbackSpeedup = clone /
+	// checkpoint+rollback (bar: ≥ 10).
+	CloneNs              int64   `json:"clone_ns"`
+	CheckpointRollbackNs int64   `json:"checkpoint_rollback_ns"`
+	RollbackSpeedup      float64 `json:"rollback_speedup"`
+
+	// Oracle verdicts, all required true for the row to be emitted.
+	RollbackIdentical bool `json:"rollback_identical"`
+	RouterIdentical   bool `json:"router_identical"`
+	STAIdentical      bool `json:"sta_identical"`
+
+	// MeanSTACone is the mean cells recomputed per timing update;
+	// STACells the live cell count.
+	MeanSTACone float64 `json:"mean_sta_cone"`
+	STACells    int     `json:"sta_cells"`
+}
+
+// ECOProbeDelta inserts a two-net observation stage like the Figure 5
+// probe change, offset by round so successive rounds tap different
+// wiring — the unit of speculative work ECOBench and the top-level
+// BenchmarkEcoRound both measure.
+func ECOProbeDelta(l *core.Layout, round int) (core.Delta, error) {
+	var added []netlist.CellID
+	count, skip := 0, 0
+	for ni := range l.NL.Nets {
+		if count >= 2 {
+			break
+		}
+		net := netlist.NetID(ni)
+		if l.NL.Nets[ni].Dead || l.NL.Nets[ni].Driver == netlist.NilCell {
+			continue
+		}
+		if skip < 3*round {
+			skip++
+			continue
+		}
+		d := l.NL.AddNet(fmt.Sprintf("ecoprobe%d_%d_d", round, ni))
+		q := l.NL.AddNet(fmt.Sprintf("ecoprobe%d_%d_q", round, ni))
+		lut, err := l.NL.AddLUT(fmt.Sprintf("ecoprobe%d_%d", round, ni), logic.BufN(), []netlist.NetID{net}, d)
+		if err != nil {
+			return core.Delta{}, err
+		}
+		ff, err := l.NL.AddDFF(fmt.Sprintf("ecoprobeff%d_%d", round, ni), d, q, 0)
+		if err != nil {
+			return core.Delta{}, err
+		}
+		added = append(added, lut, ff)
+		count++
+	}
+	if count == 0 {
+		return core.Delta{}, fmt.Errorf("experiments: no observable nets for round %d", round)
+	}
+	return core.Delta{Added: added}, nil
+}
+
+// ECOBench measures the transactional incremental physical engine on
+// every selected design over the given number of localization-style
+// rounds (0 = default 4).
+func ECOBench(cfg Config, rounds int) ([]ECORow, error) {
+	cfg = cfg.withDefaults()
+	if rounds < 1 {
+		rounds = 4
+	}
+	return forEachDesign(cfg, func(d bench.Info) (ECORow, error) {
+		lay, err := tiledLayout(d, cfg)
+		if err != nil {
+			return ECORow{}, err
+		}
+		row := ECORow{Design: d.Name, CLBs: lay.NumCLBs(), Tiles: len(lay.Tiles), Rounds: rounds}
+
+		// Reference copy for the router differential oracle: identical
+		// layout, forced onto a fresh router before every update.
+		ref := lay.Clone()
+
+		// From-scratch baseline.
+		full, err := lay.FullRePlaceRoute(cfg.Seed + 17)
+		if err != nil {
+			return ECORow{}, fmt.Errorf("experiments: %s baseline: %w", d.Name, err)
+		}
+		row.FullRouteExpansions = full.RouteExpansions
+		row.FullWork = full.Work()
+
+		pristine := lay.StateDigest()
+
+		// Transaction mechanism cost: Checkpoint+Rollback versus Clone
+		// for obtaining one disposable trial state. Timing is not
+		// attached yet on either side — a clone carries no engine either
+		// (it would pay a full rebuild on top) — and the probe delta
+		// between the marks is not timed: both mechanisms pay it
+		// identically.
+		var cloneNs, ckptNs int64
+		for r := 0; r < rounds; r++ {
+			t0 := time.Now()
+			cl := lay.Clone()
+			cloneNs += time.Since(t0).Nanoseconds()
+			_ = cl
+
+			t1 := time.Now()
+			cp := lay.Checkpoint()
+			ckptNs += time.Since(t1).Nanoseconds()
+			dl, err := ECOProbeDelta(lay, r)
+			if err != nil {
+				return ECORow{}, err
+			}
+			if _, err := lay.ApplyDelta(dl); err != nil {
+				return ECORow{}, err
+			}
+			t2 := time.Now()
+			if err := lay.Rollback(cp); err != nil {
+				return ECORow{}, err
+			}
+			ckptNs += time.Since(t2).Nanoseconds()
+			if lay.StateDigest() != pristine {
+				return ECORow{}, fmt.Errorf("experiments: %s trial %d: rollback did not restore the layout", d.Name, r)
+			}
+		}
+		row.CloneNs = cloneNs / int64(rounds)
+		row.CheckpointRollbackNs = ckptNs / int64(rounds)
+		if row.CheckpointRollbackNs > 0 {
+			row.RollbackSpeedup = float64(row.CloneNs) / float64(row.CheckpointRollbackNs)
+		}
+
+		// Delta timing rides along from here on.
+		if err := lay.EnableTiming(timing.DefaultModel()); err != nil {
+			return ECORow{}, fmt.Errorf("experiments: %s timing: %w", d.Name, err)
+		}
+
+		// Localization-style rounds inside one campaign transaction.
+		outer := lay.Checkpoint()
+		var incrExp, roundWork []float64
+		var coneSum float64
+		for r := 0; r < rounds; r++ {
+			dl, err := ECOProbeDelta(lay, r)
+			if err != nil {
+				return ECORow{}, err
+			}
+			rep, err := lay.ApplyDelta(dl)
+			if err != nil {
+				return ECORow{}, fmt.Errorf("experiments: %s round %d: %w", d.Name, r, err)
+			}
+			incrExp = append(incrExp, float64(rep.Effort.RouteExpansions))
+			roundWork = append(roundWork, rep.Effort.Work())
+			eng := lay.TimingEngine()
+			coneSum += float64(eng.LastCone)
+			row.STACells = eng.LiveCells
+			if err := eng.SelfCheck(); err != nil {
+				return ECORow{}, fmt.Errorf("experiments: %s round %d STA oracle: %w", d.Name, r, err)
+			}
+
+			// Router differential oracle: the same delta on the
+			// fresh-router reference must yield the identical state.
+			dr, err := ECOProbeDelta(ref, r)
+			if err != nil {
+				return ECORow{}, err
+			}
+			ref.InvalidateRouter()
+			if _, err := ref.ApplyDelta(dr); err != nil {
+				return ECORow{}, fmt.Errorf("experiments: %s round %d reference: %w", d.Name, r, err)
+			}
+			if lay.StateDigest() != ref.StateDigest() {
+				return ECORow{}, fmt.Errorf("experiments: %s round %d: persistent router diverged from fresh-router reference", d.Name, r)
+			}
+		}
+		row.RouterIdentical = true
+		row.STAIdentical = true
+		row.MeanSTACone = coneSum / float64(rounds)
+
+		// Roll the whole campaign back; the pristine digest must return.
+		if err := lay.Rollback(outer); err != nil {
+			return ECORow{}, err
+		}
+		if lay.StateDigest() != pristine {
+			return ECORow{}, fmt.Errorf("experiments: %s: campaign rollback did not restore the pristine layout", d.Name)
+		}
+		if err := core.VerifyLayout(lay); err != nil {
+			return ECORow{}, fmt.Errorf("experiments: %s after rollback: %w", d.Name, err)
+		}
+		if err := lay.TimingEngine().SelfCheck(); err != nil {
+			return ECORow{}, fmt.Errorf("experiments: %s rollback STA oracle: %w", d.Name, err)
+		}
+		row.RollbackIdentical = true
+
+		row.MedianIncrRouteExpansions = median(incrExp)
+		if row.MedianIncrRouteExpansions > 0 {
+			row.RouteSpeedup = float64(row.FullRouteExpansions) / row.MedianIncrRouteExpansions
+		}
+		if mw := median(roundWork); mw > 0 {
+			row.WorkSpeedup = row.FullWork / mw
+		}
+		return row, nil
+	})
+}
+
+// ECOSummary returns the catalog-level medians the acceptance bars are
+// set on.
+func ECOSummary(rows []ECORow) (medianRouteSpeedup, medianRollbackSpeedup float64) {
+	var rs, bs []float64
+	for _, r := range rows {
+		rs = append(rs, r.RouteSpeedup)
+		bs = append(bs, r.RollbackSpeedup)
+	}
+	return median(rs), median(bs)
+}
+
+// FormatECO renders the benchmark as a text table.
+func FormatECO(rows []ECORow) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Transactional incremental physical engine (persistent router, checkpoint/rollback, delta STA)")
+	fmt.Fprintf(&b, "%-11s %6s %6s %12s %12s %9s %9s %10s %10s %9s %10s\n",
+		"design", "clbs", "tiles", "full route", "incr route", "route x", "work x", "clone us", "txn us", "txn x", "sta cone")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-11s %6d %6d %12d %12.0f %8.1fx %8.1fx %10.0f %10.0f %8.1fx %5.0f/%d\n",
+			r.Design, r.CLBs, r.Tiles, r.FullRouteExpansions, r.MedianIncrRouteExpansions,
+			r.RouteSpeedup, r.WorkSpeedup,
+			float64(r.CloneNs)/1e3, float64(r.CheckpointRollbackNs)/1e3, r.RollbackSpeedup,
+			r.MeanSTACone, r.STACells)
+	}
+	mr, mb := ECOSummary(rows)
+	fmt.Fprintf(&b, "catalog medians: route speedup %.1fx (bar 5x), checkpoint/rollback vs clone %.1fx (bar 10x)\n", mr, mb)
+	return b.String()
+}

@@ -222,3 +222,34 @@ func TestParallelFanOutMatchesSerial(t *testing.T) {
 		}
 	}
 }
+
+func TestECOBenchOracle(t *testing.T) {
+	rows, err := ECOBench(fastCfg(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if !r.RollbackIdentical || !r.RouterIdentical || !r.STAIdentical {
+			t.Fatalf("%s: oracle verdicts %v/%v/%v", r.Design, r.RollbackIdentical, r.RouterIdentical, r.STAIdentical)
+		}
+		if r.RouteSpeedup < 2 {
+			t.Errorf("%s: incremental route speedup %.1fx implausibly low", r.Design, r.RouteSpeedup)
+		}
+		// RollbackSpeedup is a wall-clock ratio on microsecond-scale
+		// operations — too noisy for a floor here (and skewed under
+		// -race); the ≥ 10x bar is enforced by the full-catalog
+		// benchrepro -json-eco run recorded in BENCH_eco.json.
+		if r.CloneNs <= 0 || r.CheckpointRollbackNs <= 0 {
+			t.Errorf("%s: transaction timings missing (%d, %d)", r.Design, r.CloneNs, r.CheckpointRollbackNs)
+		}
+		if r.MeanSTACone <= 0 || r.STACells <= 0 {
+			t.Errorf("%s: missing STA statistics", r.Design)
+		}
+	}
+	if out := FormatECO(rows); len(out) == 0 {
+		t.Fatal("empty rendering")
+	}
+}

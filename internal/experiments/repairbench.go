@@ -69,14 +69,12 @@ func repairApply(nl, golden *netlist.Netlist, f faults.Fault) bool {
 		if !found {
 			return false
 		}
-		c := &nl.Cells[id]
-		tt, err := c.Func.TT()
+		tt, err := nl.Cells[id].Func.TT()
 		if err != nil {
 			return false
 		}
 		tt.SetBit(uint64(f.Bit), !tt.Bit(uint64(f.Bit)))
-		c.Func = tt.ToCover()
-		return true
+		return nl.SetFunc(id, tt.ToCover()) == nil
 	case faults.StuckAt0, faults.StuckAt1:
 		id, found := nl.NetByName(golden.NetName(f.Net))
 		if !found {
@@ -86,9 +84,7 @@ func repairApply(nl, golden *netlist.Netlist, f faults.Fault) bool {
 		if d == netlist.NilCell || nl.Cells[d].Kind != netlist.KindLUT {
 			return false
 		}
-		c := &nl.Cells[d]
-		c.Func = logic.Const(c.Func.N, f.Kind == faults.StuckAt1)
-		return true
+		return nl.SetFunc(d, logic.Const(nl.Cells[d].Func.N, f.Kind == faults.StuckAt1)) == nil
 	default:
 		return false
 	}
@@ -176,57 +172,76 @@ func RepairCampaign(cfg Config, words, cycles, maxFaults int) ([]RepairRow, erro
 		}
 		row.Localizable = len(localizable)
 
-		// The tiled layout is built once per design; every injected fault
-		// is a function-only change, so each attempt mutates a clone.
+		// The tiled layout is built once per design; every attempt runs
+		// inside a layout transaction on the SAME layout and rolls back
+		// afterwards — the per-fault Layout.Clone the campaign used to
+		// pay is gone (checkpoint/rollback restores the pristine state
+		// bit-identically, asserted below).
 		pristine, err := core.BuildMapped(golden.Clone(), core.Spec{
 			Overhead: cfg.Overhead, TileFrac: 0.25, Seed: cfg.Seed, PlaceEffort: cfg.PlaceEffort,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("experiments: %s: %w", d.Name, err)
 		}
+		pristineDigest := pristine.StateDigest()
 
 		sample := strideSample(localizable, maxFaults)
 		sumCands, sumBatches := 0, 0
 		var benchSuspects []string
 		for _, f := range sample {
-			lay := pristine.Clone()
-			if !repairApply(lay.NL, golden, f) {
-				continue
-			}
-			sess, err := debug.NewSession(golden, lay, cfg.Seed)
-			if err != nil {
-				return nil, err
-			}
-			sess.Dict = dict
-			sess.SetGoldenMachine(prog.Fork())
-			det, err := sess.Detect(words, cycles)
-			if err != nil {
-				return nil, fmt.Errorf("experiments: %s: %w", d.Name, err)
-			}
-			if !det.Failed {
-				continue // packed detection did not excite this one
-			}
-			diag, err := sess.LocalizeDict(det, 4, 4)
-			if err != nil {
-				return nil, err
-			}
-			row.Attempted++
-			cor, err := sess.Repair(diag, det)
-			if err != nil {
-				if !errors.Is(err, debug.ErrRepairInconclusive) {
-					return nil, fmt.Errorf("experiments: %s: %w", d.Name, err)
+			attempt := func() error {
+				cp := pristine.Checkpoint()
+				defer func() {
+					if err := pristine.Rollback(cp); err != nil {
+						panic(fmt.Sprintf("experiments: %s: attempt rollback: %v", d.Name, err))
+					}
+				}()
+				if !repairApply(pristine.NL, golden, f) {
+					return nil
 				}
-				row.Fallbacks++
-				continue
+				sess, err := debug.NewSession(golden, pristine, cfg.Seed)
+				if err != nil {
+					return err
+				}
+				sess.Dict = dict
+				sess.SetGoldenMachine(prog.Fork())
+				det, err := sess.Detect(words, cycles)
+				if err != nil {
+					return fmt.Errorf("experiments: %s: %w", d.Name, err)
+				}
+				if !det.Failed {
+					return nil // packed detection did not excite this one
+				}
+				diag, err := sess.LocalizeDict(det, 4, 4)
+				if err != nil {
+					return err
+				}
+				row.Attempted++
+				cor, err := sess.Repair(diag, det)
+				if err != nil {
+					if !errors.Is(err, debug.ErrRepairInconclusive) {
+						return fmt.Errorf("experiments: %s: %w", d.Name, err)
+					}
+					row.Fallbacks++
+					return nil
+				}
+				sumCands += cor.Candidates
+				sumBatches += cor.Batches
+				if cor.Repaired && cor.Verified && cor.ECOVerified {
+					row.Repaired++
+				}
+				if benchSuspects == nil {
+					benchSuspects = diag.Suspects
+				}
+				return nil
 			}
-			sumCands += cor.Candidates
-			sumBatches += cor.Batches
-			if cor.Repaired && cor.Verified && cor.ECOVerified {
-				row.Repaired++
+			if err := attempt(); err != nil {
+				return nil, err
 			}
-			if benchSuspects == nil {
-				benchSuspects = diag.Suspects
-			}
+		}
+		if got := pristine.StateDigest(); got != pristineDigest {
+			return nil, fmt.Errorf("experiments: %s: attempts leaked into the pristine layout (%s != %s)",
+				d.Name, got, pristineDigest)
 		}
 		if row.Attempted > 0 {
 			row.RepairRate = float64(row.Repaired) / float64(row.Attempted)

@@ -122,7 +122,9 @@ func Inject(nl *netlist.Netlist, kind Kind, seed int64) (*Injection, error) {
 			}
 			bit := uint64(r.Intn(1 << c.Func.N))
 			tt.SetBit(bit, !tt.Bit(bit))
-			c.Func = tt.ToCover()
+			if err := nl.SetFunc(id, tt.ToCover()); err != nil {
+				return nil, err
+			}
 			return &Injection{Kind: kind, Cell: id, CellName: c.Name,
 				Detail: fmt.Sprintf("minterm %d flipped", bit)}, nil
 		case InputSwap:
@@ -142,7 +144,9 @@ func Inject(nl *netlist.Netlist, kind Kind, seed int64) (*Injection, error) {
 					continue
 				}
 			}
-			c.Fanin[i], c.Fanin[j] = c.Fanin[j], c.Fanin[i]
+			if err := nl.SwapFanin(id, i, j); err != nil {
+				return nil, err
+			}
 			return &Injection{Kind: kind, Cell: id, CellName: c.Name,
 				Detail: fmt.Sprintf("pins %d and %d swapped", i, j)}, nil
 		case Polarity:
@@ -150,7 +154,9 @@ func Inject(nl *netlist.Netlist, kind Kind, seed int64) (*Injection, error) {
 			if err != nil {
 				continue
 			}
-			c.Func = nc
+			if err := nl.SetFunc(id, nc); err != nil {
+				return nil, err
+			}
 			return &Injection{Kind: kind, Cell: id, CellName: c.Name, Detail: "output inverted"}, nil
 		case WrongNet:
 			pin := r.Intn(len(c.Fanin))
@@ -159,7 +165,9 @@ func Inject(nl *netlist.Netlist, kind Kind, seed int64) (*Injection, error) {
 				continue
 			}
 			old := c.Fanin[pin]
-			c.Fanin[pin] = alt
+			if err := nl.SetFanin(id, pin, alt); err != nil {
+				return nil, err
+			}
 			return &Injection{Kind: kind, Cell: id, CellName: c.Name,
 				Detail: fmt.Sprintf("pin %d rewired %s->%s", pin, nl.NetName(old), nl.NetName(alt))}, nil
 		default:

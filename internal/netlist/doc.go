@@ -14,4 +14,9 @@
 //   - Removed cells and nets are tombstoned (Dead) rather than compacted,
 //     so IDs held by other packages stay valid; Compact rebuilds densely
 //     and returns the remapping.
+//   - Every mutator is journaled (journal.go): while a transaction is
+//     open — core.Layout checkpoints enable it — the inverse of each
+//     mutation is recorded, and RollbackJournal restores the netlist
+//     bit-identically in O(changes). SetFunc/SetInit/SwapFanin are the
+//     journaled forms of direct field writes.
 package netlist

@@ -78,6 +78,11 @@ type Netlist struct {
 
 	netByName  map[string]NetID
 	cellByName map[string]CellID
+
+	// journal is the undo log recorded while journaling is on; see
+	// journal.go. Clones start with an empty, disabled journal.
+	journal    []journalOp
+	journaling bool
 }
 
 // New returns an empty netlist.
@@ -149,6 +154,7 @@ func (n *Netlist) AddNet(name string) NetID {
 	id := NetID(len(n.Nets))
 	n.Nets = append(n.Nets, Net{Name: name, Driver: NilCell})
 	n.netByName[name] = id
+	n.record(journalOp{kind: opNetAdded, net: id, name: name})
 	return id
 }
 
@@ -156,6 +162,7 @@ func (n *Netlist) AddNet(name string) NetID {
 func (n *Netlist) AddPI(name string) NetID {
 	id := n.AddNet(name)
 	n.PIs = append(n.PIs, id)
+	n.record(journalOp{kind: opPIAdded, net: id})
 	return id
 }
 
@@ -163,6 +170,7 @@ func (n *Netlist) AddPI(name string) NetID {
 // net twice is an error in Check, so callers should mark once.
 func (n *Netlist) MarkPO(id NetID) {
 	n.POs = append(n.POs, id)
+	n.record(journalOp{kind: opPOAdded, net: id})
 }
 
 // addCell validates and appends a cell.
@@ -183,6 +191,7 @@ func (n *Netlist) addCell(c Cell) (CellID, error) {
 	n.Cells = append(n.Cells, c)
 	n.cellByName[c.Name] = id
 	n.Nets[c.Out].Driver = id
+	n.record(journalOp{kind: opCellAdded, cell: id, name: c.Name})
 	return id, nil
 }
 
@@ -270,6 +279,7 @@ func (n *Netlist) SetFanin(cell CellID, pin int, net NetID) error {
 	if !n.validNet(net) {
 		return fmt.Errorf("netlist: SetFanin: invalid net %d", net)
 	}
+	n.record(journalOp{kind: opFaninSet, cell: cell, pin: pin, net: c.Fanin[pin]})
 	c.Fanin[pin] = net
 	return nil
 }
@@ -280,11 +290,13 @@ func (n *Netlist) RemoveCell(id CellID) error {
 		return fmt.Errorf("netlist: RemoveCell: invalid cell %d", id)
 	}
 	c := &n.Cells[id]
-	if n.validNet(c.Out) && n.Nets[c.Out].Driver == id {
+	hadDriver := n.validNet(c.Out) && n.Nets[c.Out].Driver == id
+	if hadDriver {
 		n.Nets[c.Out].Driver = NilCell
 	}
 	delete(n.cellByName, c.Name)
 	c.Dead = true
+	n.record(journalOp{kind: opCellRemoved, cell: id, name: c.Name, hadDriver: hadDriver})
 	return nil
 }
 
@@ -309,6 +321,7 @@ func (n *Netlist) RemoveNet(id NetID) error {
 	}
 	delete(n.netByName, n.Nets[id].Name)
 	n.Nets[id].Dead = true
+	n.record(journalOp{kind: opNetRemoved, net: id, name: n.Nets[id].Name})
 	return nil
 }
 

@@ -7,4 +7,8 @@
 // Packing is a deterministic greedy pass: flip-flops prefer the CLB of the
 // LUT driving their D input (saving a routed net), and LUT pairs are chosen
 // to maximize shared fanin signals (reducing inter-CLB routing demand).
+//
+// Incremental mutations (Assign/Unassign/AddCLB) are journaled like the
+// netlist's (journal.go), so a layout transaction can roll a packing
+// change back in O(changes).
 package pack

@@ -10,6 +10,7 @@ import (
 // changes introduce new logic after the initial packing.
 func (p *Packed) AddCLB() int {
 	p.CLBs = append(p.CLBs, CLB{})
+	p.record(packOp{kind: opAddCLB})
 	return len(p.CLBs) - 1
 }
 
@@ -32,11 +33,13 @@ func (p *Packed) Assign(cell netlist.CellID, clb int) error {
 			return fmt.Errorf("pack: CLB %d LUT slots full", clb)
 		}
 		b.LUTs = append(b.LUTs, cell)
+		p.record(packOp{kind: opAssign, cell: cell, clb: clb, isLUT: true})
 	case netlist.KindDFF:
 		if len(b.FFs) >= FFsPerCLB {
 			return fmt.Errorf("pack: CLB %d FF slots full", clb)
 		}
 		b.FFs = append(b.FFs, cell)
+		p.record(packOp{kind: opAssign, cell: cell, clb: clb, isLUT: false})
 	}
 	p.CellCLB[cell] = clb
 	return nil
@@ -50,16 +53,17 @@ func (p *Packed) Unassign(cell netlist.CellID) error {
 		return fmt.Errorf("pack: cell %q not packed", p.NL.CellName(cell))
 	}
 	b := &p.CLBs[clb]
-	remove := func(s []netlist.CellID) []netlist.CellID {
+	remove := func(s []netlist.CellID, isLUT bool) []netlist.CellID {
 		for i, id := range s {
 			if id == cell {
+				p.record(packOp{kind: opUnassign, cell: cell, clb: clb, idx: i, isLUT: isLUT})
 				return append(s[:i], s[i+1:]...)
 			}
 		}
 		return s
 	}
-	b.LUTs = remove(b.LUTs)
-	b.FFs = remove(b.FFs)
+	b.LUTs = remove(b.LUTs, true)
+	b.FFs = remove(b.FFs, false)
 	delete(p.CellCLB, cell)
 	return nil
 }

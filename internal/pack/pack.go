@@ -33,6 +33,11 @@ type Packed struct {
 	CLBs []CLB
 	// CellCLB maps every live cell to its CLB index.
 	CellCLB map[netlist.CellID]int
+
+	// journal is the undo log recorded while journaling is on; see
+	// journal.go.
+	journal    []packOp
+	journaling bool
 }
 
 // NumCLBs returns the block count — the unit of every figure in the paper.

@@ -166,7 +166,7 @@ func (a *annealer) init() error {
 		}
 		var filtered []int
 		for _, s := range base {
-			if b.Region.Contains(a.sitexyCheck(s)) {
+			if b.Region.Contains(a.siteXY(s)) {
 				filtered = append(filtered, s)
 			}
 		}
@@ -218,7 +218,7 @@ func (a *annealer) init() error {
 			if a.occ[s] == -1 {
 				a.occ[s] = bid
 				a.pos[bid] = s
-				a.loc[bid] = a.sitexyCheck(s)
+				a.loc[bid] = a.siteXY(s)
 				placed[bid] = true
 				ok = true
 				break
@@ -239,8 +239,6 @@ func (a *annealer) init() error {
 	}
 	return nil
 }
-
-func (a *annealer) sitexyCheck(idx int) device.XY { return a.siteXY(idx) }
 
 func (a *annealer) claim(bid BlockID, p device.XY) error {
 	b := &a.p.Blocks[bid]

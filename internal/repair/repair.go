@@ -73,8 +73,9 @@ func (c Candidate) Describe() string {
 
 // Apply realizes the candidate on a live netlist: PinSwap rewires the
 // two fanin pins (the wiring repair the ECO path re-routes tile-locally);
-// BitFlip and Resynth rewrite the cell function. It returns the modified
-// cell for core.Delta.Modified.
+// BitFlip and Resynth rewrite the cell function. Both go through the
+// netlist's journaled mutators, so an open layout transaction can revert
+// the repair. It returns the modified cell for core.Delta.Modified.
 func (c Candidate) Apply(nl *netlist.Netlist) (netlist.CellID, error) {
 	id, ok := nl.CellByName(c.Cell)
 	if !ok {
@@ -88,7 +89,9 @@ func (c Candidate) Apply(nl *netlist.Netlist) (netlist.CellID, error) {
 		if c.PinA < 0 || c.PinB < 0 || c.PinA >= len(cell.Fanin) || c.PinB >= len(cell.Fanin) {
 			return netlist.NilCell, fmt.Errorf("repair: cell %q has no pins %d,%d", c.Cell, c.PinA, c.PinB)
 		}
-		cell.Fanin[c.PinA], cell.Fanin[c.PinB] = cell.Fanin[c.PinB], cell.Fanin[c.PinA]
+		if err := nl.SwapFanin(id, c.PinA, c.PinB); err != nil {
+			return netlist.NilCell, fmt.Errorf("repair: %w", err)
+		}
 		return id, nil
 	}
 	k := len(cell.Fanin)
@@ -96,7 +99,9 @@ func (c Candidate) Apply(nl *netlist.Netlist) (netlist.CellID, error) {
 	for m := uint64(0); m < 1<<uint(k); m++ {
 		tt.SetBit(m, c.TT&(1<<m) != 0)
 	}
-	cell.Func = tt.ToCover()
+	if err := nl.SetFunc(id, tt.ToCover()); err != nil {
+		return netlist.NilCell, fmt.Errorf("repair: %w", err)
+	}
 	return id, nil
 }
 

@@ -11,4 +11,13 @@
 //     (the tile interfaces and all wiring outside the affected tiles).
 //   - Result.Expansions counts heap pops, the router's deterministic
 //     effort metric used by Figure 5.
+//
+// The solver is a persistent Router: it owns the congestion and history
+// arrays, the search heap and every Dijkstra scratch buffer across
+// calls (epoch-invalidated, so nothing is cleared per search), and
+// accumulates the locked wiring of an incremental pass through
+// BeginPass/Charge. core.Layout keeps one Router for its lifetime, so
+// every tile-local update reuses the allocations of the last; RouteAll
+// is the one-shot wrapper, and TestRouterReuseMatchesRouteAll pins the
+// reused path bit-identical to it.
 package route

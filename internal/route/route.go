@@ -91,7 +91,7 @@ type Net struct {
 	Weight float64
 	Route  []EdgeID
 	// Locked routes are never ripped up; their usage must be passed in
-	// Options.FixedUse by the caller.
+	// Options.FixedUse (or charged into the Router) by the caller.
 	Locked bool
 }
 
@@ -106,7 +106,9 @@ type Options struct {
 	// all pins of routed nets must be permitted.
 	Allowed func(device.XY) bool
 	// FixedUse charges pre-existing usage per edge (locked nets, tile
-	// interfaces). Indexed by EdgeID; may be nil.
+	// interfaces). Indexed by EdgeID; may be nil, in which case a
+	// persistent Router falls back to the usage accumulated through
+	// BeginPass/Charge.
 	FixedUse []int16
 }
 
@@ -123,21 +125,129 @@ type Result struct {
 	Wirelength int
 }
 
-// RouteAll routes every non-locked net. It returns an error when pins fall
-// outside the allowed region or the graph, or when congestion cannot be
-// resolved within MaxIters.
+// Router is a persistent routing engine bound to one Grid. It owns the
+// congestion and history arrays, the search heap and every scratch buffer
+// across calls, so the incremental debug loop pays no per-call setup
+// allocations — the compiled-program treatment applied to routing. A
+// Router is not safe for concurrent use; callers that share one across
+// goroutines must serialize access.
+//
+// Two usage styles:
+//
+//   - one-shot: RouteAll (a thin wrapper constructing a fresh Router);
+//   - incremental: keep the Router, accumulate the locked wiring of the
+//     current pass with BeginPass/Charge, then Route only the nets
+//     incident to the affected tiles. Results are bit-identical to the
+//     one-shot path for the same routing problem (the reused scratch is
+//     epoch-invalidated, and congestion state resets every Route call).
+type Router struct {
+	g *Grid
+
+	// fixed accumulates locked wiring between BeginPass and Route when
+	// Options.FixedUse is nil.
+	fixed []int16
+
+	// use and hist are the negotiated-congestion state of the current
+	// Route call.
+	use  []int16
+	hist []float64
+
+	// Dijkstra scratch, epoch-invalidated so no per-search clearing.
+	dist    []float64
+	prev    []EdgeID
+	from    []int32
+	mark    []int32 // search epoch per node
+	settled []int32 // settled epoch per node
+	inTree  []int32 // Steiner-tree epoch per node
+	target  []int32 // remaining-sink epoch per node
+	epoch   int32
+
+	q          pq
+	treeNodes  []int32
+	pinScratch []int32
+	pinSeen    map[int32]bool
+
+	expansions int64
+}
+
+// NewRouter builds a persistent router for the grid.
+func NewRouter(g *Grid) *Router {
+	return &Router{
+		g:       g,
+		fixed:   make([]int16, g.NumEdges()),
+		use:     make([]int16, g.NumEdges()),
+		hist:    make([]float64, g.NumEdges()),
+		dist:    make([]float64, g.NumNodes()),
+		prev:    make([]EdgeID, g.NumNodes()),
+		from:    make([]int32, g.NumNodes()),
+		mark:    make([]int32, g.NumNodes()),
+		settled: make([]int32, g.NumNodes()),
+		inTree:  make([]int32, g.NumNodes()),
+		target:  make([]int32, g.NumNodes()),
+		pinSeen: make(map[int32]bool, 16),
+	}
+}
+
+// Grid returns the routing graph the router is bound to.
+func (r *Router) Grid() *Grid { return r.g }
+
+// BeginPass clears the accumulated fixed usage, starting a new routing
+// transaction.
+func (r *Router) BeginPass() {
+	for i := range r.fixed {
+		r.fixed[i] = 0
+	}
+}
+
+// Charge adds locked wiring (edges that must never be ripped up during
+// the coming Route calls) to the pass's fixed usage.
+func (r *Router) Charge(edges []EdgeID) {
+	for _, e := range edges {
+		r.fixed[e]++
+	}
+}
+
+// FixedUse exposes the accumulated fixed usage of the current pass
+// (indexed by EdgeID); callers must treat it as read-only.
+func (r *Router) FixedUse() []int16 { return r.fixed }
+
+// RouteAll routes every non-locked net with a fresh Router. It returns an
+// error when pins fall outside the allowed region or the graph, or when
+// congestion cannot be resolved within MaxIters.
 func RouteAll(g *Grid, nets []*Net, opt Options) (*Result, error) {
+	return NewRouter(g).Route(nets, opt)
+}
+
+// Route routes every non-locked net of the slice against the pass's fixed
+// usage (Options.FixedUse when non-nil, the Charge accumulator
+// otherwise). Congestion and history state reset on entry, so repeated
+// calls on one Router are independent routing problems; only the scratch
+// memory is shared.
+func (r *Router) Route(nets []*Net, opt Options) (*Result, error) {
+	g := r.g
 	if opt.MaxIters <= 0 {
 		opt.MaxIters = 40
 	}
-	use := make([]int16, g.NumEdges())
+	// A long-lived Router (the service keeps one warm per pooled layout)
+	// must never let the epoch counter wrap into stamps still stored in
+	// the scratch arrays: reset everything while no search is in flight.
+	if r.epoch > 1<<30 {
+		for i := range r.mark {
+			r.mark[i], r.settled[i], r.inTree[i], r.target[i] = 0, 0, 0, 0
+		}
+		r.epoch = 0
+	}
 	if opt.FixedUse != nil {
 		if len(opt.FixedUse) != g.NumEdges() {
 			return nil, fmt.Errorf("route: FixedUse length %d != %d edges", len(opt.FixedUse), g.NumEdges())
 		}
-		copy(use, opt.FixedUse)
+		copy(r.use, opt.FixedUse)
+	} else {
+		copy(r.use, r.fixed)
 	}
-	hist := make([]float64, g.NumEdges())
+	for i := range r.hist {
+		r.hist[i] = 0
+	}
 
 	// Validate and normalize pins.
 	work := make([]*Net, 0, len(nets))
@@ -153,7 +263,7 @@ func RouteAll(g *Grid, nets []*Net, opt Options) (*Result, error) {
 				return nil, fmt.Errorf("route: net %d pin %v outside allowed region", n.ID, p)
 			}
 		}
-		if len(dedupePins(g, n.Pins)) >= 2 {
+		if len(r.dedupePins(n.Pins)) >= 2 {
 			work = append(work, n)
 		} else {
 			n.Route = nil
@@ -161,13 +271,7 @@ func RouteAll(g *Grid, nets []*Net, opt Options) (*Result, error) {
 	}
 	sort.Slice(work, func(i, j int) bool { return work[i].ID < work[j].ID })
 
-	r := &router{
-		g: g, use: use, hist: hist, allowed: opt.Allowed,
-		dist: make([]float64, g.NumNodes()),
-		prev: make([]EdgeID, g.NumNodes()),
-		from: make([]int32, g.NumNodes()),
-		mark: make([]int32, g.NumNodes()),
-	}
+	startExp := r.expansions
 	res := &Result{}
 	presFac := 1.0
 	for iter := 1; iter <= opt.MaxIters; iter++ {
@@ -175,26 +279,26 @@ func RouteAll(g *Grid, nets []*Net, opt Options) (*Result, error) {
 		for _, n := range work {
 			// Rip up.
 			for _, e := range n.Route {
-				use[e]--
+				r.use[e]--
 			}
-			route, err := r.routeNet(n, presFac)
+			route, err := r.routeNet(n, opt.Allowed, presFac)
 			if err != nil {
 				return nil, err
 			}
 			n.Route = route
 			for _, e := range n.Route {
-				use[e]++
+				r.use[e]++
 			}
 		}
 		// Converged?
 		over := 0
-		for e := range use {
-			if int(use[e]) > g.Cap {
+		for e := range r.use {
+			if int(r.use[e]) > g.Cap {
 				over++
-				hist[e] += float64(int(use[e]) - g.Cap)
+				r.hist[e] += float64(int(r.use[e]) - g.Cap)
 			}
 		}
-		res.Expansions = r.expansions
+		res.Expansions = r.expansions - startExp
 		res.Overused = over
 		if over == 0 {
 			break
@@ -210,6 +314,24 @@ func RouteAll(g *Grid, nets []*Net, opt Options) (*Result, error) {
 	return res, nil
 }
 
+// dedupePins maps pins to distinct node indices, reusing scratch.
+func (r *Router) dedupePins(pins []device.XY) []int32 {
+	for k := range r.pinSeen {
+		delete(r.pinSeen, k)
+	}
+	out := r.pinScratch[:0]
+	for _, p := range pins {
+		n := r.g.NodeIdx(p)
+		if !r.pinSeen[n] {
+			r.pinSeen[n] = true
+			out = append(out, n)
+		}
+	}
+	r.pinScratch = out
+	return out
+}
+
+// dedupePins is the package-level form used by verification helpers.
 func dedupePins(g *Grid, pins []device.XY) []int32 {
 	seen := make(map[int32]bool, len(pins))
 	out := make([]int32, 0, len(pins))
@@ -221,20 +343,6 @@ func dedupePins(g *Grid, pins []device.XY) []int32 {
 		}
 	}
 	return out
-}
-
-type router struct {
-	g       *Grid
-	use     []int16
-	hist    []float64
-	allowed func(device.XY) bool
-
-	dist       []float64
-	prev       []EdgeID
-	from       []int32
-	mark       []int32 // search epoch per node
-	epoch      int32
-	expansions int64
 }
 
 type pqItem struct {
@@ -262,7 +370,7 @@ func (q *pq) Pop() any {
 }
 
 // edgeCost is the negotiated-congestion cost of adding one more use of e.
-func (r *router) edgeCost(e EdgeID, presFac float64) float64 {
+func (r *Router) edgeCost(e EdgeID, presFac float64) float64 {
 	c := 1.0 + r.hist[e]
 	over := int(r.use[e]) + 1 - r.g.Cap
 	if over > 0 {
@@ -273,32 +381,35 @@ func (r *router) edgeCost(e EdgeID, presFac float64) float64 {
 
 // routeNet grows a Steiner tree over the net's pins with repeated
 // multi-source shortest-path searches.
-func (r *router) routeNet(n *Net, presFac float64) ([]EdgeID, error) {
-	pins := dedupePins(r.g, n.Pins)
-	inTree := make(map[int32]bool, len(pins)*2)
-	remaining := make(map[int32]bool, len(pins))
-	inTree[pins[0]] = true
+func (r *Router) routeNet(n *Net, allowed func(device.XY) bool, presFac float64) ([]EdgeID, error) {
+	pins := r.dedupePins(n.Pins)
+	r.epoch++
+	treeEp := r.epoch
+	r.inTree[pins[0]] = treeEp
+	remaining := 0
 	for _, p := range pins[1:] {
-		if p != pins[0] {
-			remaining[p] = true
+		if p != pins[0] && r.target[p] != treeEp {
+			r.target[p] = treeEp
+			remaining++
 		}
 	}
 	var route []EdgeID
-	treeNodes := []int32{pins[0]}
-	for len(remaining) > 0 {
-		target, path, err := r.search(treeNodes, remaining, presFac)
+	r.treeNodes = append(r.treeNodes[:0], pins[0])
+	for remaining > 0 {
+		target, path, err := r.search(r.treeNodes, treeEp, allowed, presFac)
 		if err != nil {
 			return nil, fmt.Errorf("route: net %d: %w", n.ID, err)
 		}
-		delete(remaining, target)
+		r.target[target] = 0
+		remaining--
 		for _, e := range path {
 			route = append(route, e)
 			a, b := r.g.EdgeEnds(e)
 			for _, p := range []device.XY{a, b} {
 				idx := r.g.NodeIdx(p)
-				if !inTree[idx] {
-					inTree[idx] = true
-					treeNodes = append(treeNodes, idx)
+				if r.inTree[idx] != treeEp {
+					r.inTree[idx] = treeEp
+					r.treeNodes = append(r.treeNodes, idx)
 				}
 			}
 		}
@@ -307,28 +418,28 @@ func (r *router) routeNet(n *Net, presFac float64) ([]EdgeID, error) {
 }
 
 // search runs a multi-source Dijkstra from the tree nodes to the nearest
-// target, returning the target and the path's edges.
-func (r *router) search(sources []int32, targets map[int32]bool, presFac float64) (int32, []EdgeID, error) {
+// remaining target (nodes whose target epoch equals treeEp), returning
+// the target and the path's edges.
+func (r *Router) search(sources []int32, treeEp int32, allowed func(device.XY) bool, presFac float64) (int32, []EdgeID, error) {
 	r.epoch++
 	ep := r.epoch
-	q := make(pq, 0, len(sources))
+	r.q = r.q[:0]
 	for _, s := range sources {
 		r.mark[s] = ep
 		r.dist[s] = 0
 		r.prev[s] = -1
 		r.from[s] = -1
-		q = append(q, pqItem{node: s, cost: 0})
+		r.q = append(r.q, pqItem{node: s, cost: 0})
 	}
-	heap.Init(&q)
-	settled := make(map[int32]bool)
-	for q.Len() > 0 {
-		it := heap.Pop(&q).(pqItem)
-		if settled[it.node] {
+	heap.Init(&r.q)
+	for r.q.Len() > 0 {
+		it := heap.Pop(&r.q).(pqItem)
+		if r.settled[it.node] == ep {
 			continue
 		}
-		settled[it.node] = true
+		r.settled[it.node] = ep
 		r.expansions++
-		if targets[it.node] {
+		if r.target[it.node] == treeEp {
 			// Trace back to a source.
 			var path []EdgeID
 			cur := it.node
@@ -339,7 +450,7 @@ func (r *router) search(sources []int32, targets map[int32]bool, presFac float64
 			return it.node, path, nil
 		}
 		r.g.neighbors(it.node, func(e EdgeID, to int32) {
-			if r.allowed != nil && !r.allowed(r.g.NodeXY(to)) {
+			if allowed != nil && !allowed(r.g.NodeXY(to)) {
 				return
 			}
 			nd := it.cost + r.edgeCost(e, presFac)
@@ -348,7 +459,7 @@ func (r *router) search(sources []int32, targets map[int32]bool, presFac float64
 				r.dist[to] = nd
 				r.prev[to] = e
 				r.from[to] = it.node
-				heap.Push(&q, pqItem{node: to, cost: nd})
+				heap.Push(&r.q, pqItem{node: to, cost: nd})
 			}
 		})
 	}

@@ -314,3 +314,126 @@ func BenchmarkRoute100Nets(b *testing.B) {
 		}
 	}
 }
+
+// cloneNets deep-copies a net list so two routers can solve the identical
+// problem independently.
+func cloneNets(nets []*Net) []*Net {
+	out := make([]*Net, len(nets))
+	for i, n := range nets {
+		cp := *n
+		cp.Pins = append([]device.XY(nil), n.Pins...)
+		cp.Route = append([]EdgeID(nil), n.Route...)
+		out[i] = &cp
+	}
+	return out
+}
+
+// TestRouterReuseMatchesRouteAll is the persistent-engine differential
+// oracle: a Router reused across many independent routing problems must
+// produce routes, effort and wirelength bit-identical to a fresh RouteAll
+// per problem.
+func TestRouterReuseMatchesRouteAll(t *testing.T) {
+	g := grid(10, 10, 4)
+	shared := NewRouter(g)
+	rng := rand.New(rand.NewSource(17))
+	for pass := 0; pass < 8; pass++ {
+		var nets []*Net
+		for i := 0; i < 25; i++ {
+			k := 2 + rng.Intn(3)
+			pins := make([]device.XY, k)
+			for j := range pins {
+				pins[j] = device.XY{X: 1 + rng.Intn(10), Y: 1 + rng.Intn(10)}
+			}
+			nets = append(nets, &Net{ID: i, Pins: pins})
+		}
+		fresh := cloneNets(nets)
+		rs, err := shared.Route(nets, Options{})
+		if err != nil {
+			t.Fatalf("pass %d shared: %v", pass, err)
+		}
+		rf, err := RouteAll(grid(10, 10, 4), fresh, Options{})
+		if err != nil {
+			t.Fatalf("pass %d fresh: %v", pass, err)
+		}
+		if rs.Expansions != rf.Expansions || rs.Wirelength != rf.Wirelength || rs.Iters != rf.Iters {
+			t.Fatalf("pass %d: results diverge: shared %+v fresh %+v", pass, rs, rf)
+		}
+		for i := range nets {
+			if len(nets[i].Route) != len(fresh[i].Route) {
+				t.Fatalf("pass %d net %d: route length %d vs %d", pass, i, len(nets[i].Route), len(fresh[i].Route))
+			}
+			for j := range nets[i].Route {
+				if nets[i].Route[j] != fresh[i].Route[j] {
+					t.Fatalf("pass %d net %d: edge %d differs", pass, i, j)
+				}
+			}
+		}
+	}
+}
+
+// TestRouterChargeMatchesFixedUse pins the incremental entry point: locked
+// wiring accumulated through BeginPass/Charge must route identically to
+// the same usage passed as Options.FixedUse.
+func TestRouterChargeMatchesFixedUse(t *testing.T) {
+	g := grid(8, 8, 2)
+	locked := &Net{ID: 0, Pins: []device.XY{{X: 1, Y: 3}, {X: 6, Y: 3}}}
+	if _, err := RouteAll(g, []*Net{locked}, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	mk := func() []*Net {
+		return []*Net{
+			{ID: 1, Pins: []device.XY{{X: 1, Y: 3}, {X: 6, Y: 4}}},
+			{ID: 2, Pins: []device.XY{{X: 2, Y: 2}, {X: 5, Y: 6}}},
+		}
+	}
+	viaFixed := mk()
+	if _, err := RouteAll(g, viaFixed, Options{FixedUse: UsageOf(g, []*Net{locked})}); err != nil {
+		t.Fatal(err)
+	}
+	r := NewRouter(g)
+	r.BeginPass()
+	r.Charge(locked.Route)
+	viaCharge := mk()
+	if _, err := r.Route(viaCharge, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range viaFixed {
+		if len(viaFixed[i].Route) != len(viaCharge[i].Route) {
+			t.Fatalf("net %d: lengths differ", i)
+		}
+		for j := range viaFixed[i].Route {
+			if viaFixed[i].Route[j] != viaCharge[i].Route[j] {
+				t.Fatalf("net %d edge %d differs", i, j)
+			}
+		}
+	}
+	// The pass accumulator must reset cleanly.
+	r.BeginPass()
+	for e, u := range r.FixedUse() {
+		if u != 0 {
+			t.Fatalf("edge %d still charged after BeginPass", e)
+		}
+	}
+}
+
+func BenchmarkRouterReuse(b *testing.B) {
+	r := rand.New(rand.NewSource(9))
+	g := grid(20, 20, 8)
+	var nets []*Net
+	for i := 0; i < 100; i++ {
+		nets = append(nets, &Net{ID: i, Pins: []device.XY{
+			{X: 1 + r.Intn(20), Y: 1 + r.Intn(20)},
+			{X: 1 + r.Intn(20), Y: 1 + r.Intn(20)},
+		}})
+	}
+	router := NewRouter(g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, n := range nets {
+			n.Route = nil
+		}
+		if _, err := router.Route(nets, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

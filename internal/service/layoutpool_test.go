@@ -1,0 +1,99 @@
+package service
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"fpgadbg/internal/core"
+	"fpgadbg/internal/synth"
+
+	"fpgadbg/internal/bench"
+)
+
+// TestLayoutPoolCheckoutRollback exercises the pool directly: a mutated
+// working copy must come back pristine, reuse must skip the clone, and a
+// leaked transaction must get the copy discarded.
+func TestLayoutPoolCheckoutRollback(t *testing.T) {
+	info, err := bench.ByName("9sym")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mapped, err := synth.TechMap(info.Build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := core.BuildMapped(mapped, core.Spec{Seed: 1, PlaceEffort: 0.3, TileFrac: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := newLayoutPool(l)
+
+	c1, lease1, reused := pool.checkout()
+	if reused {
+		t.Fatal("first checkout cannot be a reuse")
+	}
+	if c1 == pool.pristine {
+		t.Fatal("pool handed out the pristine reference")
+	}
+	// Mutate the working copy like a campaign would.
+	if _, err := c1.ApplyDelta(core.Delta{}); err != nil {
+		t.Fatal(err)
+	}
+	pool.checkin(c1, lease1)
+
+	c2, lease2, reused := pool.checkout()
+	if !reused {
+		t.Fatal("second checkout should reuse the rolled-back copy")
+	}
+	if c2 != c1 {
+		t.Fatal("free list returned a different copy")
+	}
+	if c2.StateDigest() != pool.digest {
+		t.Fatal("reused copy is not pristine")
+	}
+
+	// A leaked inner transaction poisons the lease: the copy must be
+	// discarded, not recycled.
+	_ = c2.Checkpoint()
+	pool.checkin(c2, lease2)
+	if clones, reuses := pool.stats(); clones != 1 || reuses != 1 {
+		t.Fatalf("stats = %d clones, %d reuses", clones, reuses)
+	}
+	c3, _, reused := pool.checkout()
+	if reused || c3 == c2 {
+		t.Fatal("poisoned copy returned to the pool")
+	}
+}
+
+// TestPooledCampaignsStayDeterministic runs the same campaign spec
+// repeatedly on one service: the second run must reuse the rolled-back
+// pooled layout and produce the identical digest.
+func TestPooledCampaignsStayDeterministic(t *testing.T) {
+	svc := New(Config{Workers: 1})
+	defer svc.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	var digest string
+	for i := 0; i < 3; i++ {
+		id, err := svc.Submit(fastSpec("9sym", 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := svc.Wait(ctx, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			digest = res.Digest
+			continue
+		}
+		if res.Digest != digest {
+			t.Fatalf("run %d digest %s != first %s", i, res.Digest, digest)
+		}
+		if res.CacheMisses != 0 {
+			t.Fatalf("warm run %d still missed the cache %d times", i, res.CacheMisses)
+		}
+	}
+}

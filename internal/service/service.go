@@ -750,6 +750,14 @@ func hitWord(hit bool) string {
 	return "built"
 }
 
+// leaseWord renders a layout-pool checkout outcome.
+func leaseWord(reused bool) string {
+	if reused {
+		return "pooled copy reused, router warm"
+	}
+	return "working copy cloned"
+}
+
 // traceStore adapts the artifact cache to debug.TraceStore.
 type traceStore struct{ c *Cache }
 
@@ -843,23 +851,32 @@ func (s *Service) runCampaign(ctx context.Context, c *campaign) (*Result, error)
 		return nil, err
 	}
 
-	// 3. Pristine tiled layout: the expensive synth/place/route artifact.
-	// Cached by content address + physical-design knobs; each campaign
-	// mutates a private clone.
+	// 3. Pristine tiled layout pool: the expensive synth/place/route
+	// artifact, cached by content address + physical-design knobs. The
+	// pool hands each campaign an exclusive transactional working copy
+	// (warmed persistent router included) and rolls it back on check-in
+	// — the per-campaign Layout.Clone only happens when concurrency
+	// outgrows the free list.
 	lkey := spec.layoutKey(implFP)
 	v, hit, err = s.cache.GetOrBuild(lkey, func() (any, int64, error) {
 		l, err := core.BuildMapped(impl.Clone(), core.Spec{
 			Overhead: spec.Overhead, TileFrac: spec.TileFrac,
 			Seed: spec.Seed, PlaceEffort: spec.PlaceEffort,
 		})
-		return l, layoutBytes(l), err
+		if err != nil {
+			return nil, 0, err
+		}
+		// Charge the pool's worst-case residency: the pristine
+		// reference plus the bounded free list of rolled-back copies.
+		return newLayoutPool(l), (1 + maxPoolFree) * layoutBytes(l), nil
 	})
 	if err != nil {
 		return nil, fmt.Errorf("layout %s: %w", spec.Design, err)
 	}
-	pristine := v.(*core.Layout)
-	layout := pristine.Clone()
-	c.appendEvent("place", 0, "tiled layout %v, %d tiles (%s)", layout.Dev, len(layout.Tiles), count(hit))
+	pool := v.(*layoutPool)
+	layout, lease, reused := pool.checkout()
+	defer pool.checkin(layout, lease)
+	c.appendEvent("place", 0, "tiled layout %v, %d tiles (%s; %s)", layout.Dev, len(layout.Tiles), count(hit), leaseWord(reused))
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -867,7 +884,7 @@ func (s *Service) runCampaign(ctx context.Context, c *campaign) (*Result, error)
 	// 4. Full re-P&R baseline of the pristine layout — the non-tiled
 	// comparison point, identical for every campaign on this layout.
 	v, hit, err = s.cache.GetOrBuild(lkey+"/fullpr", func() (any, int64, error) {
-		eff, err := pristine.FullRePlaceRoute(spec.Seed + 1000)
+		eff, err := pool.pristine.FullRePlaceRoute(spec.Seed + 1000)
 		return eff, 64, err
 	})
 	if err != nil {

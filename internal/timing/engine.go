@@ -1,0 +1,338 @@
+package timing
+
+import (
+	"fmt"
+
+	"fpgadbg/internal/device"
+	"fpgadbg/internal/netlist"
+)
+
+// Engine is the incremental static timing analyzer. It keeps the
+// per-net arrival times of the last analysis and, on Update, recomputes
+// only the forward cones of the cells and nets a physical change
+// touched; endpoints are rescanned in full off a cached register list
+// (O(outputs + registers), not O(design)). The recomputation applies
+// exactly the arithmetic of
+// Analyze in exactly the same order, so an Engine driven through any
+// sequence of Updates reports arrival times and a critical path
+// bit-identical to a from-scratch Analyze of the same Input — pinned by
+// SelfCheck and the cross-catalog differential tests.
+//
+// The Input maps are shared, live references: the owner (core.Layout)
+// mutates CellPos and NetLen in place before calling Update. An Engine
+// is not safe for concurrent use.
+type Engine struct {
+	in Input
+	m  Model
+
+	arr []float64 // arrival at each net's driver output
+
+	// Topology caches, rebuilt on structural updates.
+	order    []netlist.CellID
+	dffs     []netlist.CellID // DFF cells in topo order (endpoint scan)
+	critical float64
+
+	// Scratch dirty marks (sparse reset).
+	dirtyNet    []bool
+	dirtyCell   []bool
+	touchedNet  []netlist.NetID
+	touchedCell []netlist.CellID
+
+	// LastCone is the number of cells recomputed by the last Update;
+	// LiveCells the live cell count at the last rebuild — together the
+	// delta-STA work ratio reported by the ECO benchmark.
+	LastCone  int
+	LiveCells int
+	// Updates counts Update calls.
+	Updates int
+}
+
+// NewEngine runs a full analysis and returns the incremental engine.
+func NewEngine(in Input, m Model) (*Engine, error) {
+	e := &Engine{in: in, m: m}
+	if err := e.rebuild(); err != nil {
+		return nil, err
+	}
+	e.recomputeAll()
+	return e, nil
+}
+
+// Critical returns the current critical-path delay.
+func (e *Engine) Critical() float64 { return e.critical }
+
+// rebuild refreshes the topology caches from the live netlist.
+func (e *Engine) rebuild() error {
+	nl := e.in.NL
+	order, err := nl.TopoOrder()
+	if err != nil {
+		return fmt.Errorf("timing: %w", err)
+	}
+	e.order = order
+	e.LiveCells = len(order)
+	e.dffs = e.dffs[:0]
+	for _, id := range order {
+		if nl.Cells[id].Kind == netlist.KindDFF {
+			e.dffs = append(e.dffs, id)
+		}
+	}
+
+	// Resize the arrival table; slots for newly created nets start at 0
+	// exactly like a from-scratch pass (stale capacity is re-zeroed).
+	if n := len(nl.Nets); n <= len(e.arr) {
+		e.arr = e.arr[:n]
+	} else {
+		for len(e.arr) < n {
+			e.arr = append(e.arr, 0)
+		}
+	}
+
+	if len(e.dirtyNet) < len(nl.Nets) {
+		e.dirtyNet = make([]bool, len(nl.Nets))
+	}
+	if len(e.dirtyCell) < len(nl.Cells) {
+		e.dirtyCell = make([]bool, len(nl.Cells))
+	}
+	return nil
+}
+
+// wireDelay mirrors Analyze's wire model exactly.
+func (e *Engine) wireDelay(net netlist.NetID, sink netlist.CellID) float64 {
+	if l, ok := e.in.NetLen[net]; ok {
+		return e.m.WirePerUnit * float64(l)
+	}
+	nl := e.in.NL
+	var from device.XY
+	haveFrom := false
+	if d := nl.Nets[net].Driver; d != netlist.NilCell {
+		from, haveFrom = e.in.CellPos[d]
+	} else if p, ok := e.in.PadPos[net]; ok {
+		from, haveFrom = p, true
+	}
+	to, haveTo := e.in.CellPos[sink]
+	if !haveFrom || !haveTo {
+		return 0
+	}
+	return e.m.WirePerUnit * float64(device.ManhattanDist(from, to))
+}
+
+// cellArrival recomputes one LUT cell's output arrival, Analyze's inner
+// loop verbatim.
+func (e *Engine) cellArrival(id netlist.CellID) float64 {
+	c := &e.in.NL.Cells[id]
+	worst := 0.0
+	for _, f := range c.Fanin {
+		if a := e.arr[f] + e.wireDelay(f, id); a > worst {
+			worst = a
+		}
+	}
+	return worst + e.m.LUTDelay
+}
+
+// recomputeAll is the full pass: identical to Analyze over the current
+// Input.
+func (e *Engine) recomputeAll() {
+	nl := e.in.NL
+	for i := range e.arr {
+		e.arr[i] = 0
+	}
+	for _, pi := range nl.PIs {
+		e.arr[pi] = e.m.IOPadDelay
+	}
+	for _, id := range e.order {
+		if nl.Cells[id].Kind == netlist.KindDFF {
+			e.arr[nl.Cells[id].Out] = e.m.FFClkToQ
+		}
+	}
+	for _, id := range e.order {
+		if nl.Cells[id].Kind != netlist.KindLUT {
+			continue
+		}
+		e.arr[nl.Cells[id].Out] = e.cellArrival(id)
+	}
+	e.LastCone = e.LiveCells
+	e.rescanEndpoints()
+}
+
+// rescanEndpoints recomputes the critical delay over all endpoints in
+// Analyze's exact order (POs first, then DFF D pins in topo order).
+func (e *Engine) rescanEndpoints() {
+	nl := e.in.NL
+	best := 0.0
+	consider := func(net netlist.NetID, extra float64) {
+		if a := e.arr[net] + extra; a > best {
+			best = a
+		}
+	}
+	for _, po := range nl.POs {
+		consider(po, e.m.IOPadDelay)
+	}
+	for _, id := range e.dffs {
+		c := &nl.Cells[id]
+		consider(c.Fanin[0], e.wireDelay(c.Fanin[0], id)+e.m.FFSetup)
+	}
+	e.critical = best
+}
+
+// Update resynchronizes the engine after a change: cells whose position,
+// function or wiring changed (including cells added or rolled back) and
+// nets whose routed length changed seed the recomputation; arrivals are
+// recomputed only through their forward cones. Structural edits
+// (anything beyond pure placement moves) must pass structural=true so
+// the topology caches rebuild first. Invalid or stale IDs in the seed
+// sets are ignored, so rollback call sites can pass journal-derived sets
+// verbatim.
+func (e *Engine) Update(cells []netlist.CellID, nets []netlist.NetID, structural bool) error {
+	e.Updates++
+	nl := e.in.NL
+	if structural {
+		if err := e.rebuild(); err != nil {
+			return err
+		}
+	}
+
+	// Constant arrivals are cheap to refresh and cover newly created or
+	// rolled-back PIs and DFFs.
+	for _, pi := range nl.PIs {
+		if e.arr[pi] != e.m.IOPadDelay {
+			e.arr[pi] = e.m.IOPadDelay
+			e.markNet(pi)
+		}
+	}
+	for _, id := range e.dffs {
+		if out := nl.Cells[id].Out; e.arr[out] != e.m.FFClkToQ {
+			e.arr[out] = e.m.FFClkToQ
+			e.markNet(out)
+		}
+	}
+
+	for _, id := range cells {
+		if int(id) < 0 || int(id) >= len(nl.Cells) {
+			continue
+		}
+		c := &nl.Cells[id]
+		if c.Dead {
+			// A removed cell's output net lost its driver; restore the
+			// undriven base arrival a fresh analysis would compute.
+			if int(c.Out) >= 0 && int(c.Out) < len(nl.Nets) {
+				e.resetUndriven(c.Out)
+			}
+			continue
+		}
+		e.markCell(id)
+		// A moved cell also changes the wire delay it contributes as a
+		// driver wherever the net length is estimated from positions.
+		e.markNet(c.Out)
+	}
+	for _, net := range nets {
+		if int(net) < 0 || int(net) >= len(nl.Nets) {
+			continue
+		}
+		e.markNet(net)
+		e.resetUndriven(net)
+	}
+
+	// Propagate through the cone in topological order.
+	cone := 0
+	for _, id := range e.order {
+		c := &nl.Cells[id]
+		if c.Kind != netlist.KindLUT {
+			continue
+		}
+		need := e.dirtyCell[id]
+		if !need {
+			for _, f := range c.Fanin {
+				if e.dirtyNet[f] {
+					need = true
+					break
+				}
+			}
+		}
+		if !need {
+			continue
+		}
+		cone++
+		a := e.cellArrival(id)
+		if a != e.arr[c.Out] {
+			e.arr[c.Out] = a
+			e.markNet(c.Out)
+		}
+	}
+	e.LastCone = cone
+	e.rescanEndpoints()
+
+	// Sparse reset of the dirty marks.
+	for _, net := range e.touchedNet {
+		e.dirtyNet[net] = false
+	}
+	e.touchedNet = e.touchedNet[:0]
+	for _, id := range e.touchedCell {
+		e.dirtyCell[id] = false
+	}
+	e.touchedCell = e.touchedCell[:0]
+	return nil
+}
+
+// resetUndriven restores the base arrival of a net without a live
+// driver (0, or the pad delay for primary inputs), matching what a
+// from-scratch pass computes for it.
+func (e *Engine) resetUndriven(net netlist.NetID) {
+	nl := e.in.NL
+	if d := nl.Nets[net].Driver; d != netlist.NilCell && !nl.Cells[d].Dead {
+		return
+	}
+	base := 0.0
+	if nl.IsPI(net) {
+		base = e.m.IOPadDelay
+	}
+	if e.arr[net] != base {
+		e.arr[net] = base
+		e.markNet(net)
+	}
+}
+
+func (e *Engine) markNet(net netlist.NetID) {
+	if !e.dirtyNet[net] {
+		e.dirtyNet[net] = true
+		e.touchedNet = append(e.touchedNet, net)
+	}
+}
+
+func (e *Engine) markCell(id netlist.CellID) {
+	if !e.dirtyCell[id] {
+		e.dirtyCell[id] = true
+		e.touchedCell = append(e.touchedCell, id)
+	}
+}
+
+// SelfCheck compares the engine's state against a from-scratch analysis
+// of the same Input and reports the first divergence — the incremental
+// STA's differential oracle.
+func (e *Engine) SelfCheck() error {
+	fresh, err := NewEngine(e.in, e.m)
+	if err != nil {
+		return err
+	}
+	if fresh.critical != e.critical {
+		return fmt.Errorf("timing: incremental critical %v != full %v", e.critical, fresh.critical)
+	}
+	if len(fresh.arr) != len(e.arr) {
+		return fmt.Errorf("timing: arrival table length %d != %d", len(e.arr), len(fresh.arr))
+	}
+	nl := e.in.NL
+	for ni := range fresh.arr {
+		if nl.Nets[ni].Dead {
+			continue
+		}
+		if fresh.arr[ni] != e.arr[ni] {
+			return fmt.Errorf("timing: net %q arrival %v != full %v", nl.NetName(netlist.NetID(ni)), e.arr[ni], fresh.arr[ni])
+		}
+	}
+	rep, err := Analyze(e.in, e.m)
+	if err != nil {
+		return err
+	}
+	if rep.Critical != e.critical {
+		return fmt.Errorf("timing: incremental critical %v != Analyze %v", e.critical, rep.Critical)
+	}
+	return nil
+}

@@ -1,0 +1,147 @@
+package timing
+
+import (
+	"testing"
+
+	"fpgadbg/internal/device"
+	"fpgadbg/internal/logic"
+	"fpgadbg/internal/netlist"
+)
+
+// engineFixture builds a small sequential design with physical
+// annotations.
+func engineFixture() (Input, *netlist.Netlist) {
+	nl := netlist.New("eng")
+	a := nl.AddPI("a")
+	b := nl.AddPI("b")
+	x := nl.AddNet("x")
+	y := nl.AddNet("y")
+	q := nl.AddNet("q")
+	g1 := nl.MustAddLUT("g1", logic.AndN(2), []netlist.NetID{a, b}, x)
+	g2 := nl.MustAddLUT("g2", logic.OrN(2), []netlist.NetID{x, a}, y)
+	ff := nl.MustAddDFF("ff", y, q, 0)
+	g3out := nl.AddNet("po")
+	g3 := nl.MustAddLUT("g3", logic.XorN(2), []netlist.NetID{q, x}, g3out)
+	nl.MarkPO(g3out)
+	in := Input{
+		NL: nl,
+		CellPos: map[netlist.CellID]device.XY{
+			g1: {X: 1, Y: 1}, g2: {X: 3, Y: 1}, ff: {X: 3, Y: 2}, g3: {X: 5, Y: 4},
+		},
+		PadPos: map[netlist.NetID]device.XY{a: {X: 0, Y: 1}, b: {X: 0, Y: 2}, g3out: {X: 6, Y: 0}},
+		NetLen: map[netlist.NetID]int{x: 3, y: 2},
+	}
+	return in, nl
+}
+
+func TestEngineMatchesAnalyze(t *testing.T) {
+	in, _ := engineFixture()
+	m := DefaultModel()
+	eng, err := NewEngine(in, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Analyze(in, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.Critical() != rep.Critical {
+		t.Fatalf("engine %v != Analyze %v", eng.Critical(), rep.Critical)
+	}
+	if err := eng.SelfCheck(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEngineIncrementalUpdates(t *testing.T) {
+	in, nl := engineFixture()
+	m := DefaultModel()
+	eng, err := NewEngine(in, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 1. Pure placement move.
+	g3, _ := nl.CellByName("g3")
+	in.CellPos[g3] = device.XY{X: 9, Y: 9}
+	if err := eng.Update([]netlist.CellID{g3}, nil, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.SelfCheck(); err != nil {
+		t.Fatalf("after move: %v", err)
+	}
+
+	// 2. Routed-length change.
+	x, _ := nl.NetByName("x")
+	in.NetLen[x] = 11
+	if err := eng.Update(nil, []netlist.NetID{x}, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.SelfCheck(); err != nil {
+		t.Fatalf("after reroute: %v", err)
+	}
+
+	// 3. Structural: new observation logic.
+	nl.SetJournaling(true)
+	mark := nl.JournalLen()
+	flag := nl.AddNet("flag")
+	obs, err := nl.AddLUT("obs", logic.BufN(), []netlist.NetID{x}, flag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl.MarkPO(flag)
+	in.CellPos[obs] = device.XY{X: 2, Y: 7}
+	if err := eng.Update([]netlist.CellID{obs}, nil, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.SelfCheck(); err != nil {
+		t.Fatalf("after insert: %v", err)
+	}
+
+	// 4. Function rewrite.
+	g1, _ := nl.CellByName("g1")
+	if err := nl.SetFunc(g1, logic.NandN(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Update([]netlist.CellID{g1}, nil, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.SelfCheck(); err != nil {
+		t.Fatalf("after rewrite: %v", err)
+	}
+
+	// 5. Rollback of the structural change: journal-derived seeds.
+	cells, nets := nl.RollbackJournal(mark)
+	delete(in.CellPos, obs)
+	if err := eng.Update(cells, nets, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.SelfCheck(); err != nil {
+		t.Fatalf("after rollback: %v", err)
+	}
+
+	// 6. Cell removal: the output net loses its driver.
+	nl.SetJournaling(false)
+	spareOut := nl.AddNet("spare")
+	spare, err := nl.AddLUT("spare_lut", logic.BufN(), []netlist.NetID{x}, spareOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.CellPos[spare] = device.XY{X: 4, Y: 4}
+	if err := eng.Update([]netlist.CellID{spare}, nil, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := nl.RemoveCell(spare); err != nil {
+		t.Fatal(err)
+	}
+	delete(in.CellPos, spare)
+	if err := eng.Update([]netlist.CellID{spare}, []netlist.NetID{spareOut}, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.SelfCheck(); err != nil {
+		t.Fatalf("after removal: %v", err)
+	}
+	if eng.Updates == 0 || eng.LiveCells == 0 {
+		t.Fatal("engine statistics not tracked")
+	}
+}
