@@ -70,6 +70,7 @@ func main() {
 		cycles     = flag.Int("cycles", 4, "clock cycles per stimulus block")
 		kind       = flag.String("kind", "debug", "campaign kind: debug (the full loop), faultscan (exhaustive fault-universe scan) or repair (candidate-search correction)")
 		patterns   = flag.Int("patterns", 64, "broadcast test patterns for -kind faultscan")
+		simLanes   = flag.Int("sim-lanes", 0, "simulator lanes for fault batches and candidate validation (multiple of 64; 0 = 64)")
 		useDict    = flag.Bool("use-dict", false, "consult a fault dictionary before inserting probes (debug campaigns)")
 		repairSrch = flag.Bool("repair", false, "correct by repair-candidate search (golden as oracle only); shorthand for -kind repair")
 		showTiming = flag.Bool("timing", false, "track the critical path across the loop with the incremental timing engine (local runs)")
@@ -106,7 +107,7 @@ func main() {
 			Design: info.Name, Kind: *kind, FaultSeed: *faultSeed, Seed: *seed,
 			Overhead: *overhead, TileFrac: *tilefrac, PlaceEffort: *effort,
 			Words: *words, Cycles: *cycles, Patterns: *patterns,
-			UseDict: *useDict, Priority: *priority,
+			UseDict: *useDict, Priority: *priority, SimLanes: *simLanes,
 		}); err != nil {
 			die(err)
 		}
@@ -166,6 +167,12 @@ func main() {
 	sess, err := debug.NewSession(golden, lay, *seed)
 	if err != nil {
 		die(err)
+	}
+	if *simLanes > 0 {
+		if *simLanes%64 != 0 || *simLanes > 64*sim.MaxWidth {
+			die(fmt.Errorf("-sim-lanes must be a multiple of 64 in [64, %d] (got %d)", 64*sim.MaxWidth, *simLanes))
+		}
+		sess.SimWidth = *simLanes / 64
 	}
 	if *repairSrch {
 		// The repair pipeline always consults the dictionary first, like

@@ -58,6 +58,12 @@ type Session struct {
 	// DictMaxSuspects bounds the matched-class size LocalizeDict accepts
 	// without probes (0 = DefaultDictMaxSuspects).
 	DictMaxSuspects int
+	// SimWidth is the lane-vector width W (sim.CompileWidth) for the
+	// machines this session compiles as lane-parallel hosts — today the
+	// repair candidate program, whose validation retires 64·W candidates
+	// per replay. Detection and observation replays read lane word 0 of
+	// broadcast stimulus and always run at width 1. 0 means width 1.
+	SimWidth int
 
 	// TileEffort accumulates all tile-local CAD work spent by this
 	// session (observation inserts + corrections).
@@ -535,7 +541,7 @@ type Correction struct {
 	RepairKind string
 	// Candidates, Survivors and Batches summarize the search: how many
 	// corrections were enumerated, how many explained the whole detection
-	// stimulus, and how many 64-candidate lane batches were replayed.
+	// stimulus, and how many Lanes()-candidate lane batches were replayed.
 	Candidates int
 	Survivors  int
 	Batches    int

@@ -5,7 +5,8 @@ package debug
 // re-places-and-routes the affected tiles. A fault dictionary trades a
 // one-time, purely-software precomputation for probe-free diagnosis: the
 // exhaustive single-fault universe of the golden design is fault-
-// simulated in 64-mutant lanes (internal/faults.Scan), each fault's
+// simulated in lane batches of 64·W mutants (internal/faults.Scan on a
+// width-W program), each fault's
 // PO-mismatch signature is indexed, and a failing implementation is then
 // diagnosed by replaying the same broadcast stimulus once and looking its
 // observed signature up in the dictionary. An exact hit that implicates a
@@ -56,7 +57,8 @@ func DictStimulus(npi, words, cycles int, seed int64) [][]uint64 {
 }
 
 // BuildFaultDict enumerates the golden design's single-fault universe and
-// fault-simulates it in 64-lane batches under the dictionary stimulus,
+// fault-simulates it in Lanes()-sized batches under the dictionary
+// stimulus,
 // indexing every detected fault by its PO-mismatch signature. words,
 // cycles and seed should match the detection parameters of the sessions
 // that will consult the dictionary (see FaultDict). prog must be compiled
@@ -235,7 +237,7 @@ func (s *Session) observeSignature() (sig uint64, excited bool, err error) {
 	sg.Reset()
 	for c := 0; c < len(stim); c++ {
 		for po := range poNames {
-			// Broadcast stimulus keeps all 64 lanes identical, so word
+			// Broadcast stimulus keeps all lanes identical, so word
 			// inequality is per-lane divergence.
 			if tg.Out(c, po) != ti.Out(c, iCols[po]) {
 				sg.Note(c, po)

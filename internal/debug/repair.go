@@ -3,7 +3,7 @@ package debug
 // The correction step, paper-faithful edition: instead of copying the
 // suspect cells' logic out of the golden netlist (CorrectFromGolden — an
 // answer-key shortcut), Repair searches the space of candidate
-// corrections with internal/repair. Candidates are validated 64 per
+// corrections with internal/repair. Candidates are validated Lanes() per
 // trace replay on the lanes of the shared compiled implementation
 // program, survivors are re-verified on an independent stimulus, and the
 // ranked winner is applied through the same tile-local ECO path every
@@ -90,7 +90,11 @@ func (s *Session) RepairWith(diag *Diagnosis, det *Detection, prog *sim.Machine)
 		return nil, err
 	}
 	if prog == nil {
-		prog, err = sim.Compile(s.Layout.NL)
+		w := s.SimWidth
+		if w < 1 {
+			w = 1
+		}
+		prog, err = sim.CompileWidth(s.Layout.NL, w)
 		if err != nil {
 			return nil, fmt.Errorf("debug: candidate program: %w", err)
 		}

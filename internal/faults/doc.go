@@ -21,9 +21,10 @@
 // Universe enumerates the exhaustive single-fault list of a design —
 // stuck-at-0/1 on every live net plus every single LUT-bit flip of every
 // LUT cell, the classic SEU model for FPGA configuration memory — and
-// Batches groups it into 64-fault batches, one fault per simulator bit
-// lane. Scan replays a broadcast stimulus over each batch on a forked
-// sim.Machine (sim.SetLaneFault), so 64 mutants are simulated per trace
+// Batches/BatchesN group it into lane-sized batches, one fault per
+// simulator bit lane. Scan replays a broadcast stimulus over each batch
+// on a forked sim.Machine (sim.SetLaneFault), so Lanes() — 64·W on a
+// width-W lane-vector program — mutants are simulated per trace
 // with no netlist clone and no recompile, and returns each fault's
 // detection outcome and PO-mismatch signature. SerialScan computes the
 // same results one mutated netlist at a time; it is the differential

@@ -9,7 +9,7 @@ import (
 )
 
 // ScanConfig shapes one fault-simulation campaign: Patterns scalar test
-// vectors, each broadcast to all 64 lanes and held for Cycles clock
+// vectors, each broadcast to every lane and held for Cycles clock
 // cycles, drawn deterministically from Seed. The same config must be used
 // to build a fault dictionary and to observe a failing design against
 // it — signatures are only comparable under identical stimulus.
@@ -112,12 +112,14 @@ func (s *Signer) Result(f Fault) ScanResult {
 	return r
 }
 
-// Scan fault-simulates every fault in 64-lane batches: each batch arms up
-// to 64 faults on the lanes of one fork of prog (which must be compiled
-// from the golden design), replays the broadcast stimulus once, and reads
-// each lane's divergence from the golden trace. No netlist is cloned and
-// nothing is recompiled — per batch the only work beyond the trace replay
-// is arming the lane faults. Results are in input order.
+// Scan fault-simulates every fault in Lanes()-sized batches: each batch
+// arms up to 64·W faults on the lanes of one fork of prog (which must be
+// compiled from the golden design — any lane width works, and a wide
+// machine retires proportionally more faults per replay), replays the
+// broadcast stimulus once, and reads each lane's divergence from the
+// golden trace. No netlist is cloned and nothing is recompiled — per
+// batch the only work beyond the trace replay is arming the lane faults.
+// Results are in input order.
 func Scan(prog *sim.Machine, fs []Fault, cfg ScanConfig) ([]ScanResult, error) {
 	cfg = cfg.withDefaults()
 	return ScanStim(prog, fs, cfg.Stimulus(len(prog.PIOrder())), cfg.OnBatch)
@@ -130,10 +132,10 @@ func Scan(prog *sim.Machine, fs []Fault, cfg ScanConfig) ([]ScanResult, error) {
 func ScanStim(prog *sim.Machine, fs []Fault, stim [][]uint64, onBatch func(done, total int) error) ([]ScanResult, error) {
 	gt := prog.Fork().RunTrace(stim)
 	mu := prog.Fork()
-	batches := Batches(fs)
+	batches := BatchesN(fs, prog.Lanes())
 	out := make([]ScanResult, 0, len(fs))
 	var tr sim.Trace
-	var signers [64]Signer
+	signers := make([]Signer, prog.Lanes())
 	for bi, batch := range batches {
 		mu.ClearLaneFaults()
 		for lane, f := range batch {
@@ -149,12 +151,18 @@ func ScanStim(prog *sim.Machine, fs []Fault, stim [][]uint64, onBatch func(done,
 		mu.RunTraceInto(&tr, stim)
 		for c := 0; c < tr.Cycles; c++ {
 			for po := 0; po < tr.NumPOs; po++ {
-				d := tr.Out(c, po) ^ gt.Out(c, po)
-				for d != 0 {
-					lane := bits.TrailingZeros64(d)
-					d &= d - 1
-					if lane < len(batch) {
-						signers[lane].Note(c, po)
+				// Broadcast stimulus keeps all golden lane words equal,
+				// so word 0 of the golden trace stands in for every word
+				// of the perturbed one.
+				g := gt.Out(c, po)
+				for w := 0; w < tr.Width; w++ {
+					d := tr.OutW(c, po, w) ^ g
+					for d != 0 {
+						lane := w*64 + bits.TrailingZeros64(d)
+						d &= d - 1
+						if lane < len(batch) {
+							signers[lane].Note(c, po)
+						}
 					}
 				}
 			}
@@ -213,7 +221,7 @@ func SerialScanStim(prog *sim.Machine, fs []Fault, stim [][]uint64, onBatch func
 			tr = m2.RunTrace(stim)
 		}
 		// Broadcast stimulus and a single whole-design mutation keep all
-		// 64 lanes identical, so whole-word comparison is per-lane exact.
+		// lanes identical, so word-0 comparison is per-lane exact.
 		s.Reset()
 		for c := 0; c < tr.Cycles; c++ {
 			for po := 0; po < tr.NumPOs; po++ {

@@ -140,3 +140,56 @@ var errTestAbort = errorString("abort")
 type errorString string
 
 func (e errorString) Error() string { return string(e) }
+
+// TestWideScanMatchesNarrow runs the same universe scan on the seed
+// 64-lane program and on a width-4 (256-lane) lane-vector program
+// (sim.CompileWidth). Per-fault outcomes — detection, first-failure
+// cycle, signature — must be bit-identical, while the wide engine packs
+// four times the faults into each batch.
+func TestWideScanMatchesNarrow(t *testing.T) {
+	for _, name := range []string{"9sym", "c880"} {
+		t.Run(name, func(t *testing.T) {
+			info, err := bench.ByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mapped, err := synth.TechMap(info.Build())
+			if err != nil {
+				t.Fatal(err)
+			}
+			narrow, err := sim.Compile(mapped)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wide, err := sim.CompileWidth(mapped, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			u := Universe(mapped)
+			if len(u) > 6*64 {
+				u = u[:6*64] // several wide batches is plenty
+			}
+			cfg := ScanConfig{Patterns: 16, Cycles: 2, Seed: 7}
+			var nb, wb int
+			ncfg := cfg
+			ncfg.OnBatch = func(done, total int) error { nb = total; return nil }
+			wcfg := cfg
+			wcfg.OnBatch = func(done, total int) error { wb = total; return nil }
+			nres, err := Scan(narrow, u, ncfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wres, err := Scan(wide, u, wcfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertScanEqual(t, name, wres, nres, mapped)
+			if want := (len(u) + 255) / 256; wb != want {
+				t.Fatalf("wide batches = %d, want %d", wb, want)
+			}
+			if wb >= nb {
+				t.Fatalf("wide scan did not shrink batches: %d vs %d", wb, nb)
+			}
+		})
+	}
+}

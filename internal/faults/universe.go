@@ -130,15 +130,24 @@ func Universe(nl *netlist.Netlist) []Fault {
 }
 
 // Batches splits a fault list into 64-fault groups, one simulator lane
-// each. The last batch may be short; order is preserved.
-func Batches(fs []Fault) [][]Fault {
+// each on a width-1 machine. The last batch may be short; order is
+// preserved.
+func Batches(fs []Fault) [][]Fault { return BatchesN(fs, 64) }
+
+// BatchesN splits a fault list into groups of at most n faults — one
+// group per replay of a machine with n lanes (sim.Machine.Lanes), one
+// fault per lane. The last batch may be short; order is preserved.
+func BatchesN(fs []Fault, n int) [][]Fault {
 	if len(fs) == 0 {
 		return nil
 	}
-	out := make([][]Fault, 0, (len(fs)+63)/64)
-	for len(fs) > 64 {
-		out = append(out, fs[:64])
-		fs = fs[64:]
+	if n < 1 {
+		n = 64
+	}
+	out := make([][]Fault, 0, (len(fs)+n-1)/n)
+	for len(fs) > n {
+		out = append(out, fs[:n])
+		fs = fs[n:]
 	}
 	return append(out, fs)
 }

@@ -291,3 +291,56 @@ func TestValidateMatchesSerialOnCatalogDesign(t *testing.T) {
 		t.Fatal("no surviving candidate — the reverse flip must survive")
 	}
 }
+
+// TestWideValidateMatchesNarrow scores one candidate list on a width-1
+// and a width-4 (256-lane) implementation program; the surviving sets
+// must be identical and the wide engine must use fewer lane batches.
+func TestWideValidateMatchesNarrow(t *testing.T) {
+	golden := goldenDesign(t)
+	impl := golden.Clone()
+	id, _ := impl.CellByName("g_mux")
+	tt := impl.Cells[id].Func.MustTT()
+	tt.SetBit(5, !tt.Bit(5))
+	impl.Cells[id].Func = tt.ToCover()
+
+	mg, err := sim.Compile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stim := detStim(3)
+	run := func(width int) ([]bool, int, int) {
+		mi, err := sim.CompileWidth(impl.Clone(), width)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := NewEngine(mg, mi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cands, err := e.Enumerate([]string{"g_mux", "g_and", "g_xor", "g_or"}, stim)
+		if err != nil {
+			t.Fatal(err)
+		}
+		alive, batches, err := e.Validate(cands, stim, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return alive, batches, len(cands)
+	}
+	na, nb, nc := run(1)
+	wa, wb, wc := run(4)
+	if nc != wc {
+		t.Fatalf("candidate counts differ: %d vs %d", nc, wc)
+	}
+	for i := range na {
+		if na[i] != wa[i] {
+			t.Fatalf("candidate %d: narrow=%v wide=%v", i, na[i], wa[i])
+		}
+	}
+	if want := (nc + 255) / 256; wb != want {
+		t.Fatalf("wide batches = %d, want %d", wb, want)
+	}
+	if nc > 64 && wb >= nb {
+		t.Fatalf("wide validation did not shrink batches: %d vs %d", wb, nb)
+	}
+}

@@ -37,9 +37,9 @@ type Config struct {
 	// Seed derives the observation and verification streams; they are
 	// drawn from offsets of it so neither replays the detection stimulus.
 	Seed int64
-	// OnBatch, when set, is called after each 64-candidate validation
-	// batch; returning an error aborts the search (the campaign service
-	// cancels through it).
+	// OnBatch, when set, is called after each Lanes()-candidate
+	// validation batch; returning an error aborts the search (the
+	// campaign service cancels through it).
 	OnBatch func(done, total int) error
 }
 
@@ -68,8 +68,8 @@ type Outcome struct {
 	Candidates int
 	Survivors  int
 	Verified   int
-	// Batches counts 64-candidate lane batches replayed (detection +
-	// verification passes).
+	// Batches counts Lanes()-candidate lane batches replayed (detection
+	// + verification passes); wide machines need proportionally fewer.
 	Batches int
 	// Winner is the top-ranked verified candidate, nil when the search
 	// found no correction that explains all observed behaviour.
@@ -78,12 +78,13 @@ type Outcome struct {
 	Ranked []Candidate
 }
 
-// Validate scores candidates 64 per trace replay: each batch arms one
-// truth-table substitution per lane (sim.SetLanePatch) on the engine's
-// shared compiled implementation program and compares every lane's
-// primary-output stream against the golden oracle trace. stim must be
-// broadcast scalar stimulus. alive[i] reports that candidate i's lanes
-// never diverged from the golden stream. onBatch may be nil.
+// Validate scores candidates Lanes() per trace replay: each batch arms
+// one truth-table substitution per lane (sim.SetLanePatch) on the
+// engine's shared compiled implementation program and compares every
+// lane's primary-output stream against the golden oracle trace — a
+// wide implementation machine retires 64·W candidates per replay. stim
+// must be broadcast scalar stimulus. alive[i] reports that candidate
+// i's lanes never diverged from the golden stream. onBatch may be nil.
 func (e *Engine) Validate(cands []Candidate, stim [][]uint64, onBatch func(done, total int) error) (alive []bool, batches int, err error) {
 	gt := e.golden.RunTrace(stim)
 	return e.validateAgainst(gt, cands, stim, onBatch)
@@ -95,11 +96,13 @@ func (e *Engine) Validate(cands []Candidate, stim [][]uint64, onBatch func(done,
 func (e *Engine) validateAgainst(gt *sim.Trace, cands []Candidate, stim [][]uint64, onBatch func(done, total int) error) (alive []bool, batches int, err error) {
 	nl := e.impl.Netlist()
 	alive = make([]bool, len(cands))
-	total := (len(cands) + 63) / 64
-	for base := 0; base < len(cands); base += 64 {
+	lanes := e.impl.Lanes()
+	masks := make([]uint64, lanes/64) // one alive bit per lane, word-packed
+	total := (len(cands) + lanes - 1) / lanes
+	for base := 0; base < len(cands); base += lanes {
 		batch := cands[base:]
-		if len(batch) > 64 {
-			batch = batch[:64]
+		if len(batch) > lanes {
+			batch = batch[:lanes]
 		}
 		e.impl.ClearLaneFaults()
 		for lane, c := range batch {
@@ -113,17 +116,34 @@ func (e *Engine) validateAgainst(gt *sim.Trace, cands []Candidate, stim [][]uint
 		}
 		e.impl.RunTraceInto(&e.tr, stim)
 		batches++
-		mask := ^uint64(0)
-		if len(batch) < 64 {
-			mask = uint64(1)<<uint(len(batch)) - 1
+		W := e.tr.Width
+		for w := 0; w < W; w++ {
+			switch rem := len(batch) - w*64; {
+			case rem >= 64:
+				masks[w] = ^uint64(0)
+			case rem > 0:
+				masks[w] = uint64(1)<<uint(rem) - 1
+			default:
+				masks[w] = 0
+			}
 		}
-		for c := 0; c < e.tr.Cycles && mask != 0; c++ {
+		anyLive := true
+		for c := 0; c < e.tr.Cycles && anyLive; c++ {
+			anyLive = false
 			for po, col := range e.iCols {
-				mask &^= e.tr.Out(c, col) ^ gt.Out(c, po)
+				// Broadcast stimulus keeps the golden lane words equal,
+				// so word 0 of the oracle covers every perturbed word.
+				g := gt.Out(c, po)
+				for w := 0; w < W; w++ {
+					masks[w] &^= e.tr.OutW(c, col, w) ^ g
+				}
+			}
+			for w := 0; w < W; w++ {
+				anyLive = anyLive || masks[w] != 0
 			}
 		}
 		for lane := range batch {
-			alive[base+lane] = mask>>uint(lane)&1 != 0
+			alive[base+lane] = masks[lane/64]>>uint(lane&63)&1 != 0
 		}
 		if onBatch != nil {
 			if err := onBatch(batches, total); err != nil {

@@ -20,9 +20,10 @@
 //     errors the dictionary names from the PO-mismatch signature alone.
 //   - KindFaultScan fault-simulates the design's exhaustive single-fault
 //     universe — stuck-at-0/1 per net, single LUT-bit flips per cell — on
-//     the 64-lane fault-parallel mutant engine (internal/faults.Scan) and
-//     reports detection coverage and latency. It needs no layout and no
-//     injection, so a warm scan costs one trace replay per 64 faults.
+//     the lane-parallel mutant engine (internal/faults.Scan) and reports
+//     detection coverage and latency. It needs no layout and no
+//     injection, so a warm scan costs one trace replay per 64·W faults
+//     (Spec.SimLanes picks the lane-vector width W).
 //
 // The same typed API (Submit / Status / Events / Wait / Cancel) is served
 // in-process (the load generator in internal/experiments) and over

@@ -1,7 +1,8 @@
 package service
 
 // The faultscan campaign pipeline: fault-simulate a design's exhaustive
-// single-fault universe on the 64-lane mutant engine and report detection
+// single-fault universe on the lane-parallel mutant engine (64·W mutants
+// per replay at Spec.SimLanes lanes) and report detection
 // coverage and latency. Unlike debug campaigns it touches no layout — the
 // only shared artifact is the cached golden netlist + compiled simulator
 // program, which it forks per campaign.
@@ -17,13 +18,14 @@ import (
 const faultScanEventEvery = 32
 
 // runFaultScan executes one faultscan campaign against the cached golden
-// artifact. Cancellation is honored between 64-fault batches.
+// artifact. Cancellation is honored between lane batches.
 func (s *Service) runFaultScan(ctx context.Context, c *campaign, ga *goldenArtifact) (*Result, error) {
 	spec := c.spec
 	u := faults.Universe(ga.golden)
-	batches := (len(u) + 63) / 64
-	c.appendEvent("faultscan", 0, "universe: %d faults in %d batches of 64 (%d patterns x %d cycles)",
-		len(u), batches, spec.Patterns, spec.Cycles)
+	lanes := ga.mach.Lanes()
+	batches := (len(u) + lanes - 1) / lanes
+	c.appendEvent("faultscan", 0, "universe: %d faults in %d batches of %d (%d patterns x %d cycles)",
+		len(u), batches, lanes, spec.Patterns, spec.Cycles)
 	cfg := faults.ScanConfig{
 		Patterns: spec.Patterns,
 		Cycles:   spec.Cycles,

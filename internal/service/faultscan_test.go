@@ -6,6 +6,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"fpgadbg/internal/sim"
 )
 
 func scanSpec(design string) Spec {
@@ -64,6 +66,57 @@ func TestFaultScanSpecValidation(t *testing.T) {
 	}
 	if _, err := svc.Submit(Spec{Design: "9sym", Kind: KindFaultScan, Patterns: -1}); err == nil {
 		t.Fatal("negative patterns accepted")
+	}
+	if _, err := svc.Submit(Spec{Design: "9sym", Kind: KindFaultScan, SimLanes: 96}); err == nil {
+		t.Fatal("non-multiple-of-64 sim_lanes accepted")
+	}
+	if _, err := svc.Submit(Spec{Design: "9sym", Kind: KindFaultScan, SimLanes: 64 * (sim.MaxWidth + 1)}); err == nil {
+		t.Fatal("oversized sim_lanes accepted")
+	}
+}
+
+// TestFaultScanWideLanes runs the same scan at the default 64 lanes and
+// at 256 (a width-4 lane-vector program). The fault physics — universe
+// size, detections, coverage, latency — must be bit-identical; only the
+// batch accounting shrinks, and the compiled golden programs must not
+// share a cache entry.
+func TestFaultScanWideLanes(t *testing.T) {
+	svc := New(Config{Workers: 1})
+	defer svc.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	run := func(lanes int) *Result {
+		sp := scanSpec("9sym")
+		sp.SimLanes = lanes
+		id, err := svc.Submit(sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := svc.Wait(ctx, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	narrow := run(0) // defaults to 64
+	wide := run(256)
+	if narrow.FaultsTotal != wide.FaultsTotal ||
+		narrow.FaultsDetected != wide.FaultsDetected ||
+		narrow.FaultCoverage != wide.FaultCoverage ||
+		narrow.MeanLatencyCycles != wide.MeanLatencyCycles {
+		t.Fatalf("wide scan changed the physics:\n 64: %+v\n256: %+v", narrow, wide)
+	}
+	if want := (wide.FaultsTotal + 255) / 256; wide.FaultBatches != want {
+		t.Fatalf("wide batches = %d, want %d", wide.FaultBatches, want)
+	}
+	if narrow.FaultBatches <= wide.FaultBatches {
+		t.Fatalf("wide scan did not shrink batches: %d vs %d", narrow.FaultBatches, wide.FaultBatches)
+	}
+	// Different widths compile different programs: the wide run may hit
+	// the golden netlist parse but must miss on its own golden/…/l256
+	// program entry.
+	if wide.CacheMisses == 0 {
+		t.Fatalf("wide campaign reused a narrow-width artifact: %+v", wide)
 	}
 }
 

@@ -5,8 +5,9 @@ package service
 // debug pipeline shares (golden program, layout, baseline, dictionary)
 // and adds one of its own: the compiled candidate program of the
 // injected implementation, keyed by the implementation fingerprint
-// (prog/<fp>), so concurrent repair campaigns on the same injected
-// design arm their 64-candidate lane batches on forks of one compile.
+// and the campaign lane count (prog/<fp>/l<lanes>), so concurrent repair
+// campaigns on the same injected design at the same width arm their
+// lane batches on forks of one compile.
 // When localization had to fall back to probe rounds, the implementation
 // netlist has grown observation logic and the cached pristine program no
 // longer matches — the session then compiles a fresh one itself.
@@ -57,8 +58,8 @@ func (s *Service) runRepairCampaign(ctx context.Context, c *campaign, sess *debu
 	// without inserting observation logic.
 	var prog *sim.Machine
 	if diag.Dict {
-		v, hit, err := s.cache.GetOrBuild("prog/"+implFP, func() (any, int64, error) {
-			m, err := sim.Compile(impl.Clone())
+		v, hit, err := s.cache.GetOrBuild(fmt.Sprintf("prog/%s/l%d", implFP, spec.SimLanes), func() (any, int64, error) {
+			m, err := sim.CompileWidth(impl.Clone(), spec.SimLanes/64)
 			if err != nil {
 				return nil, 0, err
 			}

@@ -26,7 +26,7 @@ const (
 	// KindDebug is the full detect → localize → correct loop (default).
 	KindDebug = "debug"
 	// KindFaultScan fault-simulates the design's exhaustive single-fault
-	// universe in 64-lane batches and reports detection coverage and
+	// universe in SimLanes-sized batches and reports detection coverage and
 	// latency; it needs no layout, no injection and no correction.
 	KindFaultScan = "faultscan"
 	// KindRepair runs one detect → dictionary-localize → repair pass with
@@ -69,6 +69,12 @@ type Spec struct {
 	// Patterns is the broadcast-pattern count of a faultscan campaign
 	// (default 64).
 	Patterns int `json:"patterns,omitempty"`
+	// SimLanes is the simulator lane count for the campaign's
+	// lane-parallel engines — the fault-scan host and the cached repair
+	// candidate program. Must be a multiple of 64 between 64 and
+	// 64·sim.MaxWidth; each replay retires SimLanes faults or repair
+	// candidates at once. Default 64 (the classic single-word engine).
+	SimLanes int `json:"sim_lanes,omitempty"`
 	// UseDict attaches a fault dictionary (built once per design and
 	// cached) to a debug campaign, so localization tries a probe-free
 	// dictionary lookup before inserting observation logic.
@@ -93,6 +99,9 @@ func (sp Spec) withDefaults() Spec {
 	}
 	if sp.Patterns == 0 {
 		sp.Patterns = 64
+	}
+	if sp.SimLanes == 0 {
+		sp.SimLanes = 64
 	}
 	if sp.Overhead == 0 {
 		sp.Overhead = 0.20
@@ -147,6 +156,10 @@ func (sp Spec) Validate() error {
 	}
 	if sp.Overhead < 0 || sp.Overhead > 1 || sp.TileFrac < 0 || sp.TileFrac > 1 {
 		return fmt.Errorf("service: overhead and tile_frac must lie in (0,1]")
+	}
+	if sp.SimLanes != 0 && (sp.SimLanes%64 != 0 || sp.SimLanes < 0 || sp.SimLanes > 64*sim.MaxWidth) {
+		return fmt.Errorf("service: sim_lanes must be a multiple of 64 in [64, %d] (got %d)",
+			64*sim.MaxWidth, sp.SimLanes)
 	}
 	return nil
 }
@@ -217,7 +230,7 @@ type Result struct {
 	// (as opposed to golden-copy restorations); RepairKind names the last
 	// winning candidate shape and the three search counters total the
 	// candidates enumerated, the detection-stimulus survivors and the
-	// 64-candidate lane batches replayed. ECOVerified reports the
+	// SimLanes-candidate lane batches replayed. ECOVerified reports the
 	// tile-local sign-off replay of the last repair; RepairFallback that
 	// at least one correction had to fall back to the golden copy.
 	Repaired         int    `json:"repaired,omitempty"`
@@ -798,14 +811,16 @@ func (s *Service) runCampaign(ctx context.Context, c *campaign) (*Result, error)
 	// read-only), its content fingerprint, and the compiled simulator
 	// program (forked per campaign: the fork shares the program, owns the
 	// state). The bench catalog is static and deterministic, so the
-	// design name addresses all three — warm campaigns skip the netlist
-	// rebuild and fingerprint hashing entirely.
-	v, hit, err := s.cache.GetOrBuild("golden/"+spec.Design, func() (any, int64, error) {
+	// design name plus the lane width addresses all three — warm
+	// campaigns skip the netlist rebuild and fingerprint hashing
+	// entirely, and campaigns at different sim_lanes never share a
+	// program (the value plane is laid out per width).
+	v, hit, err := s.cache.GetOrBuild(fmt.Sprintf("golden/%s/l%d", spec.Design, spec.SimLanes), func() (any, int64, error) {
 		mapped, err := synth.TechMap(info.Build())
 		if err != nil {
 			return nil, 0, err
 		}
-		mach, err := sim.Compile(mapped)
+		mach, err := sim.CompileWidth(mapped, spec.SimLanes/64)
 		if err != nil {
 			return nil, 0, err
 		}
@@ -825,8 +840,8 @@ func (s *Service) runCampaign(ctx context.Context, c *campaign) (*Result, error)
 	}
 
 	// Faultscan campaigns branch off here: they need no injection, no
-	// layout and no baseline — just the golden artifact and the 64-lane
-	// mutant engine.
+	// layout and no baseline — just the golden artifact and the
+	// lane-parallel mutant engine.
 	if spec.Kind == KindFaultScan {
 		res, err := s.runFaultScan(ctx, c, ga)
 		if err != nil {
@@ -901,6 +916,7 @@ func (s *Service) runCampaign(ctx context.Context, c *campaign) (*Result, error)
 	}
 	sess.Ctx = ctx
 	sess.Traces = traceStore{s.cache}
+	sess.SimWidth = spec.SimLanes / 64
 	sess.SetGoldenMachine(goldenMach)
 	sess.SetGoldenFingerprint(ga.fp)
 	sess.Progress = func(ev debug.Event) {

@@ -24,10 +24,12 @@
 // golden model, and localization probes internal nets — both map directly
 // onto the trace API (and, in shim form, Machine.Out and Machine.Net).
 //
-// The 64 lanes also serve as 64 independent mutants under a broadcast
+// The lanes also serve as independent mutants under a broadcast
 // stimulus: SetLaneFault arms per-lane fault perturbations (stuck-ats,
 // LUT-bit flips — fault simulation, DESIGN.md §9) and SetLanePatch arms
 // per-lane truth-table substitutions (repair-candidate validation,
-// DESIGN.md §10), so one trace replay evaluates 64 mutants or candidate
-// repairs with no netlist clone and no recompilation.
+// DESIGN.md §10), so one trace replay evaluates Lanes() mutants or
+// candidate repairs with no netlist clone and no recompilation.
+// CompileWidth widens the machine to W words per net (64·W lanes,
+// W ≤ MaxWidth); Compile is CompileWidth with W = 1.
 package sim

@@ -1,0 +1,227 @@
+package sim
+
+// LUT-chain fusion. The dominant cost of a compiled evaluation is not
+// logic — each pair-table kernel is a handful of word ops — but the
+// per-node overhead around it: opcode dispatch, fanin index loads and the
+// store/reload of single-fanout intermediate values through the value
+// plane. Netlists out of tech mapping are full of such chains: a 1- or
+// 2-input LUT feeding exactly one other small LUT.
+//
+// The fusion pass collapses each such producer/consumer pair into one
+// kernel at compile time. For a head LUT h (the producer, whose output H
+// has exactly one reader in the compiled fanin CSR) feeding a tail LUT t,
+// both functions are re-expressed over the union of their input nets
+// (head inputs first, tail's remaining inputs after, deduplicated). When
+// that combined support is at most four nets, two truth tables over the
+// combined inputs are composed bit by bit:
+//
+//	headX(mm) = h(mm restricted to h's inputs)
+//	tailX(mm) = t(mm with headX(mm) substituted at H's pin positions)
+//
+// and the pair becomes one opFused kernel: a single fanin gather feeds
+// two independent pair-table evaluations (good ILP — they share inputs
+// but not results), writing both H and t's output. H is still written so
+// primary outputs, DFF D-inputs and probes that read it stay exact; its
+// single LUT reader, however, is now inside the same kernel, so H's
+// value never round-trips through the value plane on the critical path.
+//
+// Fusion is a schedule transform, not a semantic one: results are
+// bit-identical to the plain program (SetFusion toggles between them),
+// and the perturbed pass — overrides, lane faults, lane patches — always
+// runs the plain program so every node stays individually addressable.
+//
+//	      a   b                a   b   c
+//	       \ /                  \  |  /
+//	      [h=TT2]       ==>   [fused kernel]──► H (= headX(a,b))
+//	         │ H                    │
+//	   c ─[t=TT2]                   └─────────► T (= tailX(a,b,c))
+//	         │ T
+//
+// One level-major xnode schedule results: fused kernels sit at their
+// tail's level, everything else mirrors the plain program.
+
+// xnode is one kernel of the fused fast-path schedule. Plain mirrors
+// reference m.fanin like nodes do; opFused kernels reference the
+// combined-input CSR m.xfan and carry a second output and second pair
+// table for the fused-away head.
+type xnode struct {
+	out   int32 // output net (the tail's, for fused kernels)
+	out2  int32 // fused head's output net, or -1
+	start int32 // opFused*: into m.xfan; otherwise into m.fanin
+	nin   int32 // combined input count for fused kernels
+	aux   int32 // tail pair table in m.ttab (or cover index)
+	aux2  int32 // head pair table in m.ttab, or -1
+	op    uint8
+	tt    uint16 // composed tail table for fused kernels
+	msk   uint16 // classified-kernel descriptor, mirrored from the node
+}
+
+// fusionRec carries one accepted pair from the pairing pass to emission.
+type fusionRec struct {
+	comb   [4]int32 // combined input nets
+	k      int32
+	tailTT uint16
+	headTT uint16
+}
+
+// buildFused computes the fused schedule from the freshly emitted plain
+// program: greedy pairwise fusion of single-fanout TT heads into TT
+// tails, then emission of the xnode list in the same level-major order.
+func (m *Machine) buildFused(netLevel []int32, maxLevel int32) {
+	nNodes := len(m.nodes)
+	reads := make([]int32, len(m.nl.Nets))
+	for _, f := range m.fanin {
+		reads[f]++
+	}
+	drv := make([]int32, len(m.nl.Nets))
+	for i := range drv {
+		drv[i] = -1
+	}
+	for i := range m.nodes {
+		drv[m.nodes[i].out] = int32(i)
+	}
+
+	fusedAway := make([]bool, nNodes) // head folded into its reader's kernel
+	pair := make([]int32, nNodes)     // tail node -> head node, or -1
+	for i := range pair {
+		pair[i] = -1
+	}
+	recs := make(map[int32]fusionRec)
+
+	isTT := func(op uint8) bool { return op >= opTT1 && op <= opTT4 }
+
+	for i := 0; i < nNodes; i++ {
+		t := &m.nodes[i]
+		if !isTT(t.op) {
+			continue
+		}
+		for j := int32(0); j < t.nin; j++ {
+			H := m.fanin[t.start+j]
+			hn := drv[H]
+			if hn < 0 || hn == int32(i) || fusedAway[hn] || pair[hn] >= 0 || fusedAway[i] {
+				continue
+			}
+			h := &m.nodes[hn]
+			if !isTT(h.op) || reads[H] != 1 {
+				continue
+			}
+			// Combined support: head inputs first, then the tail's
+			// non-H inputs, deduplicated; at most four nets.
+			var comb [4]int32
+			k := int32(0)
+			ok := true
+			add := func(net int32) {
+				for x := int32(0); x < k; x++ {
+					if comb[x] == net {
+						return
+					}
+				}
+				if k == 4 {
+					ok = false
+					return
+				}
+				comb[k] = net
+				k++
+			}
+			for jj := int32(0); jj < h.nin && ok; jj++ {
+				add(m.fanin[h.start+jj])
+			}
+			for jj := int32(0); jj < t.nin && ok; jj++ {
+				if net := m.fanin[t.start+jj]; net != H {
+					add(net)
+				}
+			}
+			if !ok {
+				continue
+			}
+			recs[int32(i)] = m.composePair(int32(i), hn, H, comb, k)
+			pair[i] = hn
+			fusedAway[hn] = true
+			break
+		}
+	}
+
+	// Emit: node order is level-major, so the xnode list is too.
+	m.xnodes = make([]xnode, 0, nNodes-len(recs))
+	for i := 0; i < nNodes; i++ {
+		if fusedAway[i] {
+			continue
+		}
+		n := m.nodes[i]
+		x := xnode{out: n.out, out2: -1, start: n.start, nin: n.nin, aux: n.aux, aux2: -1, op: n.op, tt: n.tt, msk: n.msk}
+		if hn := pair[i]; hn >= 0 {
+			r := recs[int32(i)]
+			x.op = opFused1 + uint8(r.k-1)
+			x.nin = r.k
+			x.start = int32(len(m.xfan))
+			m.xfan = append(m.xfan, r.comb[:r.k]...)
+			x.aux = int32(len(m.ttab))
+			m.ttab = append(m.ttab, expandTT(r.tailTT, int(r.k))...)
+			x.aux2 = int32(len(m.ttab))
+			m.ttab = append(m.ttab, expandTT(r.headTT, int(r.k))...)
+			x.tt = r.tailTT
+			x.out2 = m.nodes[hn].out
+			m.fusedPairs++
+		}
+		m.xnodes = append(m.xnodes, x)
+	}
+
+	xi := 0
+	for l := int32(1); l <= maxLevel; l++ {
+		for xi < len(m.xnodes) && netLevel[m.xnodes[xi].out] == l {
+			xi++
+		}
+		m.levelOffX = append(m.levelOffX, int32(xi))
+	}
+}
+
+// composePair builds the two combined truth tables of one accepted
+// (tail, head) pair over the combined input list comb[:k].
+func (m *Machine) composePair(ti, hn, H int32, comb [4]int32, k int32) fusionRec {
+	t := &m.nodes[ti]
+	h := &m.nodes[hn]
+	pos := func(net int32) int32 {
+		for x := int32(0); x < k; x++ {
+			if comb[x] == net {
+				return x
+			}
+		}
+		return -1 // unreachable: comb was built from these fanins
+	}
+	var headPos [4]int32
+	for jj := int32(0); jj < h.nin; jj++ {
+		headPos[jj] = pos(m.fanin[h.start+jj])
+	}
+	var tailPos [4]int32 // -1 at pins reading H
+	for jj := int32(0); jj < t.nin; jj++ {
+		net := m.fanin[t.start+jj]
+		if net == H {
+			tailPos[jj] = -1
+		} else {
+			tailPos[jj] = pos(net)
+		}
+	}
+	r := fusionRec{comb: comb, k: k}
+	for mm := 0; mm < 1<<uint(k); mm++ {
+		hm := 0
+		for jj := int32(0); jj < h.nin; jj++ {
+			hm |= mm >> uint(headPos[jj]) & 1 << uint(jj)
+		}
+		hb := int(h.tt) >> uint(hm) & 1
+		tm := 0
+		for jj := int32(0); jj < t.nin; jj++ {
+			bit := hb
+			if tailPos[jj] >= 0 {
+				bit = mm >> uint(tailPos[jj]) & 1
+			}
+			tm |= bit << uint(jj)
+		}
+		if int(t.tt)>>uint(tm)&1 == 1 {
+			r.tailTT |= 1 << uint(mm)
+		}
+		if hb == 1 {
+			r.headTT |= 1 << uint(mm)
+		}
+	}
+	return r
+}

@@ -70,10 +70,12 @@ type LaneFault struct {
 }
 
 // laneMut is one compiled perturbation attached to a node (or, for
-// sources, a net): apply to the lanes in mask.
+// sources, a net): apply to the lanes in mask, within lane word `word`
+// of the net's lane vector.
 type laneMut struct {
 	mask    uint64
 	minterm uint32
+	word    int32
 	kind    LaneFaultKind
 }
 
@@ -83,21 +85,25 @@ type laneMut struct {
 type preMut struct {
 	net  int32
 	mask uint64
+	word int32
 	kind LaneFaultKind
 }
 
-// SetLaneFault arms one fault on one mutant lane (0..63). Faults
-// accumulate until ClearLaneFaults; arming several faults on the same
-// lane models a multi-fault mutant. Like overrides, lane faults are
-// configuration, not state: they survive Reset (and hence RunTrace).
+// SetLaneFault arms one fault on one mutant lane, 0..Lanes()-1: widened
+// machines carry 64 mutants per lane word, so a width-W compile batches
+// 64·W mutants per replay. Faults accumulate until ClearLaneFaults;
+// arming several faults on the same lane models a multi-fault mutant.
+// Like overrides, lane faults are configuration, not state: they survive
+// Reset (and hence RunTrace).
 func (m *Machine) SetLaneFault(lane int, f LaneFault) error {
-	if lane < 0 || lane > 63 {
-		return fmt.Errorf("sim: lane %d out of [0,63]", lane)
+	if lane < 0 || lane >= 64*m.width {
+		return fmt.Errorf("sim: lane %d out of [0,%d]", lane, 64*m.width-1)
 	}
-	mask := uint64(1) << lane
+	word := int32(lane / 64)
+	mask := uint64(1) << uint(lane%64)
 	switch f.Kind {
 	case LaneStuckAt0, LaneStuckAt1:
-		if int(f.Net) < 0 || int(f.Net) >= len(m.val) {
+		if int(f.Net) < 0 || int(f.Net) >= len(m.nl.Nets) {
 			return fmt.Errorf("sim: lane fault on invalid net %d", f.Net)
 		}
 		d := m.nl.Nets[f.Net].Driver
@@ -106,10 +112,10 @@ func (m *Machine) SetLaneFault(lane int, f LaneFault) error {
 			if node < 0 {
 				return fmt.Errorf("sim: lane fault on net %q driven by uncompiled cell", m.nl.NetName(f.Net))
 			}
-			m.addNodeMut(node, laneMut{mask: mask, kind: f.Kind})
+			m.addNodeMut(node, laneMut{mask: mask, word: word, kind: f.Kind})
 		} else {
 			// PI, DFF output or undriven: force before the node pass.
-			m.preMuts = append(m.preMuts, preMut{net: int32(f.Net), mask: mask, kind: f.Kind})
+			m.preMuts = append(m.preMuts, preMut{net: int32(f.Net), mask: mask, word: word, kind: f.Kind})
 		}
 	case LaneLUTFlip:
 		if int(f.Cell) < 0 || int(f.Cell) >= len(m.nodeOfCell) {
@@ -123,7 +129,7 @@ func (m *Machine) SetLaneFault(lane int, f LaneFault) error {
 			return fmt.Errorf("sim: lut-flip minterm %d out of range for %d-input cell %q",
 				f.Minterm, n, m.nl.CellName(f.Cell))
 		}
-		m.addNodeMut(node, laneMut{mask: mask, minterm: f.Minterm, kind: LaneLUTFlip})
+		m.addNodeMut(node, laneMut{mask: mask, minterm: f.Minterm, word: word, kind: LaneLUTFlip})
 	default:
 		return fmt.Errorf("sim: unknown lane-fault kind %d", f.Kind)
 	}
@@ -183,78 +189,26 @@ func applyStuck(w uint64, mut laneMut) uint64 {
 	return w &^ mut.mask
 }
 
-// applyNodeMuts perturbs one node's freshly computed word. For LUT flips
-// the select word — all-ones in lanes whose fanin assignment equals the
-// flipped minterm — is recomputed from the already-evaluated fanin words,
-// so the flip tracks the inputs cycle by cycle just like a mutated truth
-// table would.
-func (m *Machine) applyNodeMuts(w uint64, n *node, muts []laneMut) uint64 {
-	for _, mut := range muts {
-		switch mut.kind {
-		case LaneLUTFlip:
-			sel := ^uint64(0)
-			s := n.start
-			for j := int32(0); j < n.nin; j++ {
-				fv := m.val[m.fanin[s+j]]
-				if mut.minterm&(1<<uint(j)) != 0 {
-					sel &= fv
-				} else {
-					sel &= ^fv
-				}
-			}
-			w ^= sel & mut.mask
-		default:
-			w = applyStuck(w, mut)
+// applyNodeMut perturbs one lane word of a node's freshly computed lane
+// vector (the word the mutation addresses). For LUT flips the select
+// word — all-ones in lanes whose fanin assignment equals the flipped
+// minterm — is recomputed from the already-evaluated fanin words at the
+// same word index, so the flip tracks the inputs cycle by cycle just
+// like a mutated truth table would.
+func (m *Machine) applyNodeMut(w uint64, n *node, mut laneMut) uint64 {
+	if mut.kind != LaneLUTFlip {
+		return applyStuck(w, mut)
+	}
+	W := m.width
+	sel := ^uint64(0)
+	s := n.start
+	for j := int32(0); j < n.nin; j++ {
+		fv := m.val[int(m.fanin[s+j])*W+int(mut.word)]
+		if mut.minterm&(1<<uint(j)) != 0 {
+			sel &= fv
+		} else {
+			sel &= ^fv
 		}
 	}
-	return w
-}
-
-// evalNodesFaulty is the fault-parallel pass: evalNodes plus the per-node
-// override check and lane-mutation hook. Kept separate so the fault-free
-// paths pay nothing for the feature.
-func (m *Machine) evalNodesFaulty() {
-	v := m.val
-	fan := m.fanin
-	ttab := m.ttab
-	nodes := m.nodes
-	for i := range nodes {
-		n := nodes[i]
-		s := n.start
-		var w uint64
-		switch n.op {
-		case opTT2:
-			w = evalTab2(ttab[n.aux:n.aux+4:n.aux+4], v[fan[s]], v[fan[s+1]])
-		case opTT3:
-			w = evalTab3(ttab[n.aux:n.aux+8:n.aux+8], v[fan[s]], v[fan[s+1]], v[fan[s+2]])
-		case opTT4:
-			w = evalTab4(ttab[n.aux:n.aux+16:n.aux+16], v[fan[s]], v[fan[s+1]], v[fan[s+2]], v[fan[s+3]])
-		case opTT1:
-			w = evalTab1(ttab[n.aux:n.aux+2:n.aux+2], v[fan[s]])
-		case opConst:
-			w = -uint64(n.tt & 1)
-		default: // opCover
-			buf := m.buf[:n.nin]
-			for j := int32(0); j < n.nin; j++ {
-				buf[j] = v[fan[s+j]]
-			}
-			w = m.covers[n.aux].EvalWords(buf)
-		}
-		if m.ovIdx != nil {
-			if o := m.ovIdx[n.out]; o >= 0 {
-				w = m.ovVal[o]
-			}
-		}
-		if m.mutOf != nil {
-			if mi := m.mutOf[i]; mi >= 0 {
-				w = m.applyNodeMuts(w, &nodes[i], m.mutLists[mi])
-			}
-		}
-		if m.patchOf != nil {
-			if pi := m.patchOf[i]; pi >= 0 {
-				w = m.applyNodePatches(w, &nodes[i], m.patchLists[pi])
-			}
-		}
-		v[n.out] = w
-	}
+	return w ^ sel&mut.mask
 }

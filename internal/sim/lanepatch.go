@@ -24,25 +24,28 @@ import (
 )
 
 // lanePatch is one compiled truth-table substitution attached to a node:
-// in the lanes of mask, the node's output is recomputed from the pair
-// table at tab instead of the compiled program's table.
+// in the lanes of mask (within lane word `word` of the node's lane
+// vector), the node's output is recomputed from the pair table at tab
+// instead of the compiled program's table.
 type lanePatch struct {
 	mask uint64
 	tab  int32 // start of the 2^nin-word pair table in m.patchTabs
 	nin  int32 // fanin count of the patched node
+	word int32
 	tt   uint16
 }
 
 // SetLanePatch arms a replacement truth table for one LUT cell on one
-// mutant lane (0..63). The cell must be a compiled LUT of at most four
-// inputs (wider cells keep their cover kernel and cannot be patched).
-// tt's low 2^k bits are the replacement table over the cell's k fanins in
-// pin order; higher bits are ignored. Patches accumulate until
+// mutant lane, 0..Lanes()-1 (a width-W compile validates 64·W candidates
+// per replay). The cell must be a compiled LUT of at most four inputs
+// (wider cells keep their cover kernel and cannot be patched). tt's low
+// 2^k bits are the replacement table over the cell's k fanins in pin
+// order; higher bits are ignored. Patches accumulate until
 // ClearLaneFaults; arming several patches on the same (lane, cell) is an
 // error in the caller's logic and the last one wins.
 func (m *Machine) SetLanePatch(lane int, cell netlist.CellID, tt uint16) error {
-	if lane < 0 || lane > 63 {
-		return fmt.Errorf("sim: lane %d out of [0,63]", lane)
+	if lane < 0 || lane >= 64*m.width {
+		return fmt.Errorf("sim: lane %d out of [0,%d]", lane, 64*m.width-1)
 	}
 	if int(cell) < 0 || int(cell) >= len(m.nodeOfCell) {
 		return fmt.Errorf("sim: lane patch on invalid cell %d", cell)
@@ -58,7 +61,7 @@ func (m *Machine) SetLanePatch(lane int, cell netlist.CellID, tt uint16) error {
 	if n.nin < 4 {
 		tt &= 1<<(1<<uint(n.nin)) - 1
 	}
-	p := lanePatch{mask: uint64(1) << lane, nin: n.nin, tt: tt, tab: -1}
+	p := lanePatch{mask: uint64(1) << uint(lane%64), word: int32(lane / 64), nin: n.nin, tt: tt, tab: -1}
 	if n.nin > 0 {
 		p.tab = int32(len(m.patchTabs))
 		m.patchTabs = append(m.patchTabs, expandTT(tt, int(n.nin))...)
@@ -103,29 +106,29 @@ func (m *Machine) clearLanePatches() {
 	m.patchTabs = m.patchTabs[:0]
 }
 
-// applyNodePatches substitutes one node's freshly computed word in the
-// patched lanes: the replacement table is evaluated from the
-// already-computed fanin words through the same pair-table kernels the
-// compiled program uses, then blended in under the lane mask.
-func (m *Machine) applyNodePatches(w uint64, n *node, patches []lanePatch) uint64 {
+// applyNodePatch substitutes one lane word of a node's freshly computed
+// lane vector in the patched lanes: the replacement table is evaluated
+// from the already-computed fanin words (at the word index the patch
+// addresses) through the same pair-table kernels the compiled program
+// uses, then blended in under the lane mask.
+func (m *Machine) applyNodePatch(w uint64, n *node, p lanePatch) uint64 {
 	v := m.val
+	W := m.width
 	fan := m.fanin
 	s := n.start
-	for _, p := range patches {
-		var pw uint64
-		switch p.nin {
-		case 0:
-			pw = -uint64(p.tt & 1)
-		case 1:
-			pw = evalTab1(m.patchTabs[p.tab:p.tab+2:p.tab+2], v[fan[s]])
-		case 2:
-			pw = evalTab2(m.patchTabs[p.tab:p.tab+4:p.tab+4], v[fan[s]], v[fan[s+1]])
-		case 3:
-			pw = evalTab3(m.patchTabs[p.tab:p.tab+8:p.tab+8], v[fan[s]], v[fan[s+1]], v[fan[s+2]])
-		default:
-			pw = evalTab4(m.patchTabs[p.tab:p.tab+16:p.tab+16], v[fan[s]], v[fan[s+1]], v[fan[s+2]], v[fan[s+3]])
-		}
-		w = w&^p.mask | pw&p.mask
+	fv := func(j int32) uint64 { return v[int(fan[s+j])*W+int(p.word)] }
+	var pw uint64
+	switch p.nin {
+	case 0:
+		pw = -uint64(p.tt & 1)
+	case 1:
+		pw = evalTab1(m.patchTabs[p.tab:p.tab+2:p.tab+2], fv(0))
+	case 2:
+		pw = evalTab2(m.patchTabs[p.tab:p.tab+4:p.tab+4], fv(0), fv(1))
+	case 3:
+		pw = evalTab3(m.patchTabs[p.tab:p.tab+8:p.tab+8], fv(0), fv(1), fv(2))
+	default:
+		pw = evalTab4(m.patchTabs[p.tab:p.tab+16:p.tab+16], fv(0), fv(1), fv(2), fv(3))
 	}
-	return w
+	return w&^p.mask | pw&p.mask
 }

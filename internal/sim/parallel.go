@@ -1,0 +1,243 @@
+package sim
+
+// Level-parallel evaluation. The level-major node schedule (sim.go) makes
+// every topological level a contiguous node range whose members depend
+// only on earlier levels, so one level's nodes can be evaluated in any
+// order — including concurrently. SetWorkers splits each sufficiently
+// wide level across a bounded pool of persistent goroutines with a
+// barrier per level; narrow levels (where a barrier would cost more than
+// it buys) are merged into serial runs executed by the calling goroutine
+// alone.
+//
+//	level 1  [████████████████████]  wide  → chunked across all workers
+//	                ─ barrier ─
+//	level 2  [██████████████]        wide  → chunked across all workers
+//	                ─ barrier ─
+//	levels 3..5 [██][█][██]          narrow → one serial run, main only
+//	                (no barrier: workers wait at the next wide level)
+//
+// The pool is configuration of one Machine instance (forks do not
+// inherit it) and is internal to Eval: the machine remains externally
+// single-threaded, and results are bit-identical to serial evaluation
+// regardless of worker count. Workers park on a channel between
+// evaluations; the per-level rendezvous is a sense-reversing barrier
+// spinning on an atomic generation counter (with Gosched), which keeps
+// the happens-before chain visible to the race detector and the latency
+// far below a channel round-trip.
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// evalPass selects the node schedule a pool run executes.
+type evalPass uint8
+
+const (
+	passFused  evalPass = iota // xnodes, fused fast path
+	passPlain                  // plain nodes, fusion ablated
+	passHooked                 // plain nodes + override/fault/patch hooks
+)
+
+// parCutNodes is the minimum level width worth splitting: below this,
+// barrier latency outweighs the shared work and the level runs serially.
+const parCutNodes = 64
+
+// seg is one schedule segment: a contiguous node range that is either a
+// single wide level (par), chunked across all participants between
+// barriers, or a run of narrow levels executed by participant 0 alone.
+type seg struct {
+	lo, hi int32
+	par    bool
+	entry  bool // par seg preceded by serial work: barrier before starting
+}
+
+// barrier is a reusable sense-reversing spin barrier for n participants.
+type barrier struct {
+	arrived atomic.Int32
+	gen     atomic.Uint32
+	n       int32
+}
+
+func (b *barrier) wait() {
+	g := b.gen.Load()
+	if b.arrived.Add(1) == b.n {
+		b.arrived.Store(0)
+		b.gen.Add(1)
+		return
+	}
+	for b.gen.Load() == g {
+		runtime.Gosched()
+	}
+}
+
+// evalPool runs one Machine's node passes across n goroutines (the
+// caller plus n-1 spawned workers).
+type evalPool struct {
+	m          *Machine
+	n          int32
+	segsX      []seg // fused schedule (xnode indices)
+	segsN      []seg // plain schedule (node indices)
+	parX, parN bool  // whether each schedule has any parallel segment
+	wake       []chan evalPass
+	quit       chan struct{}
+	bufs       [][]uint64 // per-worker cover scratch
+	bar        barrier
+}
+
+// SetWorkers configures level-parallel evaluation: Eval partitions every
+// topological level of at least parCutNodes nodes across n goroutines
+// (n-1 spawned workers plus the calling one) with a barrier between
+// levels. n <= 1 — or a design with no level wide enough to split —
+// reverts to serial evaluation; either way any previously spawned
+// workers are stopped. Worker count is configuration of this machine
+// instance: forks never inherit it. The machine itself remains
+// single-threaded: Eval, RunTrace and friends must not be called
+// concurrently.
+func (m *Machine) SetWorkers(n int) {
+	if m.pool != nil {
+		m.pool.stop()
+		m.pool = nil
+	}
+	if n <= 1 {
+		return
+	}
+	segsX, parX := buildSegs(m.levelOffX, parCutNodes)
+	segsN, parN := buildSegs(m.levelOffN, parCutNodes)
+	if !parX && !parN {
+		return
+	}
+	p := &evalPool{
+		m:     m,
+		n:     int32(n),
+		segsX: segsX,
+		segsN: segsN,
+		parX:  parX,
+		parN:  parN,
+		quit:  make(chan struct{}),
+	}
+	p.bar.n = int32(n)
+	for i := 1; i < n; i++ {
+		ch := make(chan evalPass, 1)
+		buf := make([]uint64, len(m.buf))
+		p.wake = append(p.wake, ch)
+		p.bufs = append(p.bufs, buf)
+		go p.worker(int32(i), ch, buf)
+	}
+	m.pool = p
+}
+
+// Workers returns the configured evaluation parallelism (1 = serial).
+func (m *Machine) Workers() int {
+	if m.pool == nil {
+		return 1
+	}
+	return int(m.pool.n)
+}
+
+// buildSegs turns level boundaries into a segment schedule: each level
+// of at least cut nodes becomes a parallel segment, consecutive narrower
+// levels merge into one serial segment.
+func buildSegs(levelOff []int32, cut int32) ([]seg, bool) {
+	var segs []seg
+	hasPar := false
+	prev := int32(0)
+	seqStart := int32(-1)
+	for _, end := range levelOff {
+		span := end - prev
+		if span >= cut {
+			if seqStart >= 0 {
+				segs = append(segs, seg{lo: seqStart, hi: prev})
+				seqStart = -1
+			}
+			entry := len(segs) > 0 && !segs[len(segs)-1].par
+			segs = append(segs, seg{lo: prev, hi: end, par: true, entry: entry})
+			hasPar = true
+		} else if span > 0 && seqStart < 0 {
+			seqStart = prev
+		}
+		prev = end
+	}
+	if seqStart >= 0 {
+		segs = append(segs, seg{lo: seqStart, hi: prev})
+	}
+	return segs, hasPar
+}
+
+func (p *evalPool) segsFor(pass evalPass) []seg {
+	if pass == passFused {
+		return p.segsX
+	}
+	return p.segsN
+}
+
+// run executes one full pass with the pool: the caller is participant 0,
+// every worker is woken with the pass tag and walks the same segment
+// schedule, meeting at the per-level barriers. On return all nodes have
+// been evaluated and every write is visible to the caller.
+func (p *evalPool) run(pass evalPass) {
+	for _, ch := range p.wake {
+		ch <- pass
+	}
+	p.work(p.segsFor(pass), pass, 0, p.m.buf)
+}
+
+func (p *evalPool) worker(id int32, wake <-chan evalPass, buf []uint64) {
+	for {
+		select {
+		case <-p.quit:
+			return
+		case pass := <-wake:
+			p.work(p.segsFor(pass), pass, id, buf)
+		}
+	}
+}
+
+// work walks the segment schedule as participant id. Serial segments are
+// executed by participant 0 while the others proceed to the next
+// barrier; parallel segments are chunked contiguously so each
+// participant touches a disjoint node range. The barrier discipline —
+// entry barrier after serial work, exit barrier after every parallel
+// segment — is identical for all participants, which is what makes the
+// rendezvous counts line up.
+func (p *evalPool) work(segs []seg, pass evalPass, id int32, buf []uint64) {
+	m := p.m
+	for _, sg := range segs {
+		if !sg.par {
+			if id == 0 {
+				m.evalSeg(pass, sg.lo, sg.hi, buf)
+			}
+			continue
+		}
+		if sg.entry {
+			p.bar.wait()
+		}
+		span := sg.hi - sg.lo
+		chunk := (span + p.n - 1) / p.n
+		lo := sg.lo + id*chunk
+		hi := lo + chunk
+		if hi > sg.hi {
+			hi = sg.hi
+		}
+		if lo < hi {
+			m.evalSeg(pass, lo, hi, buf)
+		}
+		p.bar.wait()
+	}
+}
+
+func (m *Machine) evalSeg(pass evalPass, lo, hi int32, buf []uint64) {
+	switch pass {
+	case passFused:
+		m.evalXRange(lo, hi, buf)
+	case passPlain:
+		m.evalPlainRange(lo, hi, buf)
+	default:
+		m.evalHookedRange(lo, hi, buf)
+	}
+}
+
+// stop terminates the pool's workers; no evaluation may be in flight.
+func (p *evalPool) stop() {
+	close(p.quit)
+}

@@ -10,17 +10,44 @@ import (
 
 // Kernel opcodes. LUTs with at most four inputs are compiled to their
 // 16-bit truth table and evaluated by unrolled Shannon muxing; wider LUTs
-// keep their sum-of-products cover.
+// keep their sum-of-products cover. The opFused* opcodes exist only in the
+// fused fast-path schedule (see fused.go): one kernel evaluates a
+// single-fanout producer LUT and its consumer from one shared input
+// gather, writing both output nets.
 const (
-	opConst uint8 = iota // zero-input LUT; tt bit 0 is the constant
-	opTT1                // 1-input truth-table kernel
-	opTT2                // 2-input truth-table kernel
-	opTT3                // 3-input truth-table kernel
-	opTT4                // 4-input truth-table kernel
-	opCover              // generic cover evaluation (k > 4)
+	opConst  uint8 = iota // zero-input LUT; tt bit 0 is the constant
+	opTT1                 // 1-input truth-table kernel
+	opTT2                 // 2-input truth-table kernel
+	opTT3                 // 3-input truth-table kernel
+	opTT4                 // 4-input truth-table kernel
+	opCover               // generic cover evaluation (k > 4)
+	opFused1              // fused pair kernel over 1 combined input
+	opFused2              // fused pair kernel over 2 combined inputs
+	opFused3              // fused pair kernel over 3 combined inputs
+	opFused4              // fused pair kernel over 4 combined inputs
+
+	// Classified table-free kernels (see classify.go): the compile-time
+	// truth-table classifier lowers parity functions, read-once AND/XOR
+	// chains and trees, and 2:1 muxes to register-only arithmetic decoded
+	// from node.msk. Classified nodes keep their pair table (aux/tt), so
+	// the hooked pass and lane patches treat them like opTT* nodes.
+	opXor2   // 2-input parity, optional complement
+	opXor3   // 3-input parity
+	opXor4   // 4-input parity
+	opChain2 // 2-input read-once AND/XOR chain with complements
+	opChain3 // 3-input chain
+	opChain4 // 4-input chain
+	opTree4  // 4-input balanced read-once tree
+	opMux3   // 2:1 mux (s ? a : b) with complements
+	opMaj3   // 3-input majority with complements
+	opSplit4 // 4-input: one pin AND/XOR-chained onto a 3-input register table
 )
 
-// node is one compiled LUT in topological order.
+// MaxWidth bounds the lane-vector width: up to MaxWidth 64-pattern words
+// per net, i.e. 64*MaxWidth parallel lanes per replay.
+const MaxWidth = 16
+
+// node is one compiled LUT in level-major topological order.
 type node struct {
 	out   int32  // output net index
 	start int32  // first fanin in the CSR array
@@ -28,24 +55,55 @@ type node struct {
 	aux   int32  // opTT*: start in ttab; opCover: index into covers
 	op    uint8  // kernel opcode
 	tt    uint16 // raw truth table (opConst: bit 0 is the constant)
+	msk   uint16 // classified-kernel descriptor (see classify.go)
 }
 
-// Machine is a compiled simulator instance for one netlist. It is not safe
-// for concurrent use; compile one Machine per worker.
+// Machine is a compiled simulator instance for one netlist. Every net
+// carries a lane vector of Width() 64-pattern words — 64·Width parallel
+// lanes per evaluation — stored stride-Width in one flat value plane.
+// A Machine is not safe for concurrent use by callers; compile one
+// Machine per worker (SetWorkers parallelism is internal to Eval).
 type Machine struct {
-	nl *netlist.Netlist
+	nl    *netlist.Netlist
+	width int // words per net lane vector (W); lanes = 64*W
 
 	// Compiled program.
 	nodes  []node
 	fanin  []int32       // CSR-packed fanin net indices for all nodes
-	ttab   []uint64      // broadcast pair tables of all opTT* nodes
+	ttab   []uint64      // broadcast pair tables of all opTT*/opFused* kernels
 	covers []logic.Cover // functions of opCover nodes
 	buf    []uint64      // scratch fanin gather for opCover kernels
+
+	// Fused fast-path schedule (see fused.go). xnodes is the plain node
+	// list with every fused producer folded into its consumer's kernel;
+	// the hooked evaluation paths (overrides, lane faults/patches) walk
+	// the unfused nodes instead.
+	xnodes     []xnode
+	xfan       []int32 // combined fanin lists of fused kernels
+	fusedPairs int
+	fuse       bool // fast path uses the fused schedule (default on)
+
+	// Premultiplied block-path offsets (widths divisible by four only):
+	// copies of the fanin/xfan CSRs and the node output nets with the *W
+	// already baked in, so the block evaluators' dispatch loop loads a
+	// ready word offset instead of paying a multiply per operand.
+	fanB   []int32
+	xfanB  []int32
+	outB   []int32 // per node
+	xoutB  []int32 // per xnode
+	xout2B []int32 // per xnode; -1 where out2 is -1
+
+	// Level structure: levelOffN/levelOffX are the level boundaries of
+	// nodes/xnodes (both emitted level-major), driving the optional
+	// level-parallel evaluation pool (see parallel.go).
+	levelOffN []int32
+	levelOffX []int32
+	pool      *evalPool
 
 	// Flip-flop tables (compile order, stable across the Machine's life).
 	dffD    []int32  // D input net per DFF
 	dffQ    []int32  // Q output net per DFF
-	dffInit []uint64 // power-on word per DFF (0 or all-ones)
+	dffInit []uint64 // power-on word per DFF (0 or all-ones, broadcast to all lane words)
 
 	// Primary input/output tables.
 	pis     []int32  // PI net indices, sorted by name
@@ -53,16 +111,17 @@ type Machine struct {
 	pos     []int32  // PO net indices in netlist declaration order
 	poNames []string // names parallel to pos
 
-	val   []uint64 // per net, 64 patterns wide
-	state []uint64 // per DFF: current Q value
+	val   []uint64 // per net: width words (net i at val[i*width:(i+1)*width])
+	state []uint64 // per DFF: width words of current Q value
 
 	// Trace configuration (see trace.go).
 	bound        []int32 // net index per stimulus column
 	probes       []int32 // net indices sampled into Trace.ProbeVals
 	captureState bool
 
-	// Override list: nets pinned to a fixed word during evaluation.
-	ovIdx  []int32 // per net: index into ovVal, or -1 (nil until first use)
+	// Override list: nets pinned to a fixed lane vector during evaluation
+	// (width words per entry in ovVal).
+	ovIdx  []int32 // per net: index into ovNets, or -1 (nil until first use)
 	ovNets []int32
 	ovVal  []uint64
 
@@ -84,75 +143,174 @@ type Machine struct {
 }
 
 // Compile levelizes the netlist and lowers it into a ready-to-run machine
-// in the reset state. The netlist must be combinationally acyclic.
+// in the reset state, with the classic single-word lane model (64 lanes).
+// The netlist must be combinationally acyclic.
 func Compile(nl *netlist.Netlist) (*Machine, error) {
+	return CompileWidth(nl, 1)
+}
+
+// CompileWidth is Compile with a configurable lane-vector width: every
+// net carries width 64-pattern words, so one replay evaluates 64·width
+// parallel patterns (or mutants — see SetLaneFault). width 1 yields a
+// machine bit-identical to Compile's; width must be in [1, MaxWidth].
+func CompileWidth(nl *netlist.Netlist, width int) (*Machine, error) {
+	if width < 1 || width > MaxWidth {
+		return nil, fmt.Errorf("sim: lane width %d out of [1,%d]", width, MaxWidth)
+	}
 	order, err := nl.TopoOrder()
 	if err != nil {
 		return nil, fmt.Errorf("sim: %w", err)
 	}
 	m := &Machine{
 		nl:         nl,
-		val:        make([]uint64, len(nl.Nets)),
+		width:      width,
+		fuse:       true,
+		val:        make([]uint64, len(nl.Nets)*width),
 		nodeOfCell: make([]int32, len(nl.Cells)),
 	}
 	for i := range m.nodeOfCell {
 		m.nodeOfCell[i] = -1
 	}
-	maxFanin := 0
+
+	// Levelize: level 0 is sources (PIs, DFF outputs, undriven nets);
+	// a LUT's level is one past its deepest fanin. Nodes are emitted
+	// level-major (stable within a level by topo order) so independent
+	// levels are contiguous — the schedule shape level-parallel
+	// evaluation partitions. Any level-major order is a topological
+	// order, so serial results are unchanged.
+	netLevel := make([]int32, len(nl.Nets))
+	var luts []netlist.CellID
+	maxLevel := int32(0)
+	// Per-cell lowering decision: opcode, classified-kernel descriptor and
+	// 16-bit truth table, computed once here so the schedule sort below can
+	// key on the final opcode.
+	type lowered struct {
+		op  uint8
+		msk uint16
+		w4  uint16
+	}
+	low := make([]lowered, len(nl.Cells))
 	for _, id := range order {
 		c := &nl.Cells[id]
-		switch c.Kind {
-		case netlist.KindLUT:
-			m.nodeOfCell[id] = int32(len(m.nodes))
-			n := node{
-				out:   int32(c.Out),
-				start: int32(len(m.fanin)),
-				nin:   int32(len(c.Fanin)),
-				aux:   -1,
+		if c.Kind != netlist.KindLUT {
+			continue
+		}
+		lvl := int32(0)
+		for _, f := range c.Fanin {
+			if netLevel[f] >= lvl {
+				lvl = netLevel[f] + 1
 			}
-			for _, f := range c.Fanin {
-				m.fanin = append(m.fanin, int32(f))
+		}
+		if len(c.Fanin) == 0 {
+			lvl = 1
+		}
+		netLevel[c.Out] = lvl
+		if lvl > maxLevel {
+			maxLevel = lvl
+		}
+		luts = append(luts, id)
+
+		k := len(c.Fanin)
+		switch {
+		case k == 0:
+			low[id].op = opConst
+			if c.Func.Eval(0) {
+				low[id].w4 = 1
 			}
-			switch {
-			case len(c.Fanin) == 0:
-				n.op = opConst
-				if c.Func.Eval(0) {
-					n.tt = 1
-				}
-			case len(c.Fanin) <= 4:
-				tt, err := c.Func.TT()
-				if err != nil {
-					return nil, fmt.Errorf("sim: cell %q: %w", c.Name, err)
-				}
-				w4, err := tt.Word4()
-				if err != nil {
-					return nil, fmt.Errorf("sim: cell %q: %w", c.Name, err)
-				}
-				n.op = opConst + uint8(len(c.Fanin)) // opTT1..opTT4
-				n.tt = w4
-				n.aux = int32(len(m.ttab))
-				m.ttab = append(m.ttab, expandTT(w4, len(c.Fanin))...)
-			default:
-				n.op = opCover
-				n.aux = int32(len(m.covers))
-				m.covers = append(m.covers, c.Func)
-				if len(c.Fanin) > maxFanin {
-					maxFanin = len(c.Fanin)
-				}
+		case k <= 4:
+			tt, err := c.Func.TT()
+			if err != nil {
+				return nil, fmt.Errorf("sim: cell %q: %w", c.Name, err)
 			}
-			m.nodes = append(m.nodes, n)
-		case netlist.KindDFF:
-			m.dffD = append(m.dffD, int32(c.Fanin[0]))
-			m.dffQ = append(m.dffQ, int32(c.Out))
-			if c.Init == 1 {
-				m.dffInit = append(m.dffInit, ^uint64(0))
+			w4, err := tt.Word4()
+			if err != nil {
+				return nil, fmt.Errorf("sim: cell %q: %w", c.Name, err)
+			}
+			low[id].op = opConst + uint8(k) // opTT1..opTT4
+			low[id].w4 = w4
+			if op, msk, ok := classifyTT(w4, k); ok {
+				low[id].op = op
+				low[id].msk = msk
 			} else {
-				m.dffInit = append(m.dffInit, 0)
+				// Unclassified table kernels carry the compressed pair table
+				// so the block evaluators can rebuild it in registers.
+				low[id].msk = pairBits(w4, k)
 			}
+		default:
+			low[id].op = opCover
+		}
+	}
+	// Within a level nodes are mutually independent, so their order is
+	// free; grouping them by opcode turns the evaluator's per-node opcode
+	// switch into long runs of one branch target, which the predictor
+	// learns instead of guessing per node.
+	sort.SliceStable(luts, func(i, j int) bool {
+		li, lj := netLevel[nl.Cells[luts[i]].Out], netLevel[nl.Cells[luts[j]].Out]
+		if li != lj {
+			return li < lj
+		}
+		return low[luts[i]].op < low[luts[j]].op
+	})
+
+	maxFanin := 0
+	for _, id := range luts {
+		c := &nl.Cells[id]
+		m.nodeOfCell[id] = int32(len(m.nodes))
+		n := node{
+			out:   int32(c.Out),
+			start: int32(len(m.fanin)),
+			nin:   int32(len(c.Fanin)),
+			aux:   -1,
+			op:    low[id].op,
+			msk:   low[id].msk,
+			tt:    low[id].w4,
+		}
+		for _, f := range c.Fanin {
+			m.fanin = append(m.fanin, int32(f))
+		}
+		switch n.op {
+		case opConst:
+		case opCover:
+			n.aux = int32(len(m.covers))
+			m.covers = append(m.covers, c.Func)
+			if len(c.Fanin) > maxFanin {
+				maxFanin = len(c.Fanin)
+			}
+		default:
+			// Table kernels and classified kernels alike carry the expanded
+			// pair table: the hooked pass, lane patches and fused-pair
+			// composition all read it regardless of the fast-path opcode.
+			n.aux = int32(len(m.ttab))
+			m.ttab = append(m.ttab, expandTT(n.tt, len(c.Fanin))...)
+		}
+		m.nodes = append(m.nodes, n)
+	}
+	// levelOffN[i] is one past the last node of level i+1, so level l's
+	// node range is [levelOffN[l-2], levelOffN[l-1]) with an implicit 0
+	// at the front.
+	idx := 0
+	for l := int32(1); l <= maxLevel; l++ {
+		for idx < len(luts) && netLevel[nl.Cells[luts[idx]].Out] == l {
+			idx++
+		}
+		m.levelOffN = append(m.levelOffN, int32(idx))
+	}
+
+	for _, id := range order {
+		c := &nl.Cells[id]
+		if c.Kind != netlist.KindDFF {
+			continue
+		}
+		m.dffD = append(m.dffD, int32(c.Fanin[0]))
+		m.dffQ = append(m.dffQ, int32(c.Out))
+		if c.Init == 1 {
+			m.dffInit = append(m.dffInit, ^uint64(0))
+		} else {
+			m.dffInit = append(m.dffInit, 0)
 		}
 	}
 	m.buf = make([]uint64, maxFanin)
-	m.state = make([]uint64, len(m.dffQ))
+	m.state = make([]uint64, len(m.dffQ)*width)
 	for _, pi := range nl.PIs {
 		m.pis = append(m.pis, int32(pi))
 	}
@@ -167,10 +325,46 @@ func Compile(nl *netlist.Netlist) (*Machine, error) {
 		m.pos = append(m.pos, int32(po))
 		m.poNames = append(m.poNames, nl.Nets[po].Name)
 	}
+	m.buildFused(netLevel, maxLevel)
+	m.buildBlockOffsets()
 	// Default binding: every PI, in sorted-name order.
 	m.bound = append([]int32(nil), m.pis...)
 	m.Reset()
 	return m, nil
+}
+
+// buildBlockOffsets bakes the value-plane stride into per-pin copies of
+// the fanin CSRs and per-node output offsets for the block evaluators:
+// net i's lane vector lives at val[i*W : (i+1)*W], and widths divisible
+// by four dispatch through exec.go's block paths, which address blocks
+// as val[fanB[pin]+x] with no multiply in the hot loop. Other widths
+// never consult these arrays.
+func (m *Machine) buildBlockOffsets() {
+	if m.width%4 != 0 {
+		return
+	}
+	W := int32(m.width)
+	m.fanB = make([]int32, len(m.fanin))
+	for i, f := range m.fanin {
+		m.fanB[i] = f * W
+	}
+	m.xfanB = make([]int32, len(m.xfan))
+	for i, f := range m.xfan {
+		m.xfanB[i] = f * W
+	}
+	m.outB = make([]int32, len(m.nodes))
+	for i := range m.nodes {
+		m.outB[i] = m.nodes[i].out * W
+	}
+	m.xoutB = make([]int32, len(m.xnodes))
+	m.xout2B = make([]int32, len(m.xnodes))
+	for i := range m.xnodes {
+		m.xoutB[i] = m.xnodes[i].out * W
+		m.xout2B[i] = -1
+		if m.xnodes[i].out2 >= 0 {
+			m.xout2B[i] = m.xnodes[i].out2 * W
+		}
+	}
 }
 
 // Netlist returns the compiled design.
@@ -179,6 +373,42 @@ func (m *Machine) Netlist() *netlist.Netlist { return m.nl }
 // NumDFFs returns the number of compiled flip-flops.
 func (m *Machine) NumDFFs() int { return len(m.dffQ) }
 
+// Width returns the lane-vector width: 64-pattern words per net.
+func (m *Machine) Width() int { return m.width }
+
+// Lanes returns the number of parallel lanes one evaluation carries
+// (64·Width) — the batch size of fault- and patch-parallel campaigns.
+func (m *Machine) Lanes() int { return 64 * m.width }
+
+// FusedKernels returns how many single-fanout LUT pairs the compiler
+// fused into combined pair-table kernels (see fused.go).
+func (m *Machine) FusedKernels() int { return m.fusedPairs }
+
+// KernelCounts reports how the compiler lowered the plain program's
+// kernels: classified table-free kernels (classify.go), generic
+// truth-table kernels, and sum-of-products cover kernels (constants
+// excluded). The split is a compile-time property — useful for judging
+// how much of a design runs on the fast classified arms.
+func (m *Machine) KernelCounts() (classified, table, cover int) {
+	for i := range m.nodes {
+		switch op := m.nodes[i].op; {
+		case op >= opXor2:
+			classified++
+		case op == opCover:
+			cover++
+		case op >= opTT1 && op <= opTT4:
+			table++
+		}
+	}
+	return classified, table, cover
+}
+
+// SetFusion toggles the fused fast-path schedule; with fusion off the
+// unperturbed evaluation walks the plain one-LUT-per-kernel program.
+// Results are bit-identical either way — the switch exists for the
+// fusion ablation benchmark.
+func (m *Machine) SetFusion(on bool) { m.fuse = on }
+
 // Reset restores every DFF to its power-on value and clears all nets.
 // Trace bindings, probes and overrides are configuration, not state, and
 // survive a reset.
@@ -186,21 +416,35 @@ func (m *Machine) Reset() {
 	for i := range m.val {
 		m.val[i] = 0
 	}
-	copy(m.state, m.dffInit)
+	W := m.width
+	for i, init := range m.dffInit {
+		for w := 0; w < W; w++ {
+			m.state[i*W+w] = init
+		}
+	}
 }
 
 // Eval propagates the current primary inputs and flip-flop state through
 // the combinational logic. It does not advance the clock. Nets on the
-// override list read their pinned word instead of their computed value.
+// override list read their pinned lane vector instead of their computed
+// value.
 func (m *Machine) Eval() {
-	for i, q := range m.dffQ {
-		m.val[q] = m.state[i]
+	W := m.width
+	if W == 1 {
+		for i, q := range m.dffQ {
+			m.val[q] = m.state[i]
+		}
+	} else {
+		for i, q := range m.dffQ {
+			copy(m.val[int(q)*W:int(q)*W+W], m.state[i*W:i*W+W])
+		}
 	}
 	if len(m.ovNets) != 0 {
 		// Pre-apply overrides so source nets (PIs, DFF outputs) read
 		// forced; driven nets are re-forced as their node executes.
 		for _, net := range m.ovNets {
-			m.val[net] = m.ovVal[m.ovIdx[net]]
+			o := int(m.ovIdx[net]) * W
+			copy(m.val[int(net)*W:int(net)*W+W], m.ovVal[o:o+W])
 		}
 	}
 	if len(m.preMuts) != 0 {
@@ -208,90 +452,32 @@ func (m *Machine) Eval() {
 		// never written by the node pass, so forcing them up front is
 		// final for this evaluation.
 		for _, pm := range m.preMuts {
-			m.val[pm.net] = applyStuck(m.val[pm.net], laneMut{mask: pm.mask, kind: pm.kind})
+			i := int(pm.net)*W + int(pm.word)
+			m.val[i] = applyStuck(m.val[i], laneMut{mask: pm.mask, kind: pm.kind})
 		}
 	}
 	switch {
-	case len(m.mutNodes) != 0 || len(m.patchNodes) != 0:
-		m.evalNodesFaulty()
-	case len(m.ovNets) != 0:
-		m.evalNodesOverridden()
+	case len(m.mutNodes) != 0 || len(m.patchNodes) != 0 || len(m.ovNets) != 0:
+		// Hooked pass: plain (unfused) nodes with the per-node override,
+		// lane-fault and lane-patch hooks. Fused-away producers must stay
+		// individually addressable here, so fusion never applies.
+		if m.pool != nil && m.pool.parN {
+			m.pool.run(passHooked)
+		} else {
+			m.evalHookedRange(0, int32(len(m.nodes)), m.buf)
+		}
+	case m.fuse:
+		if m.pool != nil && m.pool.parX {
+			m.pool.run(passFused)
+		} else {
+			m.evalXRange(0, int32(len(m.xnodes)), m.buf)
+		}
 	default:
-		m.evalNodes()
-	}
-}
-
-// evalNodes is the hot loop: one pass over the compiled program.
-func (m *Machine) evalNodes() {
-	v := m.val
-	fan := m.fanin
-	ttab := m.ttab
-	nodes := m.nodes
-	for i := range nodes {
-		n := nodes[i]
-		s := n.start
-		var w uint64
-		switch n.op {
-		case opTT2:
-			f := fan[s : s+2 : s+2]
-			t := ttab[n.aux : n.aux+4 : n.aux+4]
-			w = evalTab2(t, v[f[0]], v[f[1]])
-		case opTT3:
-			f := fan[s : s+3 : s+3]
-			t := ttab[n.aux : n.aux+8 : n.aux+8]
-			w = evalTab3(t, v[f[0]], v[f[1]], v[f[2]])
-		case opTT4:
-			f := fan[s : s+4 : s+4]
-			t := ttab[n.aux : n.aux+16 : n.aux+16]
-			w = evalTab4(t, v[f[0]], v[f[1]], v[f[2]], v[f[3]])
-		case opTT1:
-			w = evalTab1(ttab[n.aux:n.aux+2:n.aux+2], v[fan[s]])
-		case opConst:
-			w = -uint64(n.tt & 1)
-		default: // opCover
-			buf := m.buf[:n.nin]
-			for j := int32(0); j < n.nin; j++ {
-				buf[j] = v[fan[s+j]]
-			}
-			w = m.covers[n.aux].EvalWords(buf)
+		if m.pool != nil && m.pool.parN {
+			m.pool.run(passPlain)
+		} else {
+			m.evalPlainRange(0, int32(len(m.nodes)), m.buf)
 		}
-		v[n.out] = w
-	}
-}
-
-// evalNodesOverridden is evalNodes plus the per-net override check; split
-// out so the common no-override path stays branch-light.
-func (m *Machine) evalNodesOverridden() {
-	v := m.val
-	fan := m.fanin
-	ttab := m.ttab
-	nodes := m.nodes
-	for i := range nodes {
-		n := nodes[i]
-		s := n.start
-		var w uint64
-		switch n.op {
-		case opTT2:
-			w = evalTab2(ttab[n.aux:n.aux+4:n.aux+4], v[fan[s]], v[fan[s+1]])
-		case opTT3:
-			w = evalTab3(ttab[n.aux:n.aux+8:n.aux+8], v[fan[s]], v[fan[s+1]], v[fan[s+2]])
-		case opTT4:
-			w = evalTab4(ttab[n.aux:n.aux+16:n.aux+16], v[fan[s]], v[fan[s+1]], v[fan[s+2]], v[fan[s+3]])
-		case opTT1:
-			w = evalTab1(ttab[n.aux:n.aux+2:n.aux+2], v[fan[s]])
-		case opConst:
-			w = -uint64(n.tt & 1)
-		default: // opCover
-			buf := m.buf[:n.nin]
-			for j := int32(0); j < n.nin; j++ {
-				buf[j] = v[fan[s+j]]
-			}
-			w = m.covers[n.aux].EvalWords(buf)
-		}
-		if o := m.ovIdx[n.out]; o >= 0 {
-			w = m.ovVal[o]
-		}
-		v[n.out] = w
 	}
 }
 
@@ -299,33 +485,46 @@ func (m *Machine) evalNodesOverridden() {
 // called Eval first; the usual cycle is SetPIs → Eval → read outputs →
 // Clock.
 func (m *Machine) Clock() {
+	W := m.width
+	if W == 1 {
+		for i, d := range m.dffD {
+			m.state[i] = m.val[d]
+		}
+		return
+	}
 	for i, d := range m.dffD {
-		m.state[i] = m.val[d]
+		copy(m.state[i*W:i*W+W], m.val[int(d)*W:int(d)*W+W])
 	}
 }
 
-// SetOverride pins a net to a fixed 64-pattern word for every subsequent
-// Eval (and hence RunTrace cycle) until cleared — the software analogue of
-// a control point holding a signal. Unlike ForceNet, the override is
-// honored by the execution core itself: downstream logic evaluated in the
-// same pass reads the forced value, and re-evaluation does not clobber it.
+// SetOverride pins a net to a fixed 64-pattern word — broadcast across
+// all lane words of a widened machine — for every subsequent Eval (and
+// hence RunTrace cycle) until cleared: the software analogue of a control
+// point holding a signal. Unlike ForceNet, the override is honored by the
+// execution core itself: downstream logic evaluated in the same pass
+// reads the forced value, and re-evaluation does not clobber it.
 func (m *Machine) SetOverride(id netlist.NetID, w uint64) error {
-	if int(id) < 0 || int(id) >= len(m.val) {
+	if int(id) < 0 || int(id) >= len(m.nl.Nets) {
 		return fmt.Errorf("sim: override of invalid net %d", id)
 	}
+	W := m.width
 	if m.ovIdx == nil {
-		m.ovIdx = make([]int32, len(m.val))
+		m.ovIdx = make([]int32, len(m.nl.Nets))
 		for i := range m.ovIdx {
 			m.ovIdx[i] = -1
 		}
 	}
 	if o := m.ovIdx[id]; o >= 0 {
-		m.ovVal[o] = w
+		for i := int(o) * W; i < int(o)*W+W; i++ {
+			m.ovVal[i] = w
+		}
 		return nil
 	}
 	m.ovIdx[id] = int32(len(m.ovNets))
 	m.ovNets = append(m.ovNets, int32(id))
-	m.ovVal = append(m.ovVal, w)
+	for i := 0; i < W; i++ {
+		m.ovVal = append(m.ovVal, w)
+	}
 	return nil
 }
 
@@ -338,12 +537,13 @@ func (m *Machine) ClearOverride(id netlist.NetID) {
 	if o < 0 {
 		return
 	}
+	W := m.width
 	last := int32(len(m.ovNets) - 1)
 	m.ovNets[o] = m.ovNets[last]
-	m.ovVal[o] = m.ovVal[last]
+	copy(m.ovVal[int(o)*W:int(o)*W+W], m.ovVal[int(last)*W:int(last)*W+W])
 	m.ovIdx[m.ovNets[o]] = o
 	m.ovNets = m.ovNets[:last]
-	m.ovVal = m.ovVal[:last]
+	m.ovVal = m.ovVal[:int(last)*W]
 	m.ovIdx[id] = -1
 }
 
@@ -356,12 +556,13 @@ func (m *Machine) ClearOverrides() {
 	m.ovVal = m.ovVal[:0]
 }
 
-// Overridden reports whether a net is on the override list, and its word.
+// Overridden reports whether a net is on the override list, and its
+// (lane word 0) pinned word.
 func (m *Machine) Overridden(id netlist.NetID) (uint64, bool) {
 	if m.ovIdx == nil || int(id) < 0 || int(id) >= len(m.ovIdx) || m.ovIdx[id] < 0 {
 		return 0, false
 	}
-	return m.ovVal[m.ovIdx[id]], true
+	return m.ovVal[int(m.ovIdx[id])*m.width], true
 }
 
 // ---------------------------------------------------------------- shim
@@ -369,9 +570,13 @@ func (m *Machine) Overridden(id netlist.NetID) (uint64, bool) {
 // The name/map API below predates the trace API. It is kept as a
 // compatibility layer: correct, convenient for one-off probing and tests,
 // and deliberately unoptimized (per-cycle map allocation and string
-// hashing). Hot paths should use Slots/Bind/RunTrace instead.
+// hashing). Hot paths should use Slots/Bind/RunTrace — and OutputsInto
+// instead of Outputs when a per-cycle output snapshot is needed without
+// the map allocation. On widened machines the scalar shim addresses lane
+// word 0; SetPI/ForceNet broadcast their word across the lane vector.
 
-// SetPI drives a primary input net with a 64-pattern word.
+// SetPI drives a primary input net with a 64-pattern word (broadcast
+// across all lane words of a widened machine).
 func (m *Machine) SetPI(name string, w uint64) error {
 	id, ok := m.nl.NetByName(name)
 	if !ok {
@@ -380,7 +585,9 @@ func (m *Machine) SetPI(name string, w uint64) error {
 	if !m.nl.IsPI(id) {
 		return fmt.Errorf("sim: net %q is not a primary input", name)
 	}
-	m.val[id] = w
+	for i := int(id) * m.width; i < int(id)*m.width+m.width; i++ {
+		m.val[i] = w
+	}
 	return nil
 }
 
@@ -407,26 +614,31 @@ func (m *Machine) Step(in map[string]uint64) (map[string]uint64, error) {
 }
 
 // Net probes any net by name — the software analogue of attaching
-// observation logic.
+// observation logic. Wide machines report lane word 0.
 func (m *Machine) Net(name string) (uint64, error) {
 	id, ok := m.nl.NetByName(name)
 	if !ok {
 		return 0, fmt.Errorf("sim: no net %q", name)
 	}
-	return m.val[id], nil
+	return m.val[int(id)*m.width], nil
 }
 
-// NetByID probes a net by ID.
-func (m *Machine) NetByID(id netlist.NetID) uint64 { return m.val[id] }
+// NetByID probes a net by ID (lane word 0 on wide machines).
+func (m *Machine) NetByID(id netlist.NetID) uint64 { return m.val[int(id)*m.width] }
 
-// ForceNet overwrites a net's current value in place. The write is
-// one-shot: the next Eval recomputes driven nets and clobbers it, so it is
-// only useful for combinational what-if probing on undriven nets or in the
-// window between Eval and Clock. For a forcing that persists across
-// evaluations — and that downstream logic observes — use SetOverride.
-func (m *Machine) ForceNet(id netlist.NetID, w uint64) { m.val[id] = w }
+// ForceNet overwrites a net's current value in place (broadcast across
+// the lane vector). The write is one-shot: the next Eval recomputes
+// driven nets and clobbers it, so it is only useful for combinational
+// what-if probing on undriven nets or in the window between Eval and
+// Clock. For a forcing that persists across evaluations — and that
+// downstream logic observes — use SetOverride.
+func (m *Machine) ForceNet(id netlist.NetID, w uint64) {
+	for i := int(id) * m.width; i < int(id)*m.width+m.width; i++ {
+		m.val[i] = w
+	}
+}
 
-// Out returns a primary output word by name.
+// Out returns a primary output word by name (lane word 0).
 func (m *Machine) Out(name string) (uint64, error) {
 	id, ok := m.nl.NetByName(name)
 	if !ok {
@@ -435,20 +647,46 @@ func (m *Machine) Out(name string) (uint64, error) {
 	if !m.nl.IsPO(id) {
 		return 0, fmt.Errorf("sim: net %q is not a primary output", name)
 	}
-	return m.val[id], nil
+	return m.val[int(id)*m.width], nil
 }
 
-// Outputs returns all primary output words keyed by name.
+// Outputs returns all primary output words keyed by name (lane word 0 on
+// wide machines). It allocates a map per call; hot paths use OutputsInto.
 func (m *Machine) Outputs() map[string]uint64 {
 	out := make(map[string]uint64, len(m.pos))
 	for i, po := range m.pos {
-		out[m.poNames[i]] = m.val[po]
+		out[m.poNames[i]] = m.val[int(po)*m.width]
 	}
 	return out
 }
 
-// StateWords exposes the current flip-flop state (one word per DFF in
-// compile order); used by tests and by checkpointing.
+// OutputsInto writes every primary output lane vector into dst — PO i's
+// Width() words at dst[i*Width():(i+1)*Width()], in PONames order — and
+// returns it, reusing dst's capacity when it suffices. In steady state
+// the call performs zero allocations; it is the allocation-free
+// replacement for the Outputs map in per-cycle loops.
+func (m *Machine) OutputsInto(dst []uint64) []uint64 {
+	W := m.width
+	need := len(m.pos) * W
+	if cap(dst) < need {
+		dst = make([]uint64, need)
+	}
+	dst = dst[:need]
+	if W == 1 {
+		for i, po := range m.pos {
+			dst[i] = m.val[po]
+		}
+		return dst
+	}
+	for i, po := range m.pos {
+		copy(dst[i*W:(i+1)*W], m.val[int(po)*W:int(po)*W+W])
+	}
+	return dst
+}
+
+// StateWords exposes the current flip-flop state — Width() words per DFF
+// in compile order (one word per DFF on width-1 machines); used by tests
+// and by checkpointing.
 func (m *Machine) StateWords() []uint64 {
 	return append([]uint64(nil), m.state...)
 }

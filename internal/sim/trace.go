@@ -78,7 +78,7 @@ func (m *Machine) BindNames(names []string) error {
 func (m *Machine) Probe(nets ...netlist.NetID) error {
 	probes := make([]int32, len(nets))
 	for i, id := range nets {
-		if int(id) < 0 || int(id) >= len(m.val) {
+		if int(id) < 0 || int(id) >= len(m.nl.Nets) {
 			return fmt.Errorf("sim: probe of invalid net %d", id)
 		}
 		probes[i] = int32(id)
@@ -115,31 +115,47 @@ func (m *Machine) POCols(names []string) ([]int, error) {
 }
 
 // Trace is the recorded result of one RunTrace: per cycle, every primary
-// output word, every probed net word and (optionally) the flip-flop state.
-// All streams are stored row-major in flat slices so a Trace can be reused
-// across runs without reallocation.
+// output lane vector, every probed net lane vector and (optionally) the
+// flip-flop state. All streams are stored row-major in flat slices so a
+// Trace can be reused across runs without reallocation. On a widened
+// machine every recorded quantity is Width words; the word-indexed
+// accessors (OutW and friends) address individual lane words, while the
+// classic accessors return lane word 0 — on width-1 machines the two
+// coincide and the layout is exactly the pre-vector one.
 type Trace struct {
 	Cycles    int
 	NumPOs    int
 	NumProbes int
 	NumState  int
-	// Outs[c*NumPOs+i] is PO column i (machine PONames order) at cycle c,
-	// sampled after Eval and before the clock edge.
+	Width     int // lane-vector words per recorded value (machine Width)
+	// Outs[(c*NumPOs+i)*Width+w] is lane word w of PO column i (machine
+	// PONames order) at cycle c, sampled after Eval and before the edge.
 	Outs []uint64
-	// ProbeVals[c*NumProbes+i] is probed net i at cycle c.
+	// ProbeVals[(c*NumProbes+i)*Width+w] is probed net i at cycle c.
 	ProbeVals []uint64
-	// States[c*NumState+i] is DFF i's state after cycle c's clock edge.
+	// States[(c*NumState+i)*Width+w] is DFF i after cycle c's clock edge.
 	States []uint64
 }
 
-// Out returns PO column po at the given cycle.
-func (t *Trace) Out(cycle, po int) uint64 { return t.Outs[cycle*t.NumPOs+po] }
+// Out returns lane word 0 of PO column po at the given cycle.
+func (t *Trace) Out(cycle, po int) uint64 { return t.Outs[(cycle*t.NumPOs+po)*t.Width] }
 
-// ProbeVal returns probed net p at the given cycle.
-func (t *Trace) ProbeVal(cycle, p int) uint64 { return t.ProbeVals[cycle*t.NumProbes+p] }
+// OutW returns lane word w of PO column po at the given cycle.
+func (t *Trace) OutW(cycle, po, w int) uint64 { return t.Outs[(cycle*t.NumPOs+po)*t.Width+w] }
 
-// State returns DFF i's post-edge state at the given cycle.
-func (t *Trace) State(cycle, i int) uint64 { return t.States[cycle*t.NumState+i] }
+// ProbeVal returns lane word 0 of probed net p at the given cycle.
+func (t *Trace) ProbeVal(cycle, p int) uint64 { return t.ProbeVals[(cycle*t.NumProbes+p)*t.Width] }
+
+// ProbeValW returns lane word w of probed net p at the given cycle.
+func (t *Trace) ProbeValW(cycle, p, w int) uint64 {
+	return t.ProbeVals[(cycle*t.NumProbes+p)*t.Width+w]
+}
+
+// State returns lane word 0 of DFF i's post-edge state at the given cycle.
+func (t *Trace) State(cycle, i int) uint64 { return t.States[(cycle*t.NumState+i)*t.Width] }
+
+// StateW returns lane word w of DFF i's post-edge state.
+func (t *Trace) StateW(cycle, i, w int) uint64 { return t.States[(cycle*t.NumState+i)*t.Width+w] }
 
 // grow returns s with length n, reusing capacity when possible.
 func grow(s []uint64, n int) []uint64 {
@@ -150,10 +166,20 @@ func grow(s []uint64, n int) []uint64 {
 }
 
 // RunTrace resets the machine and replays the whole clocked stimulus
-// sequence: for each cycle, stimulus[c][j] drives the j-th bound input
-// (see Bind), the logic is evaluated, primary outputs and probed nets are
-// recorded, and the clock advances. Rows shorter than the binding leave
-// the remaining bound inputs at zero.
+// sequence: for each cycle, the row drives the bound inputs (see Bind),
+// the logic is evaluated, primary outputs and probed nets are recorded,
+// and the clock advances.
+//
+// Row layout: a row of at most len(bound) words is "narrow" —
+// stimulus[c][j] drives the j-th bound input, broadcast across all lane
+// words of a widened machine, and rows shorter than the binding leave
+// the remaining bound inputs at zero. A longer row is "wide": column j's
+// Width words are row[j*Width:(j+1)*Width] (missing tail words zero).
+// On width-1 machines the two layouts coincide with the classic
+// semantics. Narrow-row broadcast is what lets pattern sources and
+// serial oracles built for the 64-lane model drive widened machines
+// unchanged — exactly the stimulus shape fault- and repair-parallel
+// campaigns need, where every lane must see the same patterns.
 func (m *Machine) RunTrace(stimulus [][]uint64) *Trace {
 	return m.RunTraceInto(new(Trace), stimulus)
 }
@@ -171,18 +197,71 @@ func (m *Machine) RunTraceInto(tr *Trace, stimulus [][]uint64) *Trace {
 // for the next — while keeping cycle semantics identical to one long
 // RunTrace.
 func (m *Machine) ResumeTraceInto(tr *Trace, stimulus [][]uint64) *Trace {
+	W := m.width
 	tr.Cycles = len(stimulus)
 	tr.NumPOs = len(m.pos)
 	tr.NumProbes = len(m.probes)
-	tr.Outs = grow(tr.Outs, tr.Cycles*tr.NumPOs)
-	tr.ProbeVals = grow(tr.ProbeVals, tr.Cycles*tr.NumProbes)
+	tr.Width = W
+	tr.Outs = grow(tr.Outs, tr.Cycles*tr.NumPOs*W)
+	tr.ProbeVals = grow(tr.ProbeVals, tr.Cycles*tr.NumProbes*W)
 	if m.captureState {
 		tr.NumState = len(m.dffQ)
-		tr.States = grow(tr.States, tr.Cycles*tr.NumState)
+		tr.States = grow(tr.States, tr.Cycles*tr.NumState*W)
 	} else {
 		tr.NumState = 0
 		tr.States = tr.States[:0]
 	}
+	if W == 1 {
+		m.resumeTrace1(tr, stimulus)
+		return tr
+	}
+	B := len(m.bound)
+	for c, row := range stimulus {
+		if len(row) > B {
+			// Wide layout: column j's words at row[j*W:(j+1)*W].
+			for j := 0; j < B; j++ {
+				o := int(m.bound[j]) * W
+				for w := 0; w < W; w++ {
+					var x uint64
+					if j*W+w < len(row) {
+						x = row[j*W+w]
+					}
+					m.val[o+w] = x
+				}
+			}
+		} else {
+			// Narrow layout: broadcast each word across the lane vector.
+			for j := 0; j < B; j++ {
+				var x uint64
+				if j < len(row) {
+					x = row[j]
+				}
+				o := int(m.bound[j]) * W
+				for w := 0; w < W; w++ {
+					m.val[o+w] = x
+				}
+			}
+		}
+		m.Eval()
+		o := c * tr.NumPOs * W
+		for i, po := range m.pos {
+			copy(tr.Outs[o+i*W:o+(i+1)*W], m.val[int(po)*W:int(po)*W+W])
+		}
+		p := c * tr.NumProbes * W
+		for i, pr := range m.probes {
+			copy(tr.ProbeVals[p+i*W:p+(i+1)*W], m.val[int(pr)*W:int(pr)*W+W])
+		}
+		m.Clock()
+		if m.captureState {
+			copy(tr.States[c*tr.NumState*W:(c+1)*tr.NumState*W], m.state)
+		}
+	}
+	return tr
+}
+
+// resumeTrace1 is the width-1 replay loop, kept scalar so the classic
+// 64-lane path pays nothing for the vector generalization.
+func (m *Machine) resumeTrace1(tr *Trace, stimulus [][]uint64) {
 	for c, row := range stimulus {
 		k := len(row)
 		if k > len(m.bound) {
@@ -208,5 +287,4 @@ func (m *Machine) ResumeTraceInto(tr *Trace, stimulus [][]uint64) *Trace {
 			copy(tr.States[c*tr.NumState:(c+1)*tr.NumState], m.state)
 		}
 	}
-	return tr
 }

@@ -1,0 +1,550 @@
+package sim
+
+// Wide-lane regression: the width-W vector engine against the width-1
+// engine (itself pinned bit-identical to the ReferenceMachine oracle by
+// regress_test.go). Lane word w of a wide replay must reproduce, bit for
+// bit, a narrow replay of that word's stimulus — with fusion on or off,
+// serial or level-parallel, and with faults, patches and overrides on
+// lanes beyond the first word.
+
+import (
+	"testing"
+
+	"fpgadbg/internal/bench"
+	"fpgadbg/internal/logic"
+	"fpgadbg/internal/netlist"
+	"fpgadbg/internal/testgen"
+)
+
+// narrowWord extracts lane word w of a wide stimulus as narrow rows.
+func narrowWord(wide [][]uint64, cols, W, w int) [][]uint64 {
+	out := make([][]uint64, len(wide))
+	for c, row := range wide {
+		nr := make([]uint64, cols)
+		for j := 0; j < cols; j++ {
+			nr[j] = row[j*W+w]
+		}
+		out[c] = nr
+	}
+	return out
+}
+
+// TestWideIdentityOnCatalog replays every catalog design at W ∈ {1, 2, 4}
+// on wide stimulus and checks each lane word against an independent
+// width-1 replay of that word's patterns — PO and DFF-state streams both.
+// The W=1 leg pins the vector engine to the classic single-word layout.
+func TestWideIdentityOnCatalog(t *testing.T) {
+	const cycles = 10
+	for _, d := range bench.Catalog() {
+		d := d
+		t.Run(d.Name, func(t *testing.T) {
+			nl := d.Build()
+			pis := nl.SortedPINames()
+			narrow, err := Compile(nl)
+			if err != nil {
+				t.Fatal(err)
+			}
+			narrow.CaptureState(true)
+			for _, W := range []int{1, 2, 4} {
+				wideStim := testgen.RandomBlocks(len(pis)*W, cycles, int64(0xBEEF+W))
+				m, err := CompileWidth(nl, W)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if m.Width() != W || m.Lanes() != 64*W {
+					t.Fatalf("W=%d: Width()=%d Lanes()=%d", W, m.Width(), m.Lanes())
+				}
+				m.CaptureState(true)
+				tw := m.RunTrace(wideStim)
+				if tw.Width != W {
+					t.Fatalf("trace width %d, want %d", tw.Width, W)
+				}
+				for w := 0; w < W; w++ {
+					tn := narrow.RunTrace(narrowWord(wideStim, len(pis), W, w))
+					for c := 0; c < cycles; c++ {
+						for po := 0; po < tw.NumPOs; po++ {
+							if tw.OutW(c, po, w) != tn.Out(c, po) {
+								t.Fatalf("W=%d word %d cycle %d PO %d: wide %#x narrow %#x",
+									W, w, c, po, tw.OutW(c, po, w), tn.Out(c, po))
+							}
+						}
+						for i := 0; i < tw.NumState; i++ {
+							if tw.StateW(c, i, w) != tn.State(c, i) {
+								t.Fatalf("W=%d word %d cycle %d DFF %d: wide %#x narrow %#x",
+									W, w, c, i, tw.StateW(c, i, w), tn.State(c, i))
+							}
+						}
+					}
+				}
+				// Fusion ablated: bit-identical to the fused schedule.
+				m.SetFusion(false)
+				tp := m.RunTrace(wideStim)
+				m.SetFusion(true)
+				for i := range tw.Outs {
+					if tw.Outs[i] != tp.Outs[i] {
+						t.Fatalf("W=%d: fused and plain schedules diverge at out word %d", W, i)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestWideNarrowRowBroadcast checks the narrow-row convention on a wide
+// machine: rows of at most len(bound) words drive every lane word with
+// the same stimulus, so all W words of every output are equal — the
+// shape serial oracles and broadcast fault campaigns rely on.
+func TestWideNarrowRowBroadcast(t *testing.T) {
+	nl := bench.Catalog()[0].Build()
+	pis := nl.SortedPINames()
+	const W = 4
+	m, err := CompileWidth(nl, W)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stim := testgen.RandomBlocks(len(pis), 6, 99)
+	tr := m.RunTrace(stim)
+	for c := 0; c < tr.Cycles; c++ {
+		for po := 0; po < tr.NumPOs; po++ {
+			w0 := tr.OutW(c, po, 0)
+			if tr.Out(c, po) != w0 {
+				t.Fatalf("Out != OutW(...,0)")
+			}
+			for w := 1; w < W; w++ {
+				if tr.OutW(c, po, w) != w0 {
+					t.Fatalf("cycle %d PO %d word %d: %#x != broadcast %#x",
+						c, po, w, tr.OutW(c, po, w), w0)
+				}
+			}
+		}
+	}
+}
+
+// TestWideLaneFaultsBeyondWord0 arms the fault set of the classic
+// lane-fault test on lanes ≥ 64 of a width-4 machine and checks each
+// against a width-1 machine carrying the same fault on the corresponding
+// in-word lane, under broadcast stimulus.
+func TestWideLaneFaultsBeyondWord0(t *testing.T) {
+	nl := laneTestNetlist(t)
+	const W = 4
+	wide, err := CompileWidth(nl, W)
+	if err != nil {
+		t.Fatal(err)
+	}
+	narrow, err := Compile(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stim := testgen.Repeat(testgen.ScalarBlocks(2, 16, 7), 2)
+
+	andID, _ := nl.CellByName("g_and")
+	dID, _ := nl.NetByName("d")
+	bID, _ := nl.NetByName("b")
+	faults := []struct {
+		lane int
+		f    LaneFault
+	}{
+		{64 + 3, LaneFault{Kind: LaneLUTFlip, Cell: andID, Minterm: 3}},
+		{128 + 9, LaneFault{Kind: LaneStuckAt1, Net: dID}},
+		{192 + 17, LaneFault{Kind: LaneStuckAt0, Net: bID}},
+	}
+	for _, lf := range faults {
+		if err := wide.SetLaneFault(lf.lane, lf.f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := wide.SetLaneFault(256, LaneFault{Kind: LaneStuckAt0, Net: dID}); err == nil {
+		t.Fatal("lane 256 accepted on a 256-lane machine")
+	}
+	got := wide.RunTrace(stim)
+	golden := narrow.Fork().RunTrace(stim)
+
+	for _, lf := range faults {
+		mu := narrow.Fork()
+		if err := mu.SetLaneFault(lf.lane%64, lf.f); err != nil {
+			t.Fatal(err)
+		}
+		ref := mu.RunTrace(stim)
+		word, bit := lf.lane/64, uint(lf.lane%64)
+		for c := 0; c < got.Cycles; c++ {
+			for po := 0; po < got.NumPOs; po++ {
+				if got.OutW(c, po, word)>>bit&1 != ref.Out(c, po)>>bit&1 {
+					t.Fatalf("lane %d cycle %d PO %d: wide fault diverges from narrow reference",
+						lf.lane, c, po)
+				}
+				// Lanes of word 0 carry no fault: must match golden.
+				if got.OutW(c, po, 0) != golden.Out(c, po) {
+					t.Fatalf("cycle %d PO %d: fault on lane %d leaked into word 0", c, po, lf.lane)
+				}
+			}
+		}
+	}
+	wide.ClearLaneFaults()
+	clean := wide.RunTrace(stim)
+	for c := 0; c < clean.Cycles; c++ {
+		for po := 0; po < clean.NumPOs; po++ {
+			for w := 0; w < W; w++ {
+				if clean.OutW(c, po, w) != golden.Out(c, po) {
+					t.Fatalf("cleared wide machine differs from golden at word %d", w)
+				}
+			}
+		}
+	}
+}
+
+// TestWideLanePatchesBeyondWord0 arms a repair patch on a lane ≥ 64 and
+// checks it against the width-1 engine patched on the corresponding
+// in-word lane.
+func TestWideLanePatchesBeyondWord0(t *testing.T) {
+	nl := laneTestNetlist(t)
+	const W = 2
+	wide, err := CompileWidth(nl, W)
+	if err != nil {
+		t.Fatal(err)
+	}
+	narrow, err := Compile(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stim := testgen.Repeat(testgen.ScalarBlocks(2, 12, 5), 2)
+	xorID, _ := nl.CellByName("g_xor")
+	const lane = 64 + 11
+	const tt = 0x8 // AND instead of XOR
+	if err := wide.SetLanePatch(lane, xorID, tt); err != nil {
+		t.Fatal(err)
+	}
+	if err := wide.SetLanePatch(128, xorID, tt); err == nil {
+		t.Fatal("lane 128 accepted on a 128-lane machine")
+	}
+	got := wide.RunTrace(stim)
+
+	mu := narrow.Fork()
+	if err := mu.SetLanePatch(lane%64, xorID, tt); err != nil {
+		t.Fatal(err)
+	}
+	ref := mu.RunTrace(stim)
+	golden := narrow.Fork().RunTrace(stim)
+	for c := 0; c < got.Cycles; c++ {
+		for po := 0; po < got.NumPOs; po++ {
+			if got.OutW(c, po, 1)>>11&1 != ref.Out(c, po)>>11&1 {
+				t.Fatalf("cycle %d PO %d: wide patch diverges from narrow reference", c, po)
+			}
+			if got.OutW(c, po, 0) != golden.Out(c, po) {
+				t.Fatalf("cycle %d PO %d: patch on lane %d leaked into word 0", c, po, lane)
+			}
+		}
+	}
+}
+
+// TestWideOverrideBroadcast checks that SetOverride pins all lane words
+// of a widened machine and that downstream logic observes it everywhere.
+func TestWideOverrideBroadcast(t *testing.T) {
+	nl := laneTestNetlist(t)
+	const W = 4
+	wide, err := CompileWidth(nl, W)
+	if err != nil {
+		t.Fatal(err)
+	}
+	narrow, err := Compile(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dID, _ := nl.NetByName("d")
+	if err := wide.SetOverride(dID, ^uint64(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := narrow.SetOverride(dID, ^uint64(0)); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := wide.Overridden(dID); !ok || v != ^uint64(0) {
+		t.Fatalf("Overridden: %#x %v", v, ok)
+	}
+	stim := testgen.ScalarBlocks(2, 12, 3)
+	tw := wide.RunTrace(stim)
+	tn := narrow.RunTrace(stim)
+	for c := 0; c < tw.Cycles; c++ {
+		for po := 0; po < tw.NumPOs; po++ {
+			for w := 0; w < W; w++ {
+				if tw.OutW(c, po, w) != tn.Out(c, po) {
+					t.Fatalf("cycle %d PO %d word %d: override not broadcast", c, po, w)
+				}
+			}
+		}
+	}
+}
+
+// TestForkPreservesWidth checks that forks of a widened machine share the
+// compiled wide program and reproduce its results independently.
+func TestForkPreservesWidth(t *testing.T) {
+	nl := bench.Catalog()[0].Build()
+	pis := nl.SortedPINames()
+	const W = 4
+	m, err := CompileWidth(nl, W)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := m.Fork()
+	if f.Width() != W || f.Lanes() != 64*W {
+		t.Fatalf("fork width %d lanes %d", f.Width(), f.Lanes())
+	}
+	if f.FusedKernels() != m.FusedKernels() {
+		t.Fatalf("fork fused kernels %d != %d", f.FusedKernels(), m.FusedKernels())
+	}
+	stim := testgen.RandomBlocks(len(pis)*W, 6, 21)
+	ta := m.RunTrace(stim)
+	tb := f.RunTrace(stim)
+	for i := range ta.Outs {
+		if ta.Outs[i] != tb.Outs[i] {
+			t.Fatalf("fork trace diverges at out word %d", i)
+		}
+	}
+}
+
+// unclassifiableTT finds a truth table of arity k that depends on every
+// input yet is rejected by the truth-table classifier. Fusion only pairs
+// unclassified table nodes (classified kernels are already cheaper than a
+// composed pair table), so these are exactly the functions that keep the
+// fusion pass alive.
+func unclassifiableTT(t *testing.T, k int) uint16 {
+	t.Helper()
+	n := 1 << uint(k)
+	mask := uint32(1)<<uint(n) - 1
+	for v := uint32(0); v <= mask; v++ {
+		if _, _, ok := classifyTT(uint16(v), k); ok {
+			continue
+		}
+		full := true
+		for j := 0; j < k && full; j++ {
+			// Some minterm pair differing only in pin j must disagree.
+			dep := false
+			for m := 0; m < n; m++ {
+				if m>>uint(j)&1 == 0 && v>>uint(m)&1 != v>>uint(m|1<<uint(j))&1 {
+					dep = true
+					break
+				}
+			}
+			full = dep
+		}
+		if full {
+			return uint16(v)
+		}
+	}
+	t.Fatalf("no unclassifiable full-support table of arity %d", k)
+	return 0
+}
+
+// coverFromTT builds a minterm cover for an explicit truth table, bit m
+// giving the output for the assignment where pin j carries bit j of m.
+func coverFromTT(tt uint16, k int) logic.Cover {
+	cov := logic.Cover{N: k}
+	for m := 0; m < 1<<uint(k); m++ {
+		if tt>>uint(m)&1 == 0 {
+			continue
+		}
+		var cu logic.Cube
+		for v := 0; v < k; v++ {
+			cu = cu.WithLit(v, m>>uint(v)&1 == 1)
+		}
+		cov.Cubes = append(cov.Cubes, cu)
+	}
+	return cov
+}
+
+// TestFusionProducesKernelsAndPreservesProbes checks that fusion still
+// fires on single-fanout chains of unclassifiable LUTs — its remaining
+// role now that classified kernels absorb the common small functions —
+// and that a fused-away head net is still written: probing it gives the
+// same stream with fusion on and off. Catalog designs, whose small LUTs
+// are all classified, additionally pin FusedKernels()==0 so fusion and
+// classification never fight over the same node.
+func TestFusionProducesKernelsAndPreservesProbes(t *testing.T) {
+	tt4 := unclassifiableTT(t, 4)
+	tt3 := unclassifiableTT(t, 3)
+
+	nl := netlist.New("fusion-chains")
+	a, b := nl.AddPI("a"), nl.AddPI("b")
+	c, d := nl.AddPI("c"), nl.AddPI("d")
+	// Chain 1: unclassifiable 4-input head feeding a single inverter.
+	h1 := nl.AddNet("h1")
+	o1 := nl.AddNet("o1")
+	nl.MustAddLUT("head4", coverFromTT(tt4, 4), []netlist.NetID{a, b, c, d}, h1)
+	nl.MustAddLUT("tail1", logic.NotN(), []netlist.NetID{h1}, o1)
+	nl.MarkPO(o1)
+	// Chain 2: unclassifiable 3-input head whose tail shares its support,
+	// so the combined function still fits four inputs.
+	h2 := nl.AddNet("h2")
+	o2 := nl.AddNet("o2")
+	nl.MustAddLUT("head3", coverFromTT(tt3, 3), []netlist.NetID{a, b, c}, h2)
+	nl.MustAddLUT("tail3", coverFromTT(tt3, 3), []netlist.NetID{h2, a, b}, o2)
+	nl.MarkPO(o2)
+
+	m, err := Compile(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.FusedKernels() < 2 {
+		t.Fatalf("FusedKernels() = %d, want both synthetic chains fused", m.FusedKernels())
+	}
+	// Probe every fused-away head net.
+	var heads []netlist.NetID
+	for _, x := range m.xnodes {
+		if x.out2 >= 0 {
+			heads = append(heads, netlist.NetID(x.out2))
+		}
+	}
+	if len(heads) != 2 {
+		t.Fatalf("fused head nets = %d, want 2", len(heads))
+	}
+	if err := m.Probe(heads...); err != nil {
+		t.Fatal(err)
+	}
+	stim := testgen.RandomBlocks(4, 8, 11)
+	tf := m.RunTrace(stim)
+	fused := append([]uint64(nil), tf.ProbeVals...)
+	fusedOuts := append([]uint64(nil), tf.Outs...)
+	m.SetFusion(false)
+	tp := m.RunTrace(stim)
+	for i := range fused {
+		if fused[i] != tp.ProbeVals[i] {
+			t.Fatalf("fused head-net probe %d diverges from plain schedule", i)
+		}
+	}
+	for i := range fusedOuts {
+		if fusedOuts[i] != tp.Outs[i] {
+			t.Fatalf("fused PO word %d diverges from plain schedule", i)
+		}
+	}
+
+	// Classified compiles leave nothing for the fusion pass on the real
+	// catalog: every fusable small LUT is a chain, parity, mux or
+	// majority and runs as a table-free kernel instead.
+	for _, cd := range bench.Catalog() {
+		cm, err := Compile(cd.Build())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cm.FusedKernels() != 0 {
+			t.Fatalf("%s: %d fused kernels on a classified compile", cd.Name, cm.FusedKernels())
+		}
+	}
+}
+
+// TestLevelParallelMatchesSerial runs the largest catalog designs with a
+// worker pool on every pass shape — fused, plain, and hooked (a lane
+// fault arms the perturbed pass) — and demands bit-identical results.
+func TestLevelParallelMatchesSerial(t *testing.T) {
+	for _, d := range bench.Catalog() {
+		nl := d.Build()
+		if len(nl.Cells) < 300 {
+			continue // pool declines tiny designs; covered by Workers() check below
+		}
+		for _, W := range []int{1, 2} {
+			m, err := CompileWidth(nl, W)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pis := nl.SortedPINames()
+			stim := testgen.RandomBlocks(len(pis)*W, 8, 17)
+			m.CaptureState(true)
+			serial := m.RunTrace(stim)
+			serialOuts := append([]uint64(nil), serial.Outs...)
+			serialStates := append([]uint64(nil), serial.States...)
+
+			m.SetWorkers(4)
+			if m.Workers() == 1 {
+				continue // no level wide enough on this design
+			}
+			check := func(pass string) {
+				tr := m.RunTrace(stim)
+				for i := range serialOuts {
+					if tr.Outs[i] != serialOuts[i] {
+						t.Fatalf("%s W=%d %s: parallel out %d diverges", d.Name, W, pass, i)
+					}
+				}
+				if pass == "fused" {
+					for i := range serialStates {
+						if tr.States[i] != serialStates[i] {
+							t.Fatalf("%s W=%d: parallel state %d diverges", d.Name, W, i)
+						}
+					}
+				}
+			}
+			check("fused")
+			m.SetFusion(false)
+			check("plain")
+			m.SetFusion(true)
+			// Hooked pass: harmless patch-free fault on one lane.
+			var lutNet netlist.NetID
+			for id := range nl.Nets {
+				if d := nl.Nets[id].Driver; d != netlist.NilCell && nl.Cells[d].Kind == netlist.KindLUT {
+					lutNet = netlist.NetID(id)
+					break
+				}
+			}
+			if err := m.SetLaneFault(m.Lanes()-1, LaneFault{Kind: LaneStuckAt1, Net: lutNet}); err != nil {
+				t.Fatal(err)
+			}
+			par := m.RunTrace(stim)
+			parOuts := append([]uint64(nil), par.Outs...)
+			m.SetWorkers(0)
+			ser := m.RunTrace(stim)
+			for i := range parOuts {
+				if parOuts[i] != ser.Outs[i] {
+					t.Fatalf("%s W=%d hooked: parallel out %d diverges", d.Name, W, i)
+				}
+			}
+			m.ClearLaneFaults()
+		}
+	}
+}
+
+// TestOutputsInto checks the allocation-free output snapshot against the
+// map shim at width 1 and against per-word trace reads at width 4.
+func TestOutputsInto(t *testing.T) {
+	nl := laneTestNetlist(t)
+	m, err := Compile(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetPI("a", 0xF0); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetPI("b", 0xCC); err != nil {
+		t.Fatal(err)
+	}
+	m.Eval()
+	byName := m.Outputs()
+	flat := m.OutputsInto(nil)
+	if len(flat) != len(m.PONames()) {
+		t.Fatalf("OutputsInto length %d, want %d", len(flat), len(m.PONames()))
+	}
+	for i, name := range m.PONames() {
+		if flat[i] != byName[name] {
+			t.Fatalf("PO %q: OutputsInto %#x != Outputs %#x", name, flat[i], byName[name])
+		}
+	}
+	// Reuse: same backing array, no growth.
+	again := m.OutputsInto(flat)
+	if &again[0] != &flat[0] {
+		t.Fatal("OutputsInto reallocated despite sufficient capacity")
+	}
+
+	const W = 4
+	wm, err := CompileWidth(nl, W)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stim := testgen.RandomBlocks(2*W, 1, 13)
+	tr := wm.RunTrace(stim)
+	wide := wm.OutputsInto(nil)
+	if len(wide) != len(wm.PONames())*W {
+		t.Fatalf("wide OutputsInto length %d", len(wide))
+	}
+	for po := 0; po < tr.NumPOs; po++ {
+		for w := 0; w < W; w++ {
+			if wide[po*W+w] != tr.OutW(0, po, w) {
+				t.Fatalf("wide OutputsInto PO %d word %d != trace", po, w)
+			}
+		}
+	}
+}
