@@ -11,6 +11,7 @@
 //	benchrepro -seu               # SEU vulnerability campaign (fault-parallel)
 //	benchrepro -json-faults       # fault-parallel vs serial scan → BENCH_faults.json
 //	benchrepro -json-repair       # repair-candidate search campaign → BENCH_repair.json
+//	benchrepro -json-stages       # per-stage telemetry + overhead → BENCH_stages.json
 package main
 
 import (
@@ -52,6 +53,9 @@ func main() {
 		repWords  = flag.Int("repair-words", 4, "detection stimulus blocks per repair attempt")
 		repCyc    = flag.Int("repair-cycles", 2, "clock cycles each repair detection block is held")
 		repMax    = flag.Int("repair-faults", 24, "max localizable faults injected and repaired per design")
+		jsonStg   = flag.Bool("json-stages", false, "run the telemetry benchmark (per-stage shares + instrumentation overhead) and write BENCH_stages.json")
+		stgOut    = flag.String("json-stages-out", "BENCH_stages.json", "output path for -json-stages")
+		stgReps   = flag.Int("stage-repeats", 32, "warm repair campaigns per design and arm for the -json-stages overhead measurement")
 		jsonEco   = flag.Bool("json-eco", false, "measure the transactional incremental physical engine and write BENCH_eco.json")
 		ecoOut    = flag.String("json-eco-out", "BENCH_eco.json", "output path for -json-eco")
 		ecoRounds = flag.Int("eco-rounds", 4, "localization-style probe rounds per design for -json-eco")
@@ -65,7 +69,7 @@ func main() {
 	if *all {
 		*table1, *fig3, *fig4, *fig5, *ablations = true, true, true, true, true
 	}
-	if !*table1 && !*fig3 && !*fig4 && !*fig5 && !*ablations && *faultsN == 0 && !*jsonBench && !*jsonSvc && !*seu && !*jsonFlt && !*jsonRep && !*jsonEco {
+	if !*table1 && !*fig3 && !*fig4 && !*fig5 && !*ablations && *faultsN == 0 && !*jsonBench && !*jsonSvc && !*seu && !*jsonFlt && !*jsonRep && !*jsonEco && !*jsonStg {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -217,6 +221,21 @@ func main() {
 			die(err)
 		}
 		fmt.Printf("wrote %s\n", *repOut)
+	}
+	if *jsonStg {
+		rep, err := experiments.TelemetryBench(cfg, *repWords, *repCyc, *stgReps)
+		if err != nil {
+			die(err)
+		}
+		fmt.Println(experiments.FormatStages(rep))
+		blob, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			die(err)
+		}
+		if err := os.WriteFile(*stgOut, append(blob, '\n'), 0o644); err != nil {
+			die(err)
+		}
+		fmt.Printf("wrote %s\n", *stgOut)
 	}
 	if *jsonEco {
 		rows, err := experiments.ECOBench(cfg, *ecoRounds)

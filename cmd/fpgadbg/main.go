@@ -33,6 +33,13 @@
 //	fpgadbg -design 9sym -fault-seed 2 -repair
 //	fpgadbg -design c880 -fault-seed 3 -repair -remote http://localhost:8080
 //
+// -trace-out FILE appends the campaign's per-stage timing (the same
+// StageTrace the daemon serves at GET /campaigns/{id}/trace) to FILE as
+// one NDJSON line — locally by instrumenting the loop in-process, with
+// -remote by fetching the daemon's trace after the campaign finishes:
+//
+//	fpgadbg -design 9sym -fault-seed 2 -repair -trace-out traces.ndjson
+//
 // -timing attaches the incremental timing engine to a local run: the
 // critical-path delay is tracked across every tile-local physical update
 // at cone cost (delta STA) and verified bit-identical against a full
@@ -52,6 +59,7 @@ import (
 	"fpgadbg/internal/debug"
 	"fpgadbg/internal/experiments"
 	"fpgadbg/internal/faults"
+	"fpgadbg/internal/obs"
 	"fpgadbg/internal/service"
 	"fpgadbg/internal/sim"
 	"fpgadbg/internal/synth"
@@ -76,6 +84,7 @@ func main() {
 		showTiming = flag.Bool("timing", false, "track the critical path across the loop with the incremental timing engine (local runs)")
 		remote     = flag.String("remote", "", "submit to a fpgadbgd daemon at this base URL instead of running locally")
 		priority   = flag.Int("priority", 0, "queue priority for -remote (higher runs first)")
+		traceOut   = flag.String("trace-out", "", "append the campaign's per-stage trace to this file as one NDJSON line")
 	)
 	flag.Parse()
 	die := func(err error) {
@@ -103,7 +112,7 @@ func main() {
 		die(err)
 	}
 	if *remote != "" {
-		if err := runRemote(*remote, service.Spec{
+		if err := runRemote(*remote, *traceOut, service.Spec{
 			Design: info.Name, Kind: *kind, FaultSeed: *faultSeed, Seed: *seed,
 			Overhead: *overhead, TileFrac: *tilefrac, PlaceEffort: *effort,
 			Words: *words, Cycles: *cycles, Patterns: *patterns,
@@ -114,7 +123,12 @@ func main() {
 		return
 	}
 	if *kind == service.KindFaultScan {
-		// Local faultscan: the SEU campaign restricted to one design.
+		// Local faultscan: the SEU campaign restricted to one design. It
+		// runs outside the span-instrumented loop, so -trace-out would be
+		// empty — refuse rather than write a bogus trace.
+		if *traceOut != "" {
+			die(fmt.Errorf("-trace-out with -kind faultscan needs -remote (local scans are untraced)"))
+		}
 		rows, err := experiments.SEUCampaign(experiments.Config{
 			Designs: []string{info.Name}, Seed: *seed, Workers: 1,
 		}, *patterns, *cycles)
@@ -123,6 +137,21 @@ func main() {
 		}
 		fmt.Print(experiments.FormatSEU(rows))
 		return
+	}
+
+	// Local telemetry: one trace spanning build + debug loop, flushed as
+	// NDJSON on every exit path that completes a campaign.
+	var trace *obs.Trace
+	if *traceOut != "" {
+		trace = obs.NewTrace("local", info.Name, *kind, nil)
+	}
+	flushTrace := func() {
+		if trace == nil {
+			return
+		}
+		if err := writeTraceOut(*traceOut, trace.Finish()); err != nil {
+			die(err)
+		}
 	}
 	fmt.Printf("== %s: synthesize + map ==\n", info.Name)
 	golden, err := synth.TechMap(info.Build())
@@ -141,10 +170,12 @@ func main() {
 	fmt.Printf("== place-and-route with %.0f%% slack, draw tiles, lock interfaces ==\n", *overhead*100)
 	lay, err := core.BuildMapped(impl, core.Spec{
 		Overhead: *overhead, TileFrac: *tilefrac, Seed: *seed, PlaceEffort: *effort,
+		Obs: trace,
 	})
 	if err != nil {
 		die(err)
 	}
+	lay.SetObs(trace) // BuildMapped detaches after the initial build
 	fmt.Printf("device %v, %d tiles, build effort: %v\n", lay.Dev, len(lay.Tiles), lay.BuildEffort)
 
 	// Delta timing: every physical update from here on resynchronizes
@@ -168,6 +199,7 @@ func main() {
 	if err != nil {
 		die(err)
 	}
+	sess.Obs = trace
 	if *simLanes > 0 {
 		if *simLanes%64 != 0 || *simLanes > 64*sim.MaxWidth {
 			die(fmt.Errorf("-sim-lanes must be a multiple of 64 in [64, %d] (got %d)", 64*sim.MaxWidth, *simLanes))
@@ -200,6 +232,7 @@ func main() {
 	}
 	if !det.Failed {
 		fmt.Println("detection: design passes — the injected error was not excited; try -fault-seed")
+		flushTrace()
 		return
 	}
 	fmt.Printf("detect:   FAILED outputs %v (replayed %d cycles × 64 patterns over %d inputs)\n",
@@ -257,11 +290,28 @@ func main() {
 	fmt.Printf("one full re-P&R:              %v\n", full)
 	perIter := sess.TileEffort.Work() / float64(iters)
 	fmt.Printf("speedup vs non-tiled per debugging iteration: %.1fx (work)\n", full.Work()/perIter)
+	flushTrace()
+}
+
+// writeTraceOut appends one StageTrace as an NDJSON line and prints a
+// one-line summary of what was written.
+func writeTraceOut(path string, st *obs.StageTrace) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("-trace-out: %w", err)
+	}
+	defer f.Close()
+	if err := obs.NewTraceLog(f).Write(st); err != nil {
+		return fmt.Errorf("-trace-out: %w", err)
+	}
+	fmt.Printf("trace:    %d stage(s), wall %.1fms -> %s\n",
+		len(st.Stages), float64(st.WallUs)/1000, path)
+	return nil
 }
 
 // runRemote submits the campaign to a daemon, streams its progress and
 // prints the result summary.
-func runRemote(base string, spec service.Spec) error {
+func runRemote(base, traceOut string, spec service.Spec) error {
 	ctx := context.Background()
 	cl := &service.Client{Base: base}
 	if err := cl.Healthz(ctx); err != nil {
@@ -292,7 +342,7 @@ func runRemote(base string, spec service.Spec) error {
 			res.FaultsDetected, 100*res.FaultCoverage, res.MeanLatencyCycles, res.FaultsPerSec)
 		fmt.Printf("artifact cache: %d hit(s), %d miss(es); wall %.1fms; digest %s\n",
 			res.CacheHits, res.CacheMisses, res.WallMs, res.Digest)
-		return nil
+		return fetchRemoteTrace(ctx, cl, st.ID, traceOut)
 	}
 	fmt.Printf("injected error: %s\n", res.Injected)
 	fmt.Printf("detected=%v clean=%v iterations=%d rounds=%d probes=%d dict=%d fixed=%v\n",
@@ -306,5 +356,18 @@ func runRemote(base string, spec service.Spec) error {
 		res.TileWork, res.FullWork, res.SpeedupPerIter)
 	fmt.Printf("artifact cache: %d hit(s), %d miss(es); wall %.1fms; digest %s\n",
 		res.CacheHits, res.CacheMisses, res.WallMs, res.Digest)
-	return nil
+	return fetchRemoteTrace(ctx, cl, st.ID, traceOut)
+}
+
+// fetchRemoteTrace pulls a finished remote campaign's StageTrace and
+// appends it to traceOut (no-op when -trace-out was not given).
+func fetchRemoteTrace(ctx context.Context, cl *service.Client, id, traceOut string) error {
+	if traceOut == "" {
+		return nil
+	}
+	tr, err := cl.Trace(ctx, id)
+	if err != nil {
+		return fmt.Errorf("-trace-out: %w", err)
+	}
+	return writeTraceOut(traceOut, tr)
 }

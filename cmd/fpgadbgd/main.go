@@ -14,9 +14,15 @@
 //	GET  /campaigns               list
 //	GET  /campaigns/{id}          status + result
 //	GET  /campaigns/{id}/events   NDJSON progress stream
+//	GET  /campaigns/{id}/trace    finished campaign's per-stage timing
 //	POST /campaigns/{id}/cancel   cancel
 //	GET  /healthz                 liveness
-//	GET  /metrics                 expvar, service stats under "fpgadbgd"
+//	GET  /metrics                 expvar globals plus service stats and the
+//	                              telemetry registry under "fpgadbgd"
+//
+// Observability extras: -trace-log FILE appends every finished
+// campaign's StageTrace as one NDJSON line; -pprof mounts the standard
+// net/http/pprof profiling handlers under /debug/pprof/.
 //
 // Three campaign kinds are served: "debug" (the full detect → localize →
 // correct loop, optionally with the fault-dictionary localizer via
@@ -39,6 +45,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // handlers on http.DefaultServeMux, mounted behind -pprof
 	"os"
 	"os/signal"
 	"syscall"
@@ -53,17 +60,38 @@ func main() {
 		workers    = flag.Int("workers", 0, "concurrent campaign workers (0 = GOMAXPROCS)")
 		cacheMB    = flag.Int64("cache-mb", 256, "artifact cache byte budget in MiB")
 		cacheEntry = flag.Int("cache-entries", 512, "artifact cache entry budget")
+		traceLog   = flag.String("trace-log", "", "append finished campaigns' stage traces to this NDJSON file")
+		pprofOn    = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
 
-	svc := service.New(service.Config{
+	cfg := service.Config{
 		Workers:      *workers,
 		CacheBytes:   *cacheMB << 20,
 		CacheEntries: *cacheEntry,
-	})
+	}
+	if *traceLog != "" {
+		f, err := os.OpenFile(*traceLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fpgadbgd: -trace-log:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		cfg.TraceLog = f
+	}
+	svc := service.New(cfg)
+	handler := svc.Handler()
+	if *pprofOn {
+		// The service mux has no /debug routes, so mounting the pprof
+		// default-mux handlers on an outer mux cannot shadow the API.
+		outer := http.NewServeMux()
+		outer.Handle("/debug/pprof/", http.DefaultServeMux)
+		outer.Handle("/", handler)
+		handler = outer
+	}
 	server := &http.Server{
 		Addr:    *addr,
-		Handler: logRequests(svc.Handler()),
+		Handler: logRequests(handler),
 		// No write timeout: /campaigns/{id}/events streams for a
 		// campaign's lifetime. Header/read timeouts stop slow-client
 		// connection pinning.

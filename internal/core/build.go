@@ -7,6 +7,7 @@ import (
 
 	"fpgadbg/internal/device"
 	"fpgadbg/internal/netlist"
+	"fpgadbg/internal/obs"
 	"fpgadbg/internal/pack"
 	"fpgadbg/internal/place"
 	"fpgadbg/internal/route"
@@ -74,6 +75,7 @@ func buildMappedOnce(mapped *netlist.Netlist, spec Spec) (*Layout, error) {
 		PadLoc: make(map[netlist.NetID]device.XY),
 		Routes: make(map[netlist.NetID]*route.Net),
 	}
+	l.obs = spec.Obs
 	start := time.Now()
 	eff, err := l.placeAll(spec.Seed)
 	if err != nil {
@@ -89,6 +91,10 @@ func buildMappedOnce(mapped *netlist.Netlist, spec Spec) (*Layout, error) {
 	if err := l.drawBoundaries(); err != nil {
 		return nil, err
 	}
+	// Build spans are recorded; detach the trace so a cached pristine
+	// layout never writes to the building campaign's finished trace.
+	l.SetObs(nil)
+	l.Spec.Obs = nil
 	return l, nil
 }
 
@@ -133,12 +139,16 @@ func (l *Layout) netPins(net netlist.NetID) []device.XY {
 // placeAll performs the initial full placement: every non-empty CLB and
 // every pad is movable.
 func (l *Layout) placeAll(seed int64) (Effort, error) {
+	sp := l.obs.Start(obs.StagePlace)
+	defer sp.End()
 	prob, clbOfBlock, padOfBlock := l.buildPlaceProblem(nil, nil)
 	res, err := place.Anneal(prob, place.Options{Seed: seed, Effort: l.Spec.PlaceEffort})
 	if err != nil {
 		return Effort{}, err
 	}
 	l.adoptPlacement(res, clbOfBlock, padOfBlock)
+	sp.Add("place-moves", res.Moves)
+	sp.Add("cells-placed", int64(len(prob.Blocks)))
 	return Effort{PlaceMoves: res.Moves, CellsPlaced: len(prob.Blocks)}, nil
 }
 

@@ -7,6 +7,7 @@ import (
 
 	"fpgadbg/internal/device"
 	"fpgadbg/internal/netlist"
+	"fpgadbg/internal/obs"
 	"fpgadbg/internal/place"
 	"fpgadbg/internal/route"
 )
@@ -137,14 +138,19 @@ func (l *Layout) applyDelta(d Delta) (*ChangeReport, error) {
 			movable[clb] = true
 		}
 
+		sp := l.obs.Start(obs.StagePlace)
 		prob, clbOfBlock, padOfBlock := l.buildPlaceProblem(movable, region)
 		res, err := place.Anneal(prob, place.Options{Seed: l.Spec.Seed + 1, Effort: l.Spec.PlaceEffort})
 		if err != nil {
+			sp.End()
 			return nil, fmt.Errorf("core: tile re-place: %w", err)
 		}
 		l.adoptPlacement(res, clbOfBlock, padOfBlock)
 		rep.Effort.PlaceMoves += res.Moves
 		rep.Effort.CellsPlaced += len(movable)
+		sp.Add("place-moves", res.Moves)
+		sp.Add("cells-placed", int64(len(movable)))
+		sp.End()
 
 		routeEff, rerouted, err := l.rerouteTouched(region, true)
 		rep.Effort.Add(routeEff)

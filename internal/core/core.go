@@ -7,6 +7,7 @@ import (
 
 	"fpgadbg/internal/device"
 	"fpgadbg/internal/netlist"
+	"fpgadbg/internal/obs"
 	"fpgadbg/internal/pack"
 	"fpgadbg/internal/route"
 )
@@ -33,6 +34,12 @@ type Spec struct {
 	// sweep (ablation knob; the default draws boundaries minimizing
 	// inter-tile interconnect, per the paper's §3.2).
 	UniformBoundaries bool
+	// Obs, when set, receives place/route spans for the initial build
+	// (BuildMapped clears it from the stored Layout.Spec afterwards, so
+	// a cached pristine layout never retains a campaign's trace; attach
+	// per-campaign traces with Layout.SetObs instead). Never part of any
+	// layout digest or cache key.
+	Obs *obs.Trace
 }
 
 func (s Spec) withDefaults() Spec {
@@ -120,6 +127,21 @@ type Layout struct {
 	txnDepth int
 	// sta is the optional incremental timing engine state (sta.go).
 	sta *staState
+	// obs is the attached per-campaign trace; place/route/sta spans land
+	// on it. Clones start detached (nil) and a nil trace is a no-op, so
+	// untraced layouts pay one pointer test per phase. See SetObs.
+	obs *obs.Trace
+}
+
+// SetObs attaches a per-campaign trace: subsequent placement anneals,
+// router passes and timing resyncs open place/route/sta spans on it.
+// Pass nil to detach — the service's layout pool does this at check-in
+// so a pooled layout never writes to a finished campaign's trace.
+func (l *Layout) SetObs(t *obs.Trace) {
+	l.obs = t
+	if l.router != nil {
+		l.router.Obs = t
+	}
 }
 
 // NumCLBs returns the number of occupied CLB sites (the paper's "design

@@ -3,6 +3,7 @@ package core
 import (
 	"fpgadbg/internal/device"
 	"fpgadbg/internal/netlist"
+	"fpgadbg/internal/obs"
 	"fpgadbg/internal/timing"
 )
 
@@ -46,11 +47,14 @@ func (l *Layout) TimingInput() timing.Input {
 // EnableTiming attaches the incremental timing engine (one full analysis
 // now, cone-sized updates afterwards). Re-enabling replaces the engine.
 func (l *Layout) EnableTiming(m timing.Model) error {
+	sp := l.obs.Start(obs.StageSTA)
+	defer sp.End()
 	in := l.TimingInput()
 	eng, err := timing.NewEngine(in, m)
 	if err != nil {
 		return err
 	}
+	sp.Add("sta-cells", int64(len(in.CellPos)))
 	l.sta = &staState{eng: eng, cellPos: in.CellPos, netLen: in.NetLen}
 	return nil
 }
@@ -110,6 +114,8 @@ func (l *Layout) timingApply(d Delta, rep *ChangeReport) {
 	if l.sta == nil {
 		return
 	}
+	sp := l.obs.Start(obs.StageSTA)
+	defer sp.End()
 	var cells []netlist.CellID
 	cells = append(cells, d.Added...)
 	cells = append(cells, d.Modified...)
@@ -141,6 +147,8 @@ func (l *Layout) timingApply(d Delta, rep *ChangeReport) {
 	// The topology caches only need a rebuild when the delta edited the
 	// netlist; a pure re-place/re-route keeps them.
 	structural := len(d.Added)+len(d.Modified)+len(d.Removed) > 0
+	sp.Add("sta-cells", int64(len(cells)))
+	sp.Add("sta-nets", int64(len(nets)))
 	// Ignore the resync error: the engine only fails on a cyclic
 	// netlist, which Check would reject long before routing.
 	_ = l.sta.eng.Update(cells, nets, structural)

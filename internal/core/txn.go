@@ -222,6 +222,7 @@ func (l *Layout) ensureRouter() *route.Router {
 	if l.router == nil || l.router.Grid() != l.Grid {
 		l.router = route.NewRouter(l.Grid)
 	}
+	l.router.Obs = l.obs
 	return l.router
 }
 

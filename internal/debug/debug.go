@@ -10,6 +10,7 @@ import (
 	"fpgadbg/internal/eco"
 	"fpgadbg/internal/instr"
 	"fpgadbg/internal/netlist"
+	"fpgadbg/internal/obs"
 	"fpgadbg/internal/sim"
 	"fpgadbg/internal/testgen"
 )
@@ -64,6 +65,13 @@ type Session struct {
 	// per replay. Detection and observation replays read lane word 0 of
 	// broadcast stimulus and always run at width 1. 0 means width 1.
 	SimWidth int
+	// Obs, when set, is the per-campaign trace this session's stages
+	// (detect, compile, goldentrace, localize-*, repair-*, eco-verify)
+	// record spans on. The campaign service also attaches it to the
+	// Layout (core.Layout.SetObs) so the physical place/route/sta work
+	// under each ApplyDelta lands in the same trace. Nil disables
+	// telemetry at the cost of one pointer test per stage.
+	Obs *obs.Trace
 
 	// TileEffort accumulates all tile-local CAD work spent by this
 	// session (observation inserts + corrections).
@@ -175,6 +183,8 @@ func (s *Session) Detect(words, cycles int) (*Detection, error) {
 	if err := s.interrupted(); err != nil {
 		return nil, err
 	}
+	sp := s.Obs.Start(obs.StageDetect)
+	defer sp.End()
 	goldenPIs := s.Golden.SortedPINames()
 	blocks := testgen.RandomBlocks(len(goldenPIs), words, s.Seed)
 	seq := testgen.Repeat(blocks, cycles)
@@ -214,7 +224,9 @@ func (s *Session) compare(seq [][]uint64, probeNames []string) (badPOs []string,
 	if err != nil {
 		return nil, nil, err
 	}
+	csp := s.Obs.Start(obs.StageCompile)
 	mi, err := sim.Compile(s.Layout.NL)
+	csp.End()
 	if err != nil {
 		return nil, nil, fmt.Errorf("debug: impl: %w", err)
 	}
@@ -278,18 +290,22 @@ func (s *Session) compare(seq [][]uint64, probeNames []string) (badPOs []string,
 	// Probe-free golden replays depend only on (golden design, stimulus)
 	// and are memoized by content address when a TraceStore is attached;
 	// cached traces are shared and read-only.
+	gsp := s.Obs.Start(obs.StageGoldenTrace)
 	var tg *sim.Trace
 	if s.Traces != nil && len(gProbes) == 0 {
 		key := s.goldenTraceKey(seq)
 		if hit, ok := s.Traces.GetTrace(key); ok && hit.Cycles == len(seq) && hit.NumPOs == len(mg.PONames()) {
 			tg = hit
+			gsp.Add("trace-cache-hit", 1)
 		} else {
 			tg = mg.RunTrace(seq)
 			s.Traces.PutTrace(key, tg)
+			gsp.Add("trace-cache-miss", 1)
 		}
 	} else {
 		tg = mg.RunTrace(seq)
 	}
+	gsp.End()
 	ti := mi.RunTrace(seq)
 	bad := make(map[string]bool)
 	for c := 0; c < len(seq); c++ {
@@ -364,6 +380,12 @@ func (s *Session) Localize(det *Detection, maxRounds, probesPerRound int) (*Diag
 	}
 	diag := &Diagnosis{}
 	probed := make(map[string]bool)
+	lsp := s.Obs.Start(obs.StageLocalizeProbe)
+	defer func() {
+		lsp.Add("probe-rounds", int64(diag.Rounds))
+		lsp.Add("probes-inserted", int64(diag.Probes))
+		lsp.End()
+	}()
 	s.emit("localize", 0, "initial suspect cone: %d cells", len(suspects))
 	for round := 0; round < maxRounds && len(suspects) > 1; round++ {
 		if err := s.interrupted(); err != nil {

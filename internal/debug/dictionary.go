@@ -19,6 +19,7 @@ import (
 	"fmt"
 
 	"fpgadbg/internal/faults"
+	"fpgadbg/internal/obs"
 	"fpgadbg/internal/sim"
 	"fpgadbg/internal/testgen"
 )
@@ -133,11 +134,18 @@ func (s *Session) LocalizeDict(det *Detection, maxRounds, probesPerRound int) (*
 	if err := s.interrupted(); err != nil {
 		return nil, err
 	}
+	// The dictionary consultation — observation replay plus signature
+	// lookup — is one localize-dict span; a fallback to probe rounds ends
+	// it before Localize opens its own localize-probe span.
+	dsp := s.Obs.Start(obs.StageLocalizeDict)
 	sig, excited, err := s.observeSignature()
 	if err != nil {
+		dsp.End()
 		return nil, err
 	}
 	if !excited {
+		dsp.Add("dict-miss", 1)
+		dsp.End()
 		s.emit("localize", 0, "fault dictionary: observation stimulus does not excite the error — probe rounds")
 		return s.Localize(det, maxRounds, probesPerRound)
 	}
@@ -156,10 +164,15 @@ func (s *Session) LocalizeDict(det *Detection, maxRounds, probesPerRound int) (*
 		limit = DefaultDictMaxSuspects
 	}
 	if len(cells) == 0 || len(cells) > limit {
+		dsp.Add("dict-miss", 1)
+		dsp.End()
 		s.emit("localize", 0, "fault dictionary %s (%d candidate faults, %d cells) — probe rounds",
 			dictMissWord(len(cands)), len(cands), len(cells))
 		return s.Localize(det, maxRounds, probesPerRound)
 	}
+	dsp.Add("dict-hit", 1)
+	dsp.Add("dict-suspects", int64(len(cells)))
+	defer dsp.End()
 	diag := &Diagnosis{Dict: true}
 	for name := range cells {
 		diag.Suspects = append(diag.Suspects, name)
@@ -187,7 +200,9 @@ func (s *Session) observeSignature() (sig uint64, excited bool, err error) {
 	if err != nil {
 		return 0, false, err
 	}
+	csp := s.Obs.Start(obs.StageCompile)
 	mi, err := sim.Compile(s.Layout.NL)
+	csp.End()
 	if err != nil {
 		return 0, false, fmt.Errorf("debug: impl: %w", err)
 	}
@@ -220,18 +235,22 @@ func (s *Session) observeSignature() (sig uint64, excited bool, err error) {
 		return 0, false, fmt.Errorf("debug: impl: %w", err)
 	}
 	stim := DictStimulus(len(piNames), s.Dict.Words, s.Dict.Cycles, s.Dict.Seed)
+	gsp := s.Obs.Start(obs.StageGoldenTrace)
 	var tg *sim.Trace
 	if s.Traces != nil {
 		key := s.goldenTraceKey(stim)
 		if hit, ok := s.Traces.GetTrace(key); ok && hit.Cycles == len(stim) && hit.NumPOs == len(poNames) {
 			tg = hit
+			gsp.Add("trace-cache-hit", 1)
 		} else {
 			tg = mg.RunTrace(stim)
 			s.Traces.PutTrace(key, tg)
+			gsp.Add("trace-cache-miss", 1)
 		}
 	} else {
 		tg = mg.RunTrace(stim)
 	}
+	gsp.End()
 	ti := mi.RunTrace(stim)
 	var sg faults.Signer
 	sg.Reset()

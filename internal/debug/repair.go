@@ -20,6 +20,7 @@ import (
 	"fpgadbg/internal/core"
 	"fpgadbg/internal/eco"
 	"fpgadbg/internal/netlist"
+	"fpgadbg/internal/obs"
 	"fpgadbg/internal/repair"
 	"fpgadbg/internal/sim"
 )
@@ -94,7 +95,9 @@ func (s *Session) RepairWith(diag *Diagnosis, det *Detection, prog *sim.Machine)
 		if w < 1 {
 			w = 1
 		}
+		csp := s.Obs.Start(obs.StageCompile)
 		prog, err = sim.CompileWidth(s.Layout.NL, w)
+		csp.End()
 		if err != nil {
 			return nil, fmt.Errorf("debug: candidate program: %w", err)
 		}
@@ -123,6 +126,7 @@ func (s *Session) RepairWith(diag *Diagnosis, det *Detection, prog *sim.Machine)
 		OnBatch: func(done, total int) error {
 			return s.interrupted()
 		},
+		Obs: s.Obs,
 	})
 	if err != nil {
 		if errors.Is(err, repair.ErrNotExcited) {
@@ -164,7 +168,9 @@ func (s *Session) RepairWith(diag *Diagnosis, det *Detection, prog *sim.Machine)
 	// divergence means the candidate only explained the detection
 	// stimulus — revert it through the journal and report the search
 	// inconclusive, so nothing of the bad repair survives.
+	esp := s.Obs.Start(obs.StageEcoVerify)
 	mm, err := eco.Verify(s.Golden, s.Layout.NL, words, cycles, s.Seed+ecoVerifySeedOffset)
+	esp.End()
 	if err != nil {
 		return nil, rollback(fmt.Errorf("debug: eco verify: %w", err))
 	}

@@ -1,0 +1,255 @@
+package experiments
+
+// The telemetry benchmark behind cmd/benchrepro -json-stages: where does
+// a repair campaign's wall time actually go, stage by stage, and what
+// does collecting that answer cost? One cold repair campaign per design
+// yields the per-stage exclusive-time shares (synth through eco-verify);
+// warm repeated campaigns on a telemetry-enabled versus a NoTelemetry
+// service measure the instrumentation overhead, which must stay within a
+// few percent for the fabric to be left on in production.
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"fpgadbg/internal/obs"
+	"fpgadbg/internal/service"
+)
+
+// StageShare is one pipeline stage's contribution to a campaign.
+type StageShare struct {
+	Stage  string `json:"stage"`
+	DurUs  int64  `json:"dur_us"`
+	ExclUs int64  `json:"excl_us"`
+	Count  int    `json:"count"`
+	// SharePct is the stage's exclusive time as a percentage of the sum
+	// of all stages' exclusive times (instrumented time partitions, so
+	// shares add up to 100).
+	SharePct float64 `json:"share_pct"`
+}
+
+// StageBenchRow is one design's cold repair campaign, flattened.
+type StageBenchRow struct {
+	Design   string           `json:"design"`
+	Detected bool             `json:"detected"`
+	WallUs   int64            `json:"wall_us"`
+	Stages   []StageShare     `json:"stages"`
+	Counters map[string]int64 `json:"counters,omitempty"`
+}
+
+// TelemetryOverhead is the measured cost of leaving the fabric on:
+// medians of warm repair-campaign service times with telemetry enabled
+// and disabled (service.Config.NoTelemetry), across every design.
+type TelemetryOverhead struct {
+	Repeats     int     `json:"repeats"`
+	EnabledMs   float64 `json:"enabled_warm_median_ms"`
+	DisabledMs  float64 `json:"disabled_warm_median_ms"`
+	OverheadPct float64 `json:"overhead_pct"`
+}
+
+// StageBenchReport is what -json-stages serializes to BENCH_stages.json.
+type StageBenchReport struct {
+	Words    int               `json:"words"`
+	Cycles   int               `json:"cycles"`
+	Rows     []StageBenchRow   `json:"rows"`
+	Overhead TelemetryOverhead `json:"overhead"`
+}
+
+// stageSpec is the repair campaign the benchmark runs per design.
+func stageSpec(design string, faultSeed int64, cfg Config, words, cycles int) service.Spec {
+	return service.Spec{
+		Design: design, Kind: service.KindRepair, FaultSeed: faultSeed,
+		Seed: cfg.Seed, PlaceEffort: cfg.PlaceEffort, TileFrac: 0.25,
+		Words: words, Cycles: cycles,
+	}
+}
+
+// runStageCampaign submits one campaign and returns its result + trace.
+func runStageCampaign(svc *service.Service, sp service.Spec) (*service.Result, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+	id, err := svc.Submit(sp)
+	if err != nil {
+		return nil, err
+	}
+	return svc.Wait(ctx, id)
+}
+
+// iqMean is the interquartile mean: the average of the middle half of
+// the sample, immune to both tails (GC pauses above, lucky cache-hot
+// runs below).
+func iqMean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), vals...)
+	sort.Float64s(sorted)
+	lo, hi := len(sorted)/4, len(sorted)-len(sorted)/4
+	return mean(sorted[lo:hi])
+}
+
+// shares flattens a StageTrace into exclusive-time percentages.
+func shares(tr *obs.StageTrace) []StageShare {
+	var total int64
+	for _, s := range tr.Stages {
+		total += s.ExclUs
+	}
+	out := make([]StageShare, 0, len(tr.Stages))
+	for _, s := range tr.Stages {
+		sh := StageShare{Stage: s.Stage, DurUs: s.DurUs, ExclUs: s.ExclUs, Count: s.Count}
+		if total > 0 {
+			sh.SharePct = 100 * float64(s.ExclUs) / float64(total)
+		}
+		out = append(out, sh)
+	}
+	return out
+}
+
+// TelemetryBench runs the per-stage share measurement and the
+// instrumentation-overhead comparison. repeats is the warm campaigns per
+// design and arm (default 32).
+func TelemetryBench(cfg Config, words, cycles, repeats int) (*StageBenchReport, error) {
+	cfg = cfg.withDefaults()
+	designs := cfg.Designs
+	if len(designs) == 0 {
+		designs = []string{"9sym", "c880", "styr"}
+	}
+	if words <= 0 {
+		words = 4
+	}
+	if cycles <= 0 {
+		cycles = 2
+	}
+	if repeats <= 0 {
+		repeats = 32
+	}
+	rep := &StageBenchReport{Words: words, Cycles: cycles}
+	rep.Overhead.Repeats = repeats
+
+	// Per-stage shares: one fresh single-worker service per design so the
+	// cold campaign's trace covers the full pipeline, synth included. The
+	// first fault seed whose error is excited provides the row.
+	for _, d := range designs {
+		svc := service.New(service.Config{Workers: 1})
+		row := StageBenchRow{Design: d}
+		for fs := int64(1); fs <= 4; fs++ {
+			res, err := runStageCampaign(svc, stageSpec(d, fs, cfg, words, cycles))
+			if err != nil {
+				svc.Close()
+				return nil, fmt.Errorf("experiments: stage bench %s/%d: %w", d, fs, err)
+			}
+			if res.Trace == nil {
+				svc.Close()
+				return nil, fmt.Errorf("experiments: stage bench %s/%d: no trace", d, fs)
+			}
+			if row.Stages == nil || res.Detected {
+				row.Detected = res.Detected
+				row.WallUs = res.Trace.WallUs
+				row.Stages = shares(res.Trace)
+				row.Counters = res.Trace.Counters
+			}
+			if res.Detected {
+				break
+			}
+		}
+		svc.Close()
+		rep.Rows = append(rep.Rows, row)
+	}
+
+	// Overhead: warm repeated repair campaigns, telemetry on vs off.
+	// Both arms stay alive and alternate campaign by campaign, so clock
+	// drift and background load bias them equally; the first (cold) run
+	// per design and arm pays the artifact builds and is discarded.
+	svcOn := service.New(service.Config{Workers: 1})
+	svcOff := service.New(service.Config{Workers: 1, NoTelemetry: true})
+	defer svcOn.Close()
+	defer svcOff.Close()
+	var enabled, disabled []float64
+	var ratios []float64
+	for _, d := range designs {
+		sp := stageSpec(d, 1, cfg, words, cycles)
+		var dEnabled, dDisabled []float64
+		for _, svc := range []*service.Service{svcOn, svcOff} {
+			if _, err := runStageCampaign(svc, sp); err != nil {
+				return nil, fmt.Errorf("experiments: overhead warm-up %s: %w", d, err)
+			}
+		}
+		for i := 0; i < repeats; i++ {
+			// Strict single-campaign alternation, swapping which arm goes
+			// first each iteration: background-load drift and within-pair
+			// position bias (cache residency, turbo ramp) both cancel.
+			first, second := svcOn, svcOff
+			if i%2 == 1 {
+				first, second = svcOff, svcOn
+			}
+			res1, err := runStageCampaign(first, sp)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: overhead arm %s: %w", d, err)
+			}
+			res2, err := runStageCampaign(second, sp)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: overhead arm %s: %w", d, err)
+			}
+			on, off := res1.WallMs, res2.WallMs
+			if i%2 == 1 {
+				on, off = off, on
+			}
+			dEnabled = append(dEnabled, on)
+			dDisabled = append(dDisabled, off)
+		}
+		enabled = append(enabled, dEnabled...)
+		disabled = append(disabled, dDisabled...)
+		// One overhead sample per design: the ratio of the arms'
+		// interquartile means, so a handful of GC pauses or scheduler
+		// stalls on either side cannot drag the estimate.
+		if lo := iqMean(dDisabled); lo > 0 {
+			ratios = append(ratios, iqMean(dEnabled)/lo)
+		}
+	}
+	// Medians across every design's campaign walls, reported for context
+	// — they mix whatever background load the run happened to see.
+	rep.Overhead.EnabledMs = median(enabled)
+	rep.Overhead.DisabledMs = median(disabled)
+	if len(ratios) > 0 {
+		rep.Overhead.OverheadPct = 100 * (mean(ratios) - 1)
+	}
+	return rep, nil
+}
+
+// StageCSV flattens stage traces into a CSV table, one row per stage per
+// campaign, for spreadsheet-side analysis of NDJSON trace logs.
+func StageCSV(traces []*obs.StageTrace) string {
+	var b strings.Builder
+	b.WriteString("campaign,design,kind,stage,start_us,dur_us,excl_us,count\n")
+	for _, tr := range traces {
+		if tr == nil {
+			continue
+		}
+		for _, s := range tr.Stages {
+			fmt.Fprintf(&b, "%s,%s,%s,%s,%d,%d,%d,%d\n",
+				tr.Campaign, tr.Design, tr.Kind, s.Stage, s.StartUs, s.DurUs, s.ExclUs, s.Count)
+		}
+	}
+	return b.String()
+}
+
+// FormatStages renders the report as a text table.
+func FormatStages(r *StageBenchReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Per-stage wall-time shares (cold repair campaign, %d words x %d cycles)\n",
+		r.Words, r.Cycles)
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%s: wall %.1fms (detected=%v)\n",
+			row.Design, float64(row.WallUs)/1000, row.Detected)
+		for _, s := range row.Stages {
+			fmt.Fprintf(&b, "  %-18s %8.2fms %5.1f%%  x%d\n",
+				s.Stage, float64(s.ExclUs)/1000, s.SharePct, s.Count)
+		}
+	}
+	fmt.Fprintf(&b, "instrumentation overhead: warm repair median %.2fms enabled vs %.2fms disabled — %+.1f%% (%d repeats/design)\n",
+		r.Overhead.EnabledMs, r.Overhead.DisabledMs, r.Overhead.OverheadPct, r.Overhead.Repeats)
+	return b.String()
+}

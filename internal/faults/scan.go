@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/bits"
 
+	"fpgadbg/internal/obs"
 	"fpgadbg/internal/sim"
 	"fpgadbg/internal/testgen"
 )
@@ -21,6 +22,9 @@ type ScanConfig struct {
 	// progress so far; returning an error aborts the scan (the campaign
 	// service cancels through it).
 	OnBatch func(done, total int) error
+	// Obs, when set, receives one "faultscan" span per Scan call with
+	// fault/batch counters. Nil disables tracing at zero cost.
+	Obs *obs.Trace
 }
 
 func (c ScanConfig) withDefaults() ScanConfig {
@@ -122,6 +126,10 @@ func (s *Signer) Result(f Fault) ScanResult {
 // Results are in input order.
 func Scan(prog *sim.Machine, fs []Fault, cfg ScanConfig) ([]ScanResult, error) {
 	cfg = cfg.withDefaults()
+	sp := cfg.Obs.Start(obs.StageFaultScan)
+	defer sp.End()
+	sp.Add("faults", int64(len(fs)))
+	sp.Add("fault-batches", int64(len(BatchesN(fs, prog.Lanes()))))
 	return ScanStim(prog, fs, cfg.Stimulus(len(prog.PIOrder())), cfg.OnBatch)
 }
 

@@ -1,0 +1,43 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkSpanOverhead measures the cost of one instrumented stage:
+// Start + one counter Add + End, feeding both the trace and a registry
+// histogram. This is the per-span price every pipeline stage pays when
+// telemetry is on; CI's bench smoke runs it so regressions surface.
+func BenchmarkSpanOverhead(b *testing.B) {
+	reg := NewRegistry()
+	tr := NewTrace("bench", "9sym", "debug", reg)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := tr.Start(StageDetect)
+		sp.Add("n", 1)
+		sp.End()
+	}
+}
+
+// BenchmarkSpanOverheadDisabled is the nil-trace control: the price of
+// the same call sites with telemetry off (service.Config.NoTelemetry).
+func BenchmarkSpanOverheadDisabled(b *testing.B) {
+	var tr *Trace
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := tr.Start(StageDetect)
+		sp.Add("n", 1)
+		sp.End()
+	}
+}
+
+// BenchmarkHistogramObserve measures the registry's hot path alone.
+func BenchmarkHistogramObserve(b *testing.B) {
+	reg := NewRegistry()
+	h := reg.Histogram("stage.route")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(time.Duration(i) * time.Nanosecond)
+	}
+}

@@ -1,0 +1,42 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// TraceLog serializes finished StageTraces to a writer as NDJSON — one
+// JSON object per line, append-only. The daemon points it at the
+// -trace-log file; fpgadbg -trace-out uses it for a single campaign. A
+// nil *TraceLog drops writes.
+type TraceLog struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewTraceLog wraps a writer. Returns nil for a nil writer, so the
+// disabled path is a nil-receiver no-op like the rest of the package.
+func NewTraceLog(w io.Writer) *TraceLog {
+	if w == nil {
+		return nil
+	}
+	return &TraceLog{w: w}
+}
+
+// Write appends one StageTrace line. Concurrent campaign workers
+// serialize on the log's mutex so lines never interleave.
+func (l *TraceLog) Write(st *StageTrace) error {
+	if l == nil || st == nil {
+		return nil
+	}
+	b, err := json.Marshal(st)
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	_, err = l.w.Write(b)
+	return err
+}

@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTraceFinishAggregation(t *testing.T) {
+	reg := NewRegistry()
+	tr := NewTrace("c000001", "9sym", "repair", reg)
+
+	outer := tr.Start(StageDetect)
+	time.Sleep(2 * time.Millisecond)
+	inner := tr.Start(StageGoldenTrace)
+	inner.Add("trace-cache-miss", 1)
+	time.Sleep(2 * time.Millisecond)
+	inner.End()
+	outer.End()
+
+	second := tr.Start(StageGoldenTrace)
+	second.Add("trace-cache-hit", 1)
+	second.End()
+
+	st := tr.Finish()
+	if st == nil || st.Campaign != "c000001" || st.Design != "9sym" || st.Kind != "repair" {
+		t.Fatalf("bad header: %+v", st)
+	}
+	det := st.Stage(StageDetect)
+	gt := st.Stage(StageGoldenTrace)
+	if det == nil || gt == nil {
+		t.Fatalf("missing stages: %+v", st.Stages)
+	}
+	if det.Count != 1 || gt.Count != 2 {
+		t.Fatalf("counts: detect=%d goldentrace=%d", det.Count, gt.Count)
+	}
+	if det.DurUs < gt.DurUs {
+		t.Fatalf("detect (outer, %dµs) should include goldentrace (%dµs)", det.DurUs, gt.DurUs)
+	}
+	// Exclusive time partitions: detect's exclusive excludes the nested
+	// goldentrace span.
+	if det.ExclUs >= det.DurUs {
+		t.Fatalf("detect exclusive %dµs not reduced below inclusive %dµs", det.ExclUs, det.DurUs)
+	}
+	if st.Counters["trace-cache-miss"] != 1 || st.Counters["trace-cache-hit"] != 1 {
+		t.Fatalf("counters: %v", st.Counters)
+	}
+	// Stage rows come out in canonical StageOrder (goldentrace precedes
+	// detect).
+	if st.Stages[0].Stage != StageGoldenTrace || st.Stages[1].Stage != StageDetect {
+		t.Fatalf("order: %+v", st.Stages)
+	}
+	// Registry histograms accumulated one detect and two goldentrace
+	// observations.
+	snap := reg.Snapshot()
+	if snap.Histograms["stage.detect"].Count != 1 || snap.Histograms["stage.goldentrace"].Count != 2 {
+		t.Fatalf("registry histograms: %+v", snap.Histograms)
+	}
+}
+
+// TestSpansProperlyNested is the overlap discipline check: the pipeline
+// runs on one goroutine, so any two spans of a trace must be disjoint or
+// strictly nested — never partially overlapping.
+func TestSpansProperlyNested(t *testing.T) {
+	tr := NewTrace("c", "d", "debug", nil)
+	a := tr.Start(StagePlace)
+	b := tr.Start(StageRoute)
+	b.End()
+	a.End()
+	c := tr.Start(StageDetect)
+	c.End()
+	AssertProperNesting(t, tr.Spans())
+}
+
+// AssertProperNesting fails the test when any pair of span records
+// partially overlaps. Shared with the service-level completeness test.
+func AssertProperNesting(t *testing.T, spans []SpanRecord) {
+	t.Helper()
+	for i := range spans {
+		for j := i + 1; j < len(spans); j++ {
+			a, b := spans[i], spans[j]
+			aEnd, bEnd := a.Start.Add(a.Dur), b.Start.Add(b.Dur)
+			disjoint := !aEnd.After(b.Start) || !bEnd.After(a.Start)
+			aInB := !a.Start.Before(b.Start) && !aEnd.After(bEnd)
+			bInA := !b.Start.Before(a.Start) && !bEnd.After(aEnd)
+			if !disjoint && !aInB && !bInA {
+				t.Errorf("spans overlap without nesting: %s[%v+%v] vs %s[%v+%v]",
+					a.Stage, a.Start, a.Dur, b.Stage, b.Start, b.Dur)
+			}
+		}
+	}
+}
+
+func TestTraceLogNDJSON(t *testing.T) {
+	var sb strings.Builder
+	log := NewTraceLog(&sb)
+	tr := NewTrace("c000001", "9sym", "repair", nil)
+	tr.Start(StageDetect).End()
+	if err := log.Write(tr.Finish()); err != nil {
+		t.Fatal(err)
+	}
+	if err := log.Write(tr.Finish()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(sb.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("want 2 NDJSON lines, got %d: %q", len(lines), sb.String())
+	}
+	for _, ln := range lines {
+		if !strings.HasPrefix(ln, "{") || !strings.Contains(ln, `"campaign":"c000001"`) {
+			t.Fatalf("bad NDJSON line: %q", ln)
+		}
+	}
+}

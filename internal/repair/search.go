@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 
+	"fpgadbg/internal/obs"
 	"fpgadbg/internal/sim"
 	"fpgadbg/internal/testgen"
 )
@@ -41,6 +42,9 @@ type Config struct {
 	// validation batch; returning an error aborts the search (the
 	// campaign service cancels through it).
 	OnBatch func(done, total int) error
+	// Obs, when set, receives repair-enumerate and repair-validate spans
+	// with candidate/batch counters. Nil disables tracing at zero cost.
+	Obs *obs.Trace
 }
 
 func (c Config) withDefaults() Config {
@@ -270,7 +274,10 @@ func (e *Engine) Search(suspects []string, detStim [][]uint64, cfg Config) (*Out
 	}
 	out := &Outcome{}
 	for round := 0; round < cfg.RefineRounds; round++ {
+		esp := cfg.Obs.Start(obs.StageRepairEnumerate)
 		cands, err := e.Enumerate(suspects, obsStim)
+		esp.Add("candidates", int64(len(cands)))
+		esp.End()
 		if err != nil {
 			return nil, err
 		}
@@ -279,7 +286,11 @@ func (e *Engine) Search(suspects []string, detStim [][]uint64, cfg Config) (*Out
 			return out, nil
 		}
 
+		vsp := cfg.Obs.Start(obs.StageRepairValidate)
 		alive, nb, err := e.validateAgainst(gt, cands, detStim, cfg.OnBatch)
+		vsp.Add("candidates-validated", int64(len(cands)))
+		vsp.Add("lane-batches", int64(nb))
+		vsp.End()
 		if err != nil {
 			return nil, err
 		}
@@ -297,7 +308,11 @@ func (e *Engine) Search(suspects []string, detStim [][]uint64, cfg Config) (*Out
 
 		verifyStim := testgenScalar(e.NumPIs(), cfg.VerifyPatterns,
 			cfg.Seed+verifySeedOffset+int64(round)*verifySeedStride, cfg.VerifyCycles)
+		wsp := cfg.Obs.Start(obs.StageRepairValidate)
 		verified, nb, err := e.Validate(survivors, verifyStim, cfg.OnBatch)
+		wsp.Add("candidates-validated", int64(len(survivors)))
+		wsp.Add("lane-batches", int64(nb))
+		wsp.End()
 		if err != nil {
 			return nil, err
 		}

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"fpgadbg/internal/device"
+	"fpgadbg/internal/obs"
 )
 
 // EdgeID identifies one channel segment of the routing grid.
@@ -143,6 +144,13 @@ type Result struct {
 type Router struct {
 	g *Grid
 
+	// Obs, when set, receives one "route" span per Route call with
+	// routed-net/iteration/expansion counters. Core wires it to the
+	// owning Layout's trace (core.Layout.SetObs) so both the initial
+	// full route and every incremental reroute land in the same
+	// per-campaign StageTrace.
+	Obs *obs.Trace
+
 	// fixed accumulates locked wiring between BeginPass and Route when
 	// Options.FixedUse is nil.
 	fixed []int16
@@ -224,6 +232,8 @@ func RouteAll(g *Grid, nets []*Net, opt Options) (*Result, error) {
 // calls on one Router are independent routing problems; only the scratch
 // memory is shared.
 func (r *Router) Route(nets []*Net, opt Options) (*Result, error) {
+	sp := r.Obs.Start(obs.StageRoute)
+	defer sp.End()
 	g := r.g
 	if opt.MaxIters <= 0 {
 		opt.MaxIters = 40
@@ -305,6 +315,9 @@ func (r *Router) Route(nets []*Net, opt Options) (*Result, error) {
 		}
 		presFac *= 1.8
 	}
+	sp.Add("routed-nets", int64(len(work)))
+	sp.Add("route-iters", int64(res.Iters))
+	sp.Add("route-expansions", res.Expansions)
 	if res.Overused > 0 {
 		return res, fmt.Errorf("route: %d edges still overused after %d iterations", res.Overused, res.Iters)
 	}

@@ -10,6 +10,8 @@ import (
 	"net/http"
 	"strings"
 	"time"
+
+	"fpgadbg/internal/obs"
 )
 
 // Client talks to a fpgadbgd daemon over the HTTP/JSON API; cmd/fpgadbg
@@ -90,6 +92,15 @@ func (c *Client) List(ctx context.Context) ([]Status, error) {
 	var out []Status
 	err := c.do(ctx, http.MethodGet, "/campaigns", nil, &out)
 	return out, err
+}
+
+// Trace fetches a finished campaign's per-stage telemetry.
+func (c *Client) Trace(ctx context.Context, id string) (*obs.StageTrace, error) {
+	var st obs.StageTrace
+	if err := c.do(ctx, http.MethodGet, "/campaigns/"+id+"/trace", nil, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
 }
 
 // Cancel stops a campaign.

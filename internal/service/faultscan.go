@@ -30,6 +30,7 @@ func (s *Service) runFaultScan(ctx context.Context, c *campaign, ga *goldenArtif
 		Patterns: spec.Patterns,
 		Cycles:   spec.Cycles,
 		Seed:     spec.Seed,
+		Obs:      c.trace,
 		OnBatch: func(done, total int) error {
 			if err := ctx.Err(); err != nil {
 				return err

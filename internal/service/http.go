@@ -5,7 +5,8 @@ import (
 	"expvar"
 	"fmt"
 	"net/http"
-	"sync"
+
+	"fpgadbg/internal/obs"
 )
 
 // The HTTP/JSON face of the service, mounted by cmd/fpgadbgd:
@@ -14,33 +15,45 @@ import (
 //	GET  /campaigns               list all campaigns
 //	GET  /campaigns/{id}          one campaign's status (+result when done)
 //	GET  /campaigns/{id}/events   NDJSON progress stream, past + live
+//	GET  /campaigns/{id}/trace    finished campaign's StageTrace (JSON)
 //	POST /campaigns/{id}/cancel   cancel queued or running campaign
 //	GET  /healthz                 liveness + queue depth
-//	GET  /metrics                 expvar (service stats under "fpgadbgd")
+//	GET  /metrics                 expvar globals + this service's stats
+//	                              and telemetry registry under "fpgadbgd"
 
-// expvar.Publish panics on duplicate names, so the service stats var is
-// registered once and re-pointed at the most recent service (tests spin
-// up many).
-var (
-	metricsMu   sync.Mutex
-	metricsSvc  *Service
-	metricsOnce sync.Once
-)
-
-func (s *Service) publishExpvar() {
-	metricsMu.Lock()
-	metricsSvc = s
-	metricsMu.Unlock()
-	metricsOnce.Do(func() {
-		expvar.Publish("fpgadbgd", expvar.Func(func() any {
-			metricsMu.Lock()
-			defer metricsMu.Unlock()
-			if metricsSvc == nil {
-				return nil
-			}
-			return metricsSvc.Stats()
-		}))
+// metricsHandler serves the expvar-style JSON document: every process
+// global expvar.Do yields (memstats, cmdline, ...) plus this service
+// instance's stats and metrics registry under the "fpgadbgd" key. The
+// per-instance key is assembled here rather than via expvar.Publish —
+// Publish is process-global and panics on duplicates, so two services in
+// one process (tests, embedded daemons) would both report whichever
+// instance registered first.
+func (s *Service) metricsHandler(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	fmt.Fprintf(w, "{\n")
+	first := true
+	expvar.Do(func(kv expvar.KeyValue) {
+		if kv.Key == "fpgadbgd" {
+			return // stale global from older embedders; superseded below
+		}
+		if !first {
+			fmt.Fprintf(w, ",\n")
+		}
+		first = false
+		fmt.Fprintf(w, "%q: %s", kv.Key, kv.Value)
 	})
+	own := struct {
+		Stats
+		Telemetry obs.RegistrySnapshot `json:"telemetry"`
+	}{s.Stats(), s.reg.Snapshot()}
+	b, err := json.Marshal(own)
+	if err != nil {
+		b = []byte("null")
+	}
+	if !first {
+		fmt.Fprintf(w, ",\n")
+	}
+	fmt.Fprintf(w, "%q: %s\n}\n", "fpgadbgd", b)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -57,7 +70,6 @@ func writeError(w http.ResponseWriter, code int, err error) {
 
 // Handler mounts the HTTP API.
 func (s *Service) Handler() http.Handler {
-	s.publishExpvar()
 	mux := http.NewServeMux()
 
 	mux.HandleFunc("POST /campaigns", func(w http.ResponseWriter, r *http.Request) {
@@ -128,6 +140,15 @@ func (s *Service) Handler() http.Handler {
 		}
 	})
 
+	mux.HandleFunc("GET /campaigns/{id}/trace", func(w http.ResponseWriter, r *http.Request) {
+		st, err := s.Trace(r.PathValue("id"))
+		if err != nil {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+
 	mux.HandleFunc("POST /campaigns/{id}/cancel", func(w http.ResponseWriter, r *http.Request) {
 		if err := s.Cancel(r.PathValue("id")); err != nil {
 			writeError(w, http.StatusNotFound, err)
@@ -147,7 +168,7 @@ func (s *Service) Handler() http.Handler {
 		})
 	})
 
-	mux.Handle("GET /metrics", expvar.Handler())
+	mux.HandleFunc("GET /metrics", s.metricsHandler)
 
 	return mux
 }

@@ -2,11 +2,15 @@ package service
 
 import (
 	"context"
+	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
 	"time"
+
+	"fpgadbg/internal/obs"
 )
 
 func TestHTTPRoundTrip(t *testing.T) {
@@ -136,9 +140,69 @@ func TestHTTPCancelAndMetrics(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("metrics status = %d", resp.StatusCode)
 	}
-	buf := make([]byte, 1<<16)
-	n, _ := resp.Body.Read(buf)
-	if !strings.Contains(string(buf[:n]), "fpgadbgd") {
+	blob, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(blob), "fpgadbgd") {
 		t.Fatal("expvar output missing fpgadbgd service stats")
+	}
+	// The service's key carries stats plus the telemetry registry with
+	// per-stage latency histograms.
+	var doc map[string]json.RawMessage
+	if err := json.Unmarshal(blob, &doc); err != nil {
+		t.Fatalf("/metrics is not a JSON object: %v", err)
+	}
+	var own struct {
+		Stats
+		Telemetry obs.RegistrySnapshot `json:"telemetry"`
+	}
+	if err := json.Unmarshal(doc["fpgadbgd"], &own); err != nil {
+		t.Fatal(err)
+	}
+	if own.Done != 1 || own.Canceled != 1 {
+		t.Fatalf("metrics stats = %+v", own.Stats)
+	}
+	hist, ok := own.Telemetry.Histograms["stage."+obs.StageDetect]
+	if !ok || hist.Count == 0 {
+		t.Fatalf("detect stage histogram missing from /metrics: %v", own.Telemetry.Histograms)
+	}
+}
+
+// TestHTTPTraceEndpoint pins GET /campaigns/{id}/trace: 404 before the
+// campaign finishes (and for unknown IDs), the full StageTrace after.
+func TestHTTPTraceEndpoint(t *testing.T) {
+	svc := New(Config{Workers: 1})
+	defer svc.Close()
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+	cl := &Client{Base: srv.URL, HTTP: srv.Client()}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	if _, err := cl.Trace(ctx, "c999999"); err == nil {
+		t.Fatal("trace of unknown campaign should 404")
+	}
+	st, err := cl.Submit(ctx, fastSpec("9sym", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cl.Wait(ctx, st.ID, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := cl.Trace(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Campaign != st.ID || len(tr.Stages) == 0 || tr.WallUs <= 0 {
+		t.Fatalf("trace = %+v", tr)
+	}
+	if res.Trace == nil || len(res.Trace.Stages) != len(tr.Stages) {
+		t.Fatalf("trace endpoint (%d stages) disagrees with result (%+v)",
+			len(tr.Stages), res.Trace)
+	}
+	if tr.Stage(obs.StageDetect) == nil || tr.Stage(obs.StageQueue) == nil {
+		t.Fatalf("trace missing core stages: %+v", tr.Stages)
 	}
 }

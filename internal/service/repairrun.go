@@ -18,6 +18,7 @@ import (
 
 	"fpgadbg/internal/debug"
 	"fpgadbg/internal/netlist"
+	"fpgadbg/internal/obs"
 	"fpgadbg/internal/sim"
 )
 
@@ -59,6 +60,8 @@ func (s *Service) runRepairCampaign(ctx context.Context, c *campaign, sess *debu
 	var prog *sim.Machine
 	if diag.Dict {
 		v, hit, err := s.cache.GetOrBuild(fmt.Sprintf("prog/%s/l%d", implFP, spec.SimLanes), func() (any, int64, error) {
+			csp := c.trace.Start(obs.StageCompile)
+			defer csp.End()
 			m, err := sim.CompileWidth(impl.Clone(), spec.SimLanes/64)
 			if err != nil {
 				return nil, 0, err

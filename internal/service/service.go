@@ -7,6 +7,7 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"io"
 	"runtime"
 	"strconv"
 	"sync"
@@ -17,6 +18,7 @@ import (
 	"fpgadbg/internal/debug"
 	"fpgadbg/internal/faults"
 	"fpgadbg/internal/netlist"
+	"fpgadbg/internal/obs"
 	"fpgadbg/internal/sim"
 	"fpgadbg/internal/synth"
 )
@@ -254,6 +256,10 @@ type Result struct {
 	CacheMisses int     `json:"cache_misses"`
 	WallMs      float64 `json:"wall_ms"`
 	Digest      string  `json:"digest"`
+	// Trace is the campaign's per-stage telemetry (wall-clock spans), nil
+	// when the service runs with telemetry disabled. Timing is host noise,
+	// so Trace is — like WallMs — excluded from Digest.
+	Trace *obs.StageTrace `json:"stage_trace,omitempty"`
 }
 
 // digest hashes the deterministic fields (wall-clock throughput and cache
@@ -289,6 +295,14 @@ type campaign struct {
 	id   string
 	spec Spec
 	seq  int64
+
+	// trace collects the campaign's per-stage telemetry spans; qspan is
+	// the open queue-wait span, ended when a worker picks the campaign
+	// up. Both are nil when the service runs with telemetry disabled.
+	// They are written only by Submit and the owning worker, never
+	// concurrently, so they live outside c.mu.
+	trace *obs.Trace
+	qspan *obs.Span
 
 	mu       sync.Mutex
 	state    State
@@ -390,6 +404,15 @@ type Config struct {
 	// so a long-running daemon's memory stays bounded like its cache.
 	// Default 4096; negative means unbounded.
 	RetainCampaigns int
+	// TraceLog, when set, receives every finished campaign's StageTrace
+	// as one NDJSON line (append-only; the daemon wires -trace-log here).
+	TraceLog io.Writer
+	// NoTelemetry disables the metrics registry and per-campaign stage
+	// traces entirely: Result.Trace stays nil, /metrics reports service
+	// counters only, and the pipelines pay one nil test per stage. The
+	// overhead benchmark (experiments.TelemetryBench) uses it as the
+	// control arm.
+	NoTelemetry bool
 }
 
 func (c Config) withDefaults() Config {
@@ -408,7 +431,8 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Stats is a service-level snapshot, published by the daemon via expvar.
+// Stats is a service-level snapshot, served under "fpgadbgd" by the
+// /metrics endpoint.
 type Stats struct {
 	Workers   int        `json:"workers"`
 	Submitted int64      `json:"submitted"`
@@ -418,24 +442,40 @@ type Stats struct {
 	Failed    int64      `json:"failed"`
 	Canceled  int64      `json:"canceled"`
 	Cache     CacheStats `json:"cache"`
+	// QueueDepth is the genuinely-waiting queue length (same value the
+	// queue_depth gauge tracks; equals Queued).
+	QueueDepth int `json:"queue_depth"`
+	// RunningAge is the age in seconds of the oldest in-flight campaign,
+	// 0 when idle — a stuck-worker tell for dashboards.
+	RunningAge float64 `json:"running_age_sec"`
+	// ByKind counts submitted campaigns per kind.
+	ByKind map[string]int64 `json:"by_kind,omitempty"`
 }
 
 // Service is the concurrent campaign server.
 type Service struct {
 	cfg   Config
 	cache *Cache
+	// reg is this service's metrics registry (per-stage histograms,
+	// queue/worker gauges, cache counters); nil with NoTelemetry. It is
+	// instance-owned — two services in one process never share counters.
+	reg *obs.Registry
+	// traceLog is the optional NDJSON sink for finished stage traces.
+	traceLog *obs.TraceLog
 
-	mu      sync.Mutex
-	cond    *sync.Cond
-	queue   campaignQueue
-	byID    map[string]*campaign
-	order   []string // submission order, for List
-	nextSeq int64
-	running int
-	done    int64
-	failed  int64
-	cancels int64
-	closed  bool
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queue    campaignQueue
+	byID     map[string]*campaign
+	order    []string // submission order, for List
+	nextSeq  int64
+	running  int
+	done     int64
+	failed   int64
+	cancels  int64
+	byKind   map[string]int64     // submitted campaigns per kind
+	runStart map[string]time.Time // start times of in-flight campaigns
+	closed   bool
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -446,9 +486,15 @@ type Service struct {
 func New(cfg Config) *Service {
 	cfg = cfg.withDefaults()
 	s := &Service{
-		cfg:   cfg,
-		cache: NewCache(cfg.CacheEntries, cfg.CacheBytes),
-		byID:  make(map[string]*campaign),
+		cfg:      cfg,
+		cache:    NewCache(cfg.CacheEntries, cfg.CacheBytes),
+		byID:     make(map[string]*campaign),
+		byKind:   make(map[string]int64),
+		runStart: make(map[string]time.Time),
+	}
+	if !cfg.NoTelemetry {
+		s.reg = obs.NewRegistry()
+		s.traceLog = obs.NewTraceLog(cfg.TraceLog)
 	}
 	s.cond = sync.NewCond(&s.mu)
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
@@ -461,6 +507,9 @@ func New(cfg Config) *Service {
 
 // Cache exposes the artifact cache (stats, pre-warming in tests).
 func (s *Service) Cache() *Cache { return s.cache }
+
+// Registry exposes the service's metrics registry (nil with NoTelemetry).
+func (s *Service) Registry() *obs.Registry { return s.reg }
 
 // Submit validates and enqueues a campaign, returning its ID.
 func (s *Service) Submit(spec Spec) (string, error) {
@@ -483,6 +532,13 @@ func (s *Service) Submit(spec Spec) (string, error) {
 		done:   make(chan struct{}),
 		queued: time.Now(),
 	}
+	if s.reg != nil {
+		c.trace = obs.NewTrace(c.id, spec.Design, spec.Kind, s.reg)
+		c.qspan = c.trace.Start(obs.StageQueue)
+	}
+	s.byKind[spec.Kind]++
+	s.reg.Gauge("queue_depth").Add(1)
+	s.reg.Counter("campaigns." + spec.Kind).Add(1)
 	s.byID[c.id] = c
 	s.order = append(s.order, c.id)
 	heap.Push(&s.queue, queueItem{c: c})
@@ -508,6 +564,22 @@ func (s *Service) Status(id string) (Status, error) {
 		return Status{}, err
 	}
 	return c.status(), nil
+}
+
+// Trace returns a finished campaign's per-stage telemetry. It errors for
+// unknown campaigns, campaigns that have not completed successfully, and
+// services running with telemetry disabled.
+func (s *Service) Trace(id string) (*obs.StageTrace, error) {
+	c, err := s.lookup(id)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.result == nil || c.result.Trace == nil {
+		return nil, fmt.Errorf("service: campaign %q has no stage trace (state %s)", id, c.state)
+	}
+	return c.result.Trace, nil
 }
 
 // List returns every campaign's status in submission order.
@@ -598,6 +670,7 @@ func (s *Service) Cancel(id string) error {
 	if wasQueued {
 		s.mu.Lock()
 		s.cancels++
+		s.reg.Gauge("queue_depth").Add(-1)
 		s.mu.Unlock()
 	}
 	return nil
@@ -617,15 +690,32 @@ func (s *Service) Stats() Stats {
 		}
 		it.c.mu.Unlock()
 	}
+	age := 0.0
+	now := time.Now()
+	for _, started := range s.runStart {
+		if a := now.Sub(started).Seconds(); a > age {
+			age = a
+		}
+	}
+	var byKind map[string]int64
+	if len(s.byKind) > 0 {
+		byKind = make(map[string]int64, len(s.byKind))
+		for k, n := range s.byKind {
+			byKind[k] = n
+		}
+	}
 	return Stats{
-		Workers:   s.cfg.Workers,
-		Submitted: s.nextSeq,
-		Queued:    queued,
-		Running:   s.running,
-		Done:      s.done,
-		Failed:    s.failed,
-		Canceled:  s.cancels,
-		Cache:     s.cache.Stats(),
+		Workers:    s.cfg.Workers,
+		Submitted:  s.nextSeq,
+		Queued:     queued,
+		Running:    s.running,
+		Done:       s.done,
+		Failed:     s.failed,
+		Canceled:   s.cancels,
+		Cache:      s.cache.Stats(),
+		QueueDepth: queued,
+		RunningAge: age,
+		ByKind:     byKind,
 	}
 }
 
@@ -673,6 +763,7 @@ func (s *Service) Close() {
 		// count the ones this shutdown actually cancels.
 		if c.state == StateQueued {
 			s.cancels++
+			s.reg.Gauge("queue_depth").Add(-1)
 			c.appendEventLocked("cancel", 0, "service shutting down")
 			c.finishLocked(StateCanceled, nil, context.Canceled)
 		}
@@ -711,14 +802,36 @@ func (s *Service) worker() {
 		c.appendEventLocked("start", 0, "campaign running")
 		c.mu.Unlock()
 		s.running++
+		s.runStart[c.id] = c.started
+		s.reg.Gauge("queue_depth").Add(-1)
+		s.reg.Gauge("workers_busy").Add(1)
 		s.mu.Unlock()
+		// The queue-wait span closes when work actually begins; from here
+		// on the campaign's own stages take over the trace.
+		c.qspan.End()
 
 		res, err := s.runCampaign(ctx, c)
 		cancel()
 
+		// Finish the trace before the terminal event so subscribers that
+		// observe "done" can already read it; the trace event precedes
+		// "done", keeping "done" the final event of every campaign.
+		var st *obs.StageTrace
+		if err == nil && c.trace != nil {
+			st = c.trace.Finish()
+			res.Trace = st
+			if werr := s.traceLog.Write(st); werr != nil {
+				c.appendEvent("trace", 0, "trace log write failed: %v", werr)
+			}
+		}
+
 		c.mu.Lock()
 		switch {
 		case err == nil:
+			if st != nil {
+				c.appendEventLocked("trace", 0, fmt.Sprintf("stage trace: %d stages, wall %.1fms",
+					len(st.Stages), float64(st.WallUs)/1000))
+			}
 			c.appendEventLocked("done", 0, fmt.Sprintf("clean=%v digest=%s", res.Clean, res.Digest))
 			c.finishLocked(StateDone, res, nil)
 		case errors.Is(err, context.Canceled):
@@ -732,6 +845,8 @@ func (s *Service) worker() {
 
 		s.mu.Lock()
 		s.running--
+		delete(s.runStart, c.id)
+		s.reg.Gauge("workers_busy").Add(-1)
 		switch {
 		case err == nil:
 			s.done++
@@ -792,13 +907,16 @@ func (t traceStore) PutTrace(key string, tr *sim.Trace) {
 func (s *Service) runCampaign(ctx context.Context, c *campaign) (*Result, error) {
 	start := time.Now()
 	spec := c.spec
+	tr := c.trace
 	hits, misses := 0, 0
 	count := func(hit bool) string {
 		if hit {
 			hits++
+			tr.Add("cache-hits", 1)
 			return "cache hit"
 		}
 		misses++
+		tr.Add("cache-misses", 1)
 		return "built"
 	}
 
@@ -816,11 +934,21 @@ func (s *Service) runCampaign(ctx context.Context, c *campaign) (*Result, error)
 	// entirely, and campaigns at different sim_lanes never share a
 	// program (the value plane is laid out per width).
 	v, hit, err := s.cache.GetOrBuild(fmt.Sprintf("golden/%s/l%d", spec.Design, spec.SimLanes), func() (any, int64, error) {
-		mapped, err := synth.TechMap(info.Build())
+		// The cold-path builds are spans on the building campaign's
+		// trace; campaigns served from cache record none (the cache-hit
+		// counter tells that story instead).
+		ssp := tr.Start(obs.StageSynth)
+		nl := info.Build()
+		ssp.End()
+		msp := tr.Start(obs.StageMap)
+		mapped, err := synth.TechMap(nl)
+		msp.End()
 		if err != nil {
 			return nil, 0, err
 		}
+		csp := tr.Start(obs.StageCompile)
 		mach, err := sim.CompileWidth(mapped, spec.SimLanes/64)
+		csp.End()
 		if err != nil {
 			return nil, 0, err
 		}
@@ -874,9 +1002,13 @@ func (s *Service) runCampaign(ctx context.Context, c *campaign) (*Result, error)
 	// outgrows the free list.
 	lkey := spec.layoutKey(implFP)
 	v, hit, err = s.cache.GetOrBuild(lkey, func() (any, int64, error) {
+		// The initial build records place/route spans on the building
+		// campaign's trace; BuildMapped detaches it before the layout is
+		// stored, so the cached pristine never outlives this trace.
 		l, err := core.BuildMapped(impl.Clone(), core.Spec{
 			Overhead: spec.Overhead, TileFrac: spec.TileFrac,
 			Seed: spec.Seed, PlaceEffort: spec.PlaceEffort,
+			Obs: tr,
 		})
 		if err != nil {
 			return nil, 0, err
@@ -890,7 +1022,14 @@ func (s *Service) runCampaign(ctx context.Context, c *campaign) (*Result, error)
 	}
 	pool := v.(*layoutPool)
 	layout, lease, reused := pool.checkout()
-	defer pool.checkin(layout, lease)
+	// Attach the campaign trace to the working copy so every incremental
+	// place/route/sta under ApplyDelta lands in it; detach before the
+	// copy returns to the pool's free list.
+	layout.SetObs(tr)
+	defer func() {
+		layout.SetObs(nil)
+		pool.checkin(layout, lease)
+	}()
 	c.appendEvent("place", 0, "tiled layout %v, %d tiles (%s; %s)", layout.Dev, len(layout.Tiles), count(hit), leaseWord(reused))
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -917,6 +1056,7 @@ func (s *Service) runCampaign(ctx context.Context, c *campaign) (*Result, error)
 	sess.Ctx = ctx
 	sess.Traces = traceStore{s.cache}
 	sess.SimWidth = spec.SimLanes / 64
+	sess.Obs = tr
 	sess.SetGoldenMachine(goldenMach)
 	sess.SetGoldenFingerprint(ga.fp)
 	sess.Progress = func(ev debug.Event) {
@@ -929,10 +1069,13 @@ func (s *Service) runCampaign(ctx context.Context, c *campaign) (*Result, error)
 	if spec.UseDict {
 		dkey := fmt.Sprintf("dict/%s/w%d-c%d-s%d", ga.fp, spec.Words, spec.Cycles, spec.Seed)
 		v, hit, err = s.cache.GetOrBuild(dkey, func() (any, int64, error) {
+			dsp := tr.Start(obs.StageLocalizeDict)
+			defer dsp.End()
 			d, err := debug.BuildFaultDict(ga.mach, spec.Words, spec.Cycles, spec.Seed)
 			if err != nil {
 				return nil, 0, err
 			}
+			dsp.Add("dict-faults", int64(d.Faults))
 			return d, d.MemoryFootprint(), nil
 		})
 		if err != nil {

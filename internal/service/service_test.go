@@ -312,6 +312,12 @@ func TestConcurrentSubmissionsDeterministic(t *testing.T) {
 	if st.Cache.Hits == 0 {
 		t.Fatal("concurrent burst never hit the artifact cache")
 	}
+	if st.QueueDepth != 0 || st.RunningAge != 0 {
+		t.Fatalf("drained service still reports in-flight work: %+v", st)
+	}
+	if st.ByKind[KindDebug] != int64(len(subs)) {
+		t.Fatalf("per-kind accounting = %v, want %d debug", st.ByKind, len(subs))
+	}
 }
 
 func specKey(sp Spec) string {

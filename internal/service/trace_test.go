@@ -1,0 +1,229 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"fpgadbg/internal/obs"
+)
+
+// TestStageTraceCompleteness runs repair campaigns until one actually
+// repairs, then checks the resulting StageTrace end to end: every
+// pipeline stage the campaign executed is present with a nonzero
+// duration, rows come out in canonical order, the raw spans are properly
+// nested (pairwise disjoint or contained — the pipeline runs on one
+// goroutine), and the NDJSON trace log agrees with the stored trace.
+func TestStageTraceCompleteness(t *testing.T) {
+	var logBuf bytes.Buffer
+	svc := New(Config{Workers: 1, TraceLog: &logBuf})
+	defer svc.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	var (
+		id  string
+		res *Result
+	)
+	for seed := int64(1); seed <= 8; seed++ {
+		cid, err := svc.Submit(repairSpec(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := svc.Wait(ctx, cid)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if r.Trace == nil {
+			t.Fatalf("seed %d: finished campaign carries no stage trace", seed)
+		}
+		if r.Detected && r.Repaired > 0 {
+			id, res = cid, r
+			break
+		}
+	}
+	if res == nil {
+		t.Skip("no seed produced a candidate-search repair")
+	}
+
+	tr := res.Trace
+	if tr.Campaign != id || tr.Kind != KindRepair || tr.WallUs <= 0 {
+		t.Fatalf("trace header wrong: %+v", tr)
+	}
+
+	// Every stage this campaign must have executed, with real time in it.
+	required := []string{
+		obs.StageQueue, obs.StageSynth, obs.StageMap, obs.StagePlace,
+		obs.StageRoute, obs.StageCompile, obs.StageGoldenTrace,
+		obs.StageDetect, obs.StageLocalizeDict,
+		obs.StageRepairEnumerate, obs.StageRepairValidate, obs.StageEcoVerify,
+	}
+	for _, stage := range required {
+		row := tr.Stage(stage)
+		if row == nil {
+			t.Errorf("stage %q missing from trace (stages: %+v)", stage, tr.Stages)
+			continue
+		}
+		if row.Count < 1 || row.DurUs <= 0 {
+			t.Errorf("stage %q executed but empty: %+v", stage, row)
+		}
+		if row.ExclUs < 0 || row.ExclUs > row.DurUs {
+			t.Errorf("stage %q exclusive time out of range: %+v", stage, row)
+		}
+	}
+
+	// Rows are in canonical pipeline order.
+	rank := make(map[string]int, len(obs.StageOrder))
+	for i, s := range obs.StageOrder {
+		rank[s] = i
+	}
+	for i := 1; i < len(tr.Stages); i++ {
+		if rank[tr.Stages[i-1].Stage] > rank[tr.Stages[i].Stage] {
+			t.Errorf("stages out of canonical order: %q before %q",
+				tr.Stages[i-1].Stage, tr.Stages[i].Stage)
+		}
+	}
+
+	// Counters from every instrumented layer made it to the top.
+	for _, ctr := range []string{"candidates", "candidates-validated", "routed-nets"} {
+		if tr.Counters[ctr] <= 0 {
+			t.Errorf("counter %q absent from trace (counters: %v)", ctr, tr.Counters)
+		}
+	}
+
+	// Raw spans are properly nested: the pipeline runs on one goroutine,
+	// so any two spans must be disjoint or one must contain the other.
+	// (obs.AssertProperNesting lives in that package's tests; this is the
+	// same pairwise check inline.)
+	svc.mu.Lock()
+	raw := svc.byID[id].trace.Spans()
+	svc.mu.Unlock()
+	if len(raw) == 0 {
+		t.Fatal("no raw spans recorded")
+	}
+	for i := range raw {
+		for j := i + 1; j < len(raw); j++ {
+			a, b := raw[i], raw[j]
+			aEnd, bEnd := a.Start.Add(a.Dur), b.Start.Add(b.Dur)
+			disjoint := !aEnd.After(b.Start) || !bEnd.After(a.Start)
+			aInB := !a.Start.Before(b.Start) && !aEnd.After(bEnd)
+			bInA := !b.Start.Before(a.Start) && !bEnd.After(aEnd)
+			if !disjoint && !aInB && !bInA {
+				t.Errorf("spans overlap without nesting: %s [%v +%v] vs %s [%v +%v]",
+					a.Stage, a.Start, a.Dur, b.Stage, b.Start, b.Dur)
+			}
+		}
+	}
+
+	// The service Trace accessor and the HTTP payload source agree.
+	got, err := svc.Trace(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.WallUs != tr.WallUs || len(got.Stages) != len(tr.Stages) {
+		t.Fatalf("Trace(%s) disagrees with Result.Trace: %+v vs %+v", id, got, tr)
+	}
+
+	// The NDJSON export carries the same trace (one line per campaign).
+	var logged *obs.StageTrace
+	sc := bufio.NewScanner(bytes.NewReader(logBuf.Bytes()))
+	for sc.Scan() {
+		var st obs.StageTrace
+		if err := json.Unmarshal(sc.Bytes(), &st); err != nil {
+			t.Fatalf("bad NDJSON trace line %q: %v", sc.Text(), err)
+		}
+		if st.Campaign == id {
+			logged = &st
+		}
+	}
+	if logged == nil {
+		t.Fatalf("campaign %s missing from NDJSON trace log", id)
+	}
+	if logged.WallUs != tr.WallUs || len(logged.Stages) != len(tr.Stages) {
+		t.Fatalf("NDJSON trace disagrees with stored trace: %+v vs %+v", logged, tr)
+	}
+}
+
+// TestNoTelemetryDisablesTraces pins the control arm used by the
+// instrumentation-overhead benchmark: NoTelemetry produces campaigns
+// with no registry, no trace and no trace endpoint, on the same code
+// path.
+func TestNoTelemetryDisablesTraces(t *testing.T) {
+	svc := New(Config{Workers: 1, NoTelemetry: true})
+	defer svc.Close()
+	if svc.Registry() != nil {
+		t.Fatal("NoTelemetry service still has a registry")
+	}
+	id, err := svc.Submit(fastSpec("9sym", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := svc.Wait(context.Background(), id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace != nil {
+		t.Fatalf("NoTelemetry campaign recorded a trace: %+v", res.Trace)
+	}
+	if _, err := svc.Trace(id); err == nil {
+		t.Fatal("Trace() of an untraced campaign should error")
+	}
+}
+
+// TestStatsTelemetryFields pins the new Stats satellites: queue depth,
+// per-kind counters and running age.
+func TestStatsTelemetryFields(t *testing.T) {
+	svc := New(Config{Workers: 1})
+	defer svc.Close()
+	ctx := context.Background()
+
+	ids := []string{}
+	for i := 0; i < 3; i++ {
+		id, err := svc.Submit(fastSpec("9sym", 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	fid, err := svc.Submit(Spec{Design: "9sym", Kind: KindFaultScan, Patterns: 16, Cycles: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids = append(ids, fid)
+
+	st := svc.Stats()
+	if st.QueueDepth != st.Queued {
+		t.Fatalf("QueueDepth %d != Queued %d", st.QueueDepth, st.Queued)
+	}
+	if st.ByKind[KindDebug] != 3 || st.ByKind[KindFaultScan] != 1 {
+		t.Fatalf("ByKind = %v", st.ByKind)
+	}
+
+	for _, id := range ids {
+		if _, err := svc.Wait(ctx, id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st = svc.Stats()
+	if st.QueueDepth != 0 || st.Running != 0 {
+		t.Fatalf("drained service still reports work: %+v", st)
+	}
+	if st.RunningAge != 0 {
+		t.Fatalf("no in-flight campaign but RunningAge = %v", st.RunningAge)
+	}
+	if st.Done != int64(len(ids)) {
+		t.Fatalf("stats = %+v", st)
+	}
+
+	// The registry mirrors the gauge accounting.
+	snap := svc.Registry().Snapshot()
+	if snap.Gauges["queue_depth"] != 0 || snap.Gauges["workers_busy"] != 0 {
+		t.Fatalf("gauges not drained: %v", snap.Gauges)
+	}
+	if snap.Counters["campaigns."+KindDebug] != 3 || snap.Counters["campaigns."+KindFaultScan] != 1 {
+		t.Fatalf("campaign counters = %v", snap.Counters)
+	}
+}
