@@ -56,6 +56,9 @@ func main() {
 		jsonStg   = flag.Bool("json-stages", false, "run the telemetry benchmark (per-stage shares + instrumentation overhead) and write BENCH_stages.json")
 		stgOut    = flag.String("json-stages-out", "BENCH_stages.json", "output path for -json-stages")
 		stgReps   = flag.Int("stage-repeats", 32, "warm repair campaigns per design and arm for the -json-stages overhead measurement")
+		jsonStore = flag.Bool("json-store", false, "measure the durable store (journal throughput, recovery, resume, shard balance) and write BENCH_store.json")
+		storeOut  = flag.String("json-store-out", "BENCH_store.json", "output path for -json-store")
+		storeRecs = flag.Int("store-records", 2000, "journal records per append-throughput measurement for -json-store")
 		jsonEco   = flag.Bool("json-eco", false, "measure the transactional incremental physical engine and write BENCH_eco.json")
 		ecoOut    = flag.String("json-eco-out", "BENCH_eco.json", "output path for -json-eco")
 		ecoRounds = flag.Int("eco-rounds", 4, "localization-style probe rounds per design for -json-eco")
@@ -69,13 +72,34 @@ func main() {
 	if *all {
 		*table1, *fig3, *fig4, *fig5, *ablations = true, true, true, true, true
 	}
-	if !*table1 && !*fig3 && !*fig4 && !*fig5 && !*ablations && *faultsN == 0 && !*jsonBench && !*jsonSvc && !*seu && !*jsonFlt && !*jsonRep && !*jsonEco && !*jsonStg {
+	if !*table1 && !*fig3 && !*fig4 && !*fig5 && !*ablations && *faultsN == 0 && !*jsonBench && !*jsonSvc && !*seu && !*jsonFlt && !*jsonRep && !*jsonEco && !*jsonStg && !*jsonStore {
 		flag.Usage()
 		os.Exit(2)
 	}
 	die := func(err error) {
 		fmt.Fprintln(os.Stderr, "benchrepro:", err)
 		os.Exit(1)
+	}
+	// Probe every selected -json-* destination before running anything:
+	// the JSON benchmarks run for minutes, and discovering an unwritable
+	// output path only after they finish throws the whole run away.
+	for _, out := range []struct {
+		on         bool
+		flag, path string
+	}{
+		{*jsonBench, "-json-out", *jsonOut},
+		{*jsonFlt, "-json-faults-out", *fltOut},
+		{*jsonRep, "-json-repair-out", *repOut},
+		{*jsonStg, "-json-stages-out", *stgOut},
+		{*jsonEco, "-json-eco-out", *ecoOut},
+		{*jsonSvc, "-json-service-out", *svcOut},
+		{*jsonStore, "-json-store-out", *storeOut},
+	} {
+		if out.on {
+			if err := probeOutput(out.flag, out.path); err != nil {
+				die(err)
+			}
+		}
 	}
 	cfg := experiments.Config{PlaceEffort: *effort, Seed: *seed, Workers: *workers}
 	if *designs != "" {
@@ -255,6 +279,21 @@ func main() {
 		}
 		fmt.Printf("wrote %s\n", *ecoOut)
 	}
+	if *jsonStore {
+		rep, err := experiments.StoreBench(cfg, *storeRecs)
+		if err != nil {
+			die(err)
+		}
+		fmt.Println(experiments.FormatStoreBench(rep))
+		blob, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			die(err)
+		}
+		if err := os.WriteFile(*storeOut, append(blob, '\n'), 0o644); err != nil {
+			die(err)
+		}
+		fmt.Printf("wrote %s\n", *storeOut)
+	}
 	if *jsonSvc {
 		rep, err := experiments.ServiceLoadTest(cfg, *svcN, *svcW)
 		if err != nil {
@@ -270,4 +309,24 @@ func main() {
 		}
 		fmt.Printf("wrote %s\n", *svcOut)
 	}
+}
+
+// probeOutput reports whether path can be created or overwritten,
+// without clobbering existing content: an existing file is opened for
+// append and left untouched; a file the probe had to create is removed
+// again so a failed run leaves no empty artifact behind.
+func probeOutput(flagName, path string) error {
+	if path == "" {
+		return fmt.Errorf("%s: empty output path", flagName)
+	}
+	_, statErr := os.Stat(path)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("%s: output path %q is not writable: %w", flagName, path, err)
+	}
+	f.Close()
+	if statErr != nil && os.IsNotExist(statErr) {
+		os.Remove(path)
+	}
+	return nil
 }

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestProbeOutputRejectsUnwritablePaths(t *testing.T) {
+	dir := t.TempDir()
+
+	// A path inside a directory that does not exist.
+	bad := filepath.Join(dir, "no-such-dir", "out.json")
+	if err := probeOutput("-json-out", bad); err == nil {
+		t.Fatalf("probe accepted path in missing directory %s", bad)
+	}
+
+	// A path that IS a directory.
+	if err := probeOutput("-json-out", dir); err == nil {
+		t.Fatal("probe accepted a directory as an output file")
+	}
+
+	// The empty path.
+	if err := probeOutput("-json-out", ""); err == nil {
+		t.Fatal("probe accepted an empty path")
+	}
+}
+
+func TestProbeOutputLeavesNoTrace(t *testing.T) {
+	dir := t.TempDir()
+
+	// Probing a fresh path must not leave an empty artifact behind.
+	fresh := filepath.Join(dir, "out.json")
+	if err := probeOutput("-json-out", fresh); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(fresh); !os.IsNotExist(err) {
+		t.Fatalf("probe left %s behind", fresh)
+	}
+
+	// Probing an existing file must not truncate or modify it.
+	existing := filepath.Join(dir, "keep.json")
+	if err := os.WriteFile(existing, []byte("precious"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := probeOutput("-json-out", existing); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(existing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "precious" {
+		t.Fatalf("probe clobbered existing file: %q", got)
+	}
+}

@@ -24,6 +24,16 @@
 // campaign's StageTrace as one NDJSON line; -pprof mounts the standard
 // net/http/pprof profiling handlers under /debug/pprof/.
 //
+// Durability and sharding: -data-dir DIR journals every campaign
+// lifecycle transition to an fsynced, checksummed write-ahead log and
+// spills rebuildable artifacts (mapped netlists, golden traces) as
+// content-addressed blobs, so a killed daemon restarted on the same
+// directory restores finished campaigns and re-runs interrupted ones to
+// bit-identical result digests. -replicas N (with N > 1) runs N service
+// replicas behind a design-affinity sharding coordinator with
+// submission-time work stealing; campaign IDs gain an "r<i>-" prefix
+// and /metrics reports per-replica documents plus routing counters.
+//
 // Three campaign kinds are served: "debug" (the full detect → localize →
 // correct loop, optionally with the fault-dictionary localizer via
 // "use_dict":true), "faultscan" (exhaustive single-fault universe scan
@@ -51,7 +61,9 @@ import (
 	"syscall"
 	"time"
 
+	"fpgadbg/internal/coord"
 	"fpgadbg/internal/service"
+	"fpgadbg/internal/store"
 )
 
 func main() {
@@ -62,6 +74,8 @@ func main() {
 		cacheEntry = flag.Int("cache-entries", 512, "artifact cache entry budget")
 		traceLog   = flag.String("trace-log", "", "append finished campaigns' stage traces to this NDJSON file")
 		pprofOn    = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		dataDir    = flag.String("data-dir", "", "durable store directory (journal + blob spill); empty = in-memory only")
+		replicas   = flag.Int("replicas", 1, "service replicas behind the sharding coordinator (1 = classic single service)")
 	)
 	flag.Parse()
 
@@ -79,8 +93,37 @@ func main() {
 		defer f.Close()
 		cfg.TraceLog = f
 	}
-	svc := service.New(cfg)
-	handler := svc.Handler()
+	// -replicas 1 keeps the classic single-service daemon (optionally
+	// durable via -data-dir); beyond that the coordinator shards the
+	// same REST surface across N replicas.
+	var (
+		api     service.API
+		closeFn func()
+	)
+	if *replicas > 1 {
+		co, err := coord.New(coord.Config{Replicas: *replicas, DataDir: *dataDir, Service: cfg})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fpgadbgd:", err)
+			os.Exit(1)
+		}
+		api, closeFn = co, co.Close
+	} else {
+		if *dataDir != "" {
+			st, err := store.OpenDisk(*dataDir, store.DiskOptions{})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "fpgadbgd: -data-dir:", err)
+				os.Exit(1)
+			}
+			cfg.Store = st
+		}
+		svc, err := service.Open(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fpgadbgd:", err)
+			os.Exit(1)
+		}
+		api, closeFn = svc, svc.Close
+	}
+	handler := service.NewHandler(api)
 	if *pprofOn {
 		// The service mux has no /debug routes, so mounting the pprof
 		// default-mux handlers on an outer mux cannot shadow the API.
@@ -102,8 +145,8 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() {
-		log.Printf("fpgadbgd: listening on %s (workers=%d, cache=%dMiB)",
-			*addr, svc.Stats().Workers, *cacheMB)
+		log.Printf("fpgadbgd: listening on %s (replicas=%d, workers=%d, cache=%dMiB, data-dir=%q)",
+			*addr, *replicas, api.Stats().Workers, *cacheMB, *dataDir)
 		errCh <- server.ListenAndServe()
 	}()
 
@@ -121,7 +164,7 @@ func main() {
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	server.Shutdown(ctx) //nolint:errcheck // best-effort drain
-	svc.Close()
+	closeFn()
 	log.Printf("fpgadbgd: stopped")
 }
 

@@ -1,0 +1,69 @@
+package blif
+
+import (
+	"testing"
+
+	"fpgadbg/internal/bench"
+	"fpgadbg/internal/synth"
+)
+
+// FuzzParse hammers the BLIF reader — the repository's primary
+// untrusted-input surface (design files arrive from users and tools the
+// daemon does not control). Invariants: Parse never panics and never
+// returns a netlist that fails its own consistency Check; whatever it
+// accepts must survive a Write → Parse round trip.
+func FuzzParse(f *testing.F) {
+	f.Add("")
+	f.Add(".model top\n.inputs a b\n.outputs y\n.names a b y\n11 1\n.end\n")
+	f.Add(".model m\n.inputs a\n.outputs q\n.latch a q re clk 0\n.end\n")
+	f.Add(".model c\n.outputs k\n.names k\n1\n.end\n")
+	f.Add(".model off\n.inputs a b\n.outputs y\n.names a b y\n0- 0\n.end\n")
+	f.Add(".model cont\n.inputs a \\\nb\n.outputs y\n.names a b y\n11 1\n.end\n")
+	f.Add(".inputs a before model\n")
+	f.Add(".model x\n.names a y\n2 1\n.end\n")
+	f.Add("# just a comment\n.model z\n.end\n")
+	// A real mapped design, so mutations explore realistic shapes.
+	if info, err := bench.ByName("9sym"); err == nil {
+		if mapped, err := synth.TechMap(info.Build()); err == nil {
+			if text, err := ToString(mapped); err == nil {
+				f.Add(text)
+			}
+		}
+	}
+
+	f.Fuzz(func(t *testing.T, text string) {
+		nl, err := ParseString(text)
+		if err != nil {
+			return // rejected cleanly: fine
+		}
+		if cerr := nl.Check(); cerr != nil {
+			t.Fatalf("accepted netlist fails Check: %v\ninput: %q", cerr, text)
+		}
+		// Whatever the reader accepts, the writer must be able to render.
+		out1, err := ToString(nl)
+		if err != nil {
+			t.Fatalf("write-back failed: %v\ninput: %q", err, text)
+		}
+		// One write pass sanitizes names and canonicalizes covers, so the
+		// first re-parse may legitimately reject (sanitization can alias
+		// two hostile signal names onto one). But once a netlist survives
+		// write → parse, that pass must be a fixpoint: a second trip may
+		// not change the structure. This is the property the netlist
+		// spill in internal/service relies on.
+		nl2, err := ParseString(out1)
+		if err != nil {
+			return
+		}
+		out2, err := ToString(nl2)
+		if err != nil {
+			t.Fatalf("write of re-parsed netlist failed: %v\nblif: %q", err, out1)
+		}
+		nl3, err := ParseString(out2)
+		if err != nil {
+			t.Fatalf("second re-parse failed: %v\nblif: %q", err, out2)
+		}
+		if nl3.Fingerprint() != nl2.Fingerprint() {
+			t.Fatalf("write/parse is not a fixpoint\nfirst:  %q\nsecond: %q", out1, out2)
+		}
+	})
+}

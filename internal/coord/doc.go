@@ -1,0 +1,25 @@
+// Package coord shards campaign submission across N service replicas.
+//
+// Each replica is a full service.Service — its own worker pool, artifact
+// cache, metrics registry and (when a data directory is configured) its
+// own durable store under <dir>/r<i>. The coordinator in front of them
+// does three small things and nothing else:
+//
+//   - Routing. A campaign's home replica is a stable hash of its design
+//     name (FNV-1a mod N), so repeat campaigns on one design land where
+//     that design's golden netlist, layouts and traces are already warm
+//     — cache affinity is the whole point of sharding by design rather
+//     than round-robin.
+//   - Work stealing. At submission time the coordinator compares queue
+//     depths; when the home replica is more than StealMargin campaigns
+//     deeper than the shallowest one, the submission is stolen by the
+//     shallow replica. A cold cache costs less than a deep queue.
+//   - Identity. Public campaign IDs are "r<i>-<inner>" — the replica
+//     index is parsed back out of the ID, so routing status, trace,
+//     events and cancel needs no lookup table and survives restarts
+//     for free (the inner IDs are restored from each replica's journal).
+//
+// The coordinator implements service.API, so service.NewHandler mounts
+// the identical REST surface the single-service daemon serves; fpgadbgd
+// switches between them on -replicas.
+package coord

@@ -1,0 +1,39 @@
+package experiments
+
+import "testing"
+
+// A miniature end-to-end run of the store benchmark: tiny journal, the
+// default two-design mix. Guards the report's structural invariants —
+// digest-stable resume, parity across store backends, a fully populated
+// shard split.
+func TestStoreBenchSmall(t *testing.T) {
+	cfg := Config{PlaceEffort: 0.3, Seed: 1, Workers: 2}
+	rep, err := StoreBench(cfg, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SyncAppend.RecsPerSec <= 0 || rep.NoSyncAppend.RecsPerSec <= 0 {
+		t.Fatalf("append throughput not measured: %+v", rep)
+	}
+	if len(rep.Recovery) != 3 || rep.Recovery[2].Records != 64 {
+		t.Fatalf("recovery curve = %+v", rep.Recovery)
+	}
+	if !rep.ResumeDigestsOK {
+		t.Fatal("resumed campaigns diverged from pre-restart digests")
+	}
+	if rep.ResumeSpillHits == 0 {
+		t.Fatal("warm resume never hit the netlist spill")
+	}
+	if !rep.MemDiskParity {
+		t.Fatal("digest differs across mem/disk/no-store backends")
+	}
+	if rep.Replicas != 2 || rep.Routed[0]+rep.Routed[1] != int64(4*rep.ResumeCampaigns) {
+		t.Fatalf("shard split = %+v", rep)
+	}
+	if rep.Routed[0] == 0 || rep.Routed[1] == 0 {
+		t.Fatalf("default design mix left a replica idle: routed %v", rep.Routed)
+	}
+	if FormatStoreBench(rep) == "" {
+		t.Fatal("empty rendering")
+	}
+}

@@ -11,6 +11,8 @@ import (
 // line up across campaigns, the /metrics endpoint and BENCH_stages.json.
 const (
 	StageQueue           = "queue"
+	StageRecover         = "recover"
+	StageResume          = "resume"
 	StageSynth           = "synth"
 	StageMap             = "map"
 	StagePlace           = "place"
@@ -30,7 +32,8 @@ const (
 // StageOrder is the canonical pipeline order used when flattening a
 // trace; stages a campaign never entered are simply absent.
 var StageOrder = []string{
-	StageQueue, StageSynth, StageMap, StagePlace, StageRoute, StageSTA,
+	StageQueue, StageRecover, StageResume,
+	StageSynth, StageMap, StagePlace, StageRoute, StageSTA,
 	StageCompile, StageGoldenTrace, StageDetect, StageLocalizeDict,
 	StageLocalizeProbe, StageRepairEnumerate, StageRepairValidate,
 	StageEcoVerify, StageFaultScan,

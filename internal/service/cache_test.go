@@ -3,6 +3,7 @@ package service
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -176,5 +177,218 @@ func TestCacheConcurrentDistinctKeys(t *testing.T) {
 	wg.Wait()
 	if st := c.Stats(); st.Entries != 8 {
 		t.Fatalf("entries = %d, want 8", st.Entries)
+	}
+}
+
+// modelLRU is a deliberately naive reference implementation: a slice
+// ordered most-recent-first, budgets enforced by scanning. The real
+// cache must agree with it after every operation.
+type modelLRU struct {
+	maxEntries int
+	maxBytes   int64
+	order      []string // front = most recent
+	vals       map[string]string
+	sizes      map[string]int64
+	evictions  int64
+}
+
+func newModelLRU(maxEntries int, maxBytes int64) *modelLRU {
+	return &modelLRU{maxEntries: maxEntries, maxBytes: maxBytes,
+		vals: make(map[string]string), sizes: make(map[string]int64)}
+}
+
+func (m *modelLRU) bytes() int64 {
+	var n int64
+	for _, b := range m.sizes {
+		n += b
+	}
+	return n
+}
+
+func (m *modelLRU) touch(key string) {
+	for i, k := range m.order {
+		if k == key {
+			m.order = append(m.order[:i], m.order[i+1:]...)
+			break
+		}
+	}
+	m.order = append([]string{key}, m.order...)
+}
+
+func (m *modelLRU) evict() {
+	for (m.maxEntries > 0 && len(m.order) > m.maxEntries) ||
+		(m.maxBytes > 0 && m.bytes() > m.maxBytes && len(m.order) > 0) {
+		last := m.order[len(m.order)-1]
+		m.order = m.order[:len(m.order)-1]
+		delete(m.vals, last)
+		delete(m.sizes, last)
+		m.evictions++
+	}
+}
+
+func (m *modelLRU) put(key, val string, bytes int64) {
+	if bytes < 0 {
+		bytes = 0
+	}
+	m.vals[key] = val
+	m.sizes[key] = bytes
+	m.touch(key)
+	m.evict()
+}
+
+func (m *modelLRU) get(key string) (string, bool) {
+	v, ok := m.vals[key]
+	if ok {
+		m.touch(key)
+	}
+	return v, ok
+}
+
+// TestCacheRandomOpsAgainstModel drives the cache through long random
+// Put/Get/GetOrBuild sequences under several (entry, byte) budgets and
+// checks it against the reference model after every single step: same
+// hit/miss answers, same values, same live set, same byte total, same
+// eviction count, and budgets never exceeded.
+func TestCacheRandomOpsAgainstModel(t *testing.T) {
+	configs := []struct {
+		name       string
+		maxEntries int
+		maxBytes   int64
+	}{
+		{"entries-only", 4, 0},
+		{"bytes-only", 0, 400},
+		{"both-tight", 3, 250},
+		{"unbounded", 0, 0},
+		{"byte-budget-smaller-than-one-artifact", 0, 50},
+	}
+	for _, cfg := range configs {
+		t.Run(cfg.name, func(t *testing.T) {
+			for seed := int64(1); seed <= 5; seed++ {
+				rng := rand.New(rand.NewSource(seed))
+				c := NewCache(cfg.maxEntries, cfg.maxBytes)
+				m := newModelLRU(cfg.maxEntries, cfg.maxBytes)
+				for step := 0; step < 600; step++ {
+					key := fmt.Sprintf("k%d", rng.Intn(8))
+					val := fmt.Sprintf("%s#%d", key, step)
+					size := int64(rng.Intn(3)) * 100 // 0, 100 or 200 bytes
+					switch rng.Intn(3) {
+					case 0: // Put (also exercises overwrite-in-place)
+						c.Put(key, val, size)
+						m.put(key, val, size)
+					case 1: // Get
+						got, ok := c.Get(key)
+						want, wok := m.get(key)
+						if ok != wok || (ok && got != want) {
+							t.Fatalf("seed %d step %d: Get(%s) = %v,%v want %v,%v",
+								seed, step, key, got, ok, want, wok)
+						}
+					case 2: // GetOrBuild: builds val on miss, keeps old on hit
+						got, hit, err := c.GetOrBuild(key, buildVal(val, size))
+						if err != nil {
+							t.Fatal(err)
+						}
+						want, wok := m.get(key)
+						if hit != wok {
+							t.Fatalf("seed %d step %d: GetOrBuild(%s) hit=%v, model=%v",
+								seed, step, key, hit, wok)
+						}
+						if !wok {
+							m.put(key, val, size)
+							want = val
+						}
+						if got != want {
+							t.Fatalf("seed %d step %d: GetOrBuild(%s) = %v, want %v",
+								seed, step, key, got, want)
+						}
+					}
+					st := c.Stats()
+					if cfg.maxEntries > 0 && st.Entries > cfg.maxEntries {
+						t.Fatalf("seed %d step %d: %d entries over budget %d",
+							seed, step, st.Entries, cfg.maxEntries)
+					}
+					if cfg.maxBytes > 0 && st.Bytes > cfg.maxBytes {
+						t.Fatalf("seed %d step %d: %d bytes over budget %d",
+							seed, step, st.Bytes, cfg.maxBytes)
+					}
+					if st.Entries != len(m.order) || st.Bytes != m.bytes() {
+						t.Fatalf("seed %d step %d: cache (%d entries, %d bytes) diverged from model (%d, %d)",
+							seed, step, st.Entries, st.Bytes, len(m.order), m.bytes())
+					}
+					if st.Evictions != m.evictions {
+						t.Fatalf("seed %d step %d: evictions %d, model %d",
+							seed, step, st.Evictions, m.evictions)
+					}
+					for _, k := range m.order {
+						if _, ok := c.entries[k]; !ok {
+							t.Fatalf("seed %d step %d: model key %s missing from cache", seed, step, k)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestCacheRandomConcurrentInvariants hammers the cache from many
+// goroutines doing random Put/Get/GetOrBuild over a small key space
+// under a tight byte budget and verifies the invariants that must hold
+// regardless of interleaving: at most one builder per key runs at any
+// instant (singleflight), every caller observes a value that some
+// operation actually stored for that key, and the byte budget holds at
+// every snapshot. Run under -race this doubles as the cache's data-race
+// harness.
+func TestCacheRandomConcurrentInvariants(t *testing.T) {
+	const (
+		workers  = 12
+		opsPer   = 300
+		keySpace = 5
+		maxBytes = 300
+	)
+	c := NewCache(0, maxBytes)
+	var inflight [keySpace]atomic.Int32
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w + 1)))
+			for op := 0; op < opsPer; op++ {
+				ki := rng.Intn(keySpace)
+				key := fmt.Sprintf("k%d", ki)
+				switch rng.Intn(3) {
+				case 0:
+					c.Put(key, key, 100)
+				case 1:
+					if v, ok := c.Get(key); ok && v != key {
+						t.Errorf("Get(%s) returned foreign value %v", key, v)
+						return
+					}
+				case 2:
+					v, _, err := c.GetOrBuild(key, func() (any, int64, error) {
+						if n := inflight[ki].Add(1); n != 1 {
+							t.Errorf("%d concurrent builders for %s", n, key)
+						}
+						defer inflight[ki].Add(-1)
+						return key, 100, nil
+					})
+					if err != nil || v != key {
+						t.Errorf("GetOrBuild(%s) = %v, %v", key, v, err)
+						return
+					}
+				}
+				if st := c.Stats(); st.Bytes > maxBytes {
+					t.Errorf("byte budget violated: %d > %d", st.Bytes, maxBytes)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Entries > maxBytes/100 {
+		t.Fatalf("final entries %d exceed what the byte budget admits", st.Entries)
+	}
+	if st.Hits+st.Misses == 0 {
+		t.Fatal("harness exercised nothing")
 	}
 }

@@ -206,3 +206,105 @@ func TestHTTPTraceEndpoint(t *testing.T) {
 		t.Fatalf("trace missing core stages: %+v", tr.Stages)
 	}
 }
+
+// TestHTTPErrorPathsStayHealthy drives every documented error path in
+// one session — malformed submissions, unknown IDs on each routed
+// endpoint, a cancel racing completion — asserting the status codes and
+// that the daemon keeps serving real work afterwards.
+func TestHTTPErrorPathsStayHealthy(t *testing.T) {
+	svc := New(Config{Workers: 1})
+	defer svc.Close()
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+	ctx := context.Background()
+
+	post := func(path, body string) int {
+		resp, err := srv.Client().Post(srv.URL+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	get := func(path string) int {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	// Malformed spec bodies must all be rejected with 400.
+	badSpecs := []struct{ name, body string }{
+		{"truncated JSON", "{"},
+		{"wrong type", `{"design":5}`},
+		{"JSON array", `[]`},
+		{"empty body", ""},
+		{"spec over the 64KiB body cap", `{"design":"` + strings.Repeat("a", 70<<10) + `"}`},
+	}
+	for _, bad := range badSpecs {
+		if code := post("/campaigns", bad.body); code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", bad.name, code)
+		}
+	}
+
+	// Unknown and syntactically hostile IDs on every {id} route: 404,
+	// never a panic or a 500.
+	for _, id := range []string{"c999999", "bogus", "%2e%2e"} {
+		if code := get("/campaigns/" + id + "/trace"); code != http.StatusNotFound {
+			t.Errorf("trace of %q: status %d, want 404", id, code)
+		}
+		if code := post("/campaigns/"+id+"/cancel", ""); code != http.StatusNotFound {
+			t.Errorf("cancel of %q: status %d, want 404", id, code)
+		}
+		if code := get("/campaigns/" + id + "/events"); code != http.StatusNotFound {
+			t.Errorf("events of %q: status %d, want 404", id, code)
+		}
+	}
+
+	// Cancel racing completion: canceling a finished campaign is the
+	// documented no-op — 200, and the campaign stays done with its result.
+	id, err := svc.Submit(fastSpec("9sym", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Wait(ctx, id); err != nil {
+		t.Fatal(err)
+	}
+	if code := post("/campaigns/"+id+"/cancel", ""); code != http.StatusOK {
+		t.Fatalf("cancel after done: status %d, want 200", code)
+	}
+	st, err := svc.Status(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateDone || st.Result == nil {
+		t.Fatalf("cancel-after-done mutated the campaign: %+v", st)
+	}
+
+	// The gauntlet must leave the daemon fully serviceable.
+	resp, err := srv.Client().Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health struct {
+		OK bool `json:"ok"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !health.OK {
+		t.Fatalf("healthz after error gauntlet: %d ok=%v", resp.StatusCode, health.OK)
+	}
+	id2, err := svc.Submit(fastSpec("9sym", 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res, err := svc.Wait(ctx, id2); err != nil || res.Digest == "" {
+		t.Fatalf("campaign after error gauntlet: %v %+v", err, res)
+	}
+}

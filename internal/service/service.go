@@ -20,6 +20,7 @@ import (
 	"fpgadbg/internal/netlist"
 	"fpgadbg/internal/obs"
 	"fpgadbg/internal/sim"
+	"fpgadbg/internal/store"
 	"fpgadbg/internal/synth"
 )
 
@@ -394,6 +395,8 @@ func (q *campaignQueue) Pop() any {
 // Config tunes a Service.
 type Config struct {
 	// Workers bounds concurrently running campaigns (default GOMAXPROCS).
+	// Negative means no workers at all: campaigns queue but never run —
+	// useful for tests and tooling that inspect queue state.
 	Workers int
 	// CacheEntries and CacheBytes bound the artifact cache (defaults 512
 	// entries, 256 MiB estimated).
@@ -413,11 +416,19 @@ type Config struct {
 	// overhead benchmark (experiments.TelemetryBench) uses it as the
 	// control arm.
 	NoTelemetry bool
+	// Store, when set, makes campaign state durable: lifecycle
+	// transitions are journaled, rebuildable artifacts spill into the
+	// blob area, and Open replays the journal on startup (persist.go).
+	// The service takes ownership and closes the store on Close.
+	Store store.Store
 }
 
 func (c Config) withDefaults() Config {
-	if c.Workers <= 0 {
+	if c.Workers == 0 {
 		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Workers < 0 {
+		c.Workers = 0
 	}
 	if c.CacheEntries == 0 {
 		c.CacheEntries = 512
@@ -450,6 +461,19 @@ type Stats struct {
 	RunningAge float64 `json:"running_age_sec"`
 	// ByKind counts submitted campaigns per kind.
 	ByKind map[string]int64 `json:"by_kind,omitempty"`
+	// Durable-store fields, present only when the service runs with a
+	// Config.Store (the default in-memory daemon omits them, keeping the
+	// historical /metrics shape byte-compatible).
+	Store *store.Stats `json:"store,omitempty"`
+	// Recovered counts campaigns requeued by journal replay at Open.
+	Recovered int64 `json:"recovered,omitempty"`
+	// SpillHits / SpillMisses count artifact rebuilds served from (or
+	// falling past) the store's spilled blobs.
+	SpillHits   int64 `json:"spill_hits,omitempty"`
+	SpillMisses int64 `json:"spill_misses,omitempty"`
+	// JournalErrors counts journal or blob writes that failed; nonzero
+	// means durability is degraded and the disk wants looking at.
+	JournalErrors int64 `json:"journal_errors,omitempty"`
 }
 
 // Service is the concurrent campaign server.
@@ -477,13 +501,30 @@ type Service struct {
 	runStart map[string]time.Time // start times of in-flight campaigns
 	closed   bool
 
+	// Durable state (persist.go); store is nil without Config.Store.
+	store       store.Store
+	blobIdx     map[string]store.BlobRef // journal blob index: record ID → blob
+	recovered   int64                    // campaigns requeued by restore
+	spillHits   int64                    // artifacts rebuilt from spilled blobs
+	spillMisses int64                    // blob lookups that fell back to a rebuild
+	journalErrs int64                    // journal/blob writes that failed
+
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
 	wg         sync.WaitGroup
 }
 
-// New starts a service with cfg.Workers campaign workers.
+// New starts a service with cfg.Workers campaign workers. Use Open when
+// cfg.Store should be replayed before the workers pick up campaigns.
 func New(cfg Config) *Service {
+	s := newService(cfg)
+	s.startWorkers()
+	return s
+}
+
+// newService builds the service without starting workers, so Open can
+// restore journaled state into a quiescent queue first.
+func newService(cfg Config) *Service {
 	cfg = cfg.withDefaults()
 	s := &Service{
 		cfg:      cfg,
@@ -491,6 +532,10 @@ func New(cfg Config) *Service {
 		byID:     make(map[string]*campaign),
 		byKind:   make(map[string]int64),
 		runStart: make(map[string]time.Time),
+		store:    cfg.Store,
+	}
+	if s.store != nil {
+		s.blobIdx = make(map[string]store.BlobRef)
 	}
 	if !cfg.NoTelemetry {
 		s.reg = obs.NewRegistry()
@@ -498,11 +543,14 @@ func New(cfg Config) *Service {
 	}
 	s.cond = sync.NewCond(&s.mu)
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
-	for w := 0; w < cfg.Workers; w++ {
+	return s
+}
+
+func (s *Service) startWorkers() {
+	for w := 0; w < s.cfg.Workers; w++ {
 		s.wg.Add(1)
 		go s.worker()
 	}
-	return s
 }
 
 // Cache exposes the artifact cache (stats, pre-warming in tests).
@@ -542,6 +590,7 @@ func (s *Service) Submit(spec Spec) (string, error) {
 	s.byID[c.id] = c
 	s.order = append(s.order, c.id)
 	heap.Push(&s.queue, queueItem{c: c})
+	s.journalSubmit(c.id, spec)
 	s.cond.Signal()
 	c.appendEvent("queue", 0, "queued (priority %d)", spec.Priority)
 	return c.id, nil
@@ -672,8 +721,28 @@ func (s *Service) Cancel(id string) error {
 		s.cancels++
 		s.reg.Gauge("queue_depth").Add(-1)
 		s.mu.Unlock()
+		// An explicit cancel is user intent and must survive a restart;
+		// contrast Close, which leaves queued campaigns journaled as
+		// queued so the next Open requeues them.
+		s.journal(store.Record{Kind: store.KindCanceled, ID: id, Error: "canceled while queued"})
 	}
 	return nil
+}
+
+// QueueDepth counts genuinely waiting campaigns — the cheap signal the
+// coordinator's work-stealing router reads on every submission.
+func (s *Service) QueueDepth() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	queued := 0
+	for _, it := range s.queue {
+		it.c.mu.Lock()
+		if it.c.state == StateQueued {
+			queued++
+		}
+		it.c.mu.Unlock()
+	}
+	return queued
 }
 
 // Stats snapshots service counters.
@@ -704,7 +773,7 @@ func (s *Service) Stats() Stats {
 			byKind[k] = n
 		}
 	}
-	return Stats{
+	st := Stats{
 		Workers:    s.cfg.Workers,
 		Submitted:  s.nextSeq,
 		Queued:     queued,
@@ -717,6 +786,15 @@ func (s *Service) Stats() Stats {
 		RunningAge: age,
 		ByKind:     byKind,
 	}
+	if s.store != nil {
+		ss := s.store.Stats()
+		st.Store = &ss
+		st.Recovered = s.recovered
+		st.SpillHits = s.spillHits
+		st.SpillMisses = s.spillMisses
+		st.JournalErrors = s.journalErrs
+	}
+	return st
 }
 
 // pruneLocked drops the oldest terminal campaign records beyond the
@@ -773,6 +851,10 @@ func (s *Service) Close() {
 	s.mu.Unlock()
 	s.baseCancel()
 	s.wg.Wait()
+	// The workers are drained, so no more journal appends are in flight.
+	if s.store != nil {
+		s.store.Close() //nolint:errcheck // shutdown path; nothing to do with it
+	}
 }
 
 // worker pulls campaigns off the queue until the service closes.
@@ -809,6 +891,7 @@ func (s *Service) worker() {
 		// The queue-wait span closes when work actually begins; from here
 		// on the campaign's own stages take over the trace.
 		c.qspan.End()
+		s.journal(store.Record{Kind: store.KindStart, ID: c.id})
 
 		res, err := s.runCampaign(ctx, c)
 		cancel()
@@ -842,6 +925,8 @@ func (s *Service) worker() {
 			c.finishLocked(StateFailed, nil, err)
 		}
 		c.mu.Unlock()
+
+		s.journalFinish(c.id, res, err)
 
 		s.mu.Lock()
 		s.running--
@@ -886,20 +971,28 @@ func leaseWord(reused bool) string {
 	return "working copy cloned"
 }
 
-// traceStore adapts the artifact cache to debug.TraceStore.
-type traceStore struct{ c *Cache }
+// traceStore adapts the artifact cache — backed, when the service is
+// durable, by the store's spilled trace blobs — to debug.TraceStore. A
+// cache miss consults the blob index before giving up, so a restarted
+// daemon re-serves golden traces it computed in a previous life.
+type traceStore struct{ s *Service }
 
 func (t traceStore) GetTrace(key string) (*sim.Trace, bool) {
-	v, ok := t.c.Get(key)
-	if !ok {
-		return nil, false
+	if v, ok := t.s.cache.Get(key); ok {
+		if tr, ok := v.(*sim.Trace); ok {
+			return tr, true
+		}
 	}
-	tr, ok := v.(*sim.Trace)
-	return tr, ok
+	if tr, ok := t.s.loadSpilledTrace(key); ok {
+		t.s.cache.Put(key, tr, traceBytes(tr))
+		return tr, true
+	}
+	return nil, false
 }
 
 func (t traceStore) PutTrace(key string, tr *sim.Trace) {
-	t.c.Put(key, tr, traceBytes(tr))
+	t.s.cache.Put(key, tr, traceBytes(tr))
+	t.s.spillTrace(key, tr)
 }
 
 // runCampaign executes the full pipeline for one campaign, sharing every
@@ -936,15 +1029,28 @@ func (s *Service) runCampaign(ctx context.Context, c *campaign) (*Result, error)
 	v, hit, err := s.cache.GetOrBuild(fmt.Sprintf("golden/%s/l%d", spec.Design, spec.SimLanes), func() (any, int64, error) {
 		// The cold-path builds are spans on the building campaign's
 		// trace; campaigns served from cache record none (the cache-hit
-		// counter tells that story instead).
-		ssp := tr.Start(obs.StageSynth)
-		nl := info.Build()
-		ssp.End()
-		msp := tr.Start(obs.StageMap)
-		mapped, err := synth.TechMap(nl)
-		msp.End()
-		if err != nil {
-			return nil, 0, err
+		// counter tells that story instead). A durable service tries the
+		// spilled BLIF first — parsing it replaces synth+techmap and is
+		// digest-safe because the spill was round-trip-verified when
+		// written (persist.go).
+		var mapped *netlist.Netlist
+		if nl, ok := s.loadSpilledNetlist(spec.Design); ok {
+			ssp := tr.Start(obs.StageSynth)
+			ssp.Add("netlist-spill-hit", 1)
+			mapped = nl
+			ssp.End()
+		} else {
+			ssp := tr.Start(obs.StageSynth)
+			nl := info.Build()
+			ssp.End()
+			msp := tr.Start(obs.StageMap)
+			m, err := synth.TechMap(nl)
+			msp.End()
+			if err != nil {
+				return nil, 0, err
+			}
+			mapped = m
+			s.spillNetlist(spec.Design, mapped)
 		}
 		csp := tr.Start(obs.StageCompile)
 		mach, err := sim.CompileWidth(mapped, spec.SimLanes/64)
@@ -1054,7 +1160,7 @@ func (s *Service) runCampaign(ctx context.Context, c *campaign) (*Result, error)
 		return nil, err
 	}
 	sess.Ctx = ctx
-	sess.Traces = traceStore{s.cache}
+	sess.Traces = traceStore{s}
 	sess.SimWidth = spec.SimLanes / 64
 	sess.Obs = tr
 	sess.SetGoldenMachine(goldenMach)

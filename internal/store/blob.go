@@ -1,0 +1,107 @@
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+)
+
+// Content-addressed blob files: <dir>/blobs/<kind>/<digest[:2]>/<digest>.
+// Writes go through a temp file + fsync + rename so a crash never leaves
+// a partially written blob under its final name, and reads re-hash the
+// content so bit rot is detected rather than served.
+
+var blobKindRe = regexp.MustCompile(`^[a-z0-9_-]{1,32}$`)
+
+func (d *DiskStore) blobPath(kind, digest string) string {
+	return filepath.Join(d.dir, "blobs", kind, digest[:2], digest)
+}
+
+// PutBlob implements Store.
+func (d *DiskStore) PutBlob(kind string, data []byte) (string, error) {
+	if !blobKindRe.MatchString(kind) {
+		return "", fmt.Errorf("store: invalid blob kind %q", kind)
+	}
+	sum := sha256.Sum256(data)
+	digest := hex.EncodeToString(sum[:])
+	path := d.blobPath(kind, digest)
+
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return "", fmt.Errorf("store: put blob to closed store")
+	}
+	d.stats.BlobPuts++
+	d.mu.Unlock()
+
+	if _, err := os.Stat(path); err == nil {
+		return digest, nil // content-addressed: identical bytes already stored
+	}
+	bdir := filepath.Dir(path)
+	if err := os.MkdirAll(bdir, 0o755); err != nil {
+		return "", fmt.Errorf("store: %w", err)
+	}
+	tmp, err := os.CreateTemp(bdir, ".tmp-*")
+	if err != nil {
+		return "", fmt.Errorf("store: %w", err)
+	}
+	defer os.Remove(tmp.Name()) //nolint:errcheck // no-op after successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return "", fmt.Errorf("store: write blob: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return "", fmt.Errorf("store: sync blob: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return "", fmt.Errorf("store: close blob: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return "", fmt.Errorf("store: publish blob: %w", err)
+	}
+	syncDir(bdir)
+
+	d.mu.Lock()
+	d.stats.BlobBytes += int64(len(data))
+	d.stats.Blobs++
+	d.mu.Unlock()
+	return digest, nil
+}
+
+// GetBlob implements Store. The content is re-hashed before it is
+// returned: a flipped bit in a spilled artifact surfaces as ErrCorrupt,
+// never as a silently wrong netlist or trace.
+func (d *DiskStore) GetBlob(kind, digest string) ([]byte, error) {
+	if !blobKindRe.MatchString(kind) {
+		return nil, fmt.Errorf("store: invalid blob kind %q", kind)
+	}
+	if len(digest) != 2*sha256.Size || !isHex(digest) {
+		return nil, fmt.Errorf("store: invalid blob digest %q", digest)
+	}
+	d.mu.Lock()
+	d.stats.BlobGets++
+	d.mu.Unlock()
+	data, err := os.ReadFile(d.blobPath(kind, digest))
+	if err != nil {
+		return nil, fmt.Errorf("store: no blob %s/%s: %w", kind, digest, err)
+	}
+	sum := sha256.Sum256(data)
+	if got := hex.EncodeToString(sum[:]); got != digest {
+		return nil, fmt.Errorf("%w: blob %s/%s content hashes to %s", ErrCorrupt, kind, digest, got)
+	}
+	return data, nil
+}
+
+func isHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}

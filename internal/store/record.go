@@ -1,0 +1,125 @@
+package store
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// Record kinds. The journal is a flat stream of campaign lifecycle
+// transitions plus blob-index entries; Fold reduces it to per-campaign
+// final states.
+const (
+	// KindSubmit records a campaign entering the queue; Spec carries the
+	// validated spec JSON.
+	KindSubmit = "submit"
+	// KindStart records a worker picking the campaign up.
+	KindStart = "start"
+	// KindDone / KindFailed / KindCanceled are the terminal transitions;
+	// Done carries the Result JSON, Failed and Canceled the error text.
+	KindDone     = "done"
+	KindFailed   = "failed"
+	KindCanceled = "canceled"
+	// KindRequeue records a recovery putting a non-terminal campaign back
+	// in the queue after a restart.
+	KindRequeue = "requeue"
+	// KindBlob indexes a content-addressed artifact: ID is the logical
+	// name (e.g. "netlist/c880"), Blob the content digest, BlobKind the
+	// blob namespace.
+	KindBlob = "blob"
+)
+
+// Record is one journal entry. Seq and TimeUs are assigned by Append.
+type Record struct {
+	Seq      uint64          `json:"seq"`
+	Kind     string          `json:"kind"`
+	ID       string          `json:"id,omitempty"`
+	TimeUs   int64           `json:"time_us,omitempty"`
+	Spec     json.RawMessage `json:"spec,omitempty"`
+	Result   json.RawMessage `json:"result,omitempty"`
+	Error    string          `json:"error,omitempty"`
+	Blob     string          `json:"blob,omitempty"`
+	BlobKind string          `json:"blob_kind,omitempty"`
+}
+
+// On-disk framing: a fixed 12-byte header followed by the JSON payload.
+//
+//	[0:4)  magic  "FJ1\n" (little-endian uint32)
+//	[4:8)  payload length (little-endian uint32)
+//	[8:12) CRC-32C (Castagnoli) of the payload
+//
+// The header CRC covers only the payload; a record is valid iff the magic
+// matches, the length is sane, the full payload is present and the CRC
+// agrees. A crash mid-append leaves a strict prefix of one record at the
+// end of the last segment — DecodeRecord reports that as ErrTorn, which
+// recovery truncates. Anything else (bad magic, absurd length, CRC
+// mismatch with the full payload present) is ErrCorrupt: bit rot or an
+// overwrite, never the residue of a clean crash.
+const (
+	recordMagic = uint32('F') | uint32('J')<<8 | uint32('1')<<16 | uint32('\n')<<24
+	headerBytes = 12
+	// MaxRecordBytes bounds one record's payload; a corrupt length field
+	// must not drive a multi-gigabyte allocation.
+	MaxRecordBytes = 16 << 20
+)
+
+var (
+	// ErrTorn marks an incomplete record at the end of a buffer: the bytes
+	// present are a valid prefix shape but the record does not fit. A
+	// crash mid-append produces exactly this.
+	ErrTorn = errors.New("store: torn journal record")
+	// ErrCorrupt marks a record that is present but wrong: bad magic, an
+	// out-of-range length, a CRC mismatch, or a broken sequence chain.
+	ErrCorrupt = errors.New("store: corrupt journal record")
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// EncodeRecord frames a record for the journal.
+func EncodeRecord(rec Record) ([]byte, error) {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return nil, fmt.Errorf("store: encode record: %w", err)
+	}
+	if len(payload) > MaxRecordBytes {
+		return nil, fmt.Errorf("store: record payload %d bytes exceeds max %d", len(payload), MaxRecordBytes)
+	}
+	buf := make([]byte, headerBytes+len(payload))
+	binary.LittleEndian.PutUint32(buf[0:4], recordMagic)
+	binary.LittleEndian.PutUint32(buf[4:8], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[8:12], crc32.Checksum(payload, castagnoli))
+	copy(buf[headerBytes:], payload)
+	return buf, nil
+}
+
+// DecodeRecord decodes the first record in buf, returning the record and
+// the bytes consumed. ErrTorn means buf ends inside the record (more
+// bytes could complete it); ErrCorrupt means the bytes present cannot be
+// a valid record regardless of what follows.
+func DecodeRecord(buf []byte) (Record, int, error) {
+	if len(buf) < headerBytes {
+		return Record{}, 0, ErrTorn
+	}
+	if magic := binary.LittleEndian.Uint32(buf[0:4]); magic != recordMagic {
+		return Record{}, 0, fmt.Errorf("%w: bad magic %#08x", ErrCorrupt, magic)
+	}
+	n := binary.LittleEndian.Uint32(buf[4:8])
+	if n > MaxRecordBytes {
+		return Record{}, 0, fmt.Errorf("%w: payload length %d exceeds max %d", ErrCorrupt, n, MaxRecordBytes)
+	}
+	if len(buf) < headerBytes+int(n) {
+		return Record{}, 0, ErrTorn
+	}
+	payload := buf[headerBytes : headerBytes+int(n)]
+	want := binary.LittleEndian.Uint32(buf[8:12])
+	if got := crc32.Checksum(payload, castagnoli); got != want {
+		return Record{}, 0, fmt.Errorf("%w: payload CRC %#08x != header %#08x", ErrCorrupt, got, want)
+	}
+	var rec Record
+	if err := json.Unmarshal(payload, &rec); err != nil {
+		return Record{}, 0, fmt.Errorf("%w: payload JSON: %v", ErrCorrupt, err)
+	}
+	return rec, headerBytes + int(n), nil
+}
