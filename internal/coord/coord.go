@@ -54,6 +54,7 @@ func New(cfg Config) (*Coordinator, error) {
 	co := &Coordinator{cfg: cfg, routed: make([]int64, cfg.Replicas)}
 	for i := 0; i < cfg.Replicas; i++ {
 		scfg := cfg.Service
+		var owned store.Store // store opened here, unowned until service.Open succeeds
 		if cfg.DataDir != "" {
 			st, err := store.OpenDisk(filepath.Join(cfg.DataDir, fmt.Sprintf("r%d", i)), store.DiskOptions{})
 			if err != nil {
@@ -61,9 +62,14 @@ func New(cfg Config) (*Coordinator, error) {
 				return nil, fmt.Errorf("coord: replica %d store: %w", i, err)
 			}
 			scfg.Store = st
+			owned = st
 		}
 		svc, err := service.Open(scfg)
 		if err != nil {
+			// The failed replica's store has no service to close it.
+			if owned != nil {
+				owned.Close() //nolint:errcheck // already failing; nothing to do with it
+			}
 			co.Close()
 			return nil, fmt.Errorf("coord: replica %d: %w", i, err)
 		}

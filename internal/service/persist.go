@@ -50,16 +50,16 @@ func Open(cfg Config) (*Service, error) {
 
 // journal appends one lifecycle record, stamping the wall clock. Append
 // errors must not take down a running campaign, so they are counted and
-// surfaced through Stats instead of propagated.
+// surfaced through Stats instead of propagated. The counter is atomic —
+// journal must stay safe to call whether or not the caller holds s.mu,
+// and on whichever side of it the failure happens.
 func (s *Service) journal(rec store.Record) {
 	if s.store == nil {
 		return
 	}
 	rec.TimeUs = time.Now().UnixMicro()
 	if _, err := s.store.Append(rec); err != nil {
-		s.mu.Lock()
-		s.journalErrs++
-		s.mu.Unlock()
+		s.journalErrs.Add(1)
 	}
 }
 
@@ -71,7 +71,7 @@ func (s *Service) journalSubmit(id string, spec Spec) {
 	}
 	specJSON, err := json.Marshal(spec)
 	if err != nil {
-		s.journalErrs++ // caller holds s.mu
+		s.journalErrs.Add(1)
 		return
 	}
 	s.journal(store.Record{Kind: store.KindSubmit, ID: id, Spec: specJSON})
@@ -86,9 +86,7 @@ func (s *Service) journalFinish(id string, res *Result, err error) {
 	case err == nil:
 		resJSON, merr := json.Marshal(res)
 		if merr != nil {
-			s.mu.Lock()
-			s.journalErrs++
-			s.mu.Unlock()
+			s.journalErrs.Add(1)
 			return
 		}
 		s.journal(store.Record{Kind: store.KindDone, ID: id, Result: resJSON})
@@ -128,7 +126,7 @@ func (s *Service) restore() error {
 	for _, cs := range rec.Campaigns {
 		var spec Spec
 		if err := json.Unmarshal(cs.Spec, &spec); err != nil {
-			s.journalErrs++ // unreadable spec: the record is lost, not the daemon
+			s.journalErrs.Add(1) // unreadable spec: the record is lost, not the daemon
 			continue
 		}
 		seq := parseCampaignSeq(cs.ID)
@@ -227,9 +225,7 @@ func (s *Service) noteSpill(hit bool) {
 func (s *Service) putSpill(id, kind string, data []byte) {
 	dig, err := s.store.PutBlob(kind, data)
 	if err != nil {
-		s.mu.Lock()
-		s.journalErrs++
-		s.mu.Unlock()
+		s.journalErrs.Add(1)
 		return
 	}
 	s.mu.Lock()

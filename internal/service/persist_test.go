@@ -363,3 +363,47 @@ func TestPersistCancelSurvivesRestart(t *testing.T) {
 		t.Fatalf("queued campaign restored as %s, want requeued", st.State)
 	}
 }
+
+// failingStore is a MemStore whose journal appends always fail — the
+// degraded-disk path (disk full, sync errors). Regression guard for a
+// self-deadlock where counting the append error retook s.mu while
+// Submit's caller held it, wedging the whole API.
+type failingStore struct{ *store.MemStore }
+
+func (failingStore) Append(store.Record) (uint64, error) {
+	return 0, fmt.Errorf("injected journal failure")
+}
+
+func TestJournalErrorDoesNotDeadlockSubmit(t *testing.T) {
+	svc, err := Open(Config{Workers: 1, Store: failingStore{store.NewMem()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	type sub struct {
+		id  string
+		err error
+	}
+	ch := make(chan sub, 1)
+	go func() {
+		id, serr := svc.Submit(fastSpec("9sym", 1))
+		ch <- sub{id, serr}
+	}()
+	var got sub
+	select {
+	case got = <-ch:
+	case <-time.After(30 * time.Second):
+		t.Fatal("Submit deadlocked on a failing journal")
+	}
+	if got.err != nil {
+		t.Fatalf("Submit on a degraded store must still accept: %v", got.err)
+	}
+	// The campaign still runs to completion, and the API stays live.
+	if _, err := svc.Wait(context.Background(), got.id); err != nil {
+		t.Fatal(err)
+	}
+	if errs := svc.Stats().JournalErrors; errs == 0 {
+		t.Fatal("JournalErrors = 0, want the failed appends counted")
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"runtime"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"fpgadbg/internal/bench"
@@ -507,7 +508,11 @@ type Service struct {
 	recovered   int64                    // campaigns requeued by restore
 	spillHits   int64                    // artifacts rebuilt from spilled blobs
 	spillMisses int64                    // blob lookups that fell back to a rebuild
-	journalErrs int64                    // journal/blob writes that failed
+	// journalErrs counts journal/blob writes that failed. Atomic, not
+	// s.mu-guarded: journal appends run on both sides of the service
+	// lock, and a failure path that retook s.mu would deadlock any
+	// caller journaling while holding it.
+	journalErrs atomic.Int64
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -566,8 +571,8 @@ func (s *Service) Submit(spec Spec) (string, error) {
 		return "", err
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.closed {
+		s.mu.Unlock()
 		return "", fmt.Errorf("service: closed")
 	}
 	s.nextSeq++
@@ -580,17 +585,40 @@ func (s *Service) Submit(spec Spec) (string, error) {
 		done:   make(chan struct{}),
 		queued: time.Now(),
 	}
+	s.mu.Unlock()
+
+	// The fsynced submit append runs outside s.mu so a slow disk never
+	// serializes the whole API behind one Submit. Journal-order safety:
+	// the campaign is not registered yet, so no worker or Cancel can
+	// reach it — its Start/Done/Canceled records cannot precede the
+	// Submit record (Fold drops records for IDs it has not seen submit).
+	s.journalSubmit(c.id, spec)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.reg != nil {
 		c.trace = obs.NewTrace(c.id, spec.Design, spec.Kind, s.reg)
 		c.qspan = c.trace.Start(obs.StageQueue)
 	}
 	s.byKind[spec.Kind]++
-	s.reg.Gauge("queue_depth").Add(1)
 	s.reg.Counter("campaigns." + spec.Kind).Add(1)
 	s.byID[c.id] = c
 	s.order = append(s.order, c.id)
+	if s.closed {
+		// Close ran while the submit record was being journaled. Mirror
+		// Close's treatment of queued campaigns: canceled in-memory (so
+		// Wait/Status resolve), but journaled as queued — the next Open
+		// requeues it, which is what a durable queue owes an accepted
+		// submission.
+		c.mu.Lock()
+		c.appendEventLocked("cancel", 0, "service shutting down")
+		c.finishLocked(StateCanceled, nil, context.Canceled)
+		c.mu.Unlock()
+		s.cancels++
+		return c.id, nil
+	}
+	s.reg.Gauge("queue_depth").Add(1)
 	heap.Push(&s.queue, queueItem{c: c})
-	s.journalSubmit(c.id, spec)
 	s.cond.Signal()
 	c.appendEvent("queue", 0, "queued (priority %d)", spec.Priority)
 	return c.id, nil
@@ -792,7 +820,7 @@ func (s *Service) Stats() Stats {
 		st.Recovered = s.recovered
 		st.SpillHits = s.spillHits
 		st.SpillMisses = s.spillMisses
-		st.JournalErrors = s.journalErrs
+		st.JournalErrors = s.journalErrs.Load()
 	}
 	return st
 }
@@ -851,7 +879,9 @@ func (s *Service) Close() {
 	s.mu.Unlock()
 	s.baseCancel()
 	s.wg.Wait()
-	// The workers are drained, so no more journal appends are in flight.
+	// The workers are drained. A Submit racing Close may still attempt
+	// one journal append after this; the store rejects appends once
+	// closed and the service counts that as a journal error.
 	if s.store != nil {
 		s.store.Close() //nolint:errcheck // shutdown path; nothing to do with it
 	}

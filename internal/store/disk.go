@@ -245,9 +245,13 @@ func (d *DiskStore) Append(rec Record) (uint64, error) {
 	d.stats.Appends++
 	d.stats.JournalBytes += int64(len(buf))
 	if d.segBytes >= d.opt.SegmentBytes {
-		if err := d.openSegment(d.segIdx + 1); err != nil {
-			return 0, err
-		}
+		// The record is already written, fsynced, and applied, so a
+		// rotation failure must not fail the append — the caller would
+		// count a journal error for a record that is durable and will
+		// replay on recovery. openSegment leaves the current segment in
+		// place on failure, so appends keep landing in the oversized
+		// segment and rotation is retried on the next append.
+		_ = d.openSegment(d.segIdx + 1)
 	}
 	return rec.Seq, nil
 }
