@@ -48,6 +48,10 @@ func main() {
 		fltPat    = flag.Int("fault-patterns", 64, "broadcast test patterns per fault for -seu and -json-faults")
 		fltCyc    = flag.Int("fault-cycles", 2, "clock cycles each fault pattern is held")
 		serialCap = flag.Int("serial-cap", 192, "max faults the serial baseline replays per design for -json-faults")
+		jsonMF    = flag.Bool("json-multifault", false, "run the multi-fault campaign (pairs, windowed SEUs, interconnect) and write BENCH_multifault.json")
+		mfOut     = flag.String("json-multifault-out", "BENCH_multifault.json", "output path for -json-multifault")
+		mfPairs   = flag.Int("max-pairs", 256, "sampled fault pairs per design for -json-multifault")
+		mfSerCap  = flag.Int("pair-serial-cap", 96, "max pairs the serial baseline replays per design for -json-multifault")
 		jsonRep   = flag.Bool("json-repair", false, "run the repair campaign (lane-parallel candidate search) and write BENCH_repair.json")
 		repOut    = flag.String("json-repair-out", "BENCH_repair.json", "output path for -json-repair")
 		repWords  = flag.Int("repair-words", 4, "detection stimulus blocks per repair attempt")
@@ -72,7 +76,7 @@ func main() {
 	if *all {
 		*table1, *fig3, *fig4, *fig5, *ablations = true, true, true, true, true
 	}
-	if !*table1 && !*fig3 && !*fig4 && !*fig5 && !*ablations && *faultsN == 0 && !*jsonBench && !*jsonSvc && !*seu && !*jsonFlt && !*jsonRep && !*jsonEco && !*jsonStg && !*jsonStore {
+	if !*table1 && !*fig3 && !*fig4 && !*fig5 && !*ablations && *faultsN == 0 && !*jsonBench && !*jsonSvc && !*seu && !*jsonFlt && !*jsonMF && !*jsonRep && !*jsonEco && !*jsonStg && !*jsonStore {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -89,6 +93,7 @@ func main() {
 	}{
 		{*jsonBench, "-json-out", *jsonOut},
 		{*jsonFlt, "-json-faults-out", *fltOut},
+		{*jsonMF, "-json-multifault-out", *mfOut},
 		{*jsonRep, "-json-repair-out", *repOut},
 		{*jsonStg, "-json-stages-out", *stgOut},
 		{*jsonEco, "-json-eco-out", *ecoOut},
@@ -225,6 +230,26 @@ func main() {
 			die(err)
 		}
 		fmt.Printf("wrote %s\n", *fltOut)
+	}
+	if *jsonMF {
+		rows, err := experiments.MultiFaultCampaign(cfg, *fltPat, *fltCyc, *mfPairs, *mfSerCap)
+		if err != nil {
+			die(err)
+		}
+		fmt.Println(experiments.FormatMultiFault(rows))
+		blob, err := json.MarshalIndent(struct {
+			Patterns int                         `json:"patterns"`
+			Cycles   int                         `json:"cycles"`
+			MaxPairs int                         `json:"max_pairs"`
+			Rows     []experiments.MultiFaultRow `json:"rows"`
+		}{*fltPat, *fltCyc, *mfPairs, rows}, "", "  ")
+		if err != nil {
+			die(err)
+		}
+		if err := os.WriteFile(*mfOut, append(blob, '\n'), 0o644); err != nil {
+			die(err)
+		}
+		fmt.Printf("wrote %s\n", *mfOut)
 	}
 	if *jsonRep {
 		rows, err := experiments.RepairCampaign(cfg, *repWords, *repCyc, *repMax)

@@ -78,6 +78,7 @@ func main() {
 		cycles     = flag.Int("cycles", 4, "clock cycles per stimulus block")
 		kind       = flag.String("kind", "debug", "campaign kind: debug (the full loop), faultscan (exhaustive fault-universe scan) or repair (candidate-search correction)")
 		patterns   = flag.Int("patterns", 64, "broadcast test patterns for -kind faultscan")
+		faultModel = flag.String("fault-model", "", "faultscan fault model: single (default), pair (lane-packed pairs + syndrome composition), seu (transient windowed upsets) or interconnect (bridges + route stuck-ats)")
 		simLanes   = flag.Int("sim-lanes", 0, "simulator lanes for fault batches and candidate validation (multiple of 64; 0 = 64)")
 		useDict    = flag.Bool("use-dict", false, "consult a fault dictionary before inserting probes (debug campaigns)")
 		repairSrch = flag.Bool("repair", false, "correct by repair-candidate search (golden as oracle only); shorthand for -kind repair")
@@ -104,6 +105,16 @@ func main() {
 		die(fmt.Errorf("-kind must be %q, %q or %q (got %q)",
 			service.KindDebug, service.KindFaultScan, service.KindRepair, *kind))
 	}
+	switch *faultModel {
+	case "", service.FaultModelSingle, service.FaultModelPair, service.FaultModelSEU, service.FaultModelInterconnect:
+	default:
+		die(fmt.Errorf("-fault-model must be %q, %q, %q or %q (got %q)",
+			service.FaultModelSingle, service.FaultModelPair, service.FaultModelSEU,
+			service.FaultModelInterconnect, *faultModel))
+	}
+	if *faultModel != "" && *faultModel != service.FaultModelSingle && *kind != service.KindFaultScan {
+		die(fmt.Errorf("-fault-model %s needs -kind faultscan", *faultModel))
+	}
 	if *kind == service.KindRepair {
 		*repairSrch = true
 	}
@@ -115,7 +126,7 @@ func main() {
 		if err := runRemote(*remote, *traceOut, service.Spec{
 			Design: info.Name, Kind: *kind, FaultSeed: *faultSeed, Seed: *seed,
 			Overhead: *overhead, TileFrac: *tilefrac, PlaceEffort: *effort,
-			Words: *words, Cycles: *cycles, Patterns: *patterns,
+			Words: *words, Cycles: *cycles, Patterns: *patterns, FaultModel: *faultModel,
 			UseDict: *useDict, Priority: *priority, SimLanes: *simLanes,
 		}); err != nil {
 			die(err)
@@ -128,6 +139,19 @@ func main() {
 		// empty — refuse rather than write a bogus trace.
 		if *traceOut != "" {
 			die(fmt.Errorf("-trace-out with -kind faultscan needs -remote (local scans are untraced)"))
+		}
+		if *faultModel != "" && *faultModel != service.FaultModelSingle {
+			// Multi-fault models run the full three-model campaign locally
+			// restricted to this design; the service splits them per model
+			// for -remote.
+			rows, err := experiments.MultiFaultCampaign(experiments.Config{
+				Designs: []string{info.Name}, Seed: *seed, Workers: 1,
+			}, *patterns, *cycles, 0, 0)
+			if err != nil {
+				die(err)
+			}
+			fmt.Print(experiments.FormatMultiFault(rows))
+			return
 		}
 		rows, err := experiments.SEUCampaign(experiments.Config{
 			Designs: []string{info.Name}, Seed: *seed, Workers: 1,

@@ -1,0 +1,239 @@
+package faults
+
+// Compact, canonical fault descriptors — the stable text form used in
+// dictionary cache keys, campaign events and journal records. The
+// encoding is ID-based (net/cell IDs are deterministic for a given
+// netlist fingerprint, and names may contain arbitrary BLIF characters):
+//
+//	sa0@n7          stuck-at-0 on net 7
+//	sa1@n7          stuck-at-1 on net 7
+//	flip@c3#5       LUT-bit flip, cell 3, minterm 5
+//	rs0@c3.2        route stuck-at-0 on pin 2 of cell 3
+//	rs1@c3.2        route stuck-at-1
+//	br&@n7+n4       wired-AND bridge, victim net 7, aggressor net 4
+//	br|@n7+n4       wired-OR bridge
+//
+// A transient arming window appends `[from,to)`, e.g. `sa0@n7[2,5)`.
+// Pairs wrap two descriptors: `pair(sa0@n7,flip@c3#5)`. ParseDescriptor
+// and ParsePairDescriptor are exact inverses of Descriptor on valid
+// faults — the round-trip property FuzzFaultDescriptor exercises.
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"fpgadbg/internal/netlist"
+)
+
+// Descriptor renders the fault in its canonical text form.
+func (f Fault) Descriptor() string {
+	var b strings.Builder
+	switch f.Kind {
+	case StuckAt0:
+		fmt.Fprintf(&b, "sa0@n%d", f.Net)
+	case StuckAt1:
+		fmt.Fprintf(&b, "sa1@n%d", f.Net)
+	case LUTBitFlip:
+		fmt.Fprintf(&b, "flip@c%d#%d", f.Cell, f.Bit)
+	case RouteStuck0:
+		fmt.Fprintf(&b, "rs0@c%d.%d", f.Cell, f.Pin)
+	case RouteStuck1:
+		fmt.Fprintf(&b, "rs1@c%d.%d", f.Cell, f.Pin)
+	case BridgeAND:
+		fmt.Fprintf(&b, "br&@n%d+n%d", f.Net, f.Net2)
+	case BridgeOR:
+		fmt.Fprintf(&b, "br|@n%d+n%d", f.Net, f.Net2)
+	default:
+		fmt.Fprintf(&b, "kind%d", int(f.Kind))
+	}
+	if f.Windowed() {
+		fmt.Fprintf(&b, "[%d,%d)", f.From, f.To)
+	}
+	return b.String()
+}
+
+// Descriptor renders the pair in its canonical text form.
+func (p Pair) Descriptor() string {
+	return "pair(" + p.A.Descriptor() + "," + p.B.Descriptor() + ")"
+}
+
+// parseInt32 parses a canonical non-negative decimal int32: no signs, no
+// leading zeros (except "0" itself), no overflow.
+func parseInt32(s string) (int32, error) {
+	if s == "" {
+		return 0, fmt.Errorf("faults: empty number")
+	}
+	if len(s) > 1 && s[0] == '0' {
+		return 0, fmt.Errorf("faults: non-canonical number %q", s)
+	}
+	v, err := strconv.ParseInt(s, 10, 32)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("faults: bad number %q", s)
+	}
+	return int32(v), nil
+}
+
+// splitPrefixed strips a one-letter ID prefix ('n' or 'c') and parses
+// the rest.
+func splitPrefixed(s string, prefix byte) (int32, error) {
+	if len(s) < 2 || s[0] != prefix {
+		return 0, fmt.Errorf("faults: expected %c-prefixed ID in %q", prefix, s)
+	}
+	return parseInt32(s[1:])
+}
+
+// ParseDescriptor parses a canonical fault descriptor, the inverse of
+// Fault.Descriptor. IDs are not validated against any netlist — the
+// caller resolves them (descriptors are only meaningful alongside the
+// netlist fingerprint they were minted for).
+func ParseDescriptor(s string) (Fault, error) {
+	var f Fault
+	// Split off the arming window, if any.
+	if i := strings.IndexByte(s, '['); i >= 0 {
+		w := s[i:]
+		s = s[:i]
+		if !strings.HasSuffix(w, ")") {
+			return f, fmt.Errorf("faults: window %q not [from,to)", w)
+		}
+		body := w[1 : len(w)-1]
+		c := strings.IndexByte(body, ',')
+		if c < 0 {
+			return f, fmt.Errorf("faults: window %q not [from,to)", w)
+		}
+		from, err := parseInt32(body[:c])
+		if err != nil {
+			return f, err
+		}
+		to, err := parseInt32(body[c+1:])
+		if err != nil {
+			return f, err
+		}
+		if to <= from {
+			return f, fmt.Errorf("faults: empty window [%d,%d)", from, to)
+		}
+		f.From, f.To = from, to
+	}
+	at := strings.IndexByte(s, '@')
+	if at < 0 {
+		return f, fmt.Errorf("faults: descriptor %q has no @", s)
+	}
+	op, site := s[:at], s[at+1:]
+	switch op {
+	case "sa0", "sa1":
+		n, err := splitPrefixed(site, 'n')
+		if err != nil {
+			return f, err
+		}
+		f.Kind = StuckAt0
+		if op == "sa1" {
+			f.Kind = StuckAt1
+		}
+		f.Net = netlist.NetID(n)
+	case "flip":
+		h := strings.IndexByte(site, '#')
+		if h < 0 {
+			return f, fmt.Errorf("faults: flip descriptor %q has no #bit", s)
+		}
+		c, err := splitPrefixed(site[:h], 'c')
+		if err != nil {
+			return f, err
+		}
+		bit, err := parseInt32(site[h+1:])
+		if err != nil {
+			return f, err
+		}
+		f.Kind = LUTBitFlip
+		f.Cell = netlist.CellID(c)
+		f.Bit = uint32(bit)
+	case "rs0", "rs1":
+		d := strings.IndexByte(site, '.')
+		if d < 0 {
+			return f, fmt.Errorf("faults: route descriptor %q has no .pin", s)
+		}
+		c, err := splitPrefixed(site[:d], 'c')
+		if err != nil {
+			return f, err
+		}
+		pin, err := parseInt32(site[d+1:])
+		if err != nil {
+			return f, err
+		}
+		f.Kind = RouteStuck0
+		if op == "rs1" {
+			f.Kind = RouteStuck1
+		}
+		f.Cell = netlist.CellID(c)
+		f.Pin = pin
+	case "br&", "br|":
+		p := strings.IndexByte(site, '+')
+		if p < 0 {
+			return f, fmt.Errorf("faults: bridge descriptor %q has no +aggressor", s)
+		}
+		v, err := splitPrefixed(site[:p], 'n')
+		if err != nil {
+			return f, err
+		}
+		a, err := splitPrefixed(site[p+1:], 'n')
+		if err != nil {
+			return f, err
+		}
+		if v == a {
+			return f, fmt.Errorf("faults: bridge %q of a net with itself", s)
+		}
+		f.Kind = BridgeAND
+		if op == "br|" {
+			f.Kind = BridgeOR
+		}
+		f.Net = netlist.NetID(v)
+		f.Net2 = netlist.NetID(a)
+	default:
+		return f, fmt.Errorf("faults: unknown descriptor op %q", op)
+	}
+	return f, nil
+}
+
+// ParsePairDescriptor parses `pair(a,b)`, the inverse of
+// Pair.Descriptor. The comma separator is unambiguous: no single-fault
+// descriptor contains one outside a window, and windows are delimited.
+func ParsePairDescriptor(s string) (Pair, error) {
+	var p Pair
+	body, ok := strings.CutPrefix(s, "pair(")
+	if !ok || !strings.HasSuffix(body, ")") {
+		return p, fmt.Errorf("faults: pair descriptor %q not pair(a,b)", s)
+	}
+	body = body[:len(body)-1]
+	// The split comma is the one between two descriptors: scan for a
+	// comma not inside a [from,to) window.
+	depth := 0
+	cut := -1
+	for i := 0; i < len(body); i++ {
+		switch body[i] {
+		case '[':
+			depth++
+		case ')':
+			if depth > 0 {
+				depth--
+			}
+		case ',':
+			if depth == 0 {
+				if cut >= 0 {
+					return p, fmt.Errorf("faults: pair descriptor %q has extra commas", s)
+				}
+				cut = i
+			}
+		}
+	}
+	if cut < 0 {
+		return p, fmt.Errorf("faults: pair descriptor %q has no separator", s)
+	}
+	a, err := ParseDescriptor(body[:cut])
+	if err != nil {
+		return p, err
+	}
+	b, err := ParseDescriptor(body[cut+1:])
+	if err != nil {
+		return p, err
+	}
+	return Pair{A: a, B: b}, nil
+}

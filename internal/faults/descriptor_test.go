@@ -1,0 +1,137 @@
+package faults
+
+import (
+	"testing"
+
+	"fpgadbg/internal/netlist"
+)
+
+// TestDescriptorRoundTrip pins the canonical text form of every fault
+// kind, windowed and permanent, plus pairs: Descriptor and
+// ParseDescriptor must be exact inverses.
+func TestDescriptorRoundTrip(t *testing.T) {
+	cases := []struct {
+		f    Fault
+		want string
+	}{
+		{Fault{Kind: StuckAt0, Net: 7}, "sa0@n7"},
+		{Fault{Kind: StuckAt1, Net: 0}, "sa1@n0"},
+		{Fault{Kind: LUTBitFlip, Cell: 3, Bit: 5}, "flip@c3#5"},
+		{Fault{Kind: LUTBitFlip, Cell: 3, Bit: 0}, "flip@c3#0"},
+		{Fault{Kind: RouteStuck0, Cell: 3, Pin: 2}, "rs0@c3.2"},
+		{Fault{Kind: RouteStuck1, Cell: 12, Pin: 0}, "rs1@c12.0"},
+		{Fault{Kind: BridgeAND, Net: 7, Net2: 4}, "br&@n7+n4"},
+		{Fault{Kind: BridgeOR, Net: 7, Net2: 4}, "br|@n7+n4"},
+		{Fault{Kind: StuckAt0, Net: 7, From: 2, To: 5}, "sa0@n7[2,5)"},
+		{Fault{Kind: BridgeOR, Net: 1, Net2: 9, From: 0, To: 3}, "br|@n1+n9[0,3)"},
+		{Fault{Kind: RouteStuck1, Cell: 2147483647, Pin: 3}, "rs1@c2147483647.3"},
+	}
+	for _, c := range cases {
+		got := c.f.Descriptor()
+		if got != c.want {
+			t.Errorf("Descriptor(%+v) = %q, want %q", c.f, got, c.want)
+		}
+		back, err := ParseDescriptor(got)
+		if err != nil {
+			t.Errorf("ParseDescriptor(%q): %v", got, err)
+			continue
+		}
+		if back != c.f {
+			t.Errorf("round trip %q: %+v != %+v", got, back, c.f)
+		}
+	}
+	p := Pair{
+		A: Fault{Kind: StuckAt0, Net: 7, From: 2, To: 5},
+		B: Fault{Kind: LUTBitFlip, Cell: 3, Bit: 5},
+	}
+	pd := p.Descriptor()
+	if pd != "pair(sa0@n7[2,5),flip@c3#5)" {
+		t.Errorf("pair descriptor %q", pd)
+	}
+	back, err := ParsePairDescriptor(pd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != p {
+		t.Errorf("pair round trip: %+v != %+v", back, p)
+	}
+}
+
+// TestParseDescriptorRejects pins the error surface: malformed shapes,
+// non-canonical numbers, self-bridges and empty windows never parse.
+func TestParseDescriptorRejects(t *testing.T) {
+	bad := []string{
+		"", "sa0", "sa0@", "sa0@c3", "sa0@n", "sa0@n07", "sa0@n-1",
+		"sa2@n3", "flip@c3", "flip@n3#5", "rs0@c3", "rs0@c3.",
+		"br&@n7", "br&@n7+n7", "br&@n7+c4", "kind9@n1",
+		"sa0@n7[2,2)", "sa0@n7[5,2)", "sa0@n7[2,5", "sa0@n7[2,5)x",
+		"sa0@n7[2)", "sa0@n7[,5)", "pair(sa0@n1,sa0@n2)",
+	}
+	for _, s := range bad {
+		if f, err := ParseDescriptor(s); err == nil {
+			t.Errorf("ParseDescriptor(%q) accepted: %+v", s, f)
+		}
+	}
+	badPair := []string{
+		"", "pair()", "pair(sa0@n1)", "pair(sa0@n1,sa0@n2,sa0@n3)",
+		"pair(sa0@n1,sa0@n2", "sa0@n1,sa0@n2", "pair(sa0@n1,bogus)",
+	}
+	for _, s := range badPair {
+		if p, err := ParsePairDescriptor(s); err == nil {
+			t.Errorf("ParsePairDescriptor(%q) accepted: %+v", s, p)
+		}
+	}
+}
+
+// FuzzFaultDescriptor fuzzes both parsers with arbitrary strings. Any
+// accepted input must be canonical (re-rendering reproduces the input
+// byte-for-byte) and idempotent under a second parse — together these
+// make descriptors safe as cache-key and journal tokens.
+func FuzzFaultDescriptor(f *testing.F) {
+	seeds := []string{
+		"sa0@n7", "sa1@n0", "flip@c3#5", "rs0@c3.2", "rs1@c12.0",
+		"br&@n7+n4", "br|@n7+n4", "sa0@n7[2,5)", "br|@n1+n9[0,3)",
+		"pair(sa0@n7[2,5),flip@c3#5)", "pair(br&@n2+n1,rs0@c9.1)",
+		"sa0@n07", "sa0@n7[5,2)", "pair(sa0@n1,sa0@n2,sa0@n3)",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		if fa, err := ParseDescriptor(s); err == nil {
+			out := fa.Descriptor()
+			if out != s {
+				t.Fatalf("accepted non-canonical fault descriptor %q (canonical %q)", s, out)
+			}
+			again, err := ParseDescriptor(out)
+			if err != nil {
+				t.Fatalf("re-parse of %q failed: %v", out, err)
+			}
+			if again != fa {
+				t.Fatalf("re-parse of %q diverged: %+v != %+v", out, again, fa)
+			}
+			if fa.Windowed() && fa.To <= fa.From {
+				t.Fatalf("accepted inverted window: %+v", fa)
+			}
+			if (fa.Kind == BridgeAND || fa.Kind == BridgeOR) && fa.Net == fa.Net2 {
+				t.Fatalf("accepted self-bridge: %+v", fa)
+			}
+			if fa.Net < 0 || fa.Net2 < 0 || fa.Cell < netlist.CellID(0) || fa.Pin < 0 {
+				t.Fatalf("accepted negative ID: %+v", fa)
+			}
+		}
+		if p, err := ParsePairDescriptor(s); err == nil {
+			out := p.Descriptor()
+			if out != s {
+				t.Fatalf("accepted non-canonical pair descriptor %q (canonical %q)", s, out)
+			}
+			again, err := ParsePairDescriptor(out)
+			if err != nil {
+				t.Fatalf("re-parse of %q failed: %v", out, err)
+			}
+			if again != p {
+				t.Fatalf("re-parse of %q diverged: %+v != %+v", out, again, p)
+			}
+		}
+	})
+}

@@ -41,6 +41,19 @@ const (
 	StuckAt0
 	// StuckAt1 pins a net to 1.
 	StuckAt1
+	// BridgeAND shorts a victim net (Net) to an aggressor net (Net2): the
+	// victim reads the wired-AND of the two signals, the aggressor is
+	// unperturbed. An interconnect fault — the serial form inserts an
+	// explicit bridge cell and rewires the victim's consumers.
+	BridgeAND
+	// BridgeOR is the wired-OR bridge.
+	BridgeOR
+	// RouteStuck0 breaks the route into fanin pin Pin of LUT Cell: the pin
+	// reads a constant 0 while the driving net stays healthy for every
+	// other consumer. The serial form cofactors the cell function.
+	RouteStuck0
+	// RouteStuck1 shorts the pin to a constant 1.
+	RouteStuck1
 )
 
 func (k Kind) String() string {
@@ -57,6 +70,14 @@ func (k Kind) String() string {
 		return "stuck-at-0"
 	case StuckAt1:
 		return "stuck-at-1"
+	case BridgeAND:
+		return "bridge-and"
+	case BridgeOR:
+		return "bridge-or"
+	case RouteStuck0:
+		return "route-stuck-0"
+	case RouteStuck1:
+		return "route-stuck-1"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}

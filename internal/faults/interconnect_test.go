@@ -1,0 +1,188 @@
+package faults
+
+import (
+	"testing"
+
+	"fpgadbg/internal/bench"
+	"fpgadbg/internal/netlist"
+	"fpgadbg/internal/sim"
+	"fpgadbg/internal/synth"
+)
+
+// TestInterconnectScanMatchesSerialAcrossCatalog is the differential
+// guarantee of the interconnect model: route stuck-ats (lane pin
+// perturbation vs serial cofactored recompile) and bridges (lane
+// wired-AND/OR vs serial bridge-cell insertion) must agree bit-for-bit
+// on every design in the catalog.
+func TestInterconnectScanMatchesSerialAcrossCatalog(t *testing.T) {
+	for _, d := range bench.Catalog() {
+		d := d
+		t.Run(d.Name, func(t *testing.T) {
+			mapped, err := synth.TechMap(d.Build())
+			if err != nil {
+				t.Fatal(err)
+			}
+			prog, err := sim.Compile(mapped)
+			if err != nil {
+				t.Fatal(err)
+			}
+			iu, err := InterconnectUniverse(mapped, InterconnectConfig{MaxBridges: 24, Seed: 19})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(iu) == 0 {
+				t.Fatalf("%s: empty interconnect universe", d.Name)
+			}
+			limit := 3 * 64
+			if testing.Short() {
+				limit = 64
+			}
+			if len(iu) > limit {
+				stride := len(iu) / limit
+				sampled := make([]Fault, 0, limit)
+				for i := 0; i < len(iu) && len(sampled) < limit; i += stride {
+					sampled = append(sampled, iu[i])
+				}
+				// Keep the bridge tail — stride sampling alone would
+				// drown it in the route stuck-at prefix.
+				for _, f := range iu {
+					if (f.Kind == BridgeAND || f.Kind == BridgeOR) && len(sampled) < limit+24 {
+						sampled = append(sampled, f)
+					}
+				}
+				iu = sampled
+			}
+			cfg := ScanConfig{Patterns: 32, Cycles: 2, Seed: 23}
+			lane, err := Scan(prog, iu, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ser, err := SerialScan(prog, iu, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(lane) != len(ser) {
+				t.Fatalf("%s: result counts differ: %d vs %d", d.Name, len(lane), len(ser))
+			}
+			detected := 0
+			for i := range lane {
+				if lane[i] != ser[i] {
+					t.Fatalf("%s fault %d (%s): lane %+v != serial %+v",
+						d.Name, i, lane[i].Fault.Describe(mapped), lane[i], ser[i])
+				}
+				if lane[i].Detected {
+					detected++
+				}
+			}
+			if detected == 0 {
+				t.Fatalf("%s: no interconnect fault detected", d.Name)
+			}
+		})
+	}
+}
+
+// TestInterconnectUniverseShape pins the enumerator: exhaustive route
+// stuck-at pairs on every live LUT pin, bridges capped and aggressors
+// strictly below victims in net level, deterministic order.
+func TestInterconnectUniverseShape(t *testing.T) {
+	nl := target(t)
+	u1, err := InterconnectUniverse(nl, InterconnectConfig{MaxBridges: 8, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u2, err := InterconnectUniverse(nl, InterconnectConfig{MaxBridges: 8, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(u1) != len(u2) {
+		t.Fatalf("universe size unstable: %d vs %d", len(u1), len(u2))
+	}
+	pins := 0
+	for ci := range nl.Cells {
+		c := &nl.Cells[ci]
+		if !c.Dead && c.Kind == netlist.KindLUT {
+			pins += len(c.Fanin)
+		}
+	}
+	routes, bridges := 0, 0
+	lv, err := netLevels(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range u1 {
+		if f != u2[i] {
+			t.Fatalf("universe order unstable at %d", i)
+		}
+		switch f.Kind {
+		case RouteStuck0, RouteStuck1:
+			routes++
+			c := &nl.Cells[f.Cell]
+			if int(f.Pin) >= len(c.Fanin) {
+				t.Fatalf("route fault %d pin %d out of range", i, f.Pin)
+			}
+		case BridgeAND, BridgeOR:
+			bridges++
+			if lv[f.Net2] >= lv[f.Net] {
+				t.Fatalf("bridge %d aggressor level %d not below victim level %d",
+					i, lv[f.Net2], lv[f.Net])
+			}
+			d := nl.Nets[f.Net].Driver
+			if d == netlist.NilCell || nl.Cells[d].Kind != netlist.KindLUT {
+				t.Fatalf("bridge %d victim %s not LUT-driven", i, nl.NetName(f.Net))
+			}
+		default:
+			t.Fatalf("unexpected kind %v in interconnect universe", f.Kind)
+		}
+	}
+	if routes != 2*pins {
+		t.Fatalf("route stuck-ats %d != 2 pins (%d)", routes, 2*pins)
+	}
+	if bridges == 0 || bridges > 8 {
+		t.Fatalf("bridge count %d outside (0, 8]", bridges)
+	}
+}
+
+// TestRouteStuckIsNotNetStuck: a route stuck-at breaks one pin's last
+// hop while every other consumer of the net stays healthy. On the
+// target circuit net a fans out to g1 and g3: breaking only g3's pin
+// leaves PO y (fed through g1) healthy, while the net stuck-at corrupts
+// y too — the two signatures must differ.
+func TestRouteStuckIsNotNetStuck(t *testing.T) {
+	nl := target(t)
+	prog, err := sim.Compile(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cID := netlist.NilCell
+	for ci := range nl.Cells {
+		if nl.CellName(netlist.CellID(ci)) == "g3" {
+			cID = netlist.CellID(ci)
+		}
+	}
+	if cID == netlist.NilCell {
+		t.Fatal("cell g3 not found")
+	}
+	// g3's pin 1 reads net a; net a also feeds g1.
+	pin := int32(1)
+	netA, ok := nl.NetByName("a")
+	if !ok {
+		t.Fatal("net a not found")
+	}
+	if nl.Cells[cID].Fanin[pin] != netA {
+		t.Fatalf("target changed: g3 pin 1 reads %s", nl.NetName(nl.Cells[cID].Fanin[pin]))
+	}
+	cfg := ScanConfig{Patterns: 64, Cycles: 1, Seed: 2}
+	res, err := Scan(prog, []Fault{
+		{Kind: RouteStuck0, Cell: cID, Pin: pin},
+		{Kind: StuckAt0, Net: netA},
+	}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res[0].Detected || !res[1].Detected {
+		t.Fatalf("expected both faults detected: %+v", res)
+	}
+	if res[0].Signature == res[1].Signature {
+		t.Fatal("route stuck-at indistinguishable from net stuck-at despite shared fanout")
+	}
+}

@@ -45,9 +45,11 @@ func (c ScanConfig) Stimulus(npi int) [][]uint64 {
 	return testgen.Repeat(testgen.ScalarBlocks(npi, c.Patterns, c.Seed), c.Cycles)
 }
 
-// ScanResult is one fault's simulated outcome under a ScanConfig.
-type ScanResult struct {
-	Fault Fault
+// Syndrome is the observable outcome of one mutant under a ScanConfig —
+// the per-fault payload shared by single-fault, pair and windowed scan
+// results. One lane carries one mutant (which may compose several
+// simultaneous faults), so a Syndrome describes a lane, not a fault.
+type Syndrome struct {
 	// Detected reports whether any primary output ever diverged from the
 	// golden stream.
 	Detected bool
@@ -57,20 +59,35 @@ type ScanResult struct {
 	// Mismatches counts diverging (cycle, output) pairs.
 	Mismatches int
 	// Signature is an order-sensitive hash of the PO-mismatch stream; two
-	// faults share it iff they produce the same mismatch pattern under
+	// mutants share it iff they produce the same mismatch pattern under
 	// this stimulus. Zero when undetected.
 	Signature uint64
+	// XorSig is an order-invariant XOR-fold of the mismatch stream: each
+	// diverging (cycle, PO) pair contributes one mixed 64-bit term, and
+	// pairs appearing twice cancel. For two faults whose effects never
+	// touch the same (cycle, PO) observation, the pair mutant's XorSig is
+	// exactly XorSigA ^ XorSigB — the syndrome-composition identity the
+	// debug layer's pair dictionary decodes. Zero when undetected.
+	XorSig uint64
 	// POMask records which PO columns diverged (column i sets bit i mod 64).
 	POMask uint64
 }
 
+// ScanResult is one fault's simulated outcome under a ScanConfig.
+type ScanResult struct {
+	Fault Fault
+	Syndrome
+}
+
 // Signer folds a stream of (cycle, primary-output) mismatches into a
-// ScanResult signature. Both the fault scanner and the debug layer's
+// Syndrome. Both the fault scanner and the debug layer's
 // observed-behaviour hashing use it, so dictionary keys and observations
 // agree bit for bit. Mismatches must be noted in (cycle asc, PO asc)
-// order — the hash is order-sensitive.
+// order — Signature is order-sensitive (XorSig is order-invariant by
+// construction).
 type Signer struct {
 	sig    uint64
+	xor    uint64
 	poMask uint64
 	first  int
 	n      int
@@ -85,9 +102,21 @@ const (
 // Reset clears the accumulated signature.
 func (s *Signer) Reset() {
 	s.sig = fnvOffset
+	s.xor = 0
 	s.poMask = 0
 	s.first = -1
 	s.n = 0
+}
+
+// MixTerm is the 64-bit term one diverging (cycle, PO column)
+// observation contributes to XorSig: a splitmix64 finalizer over the
+// packed coordinates, so distinct observations XOR-combine without the
+// systematic cancellation raw packed values would suffer.
+func MixTerm(cycle, po int) uint64 {
+	z := uint64(cycle)<<20 | uint64(po)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
 }
 
 // Note records one diverging (cycle, PO column) observation.
@@ -97,23 +126,32 @@ func (s *Signer) Note(cycle, po int) {
 	}
 	s.n++
 	s.sig = (s.sig ^ (uint64(cycle)<<20 | uint64(po))) * fnvPrime
+	s.xor ^= MixTerm(cycle, po)
 	s.poMask |= 1 << (uint(po) & 63)
 }
 
 // Detected reports whether any mismatch was noted.
 func (s *Signer) Detected() bool { return s.n > 0 }
 
+// Syndrome packages the accumulated stream, independent of what mutant
+// produced it — the fault-count-agnostic form Result and the pair/window
+// scanners all share.
+func (s *Signer) Syndrome() Syndrome {
+	y := Syndrome{FirstCycle: -1}
+	if s.n > 0 {
+		y.Detected = true
+		y.FirstCycle = s.first
+		y.Mismatches = s.n
+		y.Signature = s.sig
+		y.XorSig = s.xor
+		y.POMask = s.poMask
+	}
+	return y
+}
+
 // Result packages the accumulated stream as the outcome for one fault.
 func (s *Signer) Result(f Fault) ScanResult {
-	r := ScanResult{Fault: f, FirstCycle: -1}
-	if s.n > 0 {
-		r.Detected = true
-		r.FirstCycle = s.first
-		r.Mismatches = s.n
-		r.Signature = s.sig
-		r.POMask = s.poMask
-	}
-	return r
+	return ScanResult{Fault: f, Syndrome: s.Syndrome()}
 }
 
 // Scan fault-simulates every fault in Lanes()-sized batches: each batch
@@ -157,24 +195,7 @@ func ScanStim(prog *sim.Machine, fs []Fault, stim [][]uint64, onBatch func(done,
 			signers[lane].Reset()
 		}
 		mu.RunTraceInto(&tr, stim)
-		for c := 0; c < tr.Cycles; c++ {
-			for po := 0; po < tr.NumPOs; po++ {
-				// Broadcast stimulus keeps all golden lane words equal,
-				// so word 0 of the golden trace stands in for every word
-				// of the perturbed one.
-				g := gt.Out(c, po)
-				for w := 0; w < tr.Width; w++ {
-					d := tr.OutW(c, po, w) ^ g
-					for d != 0 {
-						lane := w*64 + bits.TrailingZeros64(d)
-						d &= d - 1
-						if lane < len(batch) {
-							signers[lane].Note(c, po)
-						}
-					}
-				}
-			}
-		}
+		diffTraceInto(signers, batch, &tr, gt)
 		for lane, f := range batch {
 			out = append(out, signers[lane].Result(f))
 		}
@@ -185,6 +206,31 @@ func ScanStim(prog *sim.Machine, fs []Fault, stim [][]uint64, onBatch func(done,
 		}
 	}
 	return out, nil
+}
+
+// diffTraceInto notes every diverging (cycle, PO) observation of the
+// first len(batch) lanes into their signers, comparing a perturbed wide
+// trace against the golden stream. The broadcast stimulus keeps all
+// golden lane words equal, so word 0 of the golden trace stands in for
+// every word of the perturbed one. The batch element type is irrelevant —
+// only its length (mutants armed this batch) matters, so single-fault,
+// pair and windowed scans all share this loop.
+func diffTraceInto[T any](signers []Signer, batch []T, tr, gt *sim.Trace) {
+	for c := 0; c < tr.Cycles; c++ {
+		for po := 0; po < tr.NumPOs; po++ {
+			g := gt.Out(c, po)
+			for w := 0; w < tr.Width; w++ {
+				d := tr.OutW(c, po, w) ^ g
+				for d != 0 {
+					lane := w*64 + bits.TrailingZeros64(d)
+					d &= d - 1
+					if lane < len(batch) {
+						signers[lane].Note(c, po)
+					}
+				}
+			}
+		}
+	}
 }
 
 // SerialScan computes the same per-fault outcomes one mutant at a time —

@@ -1,0 +1,168 @@
+package faults
+
+import (
+	"testing"
+
+	"fpgadbg/internal/bench"
+	"fpgadbg/internal/sim"
+	"fpgadbg/internal/synth"
+)
+
+// TestWindowedScanMatchesSerialAcrossCatalog is the differential
+// guarantee of the transient-SEU model: the lane engine's per-cycle
+// arming gate must produce outcomes bit-identical to the serial
+// two-machine lockstep (golden outside the window, recompiled permanent
+// mutant inside it, flip-flop state handed across each boundary) for
+// every design in the catalog.
+func TestWindowedScanMatchesSerialAcrossCatalog(t *testing.T) {
+	for _, d := range bench.Catalog() {
+		d := d
+		t.Run(d.Name, func(t *testing.T) {
+			mapped, err := synth.TechMap(d.Build())
+			if err != nil {
+				t.Fatal(err)
+			}
+			prog, err := sim.Compile(mapped)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := ScanConfig{Patterns: 16, Cycles: 4, Seed: 13}
+			cycles := cfg.Patterns * cfg.Cycles
+			limit := 96
+			if testing.Short() {
+				limit = 32
+			}
+			wu := WindowUniverse(Universe(mapped), cycles, 2*cfg.Cycles, limit, 21)
+			if len(wu) == 0 {
+				t.Fatalf("%s: empty window universe", d.Name)
+			}
+			lane, err := Scan(prog, wu, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ser, err := SerialWindowScan(prog, wu, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(lane) != len(ser) {
+				t.Fatalf("%s: result counts differ: %d vs %d", d.Name, len(lane), len(ser))
+			}
+			detected := 0
+			for i := range lane {
+				if lane[i] != ser[i] {
+					t.Fatalf("%s fault %d (%s): lane %+v != serial %+v",
+						d.Name, i, lane[i].Fault.Describe(mapped), lane[i], ser[i])
+				}
+				if lane[i].Detected {
+					detected++
+				}
+			}
+			if detected == 0 {
+				t.Fatalf("%s: no windowed fault detected — SEU scan is blind", d.Name)
+			}
+		})
+	}
+}
+
+// TestWindowUniverseBounds pins the sampler: deterministic output,
+// respected fault cap, and every window inside [0, cycles) with the
+// requested length (clamped).
+func TestWindowUniverseBounds(t *testing.T) {
+	nl := target(t)
+	u := Universe(nl)
+	const cycles, winLen, cap = 40, 6, 8
+	w1 := WindowUniverse(u, cycles, winLen, cap, 17)
+	w2 := WindowUniverse(u, cycles, winLen, cap, 17)
+	if len(w1) == 0 || len(w1) > cap {
+		t.Fatalf("window universe size %d outside (0, %d]", len(w1), cap)
+	}
+	if len(w1) != len(w2) {
+		t.Fatalf("window universe size unstable: %d vs %d", len(w1), len(w2))
+	}
+	for i, f := range w1 {
+		if f != w2[i] {
+			t.Fatalf("window universe order unstable at %d", i)
+		}
+		if !f.Windowed() {
+			t.Fatalf("fault %d not windowed: %+v", i, f)
+		}
+		if f.From < 0 || int(f.To) > cycles || f.To-f.From != winLen {
+			t.Fatalf("fault %d window [%d, %d) violates cycles=%d winLen=%d",
+				i, f.From, f.To, cycles, winLen)
+		}
+	}
+	// winLen longer than the stimulus clamps to the full run.
+	for _, f := range WindowUniverse(u, 4, 99, 4, 1) {
+		if f.From != 0 || f.To != 4 {
+			t.Fatalf("oversized window not clamped: [%d, %d)", f.From, f.To)
+		}
+	}
+	if WindowUniverse(nil, cycles, winLen, cap, 1) != nil {
+		t.Fatal("empty universe should sample to nil")
+	}
+}
+
+// TestWindowedNeverExceedsPermanent: a windowed arming of a fault can
+// only ever observe a subset of the mismatches its permanent arming
+// produces at the same sites... except through state corruption echoes;
+// what must hold unconditionally is that an undetected permanent fault
+// is also undetected in any window.
+func TestWindowedNeverExceedsPermanent(t *testing.T) {
+	nl := target(t)
+	prog, err := sim.Compile(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := ScanConfig{Patterns: 16, Cycles: 2, Seed: 6}
+	u := Universe(nl)
+	wu := WindowUniverse(u, cfg.Patterns*cfg.Cycles, 3, 16, 9)
+	perm := make([]Fault, len(wu))
+	for i, f := range wu {
+		f.From, f.To = 0, 0
+		perm[i] = f
+	}
+	wres, err := Scan(prog, wu, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pres, err := Scan(prog, perm, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range wres {
+		if wres[i].Detected && !pres[i].Detected {
+			t.Fatalf("windowed %s detected but permanent arming is not",
+				wres[i].Fault.Describe(nl))
+		}
+		if wres[i].Detected && wres[i].FirstCycle < int(wu[i].From) {
+			t.Fatalf("windowed %s first mismatch at cycle %d before arming edge %d",
+				wres[i].Fault.Describe(nl), wres[i].FirstCycle, wu[i].From)
+		}
+	}
+}
+
+// BenchmarkSEUWindow measures lane-packed windowed-fault throughput
+// (faults/sec) on c880.
+func BenchmarkSEUWindow(b *testing.B) {
+	info, err := bench.ByName("c880")
+	if err != nil {
+		b.Fatal(err)
+	}
+	mapped, err := synth.TechMap(info.Build())
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := sim.Compile(mapped)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := ScanConfig{Patterns: 32, Cycles: 2, Seed: 1}
+	wu := WindowUniverse(Universe(mapped), cfg.Patterns*cfg.Cycles, 4, 256, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Scan(prog, wu, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(wu)*b.N)/b.Elapsed().Seconds(), "faults/sec")
+}

@@ -22,6 +22,14 @@ const (
 	// Resynth replaces the whole truth table with one rebuilt from the
 	// cell's observed I/O behaviour.
 	Resynth
+	// Rewire re-drives one fanin pin from a different net — the
+	// interconnect repair for route and bridging faults, where the logic
+	// is healthy and the wiring is wrong. Unlike the other kinds it is not
+	// a truth-table substitution over the cell's existing fanins, so it is
+	// validated serially (clone + apply + recompile) rather than as a lane
+	// patch; Apply realizes it through the journaled SetFanin, so an open
+	// layout transaction can revert it like any other repair.
+	Rewire
 )
 
 func (k Kind) String() string {
@@ -32,6 +40,8 @@ func (k Kind) String() string {
 		return "pin-swap"
 	case Resynth:
 		return "resynth"
+	case Rewire:
+		return "rewire"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -47,8 +57,11 @@ type Candidate struct {
 	Kind Kind
 	// Bit is the complemented minterm (BitFlip).
 	Bit uint32
-	// PinA and PinB are the exchanged fanin pins (PinSwap).
+	// PinA and PinB are the exchanged fanin pins (PinSwap); Rewire
+	// re-drives pin PinA alone.
 	PinA, PinB int
+	// NewNet names the net pin PinA is rerouted to (Rewire).
+	NewNet string
 	// TT is the replacement truth table over the cell's k fanins (low
 	// 2^k bits) — the lane-patch form of the candidate.
 	TT uint16
@@ -66,6 +79,8 @@ func (c Candidate) Describe() string {
 		return fmt.Sprintf("%s: swap pins %d,%d of %s", c.Kind, c.PinA, c.PinB, c.Cell)
 	case Resynth:
 		return fmt.Sprintf("%s: rewrite %s to tt %04x (%d bits)", c.Kind, c.Cell, c.TT, c.Flips)
+	case Rewire:
+		return fmt.Sprintf("%s: re-drive pin %d of %s from %s", c.Kind, c.PinA, c.Cell, c.NewNet)
 	default:
 		return fmt.Sprintf("%s at %s", c.Kind, c.Cell)
 	}
@@ -90,6 +105,16 @@ func (c Candidate) Apply(nl *netlist.Netlist) (netlist.CellID, error) {
 			return netlist.NilCell, fmt.Errorf("repair: cell %q has no pins %d,%d", c.Cell, c.PinA, c.PinB)
 		}
 		if err := nl.SwapFanin(id, c.PinA, c.PinB); err != nil {
+			return netlist.NilCell, fmt.Errorf("repair: %w", err)
+		}
+		return id, nil
+	}
+	if c.Kind == Rewire {
+		src, ok := nl.NetByName(c.NewNet)
+		if !ok {
+			return netlist.NilCell, fmt.Errorf("repair: rewire source net %q vanished from the implementation", c.NewNet)
+		}
+		if err := nl.SetFanin(id, c.PinA, src); err != nil {
 			return netlist.NilCell, fmt.Errorf("repair: %w", err)
 		}
 		return id, nil
@@ -290,6 +315,98 @@ func (e *Engine) Enumerate(suspects []string, obsStim [][]uint64) ([]Candidate, 
 		if tt, ok := resynth[s.name]; ok {
 			add(Candidate{Kind: Resynth, TT: tt})
 		}
+	}
+	return out, nil
+}
+
+// EnumerateRewires builds the wiring-repair candidate list for a
+// suspect set by structural reference against the golden design: for
+// every suspect cell whose same-named golden cell drives pin p from a
+// net the implementation wires differently, propose re-driving p from
+// the implementation net carrying the golden fanin's name. This is the
+// ECO "restore the documented route" repair — it covers bridging faults
+// (sinks rerouted onto a shorted wire) and misrouted pins, and proposes
+// nothing for cells whose wiring already matches. Suspects that are not
+// live LUTs on both sides, or whose golden pin count differs, are
+// skipped; the result is deterministic (suspects processed in sorted
+// order, pins ascending).
+func (e *Engine) EnumerateRewires(suspects []string) []Candidate {
+	names := append([]string(nil), suspects...)
+	sort.Strings(names)
+	nl := e.impl.Netlist()
+	goldenNL := e.golden.Netlist()
+	var out []Candidate
+	for _, name := range names {
+		id, ok := nl.CellByName(name)
+		if !ok || nl.Cells[id].Dead || nl.Cells[id].Kind != netlist.KindLUT {
+			continue
+		}
+		gid, ok := goldenNL.CellByName(name)
+		if !ok || goldenNL.Cells[gid].Dead || goldenNL.Cells[gid].Kind != netlist.KindLUT {
+			continue
+		}
+		c, g := &nl.Cells[id], &goldenNL.Cells[gid]
+		if len(c.Fanin) != len(g.Fanin) {
+			continue
+		}
+		for pin := range c.Fanin {
+			want := goldenNL.NetName(g.Fanin[pin])
+			if nl.NetName(c.Fanin[pin]) == want {
+				continue
+			}
+			if _, ok := nl.NetByName(want); !ok {
+				continue
+			}
+			out = append(out, Candidate{Kind: Rewire, Cell: name, PinA: pin, NewNet: want})
+		}
+	}
+	return out
+}
+
+// SearchRewires runs the wiring-repair pipeline for a suspect set:
+// enumerate golden-reference rewires, validate them serially (each
+// candidate is a clone + SetFanin + recompile — rewires change the
+// fanin set, so the lane-patch fast path cannot express them), confirm
+// survivors on an independent verification stimulus, and rank what
+// remains. Rewire candidate lists are tiny (one per misrouted pin), so
+// the serial cost is a handful of replays. detStim must excite the
+// error, mirroring Search.
+func (e *Engine) SearchRewires(suspects []string, detStim [][]uint64, cfg Config) (*Outcome, error) {
+	cfg = cfg.withDefaults()
+	cands := e.EnumerateRewires(suspects)
+	out := &Outcome{Candidates: len(cands)}
+	if len(cands) == 0 {
+		return out, nil
+	}
+	alive, err := e.SerialValidate(cands, detStim)
+	if err != nil {
+		return nil, err
+	}
+	var survivors []Candidate
+	for i, ok := range alive {
+		if ok {
+			survivors = append(survivors, cands[i])
+		}
+	}
+	out.Survivors = len(survivors)
+	if len(survivors) == 0 {
+		return out, nil
+	}
+	verifyStim := testgenScalar(e.NumPIs(), cfg.VerifyPatterns, cfg.Seed+verifySeedOffset, cfg.VerifyCycles)
+	verified, err := e.SerialValidate(survivors, verifyStim)
+	if err != nil {
+		return nil, err
+	}
+	for i, ok := range verified {
+		if ok {
+			out.Ranked = append(out.Ranked, survivors[i])
+		}
+	}
+	out.Verified = len(out.Ranked)
+	if out.Verified > 0 {
+		sort.Slice(out.Ranked, func(i, j int) bool { return rankLess(out.Ranked[i], out.Ranked[j]) })
+		w := out.Ranked[0]
+		out.Winner = &w
 	}
 	return out, nil
 }

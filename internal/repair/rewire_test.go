@@ -1,0 +1,142 @@
+package repair
+
+import (
+	"testing"
+
+	"fpgadbg/internal/faults"
+	"fpgadbg/internal/netlist"
+	"fpgadbg/internal/sim"
+)
+
+// runRewireSearch builds an engine over (golden, impl) and runs the
+// wiring-repair pipeline for the given suspects.
+func runRewireSearch(t *testing.T, golden, impl *netlist.Netlist, suspects []string) *Outcome {
+	t.Helper()
+	mg, err := sim.Compile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mi, err := sim.Compile(impl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(mg, mi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := e.SearchRewires(suspects, detStim(len(golden.SortedPINames())), Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestSearchRewiresFixesMisroute: a plain routing error — one pin
+// re-driven from the wrong net — is repaired by rewiring, not by truth
+// tables: the winner restores the golden fanin and full equivalence.
+func TestSearchRewiresFixesMisroute(t *testing.T) {
+	golden := goldenDesign(t)
+	impl := golden.Clone()
+	id, _ := impl.CellByName("g_or")
+	n2, _ := impl.NetByName("n2")
+	if err := impl.SetFanin(id, 0, n2); err != nil { // should read n1
+		t.Fatal(err)
+	}
+
+	out := runRewireSearch(t, golden, impl, []string{"g_or"})
+	applyAndCheck(t, golden, impl, out)
+	if out.Winner.Kind != Rewire || out.Winner.PinA != 0 || out.Winner.NewNet != "n1" {
+		t.Fatalf("want rewire of g_or pin 0 back to n1, got %s", out.Winner.Describe())
+	}
+}
+
+// TestSearchRewiresFixesBridgeFault: an injected wired-AND bridge
+// reroutes the victim's sink through the bridge cell; the repair is
+// wiring — re-drive the sink pin from the original victim net — leaving
+// the (now dead) bridge cell disconnected. The victim must not be a PO:
+// bridge insertion swaps PO columns to the bridged net, and the engine
+// matches designs by PO name.
+func TestSearchRewiresFixesBridgeFault(t *testing.T) {
+	golden := goldenDesign(t)
+	impl := golden.Clone()
+	n2, _ := impl.NetByName("n2") // LUT-driven, single sink (g_xor pin 0), not a PO
+	agg, _ := impl.NetByName("a")
+	applied, err := faults.Fault{Kind: faults.BridgeAND, Net: n2, Net2: agg}.Apply(impl)
+	if err != nil || !applied {
+		t.Fatalf("bridge apply: applied=%v err=%v", applied, err)
+	}
+	if mm, err := sim.Equivalent(golden, impl, 16, 2, 77); err != nil || mm == nil {
+		t.Fatalf("bridge fault not observable: mm=%v err=%v", mm, err)
+	}
+
+	out := runRewireSearch(t, golden, impl, []string{"g_xor"})
+	applyAndCheck(t, golden, impl, out)
+	if out.Winner.Kind != Rewire || out.Winner.Cell != "g_xor" || out.Winner.NewNet != "n2" {
+		t.Fatalf("want rewire of g_xor back to n2, got %s", out.Winner.Describe())
+	}
+}
+
+// TestRewireApplyIsJournaled: applying a rewire under the mutation
+// journal records the fanin write, and RollbackJournal restores the
+// faulty wiring bit-identically — the transaction layout.Layout relies
+// on for trial repairs.
+func TestRewireApplyIsJournaled(t *testing.T) {
+	golden := goldenDesign(t)
+	impl := golden.Clone()
+	id, _ := impl.CellByName("g_or")
+	n1, _ := impl.NetByName("n1")
+	n2, _ := impl.NetByName("n2")
+	if err := impl.SetFanin(id, 0, n2); err != nil {
+		t.Fatal(err)
+	}
+
+	impl.SetJournaling(true)
+	mark := impl.JournalLen()
+	c := Candidate{Kind: Rewire, Cell: "g_or", PinA: 0, NewNet: "n1"}
+	if _, err := c.Apply(impl); err != nil {
+		t.Fatal(err)
+	}
+	if impl.Cells[id].Fanin[0] != n1 {
+		t.Fatalf("rewire did not land: pin reads %s", impl.NetName(impl.Cells[id].Fanin[0]))
+	}
+	if impl.JournalLen() == mark {
+		t.Fatal("rewire apply recorded nothing in the journal")
+	}
+	impl.RollbackJournal(mark)
+	if impl.Cells[id].Fanin[0] != n2 {
+		t.Fatalf("rollback did not restore the misroute: pin reads %s",
+			impl.NetName(impl.Cells[id].Fanin[0]))
+	}
+}
+
+// TestRewireVanishedNet: a rewire whose source net no longer exists must
+// fail loudly, not silently no-op.
+func TestRewireVanishedNet(t *testing.T) {
+	impl := goldenDesign(t)
+	c := Candidate{Kind: Rewire, Cell: "g_or", PinA: 0, NewNet: "no_such_net"}
+	if _, err := c.Apply(impl); err == nil {
+		t.Fatal("rewire from a vanished net applied without error")
+	}
+}
+
+// TestEnumerateRewiresSkipsHealthy: on a fault-free implementation the
+// golden-reference diff proposes nothing.
+func TestEnumerateRewiresSkipsHealthy(t *testing.T) {
+	golden := goldenDesign(t)
+	impl := golden.Clone()
+	mg, err := sim.Compile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mi, err := sim.Compile(impl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(mg, mi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cands := e.EnumerateRewires([]string{"g_and", "g_mux", "g_xor", "g_or"}); len(cands) != 0 {
+		t.Fatalf("healthy design produced %d rewire candidates: %v", len(cands), cands)
+	}
+}

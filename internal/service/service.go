@@ -33,6 +33,12 @@ const (
 	// universe in SimLanes-sized batches and reports detection coverage and
 	// latency; it needs no layout, no injection and no correction.
 	KindFaultScan = "faultscan"
+	// Fault models of a KindFaultScan campaign (Spec.FaultModel).
+	FaultModelSingle       = "single"
+	FaultModelPair         = "pair"
+	FaultModelSEU          = "seu"
+	FaultModelInterconnect = "interconnect"
+
 	// KindRepair runs one detect → dictionary-localize → repair pass with
 	// the lane-parallel repair-candidate search: the golden model serves
 	// only as a behavioural oracle, and the campaign reports the search
@@ -73,6 +79,15 @@ type Spec struct {
 	// Patterns is the broadcast-pattern count of a faultscan campaign
 	// (default 64).
 	Patterns int `json:"patterns,omitempty"`
+	// FaultModel selects the faultscan campaign's fault model:
+	// FaultModelSingle (default) scans the exhaustive single-fault
+	// universe; FaultModelPair scans sampled fault pairs and diagnoses
+	// their composed syndromes through the cached composition dictionary;
+	// FaultModelSEU arms each sampled fault only for a transient cycle
+	// window and reports detection latency and masking; FaultModelInterconnect
+	// scans bridging and route stuck-at faults. Only valid with
+	// Kind == KindFaultScan.
+	FaultModel string `json:"fault_model,omitempty"`
 	// SimLanes is the simulator lane count for the campaign's
 	// lane-parallel engines — the fault-scan host and the cached repair
 	// candidate program. Must be a multiple of 64 between 64 and
@@ -100,6 +115,9 @@ func (sp Spec) withDefaults() Spec {
 	}
 	if sp.Seed == 0 {
 		sp.Seed = 1
+	}
+	if sp.Kind == KindFaultScan && sp.FaultModel == "" {
+		sp.FaultModel = FaultModelSingle
 	}
 	if sp.Patterns == 0 {
 		sp.Patterns = 64
@@ -151,6 +169,15 @@ func (sp Spec) Validate() error {
 	}
 	if sp.Patterns < 0 {
 		return fmt.Errorf("service: patterns must be positive (got %d)", sp.Patterns)
+	}
+	switch sp.FaultModel {
+	case "", FaultModelSingle, FaultModelPair, FaultModelSEU, FaultModelInterconnect:
+	default:
+		return fmt.Errorf("service: unknown fault model %q (have %q, %q, %q, %q)",
+			sp.FaultModel, FaultModelSingle, FaultModelPair, FaultModelSEU, FaultModelInterconnect)
+	}
+	if sp.FaultModel != "" && sp.FaultModel != FaultModelSingle && sp.Kind != KindFaultScan {
+		return fmt.Errorf("service: fault model %q needs kind %q (got %q)", sp.FaultModel, KindFaultScan, sp.Kind)
 	}
 	if sp.Words < 0 || sp.Cycles < 0 {
 		return fmt.Errorf("service: words and cycles must be positive (got %d, %d)", sp.Words, sp.Cycles)
@@ -252,6 +279,28 @@ type Result struct {
 	FaultCoverage     float64 `json:"fault_coverage,omitempty"`
 	MeanLatencyCycles float64 `json:"mean_latency_cycles,omitempty"`
 	FaultsPerSec      float64 `json:"faults_per_sec,omitempty"`
+	// Multi-fault faultscan campaigns (Spec.FaultModel beyond "single")
+	// add their model's metrics. Pair campaigns: how many sampled pairs
+	// were scanned, detected, and diagnosed probe-free by the syndrome
+	// composition dictionary (exact-signature confirmation in simulation);
+	// PairDiagRate is the probe-free resolution rate over detected pairs —
+	// confirmed pair diagnoses plus masked-pair verdicts (a pair whose
+	// signature equals a single's, resolved to the dominant fault's
+	// equivalence class with the masked flag). SEU campaigns: the
+	// detection-latency p50/p99 in cycles from the arming edge, and the
+	// fraction of windowed faults the window masked (permanent counterpart
+	// detected, transient undetected). Interconnect campaigns: the route
+	// stuck-at and bridge counts of the scanned universe.
+	FaultModel     string  `json:"fault_model,omitempty"`
+	PairsTotal     int     `json:"pairs_total,omitempty"`
+	PairsDetected  int     `json:"pairs_detected,omitempty"`
+	PairsDiagnosed int     `json:"pairs_diagnosed,omitempty"`
+	PairDiagRate   float64 `json:"pair_diag_rate,omitempty"`
+	SEULatencyP50  float64 `json:"seu_latency_p50,omitempty"`
+	SEULatencyP99  float64 `json:"seu_latency_p99,omitempty"`
+	MaskedFraction float64 `json:"masked_fraction,omitempty"`
+	RouteFaults    int     `json:"route_faults,omitempty"`
+	BridgeFaults   int     `json:"bridge_faults,omitempty"`
 	// CacheHits / CacheMisses count this campaign's artifact lookups
 	// (golden netlist+simulator artifact, layout, baseline, dictionary).
 	CacheHits   int     `json:"cache_hits"`
@@ -275,6 +324,13 @@ func (r *Result) digest() string {
 		r.MeanLatencyCycles,
 		r.Repaired, r.RepairKind, r.Candidates, r.Survivors, r.CandidateBatches,
 		r.ECOVerified, r.RepairFallback)
+	if r.FaultModel != "" && r.FaultModel != FaultModelSingle {
+		// Extended multi-fault fields join the digest only when a model
+		// sets them, so every historical single-model digest is unchanged.
+		fmt.Fprintf(h, "|%s|%d|%d|%d|%.4f|%.2f|%.2f|%.4f|%d|%d",
+			r.FaultModel, r.PairsTotal, r.PairsDetected, r.PairsDiagnosed, r.PairDiagRate,
+			r.SEULatencyP50, r.SEULatencyP99, r.MaskedFraction, r.RouteFaults, r.BridgeFaults)
+	}
 	sum := h.Sum(nil)
 	return hex.EncodeToString(sum[:8])
 }
@@ -1107,7 +1163,7 @@ func (s *Service) runCampaign(ctx context.Context, c *campaign) (*Result, error)
 	// layout and no baseline — just the golden artifact and the
 	// lane-parallel mutant engine.
 	if spec.Kind == KindFaultScan {
-		res, err := s.runFaultScan(ctx, c, ga)
+		res, err := s.runFaultScan(ctx, c, ga, count)
 		if err != nil {
 			return nil, err
 		}

@@ -113,6 +113,7 @@ type Machine struct {
 
 	val   []uint64 // per net: width words (net i at val[i*width:(i+1)*width])
 	state []uint64 // per DFF: width words of current Q value
+	cycle int32    // trace cycle counter: 0 after Reset, +1 per Clock (arms windowed lane faults)
 
 	// Trace configuration (see trace.go).
 	bound        []int32 // net index per stimulus column
@@ -413,6 +414,7 @@ func (m *Machine) SetFusion(on bool) { m.fuse = on }
 // Trace bindings, probes and overrides are configuration, not state, and
 // survive a reset.
 func (m *Machine) Reset() {
+	m.cycle = 0
 	for i := range m.val {
 		m.val[i] = 0
 	}
@@ -448,12 +450,12 @@ func (m *Machine) Eval() {
 		}
 	}
 	if len(m.preMuts) != 0 {
-		// Source-net stuck-ats: PIs, DFF outputs and undriven nets are
+		// Source-net perturbations: PIs, DFF outputs and undriven nets are
 		// never written by the node pass, so forcing them up front is
-		// final for this evaluation.
+		// final for this evaluation. Applied in arming order, gated on
+		// each mutation's cycle window.
 		for _, pm := range m.preMuts {
-			i := int(pm.net)*W + int(pm.word)
-			m.val[i] = applyStuck(m.val[i], laneMut{mask: pm.mask, kind: pm.kind})
+			m.applyPreMut(pm)
 		}
 	}
 	switch {
@@ -485,6 +487,7 @@ func (m *Machine) Eval() {
 // called Eval first; the usual cycle is SetPIs → Eval → read outputs →
 // Clock.
 func (m *Machine) Clock() {
+	m.cycle++
 	W := m.width
 	if W == 1 {
 		for i, d := range m.dffD {
@@ -496,6 +499,12 @@ func (m *Machine) Clock() {
 		copy(m.state[i*W:i*W+W], m.val[int(d)*W:int(d)*W+W])
 	}
 }
+
+// CycleIndex returns the trace cycle the next Eval will evaluate: 0
+// after Reset, incremented by every Clock. Windowed lane faults (see
+// LaneFault.From/To) arm against this counter, so ResumeTraceInto
+// continues a window where the previous segment left off.
+func (m *Machine) CycleIndex() int { return int(m.cycle) }
 
 // SetOverride pins a net to a fixed 64-pattern word — broadcast across
 // all lane words of a widened machine — for every subsequent Eval (and
@@ -689,4 +698,19 @@ func (m *Machine) OutputsInto(dst []uint64) []uint64 {
 // and by checkpointing.
 func (m *Machine) StateWords() []uint64 {
 	return append([]uint64(nil), m.state...)
+}
+
+// SetStateWords loads a flip-flop state snapshot previously captured with
+// StateWords (or produced by a machine compiled from a topologically
+// identical netlist, whose DFF compile order matches). It overwrites the
+// current state without touching net values, the cycle counter or any
+// configuration — the state-handoff primitive the serial windowed-SEU
+// oracle uses to splice a healthy machine's registers into a mutant at a
+// window boundary.
+func (m *Machine) SetStateWords(ws []uint64) error {
+	if len(ws) != len(m.state) {
+		return fmt.Errorf("sim: state snapshot has %d words, machine has %d", len(ws), len(m.state))
+	}
+	copy(m.state, ws)
+	return nil
 }
