@@ -24,6 +24,8 @@ import (
 	"fpgadbg/internal/debug"
 	"fpgadbg/internal/experiments"
 	"fpgadbg/internal/faults"
+	"fpgadbg/internal/netlist"
+	"fpgadbg/internal/overlay"
 	"fpgadbg/internal/sim"
 	"fpgadbg/internal/synth"
 	"fpgadbg/internal/testgen"
@@ -478,11 +480,71 @@ func BenchmarkEcoRound(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cp := lay.Checkpoint()
-		d, err := experiments.ECOProbeDelta(lay, i%4)
+		d, err := experiments.ProbeDelta(lay, i%4)
 		if err != nil {
 			b.Fatal(err)
 		}
 		if _, err := lay.ApplyDelta(d); err != nil {
+			b.Fatal(err)
+		}
+		if err := lay.Rollback(cp); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if lay.StateDigest() != digest {
+		b.Fatal("benchmark rounds leaked into the layout")
+	}
+}
+
+// BenchmarkProbeSwitch measures one probe round on the pre-reserved
+// debug overlay: a checkpoint, a tap-mux selection (pure configuration
+// mutation, zero place/route/STA) and the rollback — the zero-CAD
+// counterpart of BenchmarkEcoRound (DESIGN.md §16, BENCH_overlay.json).
+func BenchmarkProbeSwitch(b *testing.B) {
+	info, err := bench.ByName("c880")
+	if err != nil {
+		b.Fatal(err)
+	}
+	golden, err := synth.TechMap(info.Build())
+	if err != nil {
+		b.Fatal(err)
+	}
+	lay, err := core.BuildMapped(golden.Clone(), core.Spec{
+		Seed: 1, PlaceEffort: 0.3, TileFrac: 0.1, OverlayReserve: overlay.DefaultReserve,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan, err := overlay.Build(lay, overlay.DefaultChannels)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// One covered net per channel, rotated per iteration so the muxes
+	// actually move.
+	chanNames := make([][]string, plan.Channels)
+	for ci := range lay.NL.Cells {
+		c := &lay.NL.Cells[ci]
+		if c.Dead || c.Out == netlist.NilNet {
+			continue
+		}
+		name := lay.NL.NetName(c.Out)
+		if ch, ok := plan.Channel(name); ok {
+			chanNames[ch] = append(chanNames[ch], name)
+		}
+	}
+	sel := plan.NewSelector(lay)
+	digest := lay.StateDigest()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var batch []string
+		for ch := range chanNames {
+			if n := len(chanNames[ch]); n > 0 {
+				batch = append(batch, chanNames[ch][i%n])
+			}
+		}
+		cp := lay.Checkpoint()
+		if err := sel.Select(batch); err != nil {
 			b.Fatal(err)
 		}
 		if err := lay.Rollback(cp); err != nil {

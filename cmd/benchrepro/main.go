@@ -12,6 +12,7 @@
 //	benchrepro -json-faults       # fault-parallel vs serial scan → BENCH_faults.json
 //	benchrepro -json-repair       # repair-candidate search campaign → BENCH_repair.json
 //	benchrepro -json-stages       # per-stage telemetry + overhead → BENCH_stages.json
+//	benchrepro -json-overlay      # debug-overlay probe switching → BENCH_overlay.json
 package main
 
 import (
@@ -66,6 +67,9 @@ func main() {
 		jsonEco   = flag.Bool("json-eco", false, "measure the transactional incremental physical engine and write BENCH_eco.json")
 		ecoOut    = flag.String("json-eco-out", "BENCH_eco.json", "output path for -json-eco")
 		ecoRounds = flag.Int("eco-rounds", 4, "localization-style probe rounds per design for -json-eco")
+		jsonOvl   = flag.Bool("json-overlay", false, "measure the pre-reserved debug overlay (zero-CAD probe switching + causal localizer) and write BENCH_overlay.json")
+		ovlOut    = flag.String("json-overlay-out", "BENCH_overlay.json", "output path for -json-overlay")
+		ovlRounds = flag.Int("overlay-rounds", 8, "timed probe-switch rounds per design for -json-overlay")
 		all       = flag.Bool("all", false, "run every table, figure and ablation")
 		effort    = flag.Float64("effort", 0.5, "placement effort (1.0 = full anneal)")
 		seed      = flag.Int64("seed", 1, "random seed")
@@ -76,7 +80,7 @@ func main() {
 	if *all {
 		*table1, *fig3, *fig4, *fig5, *ablations = true, true, true, true, true
 	}
-	if !*table1 && !*fig3 && !*fig4 && !*fig5 && !*ablations && *faultsN == 0 && !*jsonBench && !*jsonSvc && !*seu && !*jsonFlt && !*jsonMF && !*jsonRep && !*jsonEco && !*jsonStg && !*jsonStore {
+	if !*table1 && !*fig3 && !*fig4 && !*fig5 && !*ablations && *faultsN == 0 && !*jsonBench && !*jsonSvc && !*seu && !*jsonFlt && !*jsonMF && !*jsonRep && !*jsonEco && !*jsonOvl && !*jsonStg && !*jsonStore {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -97,6 +101,7 @@ func main() {
 		{*jsonRep, "-json-repair-out", *repOut},
 		{*jsonStg, "-json-stages-out", *stgOut},
 		{*jsonEco, "-json-eco-out", *ecoOut},
+		{*jsonOvl, "-json-overlay-out", *ovlOut},
 		{*jsonSvc, "-json-service-out", *svcOut},
 		{*jsonStore, "-json-store-out", *storeOut},
 	} {
@@ -303,6 +308,24 @@ func main() {
 			die(err)
 		}
 		fmt.Printf("wrote %s\n", *ecoOut)
+	}
+	if *jsonOvl {
+		rows, err := experiments.OverlayBench(cfg, *ovlRounds)
+		if err != nil {
+			die(err)
+		}
+		fmt.Println(experiments.FormatOverlay(rows))
+		blob, err := json.MarshalIndent(struct {
+			Rounds int                      `json:"rounds"`
+			Rows   []experiments.OverlayRow `json:"rows"`
+		}{*ovlRounds, rows}, "", "  ")
+		if err != nil {
+			die(err)
+		}
+		if err := os.WriteFile(*ovlOut, append(blob, '\n'), 0o644); err != nil {
+			die(err)
+		}
+		fmt.Printf("wrote %s\n", *ovlOut)
 	}
 	if *jsonStore {
 		rep, err := experiments.StoreBench(cfg, *storeRecs)

@@ -40,6 +40,15 @@
 //
 //	fpgadbg -design 9sym -fault-seed 2 -repair -trace-out traces.ndjson
 //
+// -overlay pre-reserves a time-multiplexed debug overlay at build time
+// (spare routing tracks + tap-mux trunks covering every LUT output):
+// localization probe rounds become pure configuration switches with zero
+// incremental place/route, and the causal-chain localizer ranks suspects
+// by causal distance from the first mismatching cycle. With -remote this
+// sets the campaign's overlay flag instead:
+//
+//	fpgadbg -design s9234 -fault-seed 2 -overlay
+//
 // -timing attaches the incremental timing engine to a local run: the
 // critical-path delay is tracked across every tile-local physical update
 // at cone cost (delta STA) and verified bit-identical against a full
@@ -60,6 +69,7 @@ import (
 	"fpgadbg/internal/experiments"
 	"fpgadbg/internal/faults"
 	"fpgadbg/internal/obs"
+	"fpgadbg/internal/overlay"
 	"fpgadbg/internal/service"
 	"fpgadbg/internal/sim"
 	"fpgadbg/internal/synth"
@@ -81,6 +91,7 @@ func main() {
 		faultModel = flag.String("fault-model", "", "faultscan fault model: single (default), pair (lane-packed pairs + syndrome composition), seu (transient windowed upsets) or interconnect (bridges + route stuck-ats)")
 		simLanes   = flag.Int("sim-lanes", 0, "simulator lanes for fault batches and candidate validation (multiple of 64; 0 = 64)")
 		useDict    = flag.Bool("use-dict", false, "consult a fault dictionary before inserting probes (debug campaigns)")
+		useOverlay = flag.Bool("overlay", false, "pre-reserve a debug overlay at build time: probe rounds become zero-CAD tap-mux switches and the causal-chain localizer ranks suspects (debug/repair campaigns)")
 		repairSrch = flag.Bool("repair", false, "correct by repair-candidate search (golden as oracle only); shorthand for -kind repair")
 		showTiming = flag.Bool("timing", false, "track the critical path across the loop with the incremental timing engine (local runs)")
 		remote     = flag.String("remote", "", "submit to a fpgadbgd daemon at this base URL instead of running locally")
@@ -118,6 +129,9 @@ func main() {
 	if *kind == service.KindRepair {
 		*repairSrch = true
 	}
+	if *useOverlay && *kind == service.KindFaultScan {
+		die(fmt.Errorf("-overlay does not apply to -kind faultscan (no layout is built)"))
+	}
 	info, err := bench.ByName(*design)
 	if err != nil {
 		die(err)
@@ -127,7 +141,7 @@ func main() {
 			Design: info.Name, Kind: *kind, FaultSeed: *faultSeed, Seed: *seed,
 			Overhead: *overhead, TileFrac: *tilefrac, PlaceEffort: *effort,
 			Words: *words, Cycles: *cycles, Patterns: *patterns, FaultModel: *faultModel,
-			UseDict: *useDict, Priority: *priority, SimLanes: *simLanes,
+			UseDict: *useDict, Overlay: *useOverlay, Priority: *priority, SimLanes: *simLanes,
 		}); err != nil {
 			die(err)
 		}
@@ -192,15 +206,28 @@ func main() {
 	fmt.Printf("injected design error: %v\n", inj)
 
 	fmt.Printf("== place-and-route with %.0f%% slack, draw tiles, lock interfaces ==\n", *overhead*100)
-	lay, err := core.BuildMapped(impl, core.Spec{
+	cs := core.Spec{
 		Overhead: *overhead, TileFrac: *tilefrac, Seed: *seed, PlaceEffort: *effort,
 		Obs: trace,
-	})
+	}
+	if *useOverlay {
+		cs.OverlayReserve = overlay.DefaultReserve
+	}
+	lay, err := core.BuildMapped(impl, cs)
 	if err != nil {
 		die(err)
 	}
 	lay.SetObs(trace) // BuildMapped detaches after the initial build
 	fmt.Printf("device %v, %d tiles, build effort: %v\n", lay.Dev, len(lay.Tiles), lay.BuildEffort)
+	var plan *overlay.Plan
+	if *useOverlay {
+		plan, err = overlay.Build(lay, overlay.DefaultChannels)
+		if err != nil {
+			die(err)
+		}
+		fmt.Printf("overlay:  %d channels over %d taps, trunk wirelength %d (routed once, locked)\n",
+			plan.Channels, plan.Taps, plan.TrunkLen)
+	}
 
 	// Delta timing: every physical update from here on resynchronizes
 	// arrival times through the touched cones only.
@@ -224,6 +251,10 @@ func main() {
 		die(err)
 	}
 	sess.Obs = trace
+	if plan != nil {
+		sess.Overlay = plan.NewSelector(lay)
+		sess.Causal = true
+	}
 	if *simLanes > 0 {
 		if *simLanes%64 != 0 || *simLanes > 64*sim.MaxWidth {
 			die(fmt.Errorf("-sim-lanes must be a multiple of 64 in [64, %d] (got %d)", 64*sim.MaxWidth, *simLanes))
@@ -274,6 +305,10 @@ func main() {
 			diag.Rounds, diag.Probes, diag.Suspects, diag.Tiles)
 	}
 	fmt.Printf("          tile-local effort: %v\n", diag.Effort)
+	if plan != nil {
+		fmt.Printf("overlay:  %d zero-CAD tap switch(es), %d CAD fallback round(s)\n",
+			sess.OverlaySwitches, sess.OverlayFallbacks)
+	}
 	reportTiming("localization")
 
 	var cor *debug.Correction

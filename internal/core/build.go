@@ -289,7 +289,8 @@ func (l *Layout) routeAllNets() (Effort, error) {
 	}
 	router := l.ensureRouter()
 	router.BeginPass()
-	res, err := router.Route(nets, route.Options{})
+	router.Charge(l.fixedWiring)
+	res, err := router.Route(nets, route.Options{CapReserve: l.Spec.OverlayReserve})
 	if err != nil {
 		return Effort{}, err
 	}
@@ -299,6 +300,33 @@ func (l *Layout) routeAllNets() (Effort, error) {
 	}
 	return Effort{RouteExpansions: res.Expansions, NetsRouted: len(nets)}, nil
 }
+
+// RouteReserved routes extra non-netlist nets (debug-overlay trunks) on
+// top of the finished user routing, at full channel capacity, and locks
+// the resulting wiring permanently into the layout (FixedWiring). Every
+// existing route is charged as fixed usage, so user wiring is never
+// ripped up; subsequent incremental passes charge the trunk wiring the
+// same way. The caller keeps the routed nets for its own bookkeeping.
+func (l *Layout) RouteReserved(nets []*route.Net) (Effort, error) {
+	router := l.ensureRouter()
+	router.BeginPass()
+	router.Charge(l.fixedWiring)
+	for _, rn := range l.Routes {
+		router.Charge(rn.Route)
+	}
+	res, err := router.Route(nets, route.Options{})
+	if err != nil {
+		return Effort{}, err
+	}
+	for _, rn := range nets {
+		l.fixedWiring = append(l.fixedWiring, rn.Route...)
+	}
+	return Effort{RouteExpansions: res.Expansions, NetsRouted: len(nets)}, nil
+}
+
+// FixedWiring exposes the permanently locked overlay trunk wiring
+// (read-only; indexed growth only via RouteReserved).
+func (l *Layout) FixedWiring() []route.EdgeID { return l.fixedWiring }
 
 // drawBoundaries partitions the CLB area into a near-square grid of tiles
 // targeting the spec's tile size and, unless disabled, nudges each cut

@@ -311,9 +311,11 @@ func (l *Layout) rerouteTouched(region device.RectSet, lockInterfaces bool) (Eff
 	var stitchedNets []stitched // region portion of crossing nets
 	var globalNets []*route.Net // new/expanded/window nets routed anywhere
 
-	// Classify every live net, charging untouched wiring as locked.
+	// Classify every live net, charging untouched wiring as locked. The
+	// overlay trunk wiring, when present, is permanently locked too.
 	router := l.ensureRouter()
 	router.BeginPass()
+	router.Charge(l.fixedWiring)
 	for ni := range nl.Nets {
 		if nl.Nets[ni].Dead {
 			continue

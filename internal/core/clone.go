@@ -27,6 +27,7 @@ func (l *Layout) Clone() *Layout {
 		rowCuts:     append([]int(nil), l.rowCuts...),
 		colCuts:     append([]int(nil), l.colCuts...),
 		BuildEffort: l.BuildEffort,
+		fixedWiring: append([]route.EdgeID(nil), l.fixedWiring...),
 		seq:         l.seq,
 	}
 	out.Packed = &pack.Packed{

@@ -34,6 +34,12 @@ type Spec struct {
 	// sweep (ablation knob; the default draws boundaries minimizing
 	// inter-tile interconnect, per the paper's §3.2).
 	UniformBoundaries bool
+	// OverlayReserve withholds this many tracks per channel segment from
+	// the initial user routing, leaving headroom for debug-overlay trunk
+	// wiring routed afterwards at full capacity (RouteReserved). Zero
+	// disables the reservation; incremental reroutes never re-apply it —
+	// once routed, the trunks physically occupy the reserved tracks.
+	OverlayReserve int
 	// Obs, when set, receives place/route spans for the initial build
 	// (BuildMapped clears it from the stored Layout.Spec afterwards, so
 	// a cached pristine layout never retains a campaign's trace; attach
@@ -115,6 +121,12 @@ type Layout struct {
 
 	// BuildEffort is the cost of the initial place-and-route.
 	BuildEffort Effort
+
+	// fixedWiring is permanently locked non-netlist wiring (debug-overlay
+	// trunks placed by RouteReserved). It is charged into every routing
+	// pass so user nets route around it, counted against channel capacity
+	// by Check, and copied by Clone; ApplyDelta never rips it up.
+	fixedWiring []route.EdgeID
 
 	seq int // fresh-name counter for inserted logic
 

@@ -35,6 +35,9 @@ const (
 	opRoute
 	// opSeq records the fresh-name counter.
 	opSeq
+	// opConfig records an external configuration mutation (overlay tap
+	// selection) as an opaque undo closure.
+	opConfig
 )
 
 type physOp struct {
@@ -44,6 +47,7 @@ type physOp struct {
 	xy      device.XY
 	existed bool
 	route   *route.Net
+	undo    func()
 }
 
 // Checkpoint marks a consistent layout state that Rollback can restore.
@@ -125,6 +129,8 @@ func (l *Layout) Rollback(cp Checkpoint) error {
 			nets = append(nets, op.net)
 		case opSeq:
 			l.seq = op.idx
+		case opConfig:
+			op.undo()
 		}
 	}
 	l.journal = l.journal[:cp.phys]
@@ -200,6 +206,17 @@ func (l *Layout) deleteRoute(net netlist.NetID) {
 		l.journal = append(l.journal, physOp{kind: opRoute, net: net, route: old, existed: true})
 	}
 	delete(l.Routes, net)
+}
+
+// RecordUndo journals an external configuration mutation (an overlay tap
+// selection, which lives outside the layout's own state) so Rollback
+// restores it along with the physical state. The caller invokes
+// RecordUndo after applying the mutation, passing its inverse; outside a
+// transaction nothing is recorded — the mutation is simply permanent.
+func (l *Layout) RecordUndo(fn func()) {
+	if l.txnDepth > 0 {
+		l.journal = append(l.journal, physOp{kind: opConfig, undo: fn})
+	}
 }
 
 func (l *Layout) setSeq(v int) {
@@ -286,6 +303,10 @@ func (l *Layout) StateDigest() string {
 		for _, e := range rn.Route {
 			w(uint64(uint32(e)))
 		}
+	}
+	w(uint64(len(l.fixedWiring)))
+	for _, e := range l.fixedWiring {
+		w(uint64(uint32(e)))
 	}
 	w(uint64(l.seq))
 	return fmt.Sprintf("%016x", h.Sum64())

@@ -47,8 +47,11 @@ func (l *Layout) Check() error {
 		}
 	}
 
-	// Routing validity.
+	// Routing validity. Overlay trunk wiring counts against capacity too.
 	use := make([]int16, l.Grid.NumEdges())
+	for _, e := range l.fixedWiring {
+		use[e]++
+	}
 	for ni := range l.NL.Nets {
 		if l.NL.Nets[ni].Dead {
 			continue

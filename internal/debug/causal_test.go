@@ -1,0 +1,296 @@
+package debug
+
+import (
+	"testing"
+
+	"fpgadbg/internal/core"
+	"fpgadbg/internal/faults"
+	"fpgadbg/internal/netlist"
+	"fpgadbg/internal/overlay"
+)
+
+// suspectSet builds the initial suspect cone the way Localize does:
+// everything feeding the failing outputs, restricted to golden cells.
+func suspectSet(s *Session, det *Detection) map[string]bool {
+	nl := s.Layout.NL
+	var roots []netlist.NetID
+	for _, name := range det.FailingOutputs {
+		if id, ok := nl.NetByName(name); ok {
+			roots = append(roots, id)
+		}
+	}
+	suspects := make(map[string]bool)
+	for id := range nl.TransitiveFanin(roots, true) {
+		name := nl.CellName(id)
+		if _, ok := s.Golden.CellByName(name); ok {
+			suspects[name] = true
+		}
+	}
+	return suspects
+}
+
+func TestCausalRankReachesInjectedSite(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		s, inj := session(t, seed)
+		det, err := s.Detect(8, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !det.Failed {
+			continue
+		}
+		suspects := suspectSet(s, det)
+		rank, clean, err := s.causalRank(det, suspects)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rank) == 0 {
+			t.Fatalf("seed %d: failing detection ranked no suspects", seed)
+		}
+		// The faulty cell's output diverges even when its inputs match,
+		// so the backward walk along divergent chains must reach it.
+		if _, ok := rank[inj.CellName]; !ok {
+			t.Fatalf("seed %d: injected site %v not on any causal chain (ranked %d)", seed, inj, len(rank))
+		}
+		for name, d := range rank {
+			if !suspects[name] {
+				t.Fatalf("seed %d: ranked %q is not a suspect", seed, name)
+			}
+			if d < 0 {
+				t.Fatalf("seed %d: negative causal distance %d", seed, d)
+			}
+		}
+		// Exoneration soundness: the injected site's output must diverge
+		// on the failing stimulus, so it is never in the clean set, and
+		// exonerated cells are disjoint from ranked (divergent) ones.
+		if clean[inj.CellName] {
+			t.Fatalf("seed %d: injected site %v exonerated", seed, inj)
+		}
+		for name := range clean {
+			if !suspects[name] {
+				t.Fatalf("seed %d: exonerated %q is not a suspect", seed, name)
+			}
+			if _, ranked := rank[name]; ranked {
+				t.Fatalf("seed %d: %q both ranked divergent and exonerated", seed, name)
+			}
+		}
+		return
+	}
+	t.Skip("no seed excited its injected error")
+}
+
+func TestCausalLocalizeStaysSound(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		s, inj := session(t, seed)
+		s.Causal = true
+		det, err := s.Detect(8, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !det.Failed {
+			continue
+		}
+		diag, err := s.Localize(det, 4, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		found := false
+		for _, name := range diag.Suspects {
+			if name == inj.CellName {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("seed %d: causal suspect set %v misses injected %v", seed, diag.Suspects, inj)
+		}
+		return
+	}
+	t.Skip("no seed excited its injected error")
+}
+
+// pickSession builds a session plus a deterministic suspect set drawn
+// from its implementation netlist.
+func pickSession(t *testing.T, n int) (*Session, []string) {
+	t.Helper()
+	s, _ := session(t, 1)
+	nl := s.Layout.NL
+	var names []string
+	for ci := range nl.Cells {
+		c := &nl.Cells[ci]
+		if c.Dead || c.Out == netlist.NilNet {
+			continue
+		}
+		if _, ok := s.Golden.CellByName(nl.CellName(netlist.CellID(ci))); !ok {
+			continue
+		}
+		names = append(names, nl.CellName(netlist.CellID(ci)))
+		if len(names) == n {
+			break
+		}
+	}
+	if len(names) < n {
+		t.Fatalf("only %d usable cells", len(names))
+	}
+	return s, names
+}
+
+func TestPickProbesDeterministicUnderMapIteration(t *testing.T) {
+	s, names := pickSession(t, 12)
+	suspects := make(map[string]bool, len(names))
+	for _, n := range names {
+		suspects[n] = true
+	}
+	want := s.pickProbes(suspects, map[string]bool{}, 4, nil)
+	if len(want) != 4 {
+		t.Fatalf("picked %d probes, want 4", len(want))
+	}
+	// Rebuild the maps every iteration so Go's randomized map iteration
+	// order gets a fresh chance to reorder candidates.
+	for i := 0; i < 20; i++ {
+		su := make(map[string]bool, len(names))
+		for _, n := range names {
+			su[n] = true
+		}
+		got := s.pickProbes(su, map[string]bool{}, 4, nil)
+		if len(got) != len(want) {
+			t.Fatalf("run %d: %d probes vs %d", i, len(got), len(want))
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("run %d: probe %d is %v, want %v (map-iteration nondeterminism)", i, j, got[j], want[j])
+			}
+		}
+	}
+}
+
+func TestPickProbesRespectsCausalRank(t *testing.T) {
+	s, names := pickSession(t, 8)
+	nl := s.Layout.NL
+	suspects := make(map[string]bool, len(names))
+	for _, n := range names {
+		suspects[n] = true
+	}
+	// Rank exactly two suspects; everything else is unranked and must
+	// sort after them regardless of bisection score.
+	rank := map[string]int{names[5]: 0, names[2]: 1}
+	got := s.pickProbes(suspects, map[string]bool{}, 4, rank)
+	if len(got) < 2 {
+		t.Fatalf("picked %d probes", len(got))
+	}
+	outOf := func(name string) netlist.NetID {
+		id, ok := nl.CellByName(name)
+		if !ok {
+			t.Fatalf("cell %q vanished", name)
+		}
+		return nl.Cells[id].Out
+	}
+	if got[0] != outOf(names[5]) || got[1] != outOf(names[2]) {
+		t.Fatalf("causally ranked suspects not probed first: got %v, want [%v %v ...]",
+			got, outOf(names[5]), outOf(names[2]))
+	}
+}
+
+func TestPickProbesExcludesAlreadyProbed(t *testing.T) {
+	s, names := pickSession(t, 6)
+	nl := s.Layout.NL
+	suspects := make(map[string]bool, len(names))
+	probed := make(map[string]bool)
+	for _, n := range names {
+		suspects[n] = true
+		id, _ := nl.CellByName(n)
+		probed[nl.NetName(nl.Cells[id].Out)] = true
+	}
+	// Every suspect output already probed: nothing left to pick.
+	if got := s.pickProbes(suspects, probed, 4, nil); len(got) != 0 {
+		t.Fatalf("picked %v despite all outputs probed", got)
+	}
+	// Unprobe one: exactly that net must come back.
+	free, _ := nl.CellByName(names[3])
+	freeNet := nl.Cells[free].Out
+	delete(probed, nl.NetName(freeNet))
+	got := s.pickProbes(suspects, probed, 4, nil)
+	if len(got) != 1 || got[0] != freeNet {
+		t.Fatalf("got %v, want [%v]", got, freeNet)
+	}
+}
+
+// TestOverlayCampaignRollsBackClean drives a debug campaign through the
+// overlay fast path inside one transaction: probe rounds must be pure
+// configuration switches (zero tile effort), the diagnosis must stay
+// sound, and rollback must restore both the layout digest and a parked
+// selector — the contract the service's layout pool relies on.
+func TestOverlayCampaignRollsBackClean(t *testing.T) {
+	golden := mappedDesign(t, 300, 4242)
+	for seed := int64(1); seed <= 4; seed++ {
+		impl := golden.Clone()
+		inj, err := faults.InjectRandom(impl, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lay, err := core.BuildMapped(impl, core.Spec{
+			Seed: seed, PlaceEffort: 0.25, TileFrac: 0.1,
+			OverlayReserve: overlay.DefaultReserve,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan, err := overlay.Build(lay, overlay.DefaultChannels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pristine := lay.StateDigest()
+
+		cp := lay.Checkpoint()
+		s, err := NewSession(golden, lay, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Overlay = plan.NewSelector(lay)
+		s.Causal = true
+		det, err := s.Detect(8, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !det.Failed {
+			if err := lay.Rollback(cp); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		diag, err := s.Localize(det, 4, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		found := false
+		for _, name := range diag.Suspects {
+			if name == inj.CellName {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("seed %d: overlay suspect set %v misses injected %v", seed, diag.Suspects, inj)
+		}
+		if s.OverlaySwitches == 0 {
+			t.Fatal("no probe round went through the overlay")
+		}
+		if s.OverlayFallbacks != 0 {
+			t.Fatalf("%d rounds fell back to CAD despite full coverage", s.OverlayFallbacks)
+		}
+		if diag.Effort.Work() != 0 {
+			t.Fatalf("overlay rounds paid CAD effort %v", diag.Effort)
+		}
+		if err := lay.Rollback(cp); err != nil {
+			t.Fatal(err)
+		}
+		if got := lay.StateDigest(); got != pristine {
+			t.Fatalf("rollback digest %s != pristine %s", got, pristine)
+		}
+		for ch, name := range s.Overlay.Selected() {
+			if name != "" {
+				t.Fatalf("channel %d still selects %q after rollback", ch, name)
+			}
+		}
+		return
+	}
+	t.Skip("no seed excited its injected error")
+}

@@ -11,6 +11,7 @@ import (
 	"fpgadbg/internal/instr"
 	"fpgadbg/internal/netlist"
 	"fpgadbg/internal/obs"
+	"fpgadbg/internal/overlay"
 	"fpgadbg/internal/sim"
 	"fpgadbg/internal/testgen"
 )
@@ -72,6 +73,26 @@ type Session struct {
 	// under each ApplyDelta lands in the same trace. Nil disables
 	// telemetry at the cost of one pointer test per stage.
 	Obs *obs.Trace
+	// Overlay, when set, is this campaign's tap selector on the
+	// layout's pre-reserved debug overlay: a probe round whose targets
+	// are all within overlay reach becomes a pure configuration switch
+	// (overlay.Selector.Select) with zero CAD effort; rounds with any
+	// unreachable target fall back to the MISR-insertion path and are
+	// counted in OverlayFallbacks.
+	Overlay *overlay.Selector
+	// Causal enables the causal-chain localizer: before the first probe
+	// round, the failing trace is replayed with every suspect output
+	// observed, and suspects are ranked by causal distance from the
+	// first mismatching cycle (causalRank); pickProbes then prefers
+	// low-distance suspects, cutting probe rounds on sequential
+	// designs. Off by default so legacy campaigns keep their exact
+	// round counts and digests.
+	Causal bool
+	// OverlaySwitches counts probe batches served by pure overlay
+	// configuration switches; OverlayFallbacks counts rounds that had
+	// to fall back to MISR insertion despite an attached Overlay.
+	OverlaySwitches  int
+	OverlayFallbacks int
 
 	// TileEffort accumulates all tile-local CAD work spent by this
 	// session (observation inserts + corrections).
@@ -338,6 +359,10 @@ type Diagnosis struct {
 	Tiles []int
 	// Rounds is the number of observation-insertion iterations performed.
 	Rounds int
+	// ConvergeRound is the 1-based round after which the suspect set
+	// last shrank — the rounds that actually contributed to the verdict.
+	// 0 means the initial cone was already final.
+	ConvergeRound int
 	// Probes counts the observation stages inserted during this
 	// diagnosis.
 	Probes int
@@ -380,6 +405,28 @@ func (s *Session) Localize(det *Detection, maxRounds, probesPerRound int) (*Diag
 	}
 	diag := &Diagnosis{}
 	probed := make(map[string]bool)
+	// Causal-chain pre-ranking: replay the failing trace once with every
+	// suspect output observed and rank suspects by causal distance from
+	// the first mismatching cycle, so pickProbes starts at the likely
+	// origin instead of bisecting blind.
+	var rank map[string]int
+	if s.Causal {
+		var clean map[string]bool
+		var err error
+		rank, clean, err = s.causalRank(det, suspects)
+		if err != nil {
+			return nil, err
+		}
+		// The observe-everything replay soundly exonerates suspects whose
+		// output never diverged (see causalRank); keep at least one
+		// suspect as a backstop against a degenerate all-clean replay.
+		if len(clean) > 0 && len(clean) < len(suspects) {
+			for name := range clean {
+				delete(suspects, name)
+			}
+			s.emit("localize", 0, "causal replay exonerated %d cells, %d suspects remain", len(clean), len(suspects))
+		}
+	}
 	lsp := s.Obs.Start(obs.StageLocalizeProbe)
 	defer func() {
 		lsp.Add("probe-rounds", int64(diag.Rounds))
@@ -391,48 +438,25 @@ func (s *Session) Localize(det *Detection, maxRounds, probesPerRound int) (*Diag
 		if err := s.interrupted(); err != nil {
 			return nil, err
 		}
-		targets := s.pickProbes(suspects, probed, probesPerRound)
+		targets := s.pickProbes(suspects, probed, probesPerRound, rank)
 		if len(targets) == 0 {
 			break
 		}
 		diag.Rounds++
-		// Physically insert the round's observation batch — all
-		// probesPerRound stages ride one MISR and one ApplyDelta
-		// transaction, opened here so a failed insertion (netlist edit or
-		// physical update alike) rolls the layout back to the round
-		// boundary instead of leaving it half-mutated.
-		cp := s.Layout.Checkpoint()
-		s.misrSeq++
-		misr, err := instr.InsertMISR(nl, fmt.Sprintf("misr%d", s.misrSeq), targets)
+		mismatched, eff, err := s.observeRound(det, targets)
 		if err != nil {
-			if rerr := s.Layout.Rollback(cp); rerr != nil {
-				return nil, fmt.Errorf("%w (rollback: %v)", err, rerr)
-			}
 			return nil, err
 		}
-		rep, err := s.Layout.ApplyDelta(core.Delta{Added: misr.Cells})
-		if err != nil {
-			if rerr := s.Layout.Rollback(cp); rerr != nil {
-				return nil, fmt.Errorf("%w (rollback: %v)", err, rerr)
-			}
-			return nil, err
-		}
-		s.Layout.Commit(cp)
-		diag.Effort.Add(rep.Effort)
-		s.TileEffort.Add(rep.Effort)
+		diag.Effort.Add(eff)
+		s.TileEffort.Add(eff)
 		diag.Probes += len(targets)
 		s.Probes += len(targets)
-
-		// Replay the failing stimulus; compare each observed stream.
-		mismatched, err := s.compareStreams(det.Stimulus, targets)
-		if err != nil {
-			return nil, err
-		}
 		for _, net := range targets {
 			probed[nl.NetName(net)] = true
 		}
 		// Single-error reasoning: the error site lies in the fan-in cone
 		// of every mismatched observation. Intersect.
+		before := len(suspects)
 		for _, net := range mismatched {
 			sub := nl.TransitiveFanin([]netlist.NetID{net}, true)
 			keep := make(map[string]bool, len(sub))
@@ -446,6 +470,9 @@ func (s *Session) Localize(det *Detection, maxRounds, probesPerRound int) (*Diag
 				suspects = keep
 			}
 		}
+		if len(suspects) < before {
+			diag.ConvergeRound = diag.Rounds
+		}
 		s.emit("localize", diag.Rounds, "%d observation stages in, %d suspects remain", diag.Probes, len(suspects))
 	}
 	for name := range suspects {
@@ -453,6 +480,85 @@ func (s *Session) Localize(det *Detection, maxRounds, probesPerRound int) (*Diag
 	}
 	s.fillTiles(diag)
 	return diag, nil
+}
+
+// observeRound observes one round's target nets and returns those whose
+// value streams diverge from the golden model — the single probe-round
+// body shared by every localization path (Localize, and through it
+// LocalizeDict / RunLoop / RunLoopCore), so the overlay fast path is
+// wired exactly once.
+//
+// With an Overlay attached and every target within reach, the round is
+// zero-CAD: the request is partitioned into conflict-free
+// time-multiplex batches, each batch is a pure configuration switch
+// (overlay.Selector.Select — journaled, rollback-safe, no place/route/
+// STA) followed by a replay of the failing stimulus. Otherwise the
+// round takes the CAD path: one MISR rides one ApplyDelta transaction,
+// opened here so a failed insertion rolls the layout back to the round
+// boundary instead of leaving it half-mutated.
+func (s *Session) observeRound(det *Detection, targets []netlist.NetID) ([]netlist.NetID, core.Effort, error) {
+	nl := s.Layout.NL
+	if s.Overlay != nil {
+		names := make([]string, len(targets))
+		reachable := true
+		for i, net := range targets {
+			names[i] = nl.NetName(net)
+			if !s.Overlay.Reach(names[i]) {
+				reachable = false
+			}
+		}
+		if reachable {
+			byName := make(map[string]netlist.NetID, len(targets))
+			for i, net := range targets {
+				byName[names[i]] = net
+			}
+			batches, _ := s.Overlay.Partition(names)
+			var mismatched []netlist.NetID
+			for _, batch := range batches {
+				sp := s.Obs.Start(obs.StageProbeSwitch)
+				err := s.Overlay.Select(batch)
+				sp.Add("taps-selected", int64(len(batch)))
+				sp.End()
+				if err != nil {
+					return nil, core.Effort{}, err
+				}
+				s.OverlaySwitches++
+				ids := make([]netlist.NetID, len(batch))
+				for i, name := range batch {
+					ids[i] = byName[name]
+				}
+				mm, err := s.compareStreams(det.Stimulus, ids)
+				if err != nil {
+					return nil, core.Effort{}, err
+				}
+				mismatched = append(mismatched, mm...)
+			}
+			return mismatched, core.Effort{}, nil
+		}
+		s.OverlayFallbacks++
+	}
+	cp := s.Layout.Checkpoint()
+	s.misrSeq++
+	misr, err := instr.InsertMISR(nl, fmt.Sprintf("misr%d", s.misrSeq), targets)
+	if err != nil {
+		if rerr := s.Layout.Rollback(cp); rerr != nil {
+			return nil, core.Effort{}, fmt.Errorf("%w (rollback: %v)", err, rerr)
+		}
+		return nil, core.Effort{}, err
+	}
+	rep, err := s.Layout.ApplyDelta(core.Delta{Added: misr.Cells})
+	if err != nil {
+		if rerr := s.Layout.Rollback(cp); rerr != nil {
+			return nil, core.Effort{}, fmt.Errorf("%w (rollback: %v)", err, rerr)
+		}
+		return nil, core.Effort{}, err
+	}
+	s.Layout.Commit(cp)
+	mismatched, err := s.compareStreams(det.Stimulus, targets)
+	if err != nil {
+		return nil, core.Effort{}, err
+	}
+	return mismatched, rep.Effort, nil
 }
 
 // fillTiles resolves the physical tiles hosting the diagnosis suspects.
@@ -474,11 +580,17 @@ func (s *Session) fillTiles(diag *Diagnosis) {
 }
 
 // pickProbes chooses observation targets whose suspect-restricted fan-in
-// cones best bisect the suspect set.
-func (s *Session) pickProbes(suspects map[string]bool, probed map[string]bool, k int) []netlist.NetID {
+// cones best bisect the suspect set. rank, when non-nil, is the causal
+// distance of each suspect from the first observed mismatch
+// (causalRank): causally closer suspects are probed first, and the
+// bisection score only breaks ties. The ordering is deterministic
+// regardless of map iteration (final tie-break on net ID).
+func (s *Session) pickProbes(suspects map[string]bool, probed map[string]bool, k int, rank map[string]int) []netlist.NetID {
 	nl := s.Layout.NL
+	const unranked = int(^uint(0) >> 1)
 	type cand struct {
 		net   netlist.NetID
+		dist  int // causal distance (unranked sorts last)
 		score int // |cone∩suspects| distance from |suspects|/2
 	}
 	half := len(suspects) / 2
@@ -504,9 +616,18 @@ func (s *Session) pickProbes(suspects map[string]bool, probed map[string]bool, k
 		if d < 0 {
 			d = -d
 		}
-		cands = append(cands, cand{net: out, score: d})
+		dist := unranked
+		if rank != nil {
+			if r, ok := rank[name]; ok {
+				dist = r
+			}
+		}
+		cands = append(cands, cand{net: out, dist: dist, score: d})
 	}
 	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].dist != cands[j].dist {
+			return cands[i].dist < cands[j].dist
+		}
 		if cands[i].score != cands[j].score {
 			return cands[i].score < cands[j].score
 		}

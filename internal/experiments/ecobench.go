@@ -67,11 +67,15 @@ type ECORow struct {
 	STACells    int     `json:"sta_cells"`
 }
 
-// ECOProbeDelta inserts a two-net observation stage like the Figure 5
-// probe change, offset by round so successive rounds tap different
-// wiring — the unit of speculative work ECOBench and the top-level
-// BenchmarkEcoRound both measure.
-func ECOProbeDelta(l *core.Layout, round int) (core.Delta, error) {
+// ProbeDelta builds a one-CLB observation change: two internal nets get
+// a capture stage (buffer LUT + flip-flop, read back through
+// configuration readback like real emulation probes, so no I/O pad is
+// consumed) — the paper's "one affected tile" measurement unit. The
+// tapped nets are offset by round so successive rounds touch different
+// wiring. It is the unit of speculative work shared by every
+// physical-engine bench: Figure5, ECOBench, OverlayBench and the
+// top-level BenchmarkEcoRound / BenchmarkProbeSwitch.
+func ProbeDelta(l *core.Layout, round int) (core.Delta, error) {
 	var added []netlist.CellID
 	count, skip := 0, 0
 	for ni := range l.NL.Nets {
@@ -150,7 +154,7 @@ func ECOBench(cfg Config, rounds int) ([]ECORow, error) {
 			t1 := time.Now()
 			cp := lay.Checkpoint()
 			ckptNs += time.Since(t1).Nanoseconds()
-			dl, err := ECOProbeDelta(lay, r)
+			dl, err := ProbeDelta(lay, r)
 			if err != nil {
 				return ECORow{}, err
 			}
@@ -182,7 +186,7 @@ func ECOBench(cfg Config, rounds int) ([]ECORow, error) {
 		var incrExp, roundWork []float64
 		var coneSum float64
 		for r := 0; r < rounds; r++ {
-			dl, err := ECOProbeDelta(lay, r)
+			dl, err := ProbeDelta(lay, r)
 			if err != nil {
 				return ECORow{}, err
 			}
@@ -201,7 +205,7 @@ func ECOBench(cfg Config, rounds int) ([]ECORow, error) {
 
 			// Router differential oracle: the same delta on the
 			// fresh-router reference must yield the identical state.
-			dr, err := ECOProbeDelta(ref, r)
+			dr, err := ProbeDelta(ref, r)
 			if err != nil {
 				return ECORow{}, err
 			}

@@ -9,7 +9,6 @@ import (
 	"fpgadbg/internal/bench"
 	"fpgadbg/internal/core"
 	"fpgadbg/internal/device"
-	"fpgadbg/internal/logic"
 	"fpgadbg/internal/netlist"
 	"fpgadbg/internal/synth"
 	"fpgadbg/internal/timing"
@@ -350,7 +349,11 @@ func Figure5(cfg Config) ([]Fig5Row, error) {
 			if err != nil {
 				return nil, fmt.Errorf("experiments: %s @%.3f: %w", d.Name, frac, err)
 			}
-			rep, err := applyProbeChange(l)
+			dl, err := ProbeDelta(l, 0)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %s @%.3f change: %w", d.Name, frac, err)
+			}
+			rep, err := l.ApplyDelta(dl)
 			if err != nil {
 				return nil, fmt.Errorf("experiments: %s @%.3f change: %w", d.Name, frac, err)
 			}
@@ -394,37 +397,6 @@ func tailWall(tailWork float64, full core.Effort) time.Duration {
 		return 0
 	}
 	return time.Duration(float64(full.Wall) * tailWork / full.Work())
-}
-
-// applyProbeChange inserts a one-CLB observation change: two internal nets
-// get a capture stage (buffer LUT + flip-flop, read back through
-// configuration readback like real emulation probes, so no I/O pad is
-// consumed) — the paper's "one affected tile" measurement unit.
-func applyProbeChange(l *core.Layout) (*core.ChangeReport, error) {
-	var added []netlist.CellID
-	count := 0
-	for ni := range l.NL.Nets {
-		if count >= 2 {
-			break
-		}
-		net := netlist.NetID(ni)
-		if l.NL.Nets[ni].Dead || l.NL.Nets[ni].Driver == netlist.NilCell {
-			continue
-		}
-		d := l.NL.AddNet(fmt.Sprintf("probe%d_d", ni))
-		q := l.NL.AddNet(fmt.Sprintf("probe%d_q", ni))
-		lut, err := l.NL.AddLUT(fmt.Sprintf("probecell%d", ni), logic.BufN(), []netlist.NetID{net}, d)
-		if err != nil {
-			return nil, err
-		}
-		ff, err := l.NL.AddDFF(fmt.Sprintf("probeff%d", ni), d, q, 0)
-		if err != nil {
-			return nil, err
-		}
-		added = append(added, lut, ff)
-		count++
-	}
-	return l.ApplyDelta(core.Delta{Added: added})
 }
 
 // Fig5Summary computes the paper's headline aggregates: average and median

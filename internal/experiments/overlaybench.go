@@ -1,0 +1,447 @@
+package experiments
+
+// The debug-overlay benchmark behind BENCH_overlay.json. Per design it
+// measures what the pre-reserved observation overlay buys a probe round:
+//
+//   - probe-switch latency: a full overlay round
+//     (Checkpoint + Selector.Select + Rollback — pure configuration
+//     mutation) versus the incremental-CAD round it replaces
+//     (Checkpoint + InsertMISR + ApplyDelta + Rollback), medians over
+//     the measured rounds (acceptance bar: ≥ 20× median speedup);
+//   - routability overhead: initial route effort with the reserved
+//     tracks plus the one-time trunk routing versus the plain build of
+//     the same netlist;
+//   - localization rounds: a real campaign on an injected fault, the
+//     causal-chain localizer + overlay arm versus the blind-bisection
+//     arm, both on the same layout and detection.
+//
+// Every run doubles as the differential oracle: the value streams
+// observed through the overlay (no netlist change) must be bit-identical
+// to the streams observed after MISR insertion on the CAD path, every
+// timed round must restore the pristine digest, and the overlay layout
+// must pass VerifyLayout with the trunks charged — any divergence fails
+// the run.
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"fpgadbg/internal/bench"
+	"fpgadbg/internal/core"
+	"fpgadbg/internal/debug"
+	"fpgadbg/internal/faults"
+	"fpgadbg/internal/instr"
+	"fpgadbg/internal/netlist"
+	"fpgadbg/internal/overlay"
+	"fpgadbg/internal/sim"
+	"fpgadbg/internal/testgen"
+)
+
+// OverlayRow is one design's measurement.
+type OverlayRow struct {
+	Design   string `json:"design"`
+	CLBs     int    `json:"clbs"`
+	Channels int    `json:"channels"`
+	// Taps is the number of nets the observation network covers (every
+	// live cell output at plan time); TrunkLen the routed trunk
+	// wirelength in channel edges.
+	Taps     int `json:"taps"`
+	TrunkLen int `json:"trunk_len"`
+	Rounds   int `json:"rounds"`
+
+	// BaseRouteExpansions is the route effort of the plain build;
+	// OverlayRouteExpansions the effort of the reserved build plus the
+	// one-time trunk routing. RouteOverheadPct is the relative increase.
+	BaseRouteExpansions    int64   `json:"base_route_expansions"`
+	OverlayRouteExpansions int64   `json:"overlay_route_expansions"`
+	RouteOverheadPct       float64 `json:"route_overhead_pct"`
+
+	// MedianSwitchNs is the median wall time of one overlay probe round
+	// (checkpoint + tap-mux select + rollback); MedianCADNs the median
+	// of the incremental-CAD round it replaces (checkpoint + MISR
+	// insertion + ApplyDelta + rollback). SwitchSpeedup = cad / switch
+	// (bar: ≥ 20).
+	MedianSwitchNs float64 `json:"median_switch_ns"`
+	MedianCADNs    float64 `json:"median_cad_ns"`
+	SwitchSpeedup  float64 `json:"switch_speedup"`
+
+	// BitIdentical reports the differential oracle: the streams observed
+	// through the overlay equal the streams observed after MISR
+	// insertion, word for word. Required true for the row to be emitted.
+	BitIdentical bool `json:"bit_identical"`
+
+	// Campaign arm: an injected fault localized twice on the same layout
+	// and detection — once with the causal-chain localizer feeding
+	// overlay probe rounds, once blind on the CAD path. Detected is
+	// false when the injected fault was not excited (both round counts
+	// are then zero). Sequential reports whether the design has state.
+	// CausalRounds/BlindRounds count the probe rounds that actually
+	// narrowed each arm's verdict (Diagnosis.ConvergeRound — past it the
+	// budget only confirms the final set), and CausalSuspects/
+	// BlindSuspects the final suspect-set size each arm reached on the
+	// identical budget: the arms are only comparable on both numbers
+	// together, since a blind arm that never shrinks its cone "converges"
+	// at round zero with the whole cone still suspect. BlindRounds is -1
+	// when the blind arm's probe logic was unroutable (BlindCADError
+	// carries the router's error): the CAD path inserts real MISRs, and
+	// on congested designs those can fail to route — the regime the
+	// overlay removes entirely.
+	Detected         bool   `json:"detected"`
+	Sequential       bool   `json:"sequential"`
+	CausalRounds     int    `json:"causal_rounds"`
+	CausalSuspects   int    `json:"causal_suspects"`
+	BlindRounds      int    `json:"blind_rounds"`
+	BlindSuspects    int    `json:"blind_suspects"`
+	BlindCADError    string `json:"blind_cad_error,omitempty"`
+	OverlaySwitches  int    `json:"overlay_switches"`
+	OverlayFallbacks int    `json:"overlay_fallbacks"`
+}
+
+// overlayDetectWords/Cycles are the campaign-arm detection parameters —
+// small enough to keep the bench interactive, long enough to excite and
+// localize typical injected faults on the catalog.
+const (
+	overlayDetectWords  = 4
+	overlayDetectCycles = 16
+	overlayMaxRounds    = 6
+	overlayProbesRound  = 4
+)
+
+// OverlayBench measures the pre-reserved debug overlay on every selected
+// design over the given number of timed probe-switch rounds (0 = default 8).
+func OverlayBench(cfg Config, rounds int) ([]OverlayRow, error) {
+	cfg = cfg.withDefaults()
+	if rounds < 1 {
+		rounds = 8
+	}
+	return forEachDesign(cfg, func(d bench.Info) (OverlayRow, error) {
+		golden, err := Mapped(d)
+		if err != nil {
+			return OverlayRow{}, err
+		}
+		impl := golden.Clone()
+		if _, err := faults.InjectRandom(impl, cfg.Seed+41); err != nil {
+			return OverlayRow{}, fmt.Errorf("experiments: %s inject: %w", d.Name, err)
+		}
+
+		// Plain build of the same netlist: the routability baseline.
+		base, err := core.BuildMapped(impl.Clone(), core.Spec{
+			Overhead: cfg.Overhead, TileFrac: 0.10, Seed: cfg.Seed, PlaceEffort: cfg.PlaceEffort,
+		})
+		if err != nil {
+			return OverlayRow{}, fmt.Errorf("experiments: %s base: %w", d.Name, err)
+		}
+
+		// Overlay build: user nets route with the reserved tracks
+		// withheld, then the trunks are routed once into the headroom
+		// and locked.
+		lay, err := core.BuildMapped(impl, core.Spec{
+			Overhead: cfg.Overhead, TileFrac: 0.10, Seed: cfg.Seed, PlaceEffort: cfg.PlaceEffort,
+			OverlayReserve: overlay.DefaultReserve,
+		})
+		if err != nil {
+			return OverlayRow{}, fmt.Errorf("experiments: %s reserved build: %w", d.Name, err)
+		}
+		plan, err := overlay.Build(lay, overlay.DefaultChannels)
+		if err != nil {
+			return OverlayRow{}, fmt.Errorf("experiments: %s: %w", d.Name, err)
+		}
+		if err := core.VerifyLayout(lay); err != nil {
+			return OverlayRow{}, fmt.Errorf("experiments: %s overlay layout: %w", d.Name, err)
+		}
+
+		row := OverlayRow{
+			Design: d.Name, CLBs: lay.NumCLBs(), Rounds: rounds,
+			Channels: plan.Channels, Taps: plan.Taps, TrunkLen: plan.TrunkLen,
+			BaseRouteExpansions:    base.BuildEffort.RouteExpansions,
+			OverlayRouteExpansions: lay.BuildEffort.RouteExpansions + plan.RouteExpansions,
+		}
+		if row.BaseRouteExpansions > 0 {
+			row.RouteOverheadPct = 100 * float64(row.OverlayRouteExpansions-row.BaseRouteExpansions) /
+				float64(row.BaseRouteExpansions)
+		}
+		for ci := range impl.Cells {
+			if !impl.Cells[ci].Dead && impl.Cells[ci].Kind == netlist.KindDFF {
+				row.Sequential = true
+				break
+			}
+		}
+
+		// Round-robin tap batches: one covered net per channel per round,
+		// conflict-free by construction, rotating so every timed round
+		// actually moves the muxes.
+		chanNames := make([][]string, plan.Channels)
+		for ci := range lay.NL.Cells {
+			c := &lay.NL.Cells[ci]
+			if c.Dead || c.Out == netlist.NilNet {
+				continue
+			}
+			name := lay.NL.NetName(c.Out)
+			if ch, ok := plan.Channel(name); ok {
+				chanNames[ch] = append(chanNames[ch], name)
+			}
+		}
+		batch := func(r int) []string {
+			var b []string
+			for ch := range chanNames {
+				if n := len(chanNames[ch]); n > 0 {
+					b = append(b, chanNames[ch][r%n])
+				}
+			}
+			return b
+		}
+
+		// Timed probe rounds: the overlay switch cycle versus the
+		// incremental-CAD cycle it replaces, on the same layout.
+		pristine := lay.StateDigest()
+		sel := plan.NewSelector(lay)
+		var switchNs, cadNs []float64
+		for r := 0; r < rounds; r++ {
+			names := batch(r)
+			ids := make([]netlist.NetID, len(names))
+			for i, name := range names {
+				id, ok := lay.NL.NetByName(name)
+				if !ok {
+					return OverlayRow{}, fmt.Errorf("experiments: %s: net %q vanished", d.Name, name)
+				}
+				ids[i] = id
+			}
+
+			t0 := time.Now()
+			cp := lay.Checkpoint()
+			if err := sel.Select(names); err != nil {
+				return OverlayRow{}, fmt.Errorf("experiments: %s round %d: %w", d.Name, r, err)
+			}
+			if err := lay.Rollback(cp); err != nil {
+				return OverlayRow{}, err
+			}
+			switchNs = append(switchNs, float64(time.Since(t0).Nanoseconds()))
+
+			t1 := time.Now()
+			cp = lay.Checkpoint()
+			misr, err := instr.InsertMISR(lay.NL, fmt.Sprintf("ovb%d", r), ids)
+			if err != nil {
+				return OverlayRow{}, fmt.Errorf("experiments: %s round %d MISR: %w", d.Name, r, err)
+			}
+			if _, err := lay.ApplyDelta(core.Delta{Added: misr.Cells}); err != nil {
+				return OverlayRow{}, fmt.Errorf("experiments: %s round %d CAD: %w", d.Name, r, err)
+			}
+			if err := lay.Rollback(cp); err != nil {
+				return OverlayRow{}, err
+			}
+			cadNs = append(cadNs, float64(time.Since(t1).Nanoseconds()))
+
+			if lay.StateDigest() != pristine {
+				return OverlayRow{}, fmt.Errorf("experiments: %s round %d: rollback did not restore the layout", d.Name, r)
+			}
+		}
+		row.MedianSwitchNs = median(switchNs)
+		row.MedianCADNs = median(cadNs)
+		if row.MedianSwitchNs > 0 {
+			row.SwitchSpeedup = row.MedianCADNs / row.MedianSwitchNs
+		}
+
+		// Differential oracle: observing through the overlay changes
+		// nothing in the design, so the target streams must be
+		// bit-identical before and after the CAD path's MISR insertion.
+		if err := overlayBitIdentity(lay, batch(0), cfg.Seed); err != nil {
+			return OverlayRow{}, fmt.Errorf("experiments: %s: %w", d.Name, err)
+		}
+		row.BitIdentical = true
+
+		// Campaign arm: localize the injected fault twice on this layout
+		// — causal + overlay versus blind bisection — inside rolled-back
+		// transactions so the arms see the identical pristine state.
+		causal, blind, err := overlayCampaignArms(golden, lay, plan, cfg.Seed, &row)
+		if err != nil {
+			return OverlayRow{}, fmt.Errorf("experiments: %s campaign: %w", d.Name, err)
+		}
+		row.CausalRounds, row.BlindRounds = causal, blind
+		if lay.StateDigest() != pristine {
+			return OverlayRow{}, fmt.Errorf("experiments: %s: campaign arms leaked into the layout", d.Name)
+		}
+		return row, nil
+	})
+}
+
+// overlayBitIdentity replays one stimulus with the target nets probed,
+// inserts a MISR on the same targets (the CAD path's observation logic)
+// and replays again: the probed streams must match word for word.
+func overlayBitIdentity(lay *core.Layout, names []string, seed int64) error {
+	nl := lay.NL
+	ids := make([]netlist.NetID, len(names))
+	for i, name := range names {
+		id, ok := nl.NetByName(name)
+		if !ok {
+			return fmt.Errorf("net %q vanished", name)
+		}
+		ids[i] = id
+	}
+	piNames := nl.SortedPINames()
+	stim := testgen.Repeat(testgen.RandomBlocks(len(piNames), 2, seed), 16)
+	run := func() (*sim.Trace, error) {
+		m, err := sim.Compile(nl)
+		if err != nil {
+			return nil, err
+		}
+		if err := m.BindNames(piNames); err != nil {
+			return nil, err
+		}
+		if err := m.Probe(ids...); err != nil {
+			return nil, err
+		}
+		return m.RunTrace(stim), nil
+	}
+	before, err := run()
+	if err != nil {
+		return err
+	}
+	cp := lay.Checkpoint()
+	defer func() {
+		if err := lay.Rollback(cp); err != nil {
+			panic(fmt.Sprintf("experiments: bit-identity rollback: %v", err))
+		}
+	}()
+	misr, err := instr.InsertMISR(nl, "ovdiff", ids)
+	if err != nil {
+		return err
+	}
+	if _, err := lay.ApplyDelta(core.Delta{Added: misr.Cells}); err != nil {
+		return err
+	}
+	after, err := run()
+	if err != nil {
+		return err
+	}
+	for c := 0; c < len(stim); c++ {
+		for k := range ids {
+			if before.ProbeVal(c, k) != after.ProbeVal(c, k) {
+				return fmt.Errorf("overlay stream diverged from MISR-path stream at cycle %d, tap %s",
+					c, names[k])
+			}
+		}
+	}
+	return nil
+}
+
+// overlayCampaignArms detects the injected fault once per arm on the
+// same layout and localizes it with and without the causal-chain
+// localizer + overlay fast path, returning the probe-round counts.
+func overlayCampaignArms(golden *netlist.Netlist, lay *core.Layout, plan *overlay.Plan, seed int64, row *OverlayRow) (causal, blind int, err error) {
+	arm := func(useOverlay bool) (int, int, error) {
+		cp := lay.Checkpoint()
+		defer func() {
+			if rerr := lay.Rollback(cp); rerr != nil {
+				panic(fmt.Sprintf("experiments: campaign-arm rollback: %v", rerr))
+			}
+		}()
+		sess, err := debug.NewSession(golden, lay, seed)
+		if err != nil {
+			return 0, 0, err
+		}
+		if useOverlay {
+			sess.Overlay = plan.NewSelector(lay)
+			sess.Causal = true
+		}
+		det, err := sess.Detect(overlayDetectWords, overlayDetectCycles)
+		if err != nil {
+			return 0, 0, err
+		}
+		if !det.Failed {
+			return -1, 0, nil
+		}
+		diag, err := sess.Localize(det, overlayMaxRounds, overlayProbesRound)
+		if err != nil {
+			return 0, 0, err
+		}
+		if useOverlay {
+			row.OverlaySwitches = sess.OverlaySwitches
+			row.OverlayFallbacks = sess.OverlayFallbacks
+		}
+		// The arms are compared on the rounds that actually narrowed the
+		// verdict (past ConvergeRound the budget only confirms the final
+		// set, so total Rounds saturates and stops discriminating) AND on
+		// how small a set they reached.
+		return diag.ConvergeRound, len(diag.Suspects), nil
+	}
+	var nsusp int
+	causal, nsusp, err = arm(true)
+	if err != nil {
+		return 0, 0, err
+	}
+	if causal < 0 {
+		return 0, 0, nil // fault not excited by this detection budget
+	}
+	row.CausalSuspects = nsusp
+	blind, nsusp, err = arm(false)
+	if err != nil {
+		// The blind arm observes through real MISR insertions; on a
+		// congested layout those can be unroutable. The overlay arm
+		// already localized on the same layout, so record the CAD
+		// failure as data rather than failing the benchmark.
+		row.Detected = true
+		row.BlindCADError = err.Error()
+		return causal, -1, nil
+	}
+	row.Detected = true
+	row.BlindSuspects = nsusp
+	return causal, blind, nil
+}
+
+// OverlaySummary returns the catalog-level aggregates the acceptance
+// bars are set on: the median probe-switch speedup, the worst per-design
+// routability overhead, the probe rounds the causal localizer saved,
+// and the total suspect-set shrink it bought on detected designs.
+//
+// Rounds saved is conservative: when both arms reach the same suspect
+// set it is the plain converge-round difference; when blind bisection
+// spent its whole budget without ever matching the causal verdict, the
+// budget is a lower bound on the rounds blind would need, so
+// overlayMaxRounds − causal is credited; an unroutable blind arm
+// credits nothing.
+func OverlaySummary(rows []OverlayRow) (medianSpeedup, maxOverheadPct float64, roundsSaved, suspectCut int) {
+	var sp []float64
+	for _, r := range rows {
+		sp = append(sp, r.SwitchSpeedup)
+		if r.RouteOverheadPct > maxOverheadPct {
+			maxOverheadPct = r.RouteOverheadPct
+		}
+		if !r.Detected || r.BlindRounds < 0 {
+			continue
+		}
+		switch {
+		case r.CausalSuspects == r.BlindSuspects:
+			roundsSaved += r.BlindRounds - r.CausalRounds
+		case r.CausalSuspects < r.BlindSuspects:
+			roundsSaved += overlayMaxRounds - r.CausalRounds
+		}
+		suspectCut += r.BlindSuspects - r.CausalSuspects
+	}
+	return median(sp), maxOverheadPct, roundsSaved, suspectCut
+}
+
+// FormatOverlay renders the benchmark as a text table.
+func FormatOverlay(rows []OverlayRow) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Pre-reserved debug overlay (zero-CAD probe switching + causal-chain localizer)")
+	fmt.Fprintf(&b, "%-11s %6s %5s %6s %9s %9s %9s %8s %11s %11s %6s\n",
+		"design", "clbs", "taps", "trunk", "switch ns", "cad ns", "switch x", "route %", "causal", "blind", "ident")
+	for _, r := range rows {
+		causal := fmt.Sprintf("%dr/%ds", r.CausalRounds, r.CausalSuspects)
+		blind := fmt.Sprintf("%dr/%ds", r.BlindRounds, r.BlindSuspects)
+		if r.BlindRounds < 0 {
+			blind = "unroutable" // the CAD arm could not route its MISR probes
+		}
+		if !r.Detected {
+			causal, blind = "-", "-"
+		}
+		fmt.Fprintf(&b, "%-11s %6d %5d %6d %9.0f %9.0f %8.1fx %7.1f%% %11s %11s %6v\n",
+			r.Design, r.CLBs, r.Taps, r.TrunkLen, r.MedianSwitchNs, r.MedianCADNs,
+			r.SwitchSpeedup, r.RouteOverheadPct, causal, blind, r.BitIdentical)
+	}
+	ms, mo, saved, cut := OverlaySummary(rows)
+	fmt.Fprintf(&b, "catalog: median probe-switch speedup %.1fx (bar 20x), worst routability overhead %.1f%%, causal localizer: %d probe rounds saved, suspect sets %d cells tighter\n",
+		ms, mo, saved, cut)
+	return b.String()
+}

@@ -22,6 +22,8 @@ const (
 	StageGoldenTrace     = "goldentrace"
 	StageDetect          = "detect"
 	StageLocalizeDict    = "localize-dict"
+	StageLocalizeCausal  = "localize-causal"
+	StageProbeSwitch     = "probe-switch"
 	StageLocalizeProbe   = "localize-probe"
 	StageRepairEnumerate = "repair-enumerate"
 	StageRepairValidate  = "repair-validate"
@@ -35,6 +37,7 @@ var StageOrder = []string{
 	StageQueue, StageRecover, StageResume,
 	StageSynth, StageMap, StagePlace, StageRoute, StageSTA,
 	StageCompile, StageGoldenTrace, StageDetect, StageLocalizeDict,
+	StageLocalizeCausal, StageProbeSwitch,
 	StageLocalizeProbe, StageRepairEnumerate, StageRepairValidate,
 	StageEcoVerify, StageFaultScan,
 }

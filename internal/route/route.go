@@ -111,6 +111,11 @@ type Options struct {
 	// persistent Router falls back to the usage accumulated through
 	// BeginPass/Charge.
 	FixedUse []int16
+	// CapReserve withholds tracks per channel segment from this pass:
+	// nets route as if the grid capacity were Cap-CapReserve (clamped to
+	// at least one track). The debug overlay uses it to keep headroom for
+	// trunk wiring that is routed afterwards at full capacity.
+	CapReserve int
 }
 
 // Result reports routing work and convergence.
@@ -156,9 +161,11 @@ type Router struct {
 	fixed []int16
 
 	// use and hist are the negotiated-congestion state of the current
-	// Route call.
-	use  []int16
-	hist []float64
+	// Route call; capEff is the effective capacity of the call
+	// (Cap-CapReserve, at least 1).
+	use    []int16
+	hist   []float64
+	capEff int
 
 	// Dijkstra scratch, epoch-invalidated so no per-search clearing.
 	dist    []float64
@@ -238,6 +245,10 @@ func (r *Router) Route(nets []*Net, opt Options) (*Result, error) {
 	if opt.MaxIters <= 0 {
 		opt.MaxIters = 40
 	}
+	r.capEff = g.Cap - opt.CapReserve
+	if r.capEff < 1 {
+		r.capEff = 1
+	}
 	// A long-lived Router (the service keeps one warm per pooled layout)
 	// must never let the epoch counter wrap into stamps still stored in
 	// the scratch arrays: reset everything while no search is in flight.
@@ -303,9 +314,9 @@ func (r *Router) Route(nets []*Net, opt Options) (*Result, error) {
 		// Converged?
 		over := 0
 		for e := range r.use {
-			if int(r.use[e]) > g.Cap {
+			if int(r.use[e]) > r.capEff {
 				over++
-				r.hist[e] += float64(int(r.use[e]) - g.Cap)
+				r.hist[e] += float64(int(r.use[e]) - r.capEff)
 			}
 		}
 		res.Expansions = r.expansions - startExp
@@ -385,7 +396,7 @@ func (q *pq) Pop() any {
 // edgeCost is the negotiated-congestion cost of adding one more use of e.
 func (r *Router) edgeCost(e EdgeID, presFac float64) float64 {
 	c := 1.0 + r.hist[e]
-	over := int(r.use[e]) + 1 - r.g.Cap
+	over := int(r.use[e]) + 1 - r.capEff
 	if over > 0 {
 		c += presFac * float64(over)
 	}

@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"fpgadbg/internal/core"
+	"fpgadbg/internal/overlay"
 )
 
 // layoutPool shares transactional working layouts of one pristine
@@ -27,6 +28,11 @@ const maxPoolFree = 3
 type layoutPool struct {
 	pristine *core.Layout
 	digest   string
+	// plan is the immutable debug-overlay plan built on the pristine
+	// layout (nil for non-overlay layout keys). Campaigns bind
+	// per-campaign Selectors to their working copies; the plan itself is
+	// shared read-only.
+	plan *overlay.Plan
 
 	mu     sync.Mutex
 	free   []*core.Layout

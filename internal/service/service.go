@@ -20,6 +20,7 @@ import (
 	"fpgadbg/internal/faults"
 	"fpgadbg/internal/netlist"
 	"fpgadbg/internal/obs"
+	"fpgadbg/internal/overlay"
 	"fpgadbg/internal/sim"
 	"fpgadbg/internal/store"
 	"fpgadbg/internal/synth"
@@ -98,6 +99,15 @@ type Spec struct {
 	// cached) to a debug campaign, so localization tries a probe-free
 	// dictionary lookup before inserting observation logic.
 	UseDict bool `json:"use_dict,omitempty"`
+	// Overlay plans a pre-reserved debug overlay into the campaign's
+	// layout (routing headroom + a time-multiplexed observation network
+	// covering every cell output) and enables the causal-chain
+	// localizer: probe rounds become zero-CAD configuration switches
+	// instead of incremental place-and-route. Overlay layouts live under
+	// their own cache key, so overlay and non-overlay campaigns never
+	// share a pristine layout. Not valid with Kind == KindFaultScan
+	// (faultscan builds no layout).
+	Overlay bool `json:"overlay,omitempty"`
 	// Priority orders the queue: higher runs first; equal priorities are
 	// FIFO.
 	Priority int `json:"priority,omitempty"`
@@ -179,6 +189,9 @@ func (sp Spec) Validate() error {
 	if sp.FaultModel != "" && sp.FaultModel != FaultModelSingle && sp.Kind != KindFaultScan {
 		return fmt.Errorf("service: fault model %q needs kind %q (got %q)", sp.FaultModel, KindFaultScan, sp.Kind)
 	}
+	if sp.Overlay && sp.Kind == KindFaultScan {
+		return fmt.Errorf("service: overlay needs a layout; kind %q builds none", KindFaultScan)
+	}
 	if sp.Words < 0 || sp.Cycles < 0 {
 		return fmt.Errorf("service: words and cycles must be positive (got %d, %d)", sp.Words, sp.Cycles)
 	}
@@ -200,12 +213,19 @@ func (sp Spec) Validate() error {
 // are encoded exactly — truncation would alias distinct parameters onto
 // one key and serve a layout built with the wrong knobs.
 func (sp Spec) layoutKey(implFP string) string {
-	return fmt.Sprintf("layout/%s/o%s-t%s-s%d-e%s",
+	key := fmt.Sprintf("layout/%s/o%s-t%s-s%d-e%s",
 		implFP,
 		strconv.FormatFloat(sp.Overhead, 'g', -1, 64),
 		strconv.FormatFloat(sp.TileFrac, 'g', -1, 64),
 		sp.Seed,
 		strconv.FormatFloat(sp.PlaceEffort, 'g', -1, 64))
+	if sp.Overlay {
+		// Overlay layouts reserve routing capacity and carry trunk
+		// wiring; the suffix is appended only when enabled so every
+		// historical non-overlay key is unchanged.
+		key += fmt.Sprintf("-ov%d", overlay.DefaultChannels)
+	}
+	return key
 }
 
 // State is a campaign's lifecycle position.
@@ -301,6 +321,13 @@ type Result struct {
 	MaskedFraction float64 `json:"masked_fraction,omitempty"`
 	RouteFaults    int     `json:"route_faults,omitempty"`
 	BridgeFaults   int     `json:"bridge_faults,omitempty"`
+	// Overlay campaigns (Spec.Overlay) report the pre-reserved debug
+	// overlay's use: OverlaySwitches counts zero-CAD tap-mux probe
+	// switches, OverlayFallbacks the probe rounds that fell back to the
+	// incremental-CAD path (net outside overlay reach).
+	Overlay          bool `json:"overlay,omitempty"`
+	OverlaySwitches  int  `json:"overlay_switches,omitempty"`
+	OverlayFallbacks int  `json:"overlay_fallbacks,omitempty"`
 	// CacheHits / CacheMisses count this campaign's artifact lookups
 	// (golden netlist+simulator artifact, layout, baseline, dictionary).
 	CacheHits   int     `json:"cache_hits"`
@@ -330,6 +357,11 @@ func (r *Result) digest() string {
 		fmt.Fprintf(h, "|%s|%d|%d|%d|%.4f|%.2f|%.2f|%.4f|%d|%d",
 			r.FaultModel, r.PairsTotal, r.PairsDetected, r.PairsDiagnosed, r.PairDiagRate,
 			r.SEULatencyP50, r.SEULatencyP99, r.MaskedFraction, r.RouteFaults, r.BridgeFaults)
+	}
+	if r.Overlay {
+		// Overlay fields join the digest only for overlay campaigns, so
+		// every historical non-overlay digest is unchanged.
+		fmt.Fprintf(h, "|ov|%d|%d", r.OverlaySwitches, r.OverlayFallbacks)
 	}
 	sum := h.Sum(nil)
 	return hex.EncodeToString(sum[:8])
@@ -473,6 +505,10 @@ type Config struct {
 	// overhead benchmark (experiments.TelemetryBench) uses it as the
 	// control arm.
 	NoTelemetry bool
+	// DefaultOverlay turns Spec.Overlay on for every submitted campaign
+	// that builds a layout (faultscan campaigns are left alone — they
+	// have none). The daemon wires -overlay here.
+	DefaultOverlay bool
 	// Store, when set, makes campaign state durable: lifecycle
 	// transitions are journaled, rebuildable artifacts spill into the
 	// blob area, and Open replays the journal on startup (persist.go).
@@ -623,6 +659,9 @@ func (s *Service) Registry() *obs.Registry { return s.reg }
 // Submit validates and enqueues a campaign, returning its ID.
 func (s *Service) Submit(spec Spec) (string, error) {
 	spec = spec.withDefaults()
+	if s.cfg.DefaultOverlay && spec.Kind != KindFaultScan {
+		spec.Overlay = true
+	}
 	if err := spec.Validate(); err != nil {
 		return "", err
 	}
@@ -1197,17 +1236,34 @@ func (s *Service) runCampaign(ctx context.Context, c *campaign) (*Result, error)
 		// The initial build records place/route spans on the building
 		// campaign's trace; BuildMapped detaches it before the layout is
 		// stored, so the cached pristine never outlives this trace.
-		l, err := core.BuildMapped(impl.Clone(), core.Spec{
+		cs := core.Spec{
 			Overhead: spec.Overhead, TileFrac: spec.TileFrac,
 			Seed: spec.Seed, PlaceEffort: spec.PlaceEffort,
 			Obs: tr,
-		})
+		}
+		if spec.Overlay {
+			cs.OverlayReserve = overlay.DefaultReserve
+		}
+		l, err := core.BuildMapped(impl.Clone(), cs)
 		if err != nil {
 			return nil, 0, err
 		}
+		p := newLayoutPool(l)
+		if spec.Overlay {
+			// The overlay trunks are routed into the pristine layout
+			// before any campaign clones it, so every working copy
+			// inherits the locked wiring; the plan itself is shared
+			// read-only.
+			plan, err := overlay.Build(l, overlay.DefaultChannels)
+			if err != nil {
+				return nil, 0, err
+			}
+			p.plan = plan
+			p.digest = l.StateDigest()
+		}
 		// Charge the pool's worst-case residency: the pristine
 		// reference plus the bounded free list of rolled-back copies.
-		return newLayoutPool(l), (1 + maxPoolFree) * layoutBytes(l), nil
+		return p, (1 + maxPoolFree) * layoutBytes(l), nil
 	})
 	if err != nil {
 		return nil, fmt.Errorf("layout %s: %w", spec.Design, err)
@@ -1253,6 +1309,17 @@ func (s *Service) runCampaign(ctx context.Context, c *campaign) (*Result, error)
 	sess.SetGoldenFingerprint(ga.fp)
 	sess.Progress = func(ev debug.Event) {
 		c.appendEvent(ev.Stage, ev.Round, "%s", ev.Msg)
+	}
+	if spec.Overlay && pool.plan != nil {
+		// Bind a per-campaign tap selector to the working copy and turn
+		// on the causal-chain localizer; both ride the campaign's layout
+		// transaction, so the pool check-in rollback restores a parked
+		// selection. Non-overlay campaigns keep Causal off so their
+		// historical round counts and digests are unchanged.
+		sess.Overlay = pool.plan.NewSelector(layout)
+		sess.Causal = true
+		c.appendEvent("overlay", 0, "debug overlay: %d channels, %d taps, trunk wirelength %d",
+			pool.plan.Channels, pool.plan.Taps, pool.plan.TrunkLen)
 	}
 
 	// 5b. Optional fault dictionary: built once per (design, detection
@@ -1320,6 +1387,11 @@ func (s *Service) runCampaign(ctx context.Context, c *campaign) (*Result, error)
 		}
 	}
 
+	if spec.Overlay {
+		res.Overlay = true
+		res.OverlaySwitches = sess.OverlaySwitches
+		res.OverlayFallbacks = sess.OverlayFallbacks
+	}
 	res.TileWork = sess.TileEffort.Work()
 	res.FullWork = fullEffort.Work()
 	if updates := res.Rounds + res.Iterations; updates > 0 && res.TileWork > 0 {

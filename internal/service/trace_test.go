@@ -145,6 +145,46 @@ func TestStageTraceCompleteness(t *testing.T) {
 	if logged.WallUs != tr.WallUs || len(logged.Stages) != len(tr.Stages) {
 		t.Fatalf("NDJSON trace disagrees with stored trace: %+v vs %+v", logged, tr)
 	}
+
+	// An overlay campaign exercises the two zero-CAD stages: the causal
+	// walk ranks suspects once per localization and every probe round is
+	// a tap switch, so both must surface in the canonical trace.
+	var ovRes *Result
+	for seed := int64(1); seed <= 8; seed++ {
+		spec := fastSpec("9sym", seed)
+		spec.Overlay = true
+		cid, err := svc.Submit(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := svc.Wait(ctx, cid)
+		if err != nil {
+			t.Fatalf("overlay seed %d: %v", seed, err)
+		}
+		if r.Detected {
+			ovRes = r
+			break
+		}
+	}
+	if ovRes == nil {
+		t.Fatal("no overlay seed excited its injected error")
+	}
+	if !ovRes.Overlay || ovRes.OverlaySwitches == 0 {
+		t.Fatalf("overlay campaign did not switch taps: %+v", ovRes)
+	}
+	for _, stage := range []string{obs.StageLocalizeCausal, obs.StageProbeSwitch} {
+		row := ovRes.Trace.Stage(stage)
+		if row == nil {
+			t.Fatalf("overlay stage %q missing from trace (stages: %+v)", stage, ovRes.Trace.Stages)
+		}
+		if row.Count < 1 || row.DurUs <= 0 {
+			t.Fatalf("overlay stage %q executed but empty: %+v", stage, row)
+		}
+	}
+	if n := ovRes.Trace.Stage(obs.StageProbeSwitch).Count; int(n) != ovRes.OverlaySwitches {
+		t.Errorf("probe-switch span count %d != %d overlay switches",
+			n, ovRes.OverlaySwitches)
+	}
 }
 
 // TestNoTelemetryDisablesTraces pins the control arm used by the
